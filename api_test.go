@@ -1,0 +1,129 @@
+package pfirewall_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"pfirewall"
+	"pfirewall/internal/programs"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	sys := pfirewall.NewSystem(pfirewall.Options{Firewall: true})
+	if err := sys.InstallRule(`pftables -t filter -o LNK_FILE_READ -d tmp_t -j DROP`); err != nil {
+		t.Fatal(err)
+	}
+	adversary := sys.NewAdversary()
+	if err := adversary.Symlink("/etc/shadow", "/tmp/innocent"); err != nil {
+		t.Fatal(err)
+	}
+	victim := sys.NewProcess(pfirewall.ProcessSpec{UID: 0, Label: "sshd_t", Exec: "/usr/sbin/sshd"})
+	if _, err := victim.Open("/tmp/innocent", pfirewall.O_RDONLY, 0); !errors.Is(err, pfirewall.ErrPFDenied) {
+		t.Errorf("open trap: %v, want ErrPFDenied", err)
+	}
+	fd, err := victim.Open("/etc/shadow", pfirewall.O_RDONLY, 0)
+	if err != nil {
+		t.Fatalf("direct open: %v", err)
+	}
+	victim.Close(fd)
+	if sys.Firewall().Stats.Drops.Load() != 1 {
+		t.Errorf("drops = %d, want 1", sys.Firewall().Stats.Drops.Load())
+	}
+}
+
+func TestSystemWithoutFirewall(t *testing.T) {
+	sys := pfirewall.NewSystem(pfirewall.Options{})
+	if sys.Firewall() != nil {
+		t.Error("firewall should be nil")
+	}
+	if _, err := sys.InstallRules(pfirewall.StandardRules()); err == nil {
+		t.Error("installing rules without a firewall must fail")
+	}
+	if _, err := sys.SuggestRules(1); err == nil {
+		t.Error("SuggestRules without CollectTrace must fail")
+	}
+	// The kernel still works.
+	p := sys.NewProcess(pfirewall.ProcessSpec{UID: 0, Label: "sshd_t", Exec: "/usr/sbin/sshd"})
+	if _, err := p.Open("/etc/passwd", pfirewall.O_RDONLY, 0); err != nil {
+		t.Errorf("open: %v", err)
+	}
+}
+
+func TestStandardRulesInstallCleanly(t *testing.T) {
+	sys := pfirewall.NewSystem(pfirewall.Options{Firewall: true})
+	n, err := sys.InstallRules(pfirewall.StandardRules())
+	if err != nil || n != len(pfirewall.StandardRules()) {
+		t.Fatalf("installed %d, %v", n, err)
+	}
+	if sys.Firewall().RuleCount() != n {
+		t.Errorf("rule count = %d, want %d", sys.Firewall().RuleCount(), n)
+	}
+}
+
+func TestCollectTraceAndSuggest(t *testing.T) {
+	sys := pfirewall.NewSystem(pfirewall.Options{Firewall: true, CollectTrace: true})
+	if sys.Trace == nil {
+		t.Fatal("trace store missing")
+	}
+	ld := programs.NewLinker(sys.World())
+	for i := 0; i < 12; i++ {
+		p := sys.NewProcess(pfirewall.ProcessSpec{UID: 0, Label: "httpd_t", Exec: programs.BinApache})
+		if _, err := ld.LoadLibrary(p, "libssl.so"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sys.Trace.Len() == 0 {
+		t.Fatal("no trace records collected")
+	}
+	rules, err := sys.SuggestRules(10)
+	if err != nil || len(rules) == 0 {
+		t.Fatalf("suggestions: %v, %v", rules, err)
+	}
+	found := false
+	for _, r := range rules {
+		if strings.Contains(r, programs.BinLdSo) && strings.Contains(r, "FILE_OPEN") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected an ld.so FILE_OPEN suggestion, got:\n%s", strings.Join(rules, "\n"))
+	}
+}
+
+func TestEngineConfigOption(t *testing.T) {
+	cfg := pfirewall.EngineConfig{} // unoptimized
+	sys := pfirewall.NewSystem(pfirewall.Options{Firewall: true, Config: &cfg})
+	if got := sys.Firewall().Config(); got != cfg {
+		t.Errorf("config = %+v", got)
+	}
+	def := pfirewall.NewSystem(pfirewall.Options{Firewall: true})
+	if got := def.Firewall().Config(); got != pfirewall.OptimizedConfig() {
+		t.Errorf("default config = %+v", got)
+	}
+}
+
+func TestSafeOpenRulesBlockCrossOwnerLinks(t *testing.T) {
+	sys := pfirewall.NewSystem(pfirewall.Options{Firewall: true})
+	sys.MustInstallRules(pfirewall.SafeOpenRules())
+	adversary := sys.NewAdversary()
+	adversary.Symlink("/etc/passwd", "/tmp/x")
+	victim := sys.NewProcess(pfirewall.ProcessSpec{UID: 0, Label: "sshd_t", Exec: "/usr/sbin/sshd"})
+	if _, err := victim.Open("/tmp/x", pfirewall.O_RDONLY, 0); !errors.Is(err, pfirewall.ErrPFDenied) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestRuleEnvUsableWithPftables(t *testing.T) {
+	sys := pfirewall.NewSystem(pfirewall.Options{Firewall: true})
+	env := sys.RuleEnv()
+	if env == nil || env.Policy == nil || env.LookupPath == nil {
+		t.Fatal("rule env incomplete")
+	}
+	if ino, ok := env.LookupPath("/etc/passwd"); !ok || ino == 0 {
+		t.Error("LookupPath broken")
+	}
+	if _, ok := env.Syscalls["sigreturn"]; !ok {
+		t.Error("syscall table missing sigreturn")
+	}
+}

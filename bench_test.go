@@ -1,0 +1,183 @@
+// bench_test.go regenerates every performance table and figure of the
+// paper's evaluation (Section 6.2) as Go benchmarks:
+//
+//	BenchmarkTable6   — lmbench-style syscall latency × PF configuration
+//	BenchmarkTable7   — macrobenchmarks × {Without PF, PF Base, PF Full}
+//	BenchmarkFigure4  — open variants × path length
+//	BenchmarkFigure5  — Apache SymLinksIfOwnerMatch: program checks vs rule R8
+//	BenchmarkRuleBaseScaling — ablation: entrypoint chains vs linear scan
+//
+// Run with: go test -bench=. -benchmem
+// The cmd/pfbench tool prints the same data in the paper's table layout.
+package pfirewall_test
+
+import (
+	"fmt"
+	"testing"
+
+	"pfirewall/internal/kernel"
+	"pfirewall/internal/lmbench"
+	"pfirewall/internal/pf"
+	"pfirewall/internal/programs"
+	"pfirewall/internal/safeopen"
+	"pfirewall/internal/webbench"
+)
+
+// BenchmarkTable6 measures each syscall workload under each firewall
+// configuration; compare ns/op across configs to reproduce Table 6's
+// overhead columns.
+func BenchmarkTable6(b *testing.B) {
+	for _, wl := range lmbench.Workloads() {
+		for _, cfg := range lmbench.Configs() {
+			b.Run(fmt.Sprintf("%s/%s", wl.Name, cfg.Name), func(b *testing.B) {
+				w := lmbench.World(cfg)
+				p := w.NewProc(kernel.ProcSpec{UID: 0, GID: 0, Label: "sshd_t", Exec: programs.BinSshd})
+				for f := 0; f < 16; f++ {
+					p.PushFrame(programs.BinSshd, uint64(0x100+f*0x10))
+				}
+				p.SyscallSite(programs.BinSshd, 0x300)
+				body := wl.Setup(w, p)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					body()
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkTable7 measures the macrobenchmarks. Apache-build units and
+// boot services are fixed per iteration so ns/op is comparable across
+// configurations.
+func BenchmarkTable7(b *testing.B) {
+	fullRules := lmbench.SyntheticRuleBase(lmbench.FullRuleBaseSize)
+	for _, cfg := range webbench.MacroConfigs() {
+		b.Run("ApacheBuild/"+cfg.Name, func(b *testing.B) {
+			w := webbench.NewMacroWorld(cfg, fullRules)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := webbench.ApacheBuild(w, 20); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("Boot/"+cfg.Name, func(b *testing.B) {
+			w := webbench.NewMacroWorld(cfg, fullRules)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := webbench.Boot(w, 10); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		for _, clients := range []int{1, 100} {
+			b.Run(fmt.Sprintf("Web%d/%s", clients, cfg.Name), func(b *testing.B) {
+				w := webbench.NewMacroWorld(cfg, fullRules)
+				a := programs.NewApache(w)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res := webbench.RunWeb(w, a, clients, 200, "/index.html")
+					if res.Errors > 0 {
+						b.Fatalf("%d errors", res.Errors)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFigure4 measures each open variant at each path length.
+func BenchmarkFigure4(b *testing.B) {
+	for _, n := range safeopen.PaperPathLens {
+		for _, v := range safeopen.Variants() {
+			b.Run(fmt.Sprintf("%s/n=%d", v.Name, n), func(b *testing.B) {
+				_, p, path := safeopen.Figure4World(n, v.NeedsPF)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					fd, err := v.Open(p, path)
+					if err != nil {
+						b.Fatal(err)
+					}
+					p.Close(fd)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFigure5 measures Apache request handling with the symlink-owner
+// checks in the program versus in the firewall, across client counts and
+// path lengths.
+func BenchmarkFigure5(b *testing.B) {
+	for _, mode := range []string{"program", "pf-rules"} {
+		for _, c := range webbench.Figure5Clients {
+			for _, n := range webbench.Figure5PathLens {
+				b.Run(fmt.Sprintf("%s/c=%d/n=%d", mode, c, n), func(b *testing.B) {
+					w, a := webbench.NewFigure5World(mode, n)
+					_ = w
+					path := webbench.DeepPath(n)
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						res := webbench.RunWeb(w, a, c, 100, path)
+						if res.Errors > 0 {
+							b.Fatalf("%d errors", res.Errors)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkRuleBaseScaling is the ablation for design decision 2 of
+// DESIGN.md: with entrypoint-specific chains, per-access cost is flat in
+// the rule-base size; with a linear scan it grows.
+func BenchmarkRuleBaseScaling(b *testing.B) {
+	for _, indexed := range []bool{false, true} {
+		for _, nrules := range []int{10, 100, 1000, 5000} {
+			name := "linear"
+			if indexed {
+				name = "eptchains"
+			}
+			b.Run(fmt.Sprintf("%s/rules=%d", name, nrules), func(b *testing.B) {
+				cfg := pf.Config{CtxCache: true, LazyCtx: true, EptChains: indexed}
+				w := programs.NewWorld(programs.WorldOpts{PF: &cfg})
+				if _, err := w.InstallRules(lmbench.SyntheticRuleBase(nrules)); err != nil {
+					b.Fatal(err)
+				}
+				p := w.NewProc(kernel.ProcSpec{UID: 0, GID: 0, Label: "sshd_t", Exec: programs.BinSshd})
+				p.SyscallSite(programs.BinSshd, 0x300)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					fd, err := p.Open("/etc/passwd", kernel.O_RDONLY, 0)
+					if err != nil {
+						b.Fatal(err)
+					}
+					p.Close(fd)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkAdversaryCache is the ablation for the MAC-layer memoization of
+// adversary accessibility, which sits on the PF hot path for every
+// ADV_ACCESS and ~{SYSHIGH} evaluation.
+func BenchmarkAdversaryCache(b *testing.B) {
+	cfg := pf.Optimized()
+	w := programs.NewWorld(programs.WorldOpts{PF: &cfg})
+	if _, err := w.InstallRules([]string{
+		`pftables -o FILE_OPEN -m ADV_ACCESS --write --is true -j LOG`,
+	}); err != nil {
+		b.Fatal(err)
+	}
+	p := w.NewProc(kernel.ProcSpec{UID: 0, GID: 0, Label: "sshd_t", Exec: programs.BinSshd})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fd, err := p.Open("/etc/passwd", kernel.O_RDONLY, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p.Close(fd)
+	}
+}

@@ -1,0 +1,116 @@
+// Command attacklab runs the paper's security evaluation (Section 6.1):
+// the nine exploits of Table 4 against the simulated system, with the
+// Process Firewall disabled and enabled, and prints the outcome table.
+//
+// Usage:
+//
+//	attacklab           # run E1–E9 and print Table 4
+//	attacklab -table1   # print the CVE survey data of Table 1
+//	attacklab -table2   # print the attack taxonomy of Table 2
+//	attacklab -run E4   # run a single exploit in both modes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pfirewall/internal/attacks"
+)
+
+func main() {
+	table1 := flag.Bool("table1", false, "print Table 1 (CVE counts per attack class)")
+	table2 := flag.Bool("table2", false, "print Table 2 (attack taxonomy)")
+	extra := flag.Bool("extra", false, "run the extra exploits X1-X3 (cryogenic sleep, traversal, squat)")
+	runOne := flag.String("run", "", "run a single exploit by id (E1..E9, X1..X3)")
+	flag.Parse()
+
+	switch {
+	case *table1:
+		printTable1()
+	case *table2:
+		printTable2()
+	case *extra:
+		if err := runExtra(); err != nil {
+			fmt.Fprintln(os.Stderr, "attacklab:", err)
+			os.Exit(1)
+		}
+	case *runOne != "":
+		if err := runSingle(*runOne); err != nil {
+			fmt.Fprintln(os.Stderr, "attacklab:", err)
+			os.Exit(1)
+		}
+	default:
+		out, err := attacks.Table4()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "attacklab:", err)
+			os.Exit(1)
+		}
+		fmt.Println("Table 4: exploits vs the Process Firewall")
+		fmt.Print(out)
+	}
+}
+
+func printTable1() {
+	fmt.Println("Table 1: resource access attack classes (CVE survey, reproduced from the paper)")
+	fmt.Printf("%-24s %-10s %-8s %-8s\n", "Attack Class", "CWE", "<2007", "2007-12")
+	for _, r := range attacks.Table1() {
+		fmt.Printf("%-24s %-10s %-8d %-8d\n", r.Class, r.CWE, r.CVEPre2007, r.CVE2007to12)
+	}
+	fmt.Println("% of total CVEs: 12.40% (<2007), 9.41% (2007-12)")
+}
+
+func printTable2() {
+	fmt.Println("Table 2: safe vs unsafe resources per attack class")
+	for _, r := range attacks.Table2() {
+		fmt.Printf("safe:   %s\nunsafe: %s\nclasses: %s\ncontext: %s\n\n",
+			r.SafeResource, r.UnsafeResource, strings.Join(r.Classes, ", "), r.ProcessContext)
+	}
+}
+
+func runExtra() error {
+	fmt.Println("Extra exploits (beyond the paper's Table 4)")
+	fmt.Printf("%-3s %-18s %-15s %-26s %-10s %-10s\n",
+		"#", "Program", "Reference", "Class", "PF off", "PF on")
+	for _, e := range attacks.ExtraExploits() {
+		off, err := attacks.RunOne(e, false)
+		if err != nil {
+			return err
+		}
+		on, err := attacks.RunOne(e, true)
+		if err != nil {
+			return err
+		}
+		verdict := func(o attacks.Outcome) string {
+			if o.Succeeded {
+				return "EXPLOITED"
+			}
+			return "blocked"
+		}
+		fmt.Printf("%-3s %-18s %-15s %-26s %-10s %-10s\n",
+			e.ID, e.Program, e.Reference, e.Class, verdict(off), verdict(on))
+	}
+	return nil
+}
+
+func runSingle(id string) error {
+	for _, e := range append(attacks.Exploits(), attacks.ExtraExploits()...) {
+		if !strings.EqualFold(e.ID, id) {
+			continue
+		}
+		for _, pf := range []bool{false, true} {
+			o, err := attacks.RunOne(e, pf)
+			if err != nil {
+				return err
+			}
+			state := "blocked"
+			if o.Succeeded {
+				state = "EXPLOITED"
+			}
+			fmt.Printf("%s (%s, %s) with PF=%v: %s\n", e.ID, e.Program, e.Reference, pf, state)
+		}
+		return nil
+	}
+	return fmt.Errorf("unknown exploit %q", id)
+}

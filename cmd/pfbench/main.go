@@ -1,0 +1,61 @@
+// Command pfbench regenerates the paper's performance tables and figures
+// (Section 6.2) in their published layouts:
+//
+//	pfbench -table6   # lmbench microbenchmarks × PF configuration
+//	pfbench -table7   # macrobenchmarks × {Without PF, PF Base, PF Full}
+//	pfbench -fig4     # open variants × path length
+//	pfbench -fig5     # Apache SymLinksIfOwnerMatch: program vs rule R8
+//	pfbench -all      # everything
+//
+// -iters and -requests trade precision for runtime.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"pfirewall/internal/lmbench"
+	"pfirewall/internal/safeopen"
+	"pfirewall/internal/webbench"
+)
+
+func main() {
+	t6 := flag.Bool("table6", false, "run the Table 6 microbenchmarks")
+	t7 := flag.Bool("table7", false, "run the Table 7 macrobenchmarks")
+	f4 := flag.Bool("fig4", false, "run the Figure 4 open-variant comparison")
+	f5 := flag.Bool("fig5", false, "run the Figure 5 Apache comparison")
+	all := flag.Bool("all", false, "run everything")
+	iters := flag.Int("iters", 20000, "iterations per microbenchmark cell")
+	requests := flag.Int("requests", 300, "requests per client per web cell")
+	scale := flag.Int("scale", 50, "macrobenchmark scale (build units)")
+	flag.Parse()
+
+	if !*t6 && !*t7 && !*f4 && !*f5 && !*all {
+		flag.Usage()
+		return
+	}
+	if *all {
+		*t6, *t7, *f4, *f5 = true, true, true, true
+	}
+
+	if *t6 {
+		fmt.Println("Table 6: microbenchmarks (ns/op, % overhead vs DISABLED)")
+		fmt.Print(lmbench.FormatTable6(lmbench.Run(*iters)))
+		fmt.Println()
+	}
+	if *t7 {
+		fmt.Println("Table 7: macrobenchmarks (elapsed, % overhead vs Without PF)")
+		fmt.Print(webbench.FormatTable7(webbench.RunTable7(*scale, lmbench.SyntheticRuleBase(lmbench.FullRuleBaseSize))))
+		fmt.Println()
+	}
+	if *f4 {
+		fmt.Println("Figure 4: open variants vs path length (ns/op, % over bare open)")
+		fmt.Print(safeopen.Format(safeopen.Run(*iters)))
+		fmt.Println()
+	}
+	if *f5 {
+		fmt.Println("Figure 5: Apache SymLinksIfOwnerMatch — program checks vs PF rule R8 (req/s)")
+		fmt.Print(webbench.FormatFigure5(webbench.RunFigure5(*requests)))
+		fmt.Println()
+	}
+}

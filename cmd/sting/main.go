@@ -1,0 +1,96 @@
+// Command sting demonstrates the vulnerability testing workflow the paper
+// uses to seed rule generation (Section 6.3.1): identify the attack
+// surface of a victim workload, probe each binding with symlink and squat
+// attacks, report confirmed vulnerabilities, and emit the pftables rules
+// that block them.
+//
+// The built-in demo victim is a root daemon that consults /tmp/app.conf
+// before /etc/java.conf — the untrusted-search-path pattern of exploit E7.
+//
+// Usage: go run ./cmd/sting
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"pfirewall/internal/kernel"
+	"pfirewall/internal/pf"
+	"pfirewall/internal/programs"
+	"pfirewall/internal/sting"
+)
+
+func demoWorkload() sting.Workload {
+	return sting.Workload{
+		NewWorld: func() *programs.World {
+			cfg := pf.Optimized()
+			return programs.NewWorld(programs.WorldOpts{PF: &cfg})
+		},
+		Run: func(w *programs.World) ([]uint64, error) {
+			p := w.NewProc(kernel.ProcSpec{UID: 0, GID: 0, Label: "java_t", Exec: programs.BinJava})
+			var used []uint64
+			for _, cand := range []string{"/tmp/app.conf", "/etc/java.conf"} {
+				if err := p.SyscallSite(programs.BinJava, programs.EntryJavaConf); err != nil {
+					return nil, err
+				}
+				fd, err := p.Open(cand, kernel.O_RDONLY, 0)
+				if err != nil {
+					continue
+				}
+				st, _ := p.Fstat(fd)
+				p.ReadAll(fd)
+				p.Close(fd)
+				used = append(used, uint64(st.Ino))
+				break
+			}
+			return used, nil
+		},
+	}
+}
+
+func main() {
+	wl := demoWorkload()
+	tester := sting.New()
+
+	surfaces, err := tester.FindSurfaces(wl)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sting:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("phase 1: %d adversary-influenceable bindings\n", len(surfaces))
+	for _, s := range surfaces {
+		fmt.Printf("  %s (program %s, entrypoint 0x%x, op %s)\n", s.Path, s.Program, s.Entrypoint, s.Op)
+	}
+
+	// The victim's first candidate name is absent in the clean world, so
+	// the plantable binding is known from the failed lookup.
+	surfaces = append(surfaces, sting.Surface{
+		Path: "/tmp/app.conf", Program: programs.BinJava,
+		Entrypoint: programs.EntryJavaConf, Op: "FILE_OPEN",
+	})
+
+	var findings []sting.Finding
+	for _, s := range surfaces {
+		for _, kind := range []sting.ProbeKind{sting.ProbeSymlink, sting.ProbeSquat} {
+			f, err := tester.Probe(wl, s, kind)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sting:", err)
+				os.Exit(1)
+			}
+			if f != nil {
+				findings = append(findings, *f)
+				fmt.Printf("phase 2: CONFIRMED %s attack via %s (planted ino %d)\n",
+					kind, s.Path, f.PlantedIno)
+			}
+		}
+	}
+	if len(findings) == 0 {
+		fmt.Println("phase 2: no vulnerabilities confirmed")
+		return
+	}
+
+	fmt.Println("generated rules:")
+	for _, r := range sting.Rules(findings) {
+		fmt.Println(" ", r)
+	}
+}

@@ -1,0 +1,69 @@
+// Rulegen: the paper's runtime-analysis workflow (Section 6.3). A system
+// runs with a LOG rule collecting every resource access; the trace is
+// classified per entrypoint; high-integrity-only entrypoints become T1
+// deny rules; and the generated rules block an attack they were never
+// written against — the property the paper demonstrates with rules R1–R4.
+//
+// Run with: go run ./examples/rulegen
+package main
+
+import (
+	"errors"
+	"fmt"
+
+	"pfirewall"
+	"pfirewall/internal/programs"
+)
+
+func main() {
+	// Phase 1: collect a runtime trace of normal operation.
+	sys := pfirewall.NewSystem(pfirewall.Options{Firewall: true, CollectTrace: true})
+	ld := programs.NewLinker(sys.World())
+	for i := 0; i < 20; i++ {
+		p := sys.NewProcess(pfirewall.ProcessSpec{UID: 0, Label: "httpd_t", Exec: programs.BinApache})
+		if _, err := ld.LoadLibrary(p, "libssl.so"); err != nil {
+			panic(err)
+		}
+	}
+	fmt.Printf("collected %d trace records of normal library loading\n", sys.Trace.Len())
+
+	// Phase 2: suggest rules. ld.so's library-open entrypoint only ever
+	// touched lib_t resources, so it is classified high-only and gets a
+	// T1 rule confining it to the observed labels.
+	rules, err := sys.SuggestRules(10)
+	if err != nil {
+		panic(err)
+	}
+	for _, r := range rules {
+		fmt.Println("suggested:", r)
+	}
+
+	// Phase 3: deploy the suggested rules on a fresh system and launch an
+	// attack the rules were not written against — the E1-style RPATH
+	// hijack. The suggestion must block it with no knowledge of the CVE.
+	prod := pfirewall.NewSystem(pfirewall.Options{Firewall: true})
+	prod.MustInstallRules(rules)
+
+	adversary := prod.NewAdversary()
+	adversary.Mkdir("/tmp/svn", 0o777)
+	fd, err := adversary.Open("/tmp/svn/libssl.so", pfirewall.O_CREAT|pfirewall.O_RDWR, 0o755)
+	if err != nil {
+		panic(err)
+	}
+	adversary.Close(fd)
+	prod.World().RPaths[programs.BinApache] = []string{"/tmp/svn"}
+
+	ld2 := programs.NewLinker(prod.World())
+	victim := prod.NewProcess(pfirewall.ProcessSpec{UID: 0, Label: "httpd_t", Exec: programs.BinApache})
+	loaded, err := ld2.LoadLibrary(victim, "libssl.so")
+	switch {
+	case err == nil && loaded == "/tmp/svn/libssl.so":
+		fmt.Println("ATTACK SUCCEEDED: loaded", loaded)
+	case err == nil:
+		fmt.Printf("attack defeated: trojan skipped (denied: %v), loaded %s instead\n", ld2.Denied, loaded)
+	case errors.Is(err, pfirewall.ErrPFDenied):
+		fmt.Println("attack blocked outright:", err)
+	default:
+		fmt.Println("error:", err)
+	}
+}

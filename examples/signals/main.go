@@ -1,0 +1,61 @@
+// Signals: the OpenSSH non-reentrant signal handler race (exploit E5,
+// CVE-2006-5051). A second SIGALRM delivered while the grace-period
+// handler runs re-enters non-reentrant cleanup code. The firewall's signal
+// rules (R9–R12) track handler entry/exit in the STATE dictionary and drop
+// nested deliveries — something no filesystem-oriented defense can express.
+//
+// Run with: go run ./examples/signals
+package main
+
+import (
+	"fmt"
+
+	"pfirewall"
+	"pfirewall/internal/kernel"
+	"pfirewall/internal/programs"
+)
+
+func run(withPF bool) {
+	var sys *pfirewall.System
+	if withPF {
+		sys = pfirewall.NewSystem(pfirewall.Options{Firewall: true})
+		sys.MustInstallRules([]string{
+			`pftables -I input -o PROCESS_SIGNAL_DELIVERY -j SIGNAL_CHAIN`,
+			`pftables -I signal_chain -m SIGNAL_MATCH -m STATE --key 'sig' --cmp 1 -j DROP`,
+			`pftables -A signal_chain -m SIGNAL_MATCH -j STATE --set --key 'sig' --value 1`,
+			`pftables -I syscallbegin -m SYSCALL_ARGS --arg 0 --equal NR_sigreturn -j STATE --set --key 'sig' --value 0`,
+		})
+	} else {
+		sys = pfirewall.NewSystem(pfirewall.Options{})
+	}
+
+	sshd := programs.NewSshd(sys.World())
+	victim := sshd.Spawn()
+	attacker := sys.NewProcess(pfirewall.ProcessSpec{UID: 0, Label: "sshd_t", Exec: programs.BinSshd})
+
+	// The attacker times the second signal to land inside the handler's
+	// first system call.
+	fired := false
+	hook := sys.Kernel().AddPreSyscallHook(func(p *kernel.Proc, nr kernel.Syscall) {
+		if p == victim && nr == kernel.NrOpen && !fired {
+			fired = true
+			attacker.Kill(victim.PID(), pfirewall.SIGALRM)
+		}
+	})
+	defer sys.Kernel().RemoveHook(hook)
+
+	attacker.Kill(victim.PID(), pfirewall.SIGALRM)
+	fmt.Printf("PF=%-5v handler runs=%d corrupted=%v\n", withPF, sshd.HandlerRuns, sshd.Corrupted)
+
+	// After the handler completes, a fresh signal must still deliver —
+	// rule R12 cleared the in-handler state on sigreturn.
+	attacker.Kill(victim.PID(), pfirewall.SIGALRM)
+	fmt.Printf("        after completion: handler runs=%d\n", sshd.HandlerRuns)
+}
+
+func main() {
+	fmt.Println("--- without the Process Firewall ---")
+	run(false)
+	fmt.Println("--- with signal rules R9-R12 installed ---")
+	run(true)
+}

@@ -1,0 +1,73 @@
+// TOCTTOU: the dbus-daemon bind→chmod race of exploit E6. The daemon binds
+// its socket, then chmods it by path; an adversary who owns the directory
+// swaps the binding in between, turning the daemon's chmod into an
+// arbitrary root chmod of /etc/shadow.
+//
+// Rules R5/R6 record the inode at bind time in the per-process STATE
+// dictionary and drop any setattr whose inode differs — the paper's
+// stateful, system-call-trace context (Table 2, row 3).
+//
+// Run with: go run ./examples/tocttou
+package main
+
+import (
+	"errors"
+	"fmt"
+
+	"pfirewall"
+	"pfirewall/internal/kernel"
+	"pfirewall/internal/programs"
+	"pfirewall/internal/vfs"
+)
+
+func run(withPF bool) {
+	var sys *pfirewall.System
+	if withPF {
+		sys = pfirewall.NewSystem(pfirewall.Options{Firewall: true})
+		sys.MustInstallRules([]string{
+			fmt.Sprintf(`pftables -i 0x%x -p %s -o SOCKET_BIND -j STATE --set --key 0xbeef --value C_INO`,
+				programs.EntryDbusBind, programs.BinDbusD),
+			fmt.Sprintf(`pftables -i 0x%x -p %s -o SOCKET_SETATTR,FILE_SETATTR -m STATE --key 0xbeef --cmp C_INO --nequal -j DROP`,
+				programs.EntryDbusChmod, programs.BinDbusD),
+		})
+	} else {
+		sys = pfirewall.NewSystem(pfirewall.Options{})
+	}
+
+	// The adversary owns the directory the session socket lives in.
+	adversary := sys.NewAdversary()
+	if err := adversary.Mkdir("/tmp/dbus", 0o777); err != nil {
+		panic(err)
+	}
+
+	daemon := programs.NewDbusDaemon(sys.World())
+	daemon.SocketPath = "/tmp/dbus/session_socket"
+	dproc := daemon.Spawn()
+
+	// The race: at the daemon's chmod syscall, the adversary renames the
+	// socket away and plants a symlink to /etc/shadow.
+	swapped := false
+	hook := sys.Kernel().AddPreSyscallHook(func(p *kernel.Proc, nr kernel.Syscall) {
+		if p == dproc && nr == kernel.NrChmod && !swapped {
+			swapped = true
+			adversary.Rename("/tmp/dbus/session_socket", "/tmp/dbus/stolen")
+			adversary.Symlink("/etc/shadow", "/tmp/dbus/session_socket")
+		}
+	})
+	defer sys.Kernel().RemoveHook(hook)
+
+	err := daemon.Start(dproc)
+	res, _ := sys.Kernel().FS.Resolve(nil, "/etc/shadow", vfs.ResolveOpts{}, nil)
+	compromised := res.Node.Mode&0o022 != 0
+
+	fmt.Printf("PF=%-5v daemon start err=%v\n", withPF, err)
+	fmt.Printf("        /etc/shadow mode=%04o compromised=%v (blocked=%v)\n",
+		res.Node.Mode, compromised, errors.Is(err, pfirewall.ErrPFDenied))
+}
+
+func main() {
+	fmt.Println("--- without the Process Firewall ---")
+	run(false)
+	fmt.Println("--- with rules R5/R6 installed ---")
+	run(true)
+}

@@ -1,0 +1,69 @@
+// Webserver: the paper's motivating example (Section 1). The same Apache
+// process must read web content from its serve entrypoint and the password
+// database from its authentication entrypoint — and nothing else from
+// either. Access control cannot express this (it treats all of the
+// process's system calls equally); per-entrypoint firewall rules can.
+//
+// The example also demonstrates rule R8: SymLinksIfOwnerMatch enforced in
+// the firewall instead of by per-component lstat checks in the program.
+//
+// Run with: go run ./examples/webserver
+package main
+
+import (
+	"errors"
+	"fmt"
+
+	"pfirewall"
+	"pfirewall/internal/kernel"
+	"pfirewall/internal/programs"
+	"pfirewall/internal/vfs"
+	"pfirewall/internal/webbench"
+)
+
+func main() {
+	sys := pfirewall.NewSystem(pfirewall.Options{Firewall: true, WebTreeDepth: 3})
+	sys.MustInstallRules([]string{
+		// The serve entrypoint may only touch web content.
+		fmt.Sprintf(`pftables -p %s -i 0x%x -d ~{httpd_content_t} -o FILE_OPEN -j DROP`,
+			programs.BinApache, programs.EntryApacheServe),
+		// R8: symlink-owner matching in the firewall.
+		webbench.SymlinkOwnerRule(),
+	})
+
+	apache := programs.NewApache(sys.World())
+	worker := apache.Spawn()
+
+	// Normal request.
+	body, err := apache.Serve(worker, "/index.html")
+	fmt.Printf("GET /index.html -> %q, err=%v\n", body, err)
+
+	// Directory traversal request for the password file: the serve
+	// entrypoint is confined to httpd_content_t, so the firewall drops it.
+	_, err = apache.Serve(worker, "/../../../etc/shadow")
+	fmt.Printf("GET /../../../etc/shadow -> blocked=%v (%v)\n",
+		errors.Is(err, pfirewall.ErrPFDenied), err)
+
+	// Authentication reads the very same file from its own entrypoint.
+	ok, err := apache.Authenticate(worker, "root")
+	fmt.Printf("authenticate(root) -> %v, err=%v\n", ok, err)
+
+	// Symlink-owner mismatch: a compromised upload leaves a user-owned
+	// symlink inside DocumentRoot pointing at a root file.
+	root := sys.NewProcess(pfirewall.ProcessSpec{UID: 0, Label: "httpd_t", Exec: programs.BinSh})
+	if err := root.Symlink("/etc/passwd", "/var/www/html/leak.html"); err != nil {
+		panic(err)
+	}
+	res, err := sys.Kernel().FS.Resolve(nil, "/var/www/html/leak.html", vfs.ResolveOpts{}, nil)
+	if err != nil {
+		panic(err)
+	}
+	sys.Kernel().FS.Chown(res.Node, 1000, 1000) // now user-owned
+
+	// Apache must walk the link from its link-read entrypoint for R8 to
+	// key on it.
+	worker.SyscallSite(programs.BinApache, programs.EntryApacheLink)
+	_, err = worker.Open("/var/www/html/leak.html", kernel.O_RDONLY, 0)
+	fmt.Printf("GET /leak.html (cross-owner symlink) -> blocked=%v (%v)\n",
+		errors.Is(err, pfirewall.ErrPFDenied), err)
+}

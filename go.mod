@@ -1,0 +1,3 @@
+module pfirewall
+
+go 1.22

@@ -1,0 +1,68 @@
+package attacks
+
+// This file embeds the paper's survey data: Table 1 (CVE counts per
+// resource access attack class — external statistics, reproduced as
+// reference constants) and Table 2 (the attack-class taxonomy that drives
+// invariant design).
+
+// ClassStat is one row of Table 1.
+type ClassStat struct {
+	Class       string
+	CWE         string
+	CVEPre2007  int
+	CVE2007to12 int
+}
+
+// Table1 returns the paper's Table 1 rows. The totals correspond to 12.40%
+// (pre-2007) and 9.41% (2007–2012) of all CVE entries.
+func Table1() []ClassStat {
+	return []ClassStat{
+		{"Untrusted Search Path", "CWE-426", 109, 329},
+		{"Untrusted Library Load", "CWE-426", 97, 91},
+		{"File/IPC squat", "CWE-283", 13, 9},
+		{"Directory Traversal", "CWE-22", 1057, 1514},
+		{"PHP File Inclusion", "CWE-98", 1112, 1020},
+		{"Link Following", "CWE-59", 480, 357},
+		{"TOCTTOU Races", "CWE-362", 17, 14},
+		{"Signal Races", "CWE-479", 9, 1},
+	}
+}
+
+// Taxonomy is one row of Table 2: what distinguishes safe from unsafe
+// resources for an attack class, and the process context needed to decide.
+type Taxonomy struct {
+	SafeResource   string
+	UnsafeResource string
+	Classes        []string
+	ProcessContext string
+}
+
+// Table2 returns the paper's Table 2 taxonomy.
+func Table2() []Taxonomy {
+	return []Taxonomy{
+		{
+			SafeResource:   "Adversary inaccessible (high integrity, high secrecy)",
+			UnsafeResource: "Adversary accessible (low integrity, low secrecy)",
+			Classes:        []string{"Untrusted Search Path", "File/IPC Squat", "Untrusted Library", "PHP File Inclusion"},
+			ProcessContext: "Entrypoint",
+		},
+		{
+			SafeResource:   "Adversary accessible (low integrity, low secrecy)",
+			UnsafeResource: "Adversary inaccessible (high integrity, high secrecy)",
+			Classes:        []string{"Link Following", "Directory Traversal"},
+			ProcessContext: "Entrypoint",
+		},
+		{
+			SafeResource:   "Same as previous check/use",
+			UnsafeResource: "Different from previous check/use",
+			Classes:        []string{"TOCTTOU Races"},
+			ProcessContext: "Entrypoint + System-Call Trace",
+		},
+		{
+			SafeResource:   "No signal (blocked)",
+			UnsafeResource: "Adversary delivers signal",
+			Classes:        []string{"Non-reentrant Signal Handlers"},
+			ProcessContext: "System-Call Trace + In Signal Handler",
+		},
+	}
+}

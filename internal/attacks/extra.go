@@ -1,0 +1,183 @@
+package attacks
+
+// This file extends the Table 4 suite with attack classes the paper's
+// taxonomy (Table 2) covers but its exploit table does not exercise
+// directly: the cryogenic-sleep TOCTTOU variant (Kirch [12], discussed in
+// Section 2.1), directory traversal (CWE-22, the largest class in
+// Table 1), and file squatting (CWE-283). Each comes with the pftables
+// rules that block it, instantiated from the paper's templates.
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"pfirewall/internal/kernel"
+	"pfirewall/internal/programs"
+	"pfirewall/internal/vfs"
+)
+
+// Entrypoints of the synthetic victim daemons used by the extra exploits.
+const (
+	entryStatusCheck  uint64 = 0x8100 // lstat of the status file ("check")
+	entryStatusUse    uint64 = 0x8140 // open of the status file ("use")
+	entryStatusCreate uint64 = 0x8180 // creation of the report file
+)
+
+// ExtraExploits returns the additional scenarios; they run through the
+// same harness as E1–E9 (RunOne handles rule installation).
+func ExtraExploits() []Exploit {
+	return []Exploit{
+		{
+			ID: "X1", Program: "tmp status daemon", Reference: "Kirch 2000", Class: "TOCTTOU (cryogenic sleep)",
+			Run: runX1CryogenicSleep,
+		},
+		{
+			ID: "X2", Program: "Apache", Reference: "CWE-22", Class: "Directory Traversal",
+			Run: runX2DirectoryTraversal,
+		},
+		{
+			ID: "X3", Program: "report daemon", Reference: "CWE-283", Class: "File Squat",
+			Run: runX3FileSquat,
+		},
+	}
+}
+
+// ExtraRules returns the rules that defend the extra exploits, derived
+// from template T1: each victim entrypoint is restricted to the resource
+// kind it expects.
+func ExtraRules() []string {
+	return []string{
+		// X1: the status daemon's use entrypoint expects a plain file it
+		// checked moments ago; it must never traverse a symlink. This
+		// covers both the classic flip and the cryogenic-sleep variant,
+		// because the kernel sees the link during (atomic) resolution
+		// regardless of inode-number games.
+		fmt.Sprintf(`pftables -p %s -i 0x%x -o LNK_FILE_READ -j DROP`,
+			programs.BinSshd, entryStatusUse),
+		// X2: Apache's serve entrypoint reads web content only.
+		fmt.Sprintf(`pftables -p %s -i 0x%x -s SYSHIGH -d ~{httpd_content_t} -o FILE_OPEN -j DROP`,
+			programs.BinApache, programs.EntryApacheServe),
+		// X3: the report daemon's create entrypoint must get a fresh file,
+		// never an adversary-accessible existing one (FILE_CREATE of its
+		// own file stays allowed; FILE_OPEN of a squatted one does not).
+		fmt.Sprintf(`pftables -p %s -i 0x%x -d ~{SYSHIGH} -o FILE_OPEN -j DROP`,
+			programs.BinSshd, entryStatusCreate),
+	}
+}
+
+// runX1CryogenicSleep reproduces Olaf Kirch's attack against a daemon that
+// performs the lstat/open/fstat discipline but omits the second lstat
+// (Figure 1a lines 11–14): the adversary recycles the checked inode number
+// so the fstat comparison passes even though the opened object was reached
+// through a planted symlink.
+func runX1CryogenicSleep(w *programs.World) (bool, error) {
+	adv := w.NewUser()
+	fd, err := adv.Open("/tmp/status", kernel.O_CREAT|kernel.O_RDWR, 0o666)
+	if err != nil {
+		return false, err
+	}
+	adv.Close(fd)
+
+	victim := w.NewProc(kernel.ProcSpec{UID: 0, GID: 0, Label: "sshd_t", Exec: programs.BinSshd})
+
+	// The adversary acts while the victim "sleeps" between check and use:
+	// free the checked inode, recycle it into a decoy holding the secret,
+	// and point a symlink at the decoy.
+	flipped := false
+	hid := w.K.AddPreSyscallHook(func(p *kernel.Proc, nr kernel.Syscall) {
+		if p == victim && nr == kernel.NrOpen && !flipped {
+			flipped = true
+			adv.Unlink("/tmp/status")
+			dfd, _ := adv.Open("/tmp/decoy", kernel.O_CREAT|kernel.O_RDWR, 0o666)
+			adv.Close(dfd)
+			adv.Symlink("/tmp/decoy", "/tmp/status")
+		}
+	})
+	defer w.K.RemoveHook(hid)
+
+	// Victim: lstat (check) ... open (use) ... fstat (verify).
+	victim.SyscallSite(programs.BinSshd, entryStatusCheck)
+	lst, err := victim.Lstat("/tmp/status")
+	if err != nil || lst.Type == vfs.TypeSymlink {
+		return false, err
+	}
+	victim.SyscallSite(programs.BinSshd, entryStatusUse)
+	fd, err = victim.Open("/tmp/status", kernel.O_RDONLY, 0)
+	if err != nil {
+		if errors.Is(err, kernel.ErrPFDenied) {
+			return false, nil
+		}
+		return false, err
+	}
+	defer victim.Close(fd)
+	fst, err := victim.Fstat(fd)
+	if err != nil {
+		return false, err
+	}
+	if fst.Ino != lst.Ino || fst.Dev != lst.Dev {
+		return false, nil // the naive check caught it — no exploit
+	}
+	// The comparison passed; the attack succeeded if the victim is in fact
+	// holding the adversary's decoy.
+	res, err := w.K.FS.Resolve(nil, "/tmp/decoy", vfs.ResolveOpts{}, nil)
+	if err != nil {
+		return false, err
+	}
+	return fst.Ino == res.Node.Ino, nil
+}
+
+// runX2DirectoryTraversal requests ../../../etc/shadow from the web
+// server; without per-entrypoint confinement the raw path concatenation
+// serves the password database.
+func runX2DirectoryTraversal(w *programs.World) (bool, error) {
+	apache := programs.NewApache(w)
+	p := apache.Spawn()
+	body, err := apache.Serve(p, "/../../../etc/shadow")
+	if err != nil {
+		if errors.Is(err, kernel.ErrPFDenied) {
+			return false, nil
+		}
+		// DAC may deny the worker; that is not the firewall's doing but
+		// also not an exploit.
+		if errors.Is(err, vfs.ErrPerm) {
+			return false, nil
+		}
+		return false, err
+	}
+	return strings.Contains(string(body), "$6$"), nil
+}
+
+// runX3FileSquat: a root daemon writes a report to a fixed /tmp name with
+// O_CREAT but not O_EXCL. The adversary squats the name beforehand with a
+// mode that keeps the file readable, capturing whatever the daemon writes.
+func runX3FileSquat(w *programs.World) (bool, error) {
+	adv := w.NewUser()
+	fd, err := adv.Open("/tmp/report", kernel.O_CREAT|kernel.O_EXCL|kernel.O_RDWR, 0o666)
+	if err != nil {
+		return false, err
+	}
+	adv.Close(fd)
+
+	victim := w.NewProc(kernel.ProcSpec{UID: 0, GID: 0, Label: "sshd_t", Exec: programs.BinSshd})
+	victim.SyscallSite(programs.BinSshd, entryStatusCreate)
+	fd, err = victim.Open("/tmp/report", kernel.O_CREAT|kernel.O_WRONLY, 0o600)
+	if err != nil {
+		if errors.Is(err, kernel.ErrPFDenied) {
+			return false, nil
+		}
+		return false, err
+	}
+	victim.Write(fd, []byte("SECRET-AUDIT-DATA"))
+	victim.Close(fd)
+
+	// The attack succeeded if the adversary can read the secret out of
+	// the file they still own.
+	rfd, err := adv.Open("/tmp/report", kernel.O_RDONLY, 0)
+	if err != nil {
+		return false, nil
+	}
+	data, _ := adv.ReadAll(rfd)
+	adv.Close(rfd)
+	return strings.Contains(string(data), "SECRET-AUDIT-DATA"), nil
+}

@@ -1,0 +1,99 @@
+package attacks
+
+import (
+	"fmt"
+	"strings"
+
+	"pfirewall/internal/pf"
+	"pfirewall/internal/programs"
+)
+
+// Outcome records one exploit run under one configuration.
+type Outcome struct {
+	Exploit   Exploit
+	PFEnabled bool
+	Succeeded bool
+	Err       error
+}
+
+// Blocked reports whether the configuration defeated the attack.
+func (o Outcome) Blocked() bool { return !o.Succeeded }
+
+// RunAll executes every exploit against a fresh world. With pfEnabled, the
+// Table 5 rule set is installed first; the paper's claim is that every
+// exploit succeeds without the firewall and none succeeds with it.
+func RunAll(pfEnabled bool) ([]Outcome, error) {
+	var outcomes []Outcome
+	for _, e := range Exploits() {
+		o, err := RunOne(e, pfEnabled)
+		if err != nil {
+			return outcomes, fmt.Errorf("%s (%s): %w", e.ID, e.Program, err)
+		}
+		outcomes = append(outcomes, o)
+	}
+	return outcomes, nil
+}
+
+// RunOne executes a single exploit in a fresh world. Extra exploits
+// (X1–X3) get the extra rule set on top of Table 5's.
+func RunOne(e Exploit, pfEnabled bool) (Outcome, error) {
+	var w *programs.World
+	if pfEnabled {
+		cfg := pf.Optimized()
+		w = programs.NewWorld(programs.WorldOpts{PF: &cfg})
+		rules := programs.StandardRules()
+		if strings.HasPrefix(e.ID, "X") {
+			rules = append(rules, ExtraRules()...)
+		}
+		if _, err := w.InstallRules(rules); err != nil {
+			return Outcome{}, fmt.Errorf("install rules: %w", err)
+		}
+	} else {
+		w = programs.NewWorld(programs.WorldOpts{})
+	}
+	ok, err := e.Run(w)
+	if err != nil {
+		return Outcome{Exploit: e, PFEnabled: pfEnabled}, err
+	}
+	return Outcome{Exploit: e, PFEnabled: pfEnabled, Succeeded: ok}, nil
+}
+
+// RunExtra executes the extra exploits (X1–X3) under one configuration.
+func RunExtra(pfEnabled bool) ([]Outcome, error) {
+	var outcomes []Outcome
+	for _, e := range ExtraExploits() {
+		o, err := RunOne(e, pfEnabled)
+		if err != nil {
+			return outcomes, fmt.Errorf("%s (%s): %w", e.ID, e.Program, err)
+		}
+		outcomes = append(outcomes, o)
+	}
+	return outcomes, nil
+}
+
+// Table4 renders the paper's Table 4 with measured outcomes appended:
+// whether each exploit succeeded with the firewall off and on.
+func Table4() (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-3s %-18s %-15s %-22s %-10s %-10s\n",
+		"#", "Program", "Reference", "Class", "PF off", "PF on")
+	for _, e := range Exploits() {
+		off, err := RunOne(e, false)
+		if err != nil {
+			return "", fmt.Errorf("%s without PF: %w", e.ID, err)
+		}
+		on, err := RunOne(e, true)
+		if err != nil {
+			return "", fmt.Errorf("%s with PF: %w", e.ID, err)
+		}
+		verdict := func(o Outcome) string {
+			if o.Succeeded {
+				return "EXPLOITED"
+			}
+			return "blocked"
+		}
+		fmt.Fprintf(&b, "%-3s %-18s %-15s %-22s %-10s %-10s\n",
+			e.ID, e.Program, e.Reference, e.Class, verdict(off), verdict(on))
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,131 @@
+package kernel
+
+import (
+	"errors"
+	"testing"
+
+	"pfirewall/internal/vfs"
+)
+
+// chrootWorld builds a world with a jail directory containing a copy of a
+// config file.
+func chrootWorld(t *testing.T) *Kernel {
+	t.Helper()
+	k := newWorld(t)
+	jail := k.FS.MustPath("/jail/etc")
+	if _, err := k.FS.CreateAt(jail, "passwd", "/jail/etc/passwd", vfs.CreateOpts{Mode: 0o644}); err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestChrootConfinesAbsolutePaths(t *testing.T) {
+	k := chrootWorld(t)
+	p := newRoot(k, "sshd_t", "/usr/sbin/sshd")
+	if err := p.Chroot("/jail"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Chdir("/"); err != nil {
+		t.Fatal(err)
+	}
+	// /etc/passwd now resolves to the jail's copy.
+	st, err := p.Stat("/etc/passwd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _ := k.FS.Resolve(nil, "/jail/etc/passwd", vfs.ResolveOpts{}, nil)
+	if st.Ino != res.Node.Ino {
+		t.Errorf("chrooted stat reached ino %d, want jail copy %d", st.Ino, res.Node.Ino)
+	}
+	// The real /etc/shadow is unreachable.
+	if _, err := p.Stat("/etc/shadow"); !errors.Is(err, vfs.ErrNotExist) {
+		t.Errorf("stat /etc/shadow: %v, want ErrNotExist", err)
+	}
+}
+
+func TestChrootClampsDotDot(t *testing.T) {
+	k := chrootWorld(t)
+	p := newRoot(k, "sshd_t", "/usr/sbin/sshd")
+	if err := p.Chroot("/jail"); err != nil {
+		t.Fatal(err)
+	}
+	p.Chdir("/")
+	// The directory-traversal escape must stay inside the jail.
+	if _, err := p.Stat("/../../etc/shadow"); !errors.Is(err, vfs.ErrNotExist) {
+		t.Errorf("dot-dot escape: %v, want ErrNotExist", err)
+	}
+	st, err := p.Stat("/../etc/passwd")
+	if err != nil {
+		t.Fatalf("clamped dot-dot should resolve inside the jail: %v", err)
+	}
+	res, _ := k.FS.Resolve(nil, "/jail/etc/passwd", vfs.ResolveOpts{}, nil)
+	if st.Ino != res.Node.Ino {
+		t.Error("clamped dot-dot reached outside the jail")
+	}
+}
+
+func TestChrootAbsoluteSymlinkStaysInside(t *testing.T) {
+	k := chrootWorld(t)
+	jailEtc := k.FS.MustPath("/jail/etc")
+	// A link whose absolute target would name the real /etc/passwd
+	// outside; inside the chroot it must resolve to the jail copy.
+	if _, err := k.FS.CreateAt(jailEtc, "link", "/jail/etc/link", vfs.CreateOpts{
+		Type: vfs.TypeSymlink, Target: "/etc/passwd",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	p := newRoot(k, "sshd_t", "/usr/sbin/sshd")
+	p.Chroot("/jail")
+	p.Chdir("/")
+	st, err := p.Stat("/etc/link")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _ := k.FS.Resolve(nil, "/jail/etc/passwd", vfs.ResolveOpts{}, nil)
+	if st.Ino != res.Node.Ino {
+		t.Error("absolute symlink escaped the chroot")
+	}
+}
+
+func TestChrootRequiresRoot(t *testing.T) {
+	k := chrootWorld(t)
+	p := newUser(k)
+	if err := p.Chroot("/tmp"); !errors.Is(err, vfs.ErrPerm) {
+		t.Errorf("non-root chroot: %v, want ErrPerm", err)
+	}
+}
+
+func TestChrootClassicCwdEscape(t *testing.T) {
+	// The well-known weakness: chroot without chdir leaves the cwd outside
+	// the jail, and relative paths escape. The Process Firewall has no
+	// such foot-gun — its rules key on what is accessed, not where the
+	// process believes it is.
+	k := chrootWorld(t)
+	p := newRoot(k, "sshd_t", "/usr/sbin/sshd")
+	p.Chdir("/etc") // cwd outside the future jail
+	if err := p.Chroot("/jail"); err != nil {
+		t.Fatal(err)
+	}
+	// Relative access from the stale cwd still reaches the real file.
+	st, err := p.Stat("shadow")
+	if err != nil {
+		t.Fatalf("the classic escape should work: %v", err)
+	}
+	if lbl := k.Policy.SIDs().Label(st.SID); lbl != "shadow_t" {
+		t.Errorf("escape reached %q, want shadow_t", lbl)
+	}
+}
+
+func TestChrootInheritedByFork(t *testing.T) {
+	k := chrootWorld(t)
+	p := newRoot(k, "sshd_t", "/usr/sbin/sshd")
+	p.Chroot("/jail")
+	p.Chdir("/")
+	child, err := p.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := child.Stat("/etc/shadow"); !errors.Is(err, vfs.ErrNotExist) {
+		t.Errorf("child escaped parent's chroot: %v", err)
+	}
+}

@@ -1,0 +1,205 @@
+package kernel
+
+import (
+	"errors"
+	"testing"
+
+	"pfirewall/internal/pf"
+	"pfirewall/internal/vfs"
+)
+
+func TestExecvePFDenied(t *testing.T) {
+	k := newWorld(t)
+	engine := pf.New(k.Policy, pf.Optimized())
+	bin := k.Policy.SIDs().SID("bin_t")
+	engine.Append("input", &pf.Rule{
+		Object: pf.NewSIDSet(false, bin),
+		Ops:    pf.NewOpSet(pf.OpFileExec),
+		Target: pf.Drop(),
+	})
+	k.AttachPF(engine)
+	bdir := k.FS.MustPath("/bin")
+	k.FS.CreateAt(bdir, "tool", "/bin/tool", vfs.CreateOpts{Mode: 0o755})
+	p := newUser(k)
+	if err := p.Execve("/bin/tool", nil); !errors.Is(err, ErrPFDenied) {
+		t.Errorf("execve: %v, want ErrPFDenied", err)
+	}
+}
+
+func TestExecveNonExecutable(t *testing.T) {
+	k := newWorld(t)
+	etc := k.FS.MustPath("/etc")
+	k.FS.CreateAt(etc, "data", "/etc/data", vfs.CreateOpts{Mode: 0o644})
+	p := newUser(k)
+	if err := p.Execve("/etc/data", nil); !errors.Is(err, vfs.ErrPerm) {
+		t.Errorf("execve non-exec: %v, want ErrPerm", err)
+	}
+}
+
+func TestMmapPFDenied(t *testing.T) {
+	k := newWorld(t)
+	engine := pf.New(k.Policy, pf.Optimized())
+	lib := k.Policy.SIDs().SID("lib_t")
+	engine.Append("input", &pf.Rule{
+		Object: pf.NewSIDSet(false, lib),
+		Ops:    pf.NewOpSet(pf.OpFileMmap),
+		Target: pf.Drop(),
+	})
+	k.AttachPF(engine)
+	ldir := k.FS.MustPath("/lib")
+	k.FS.CreateAt(ldir, "l.so", "/lib/l.so", vfs.CreateOpts{Mode: 0o755})
+	p := newRoot(k, "httpd_t", "/usr/bin/apache2")
+	fd, err := p.Open("/lib/l.so", O_RDONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Mmap(fd); !errors.Is(err, ErrPFDenied) {
+		t.Errorf("mmap: %v, want ErrPFDenied", err)
+	}
+	if _, ok := p.AddrSpace().FindByPath("/lib/l.so"); ok {
+		t.Error("denied mmap must not add a mapping")
+	}
+}
+
+func TestAccessUsesRealUID(t *testing.T) {
+	// access(2) checks the real uid even for setuid processes — the
+	// historical purpose of the call (and the root of access/open races).
+	k := newWorld(t)
+	p := newUser(k)
+	p.EUID = 0 // setuid-root
+	if err := p.Access("/etc/shadow", true, false, false); !errors.Is(err, vfs.ErrPerm) {
+		t.Errorf("access as real-uid 1000: %v, want ErrPerm", err)
+	}
+	// The same process can open it (effective uid 0): the classic
+	// access/open inconsistency.
+	if _, err := p.Open("/etc/shadow", O_RDONLY, 0); err != nil {
+		t.Errorf("open with euid 0: %v", err)
+	}
+}
+
+func TestMkfifoAndSquatDetection(t *testing.T) {
+	k := newWorld(t)
+	user := newUser(k)
+	if err := user.Mkfifo("/tmp/pipe", 0o666); err != nil {
+		t.Fatal(err)
+	}
+	st, err := user.Lstat("/tmp/pipe")
+	if err != nil || st.Type != vfs.TypeFifo {
+		t.Fatalf("fifo stat = %+v, %v", st, err)
+	}
+	if err := user.Mkfifo("/tmp/pipe", 0o666); !errors.Is(err, vfs.ErrExist) {
+		t.Errorf("duplicate mkfifo: %v, want ErrExist", err)
+	}
+}
+
+func TestMkfifoPFCreateDenied(t *testing.T) {
+	k := newWorld(t)
+	engine := pf.New(k.Policy, pf.Optimized())
+	tmp := k.Policy.SIDs().SID("tmp_t")
+	engine.Append("input", &pf.Rule{
+		Object: pf.NewSIDSet(false, tmp),
+		Ops:    pf.NewOpSet(pf.OpFileCreate),
+		Target: pf.Drop(),
+	})
+	k.AttachPF(engine)
+	user := newUser(k)
+	if err := user.Mkfifo("/tmp/pipe", 0o666); !errors.Is(err, ErrPFDenied) {
+		t.Fatalf("mkfifo: %v, want ErrPFDenied", err)
+	}
+	if _, err := user.Lstat("/tmp/pipe"); !errors.Is(err, vfs.ErrNotExist) {
+		t.Error("denied mkfifo must leave nothing behind")
+	}
+}
+
+func TestFtruncate(t *testing.T) {
+	k := newWorld(t)
+	user := newUser(k)
+	fd, err := user.Open("/tmp/t", O_CREAT|O_RDWR, 0o600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	user.Write(fd, []byte("hello"))
+	if err := user.Ftruncate(fd); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := user.Fstat(fd)
+	if st.Size != 0 {
+		t.Errorf("size after ftruncate = %d", st.Size)
+	}
+	// Writes restart at the beginning.
+	user.Write(fd, []byte("x"))
+	st, _ = user.Fstat(fd)
+	if st.Size != 1 {
+		t.Errorf("size after rewrite = %d", st.Size)
+	}
+	if err := user.Ftruncate(99); !errors.Is(err, ErrBadFd) {
+		t.Errorf("ftruncate bad fd: %v", err)
+	}
+}
+
+func TestReadPositionAdvances(t *testing.T) {
+	k := newWorld(t)
+	p := newRoot(k, "sshd_t", "/usr/sbin/sshd")
+	fd, _ := p.Open("/etc/passwd", O_RDONLY, 0)
+	a, _ := p.Read(fd, 4)
+	b, _ := p.Read(fd, 4)
+	if string(a) == "" || string(a) == string(b) {
+		t.Errorf("reads = %q then %q; position should advance", a, b)
+	}
+}
+
+func TestOpenTruncFlag(t *testing.T) {
+	k := newWorld(t)
+	user := newUser(k)
+	fd, _ := user.Open("/tmp/tr", O_CREAT|O_RDWR, 0o600)
+	user.Write(fd, []byte("content"))
+	user.Close(fd)
+	fd, err := user.Open("/tmp/tr", O_RDWR|O_TRUNC, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _ := user.Fstat(fd)
+	if st.Size != 0 {
+		t.Errorf("O_TRUNC left size %d", st.Size)
+	}
+}
+
+func TestSignalToDeadProcess(t *testing.T) {
+	k := newWorld(t)
+	victim := newUser(k)
+	sender := newRoot(k, "sshd_t", "/usr/sbin/sshd")
+	victim.Exit(0)
+	if err := sender.Kill(victim.PID(), SIGTERM); !errors.Is(err, ErrNoProc) {
+		t.Errorf("kill dead: %v, want ErrNoProc", err)
+	}
+}
+
+func TestProcsSnapshot(t *testing.T) {
+	k := newWorld(t)
+	a := newUser(k)
+	b := newUser(k)
+	if got := len(k.Procs()); got != 2 {
+		t.Fatalf("Procs = %d, want 2", got)
+	}
+	a.Exit(0)
+	if got := len(k.Procs()); got != 1 {
+		t.Errorf("Procs after exit = %d, want 1", got)
+	}
+	if p, ok := k.Proc(b.PID()); !ok || p != b {
+		t.Error("Proc lookup failed")
+	}
+}
+
+func TestSyscallNamesComplete(t *testing.T) {
+	names := SyscallNames()
+	for nr := Syscall(1); nr < nrCount; nr++ {
+		name := nr.String()
+		if name == "syscall(?)" {
+			t.Errorf("syscall %d has no name", nr)
+			continue
+		}
+		if got, ok := names[name]; !ok || got != int(nr) {
+			t.Errorf("SyscallNames[%q] = %d,%v want %d", name, got, ok, nr)
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package kernel
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"pfirewall/internal/mac"
+	"pfirewall/internal/pf"
+	"pfirewall/internal/vfs"
+)
+
+// Kernel is one simulated system: a filesystem, a MAC policy, a process
+// table, and (optionally) a Process Firewall engine consulted after
+// authorization, exactly as the paper hooks it behind LSM (Section 5.1).
+type Kernel struct {
+	FS       *vfs.FS
+	Policy   *mac.Policy
+	Contexts *mac.FileContexts
+
+	// PF is the Process Firewall; nil disables it entirely (the DISABLED
+	// column of Table 6).
+	PF *pf.Engine
+
+	// MACEnforcing turns MAC denials into errors. The default (false)
+	// mirrors SELinux permissive mode, which keeps world setup terse while
+	// adversary accessibility — what the PF consumes — still derives from
+	// the policy.
+	MACEnforcing bool
+
+	mu      sync.Mutex
+	procs   map[int]*Proc
+	nextPid int
+
+	hookMu   sync.Mutex
+	nextHook int
+	preHooks map[int]SyscallHook
+
+	// SyscallCount counts every syscall dispatched, for benchmarks.
+	SyscallCount atomic.Uint64
+	// MediationCount counts individual mediated object accesses.
+	MediationCount atomic.Uint64
+}
+
+// SyscallHook observes (and may act at) a syscall boundary; adversary
+// interleaving is built from these. Hooks run at syscall entry, after the
+// per-syscall bookkeeping but before the operation takes effect — the
+// moment a real scheduler could preempt the victim (paper Section 2.1).
+type SyscallHook func(p *Proc, nr Syscall)
+
+// New creates a kernel with an empty filesystem labeled by contexts.
+func New(policy *mac.Policy, contexts *mac.FileContexts) *Kernel {
+	return &Kernel{
+		FS:       vfs.New(policy.SIDs(), contexts),
+		Policy:   policy,
+		Contexts: contexts,
+		procs:    make(map[int]*Proc),
+		nextPid:  1,
+		preHooks: make(map[int]SyscallHook),
+	}
+}
+
+// AttachPF installs a Process Firewall engine.
+func (k *Kernel) AttachPF(e *pf.Engine) { k.PF = e }
+
+// AddPreSyscallHook registers a hook and returns its id for removal.
+func (k *Kernel) AddPreSyscallHook(h SyscallHook) int {
+	k.hookMu.Lock()
+	defer k.hookMu.Unlock()
+	k.nextHook++
+	k.preHooks[k.nextHook] = h
+	return k.nextHook
+}
+
+// RemoveHook unregisters a hook.
+func (k *Kernel) RemoveHook(id int) {
+	k.hookMu.Lock()
+	defer k.hookMu.Unlock()
+	delete(k.preHooks, id)
+}
+
+// runPreHooks fires registered hooks for a syscall entry.
+func (k *Kernel) runPreHooks(p *Proc, nr Syscall) {
+	k.hookMu.Lock()
+	hooks := make([]SyscallHook, 0, len(k.preHooks))
+	for _, h := range k.preHooks {
+		hooks = append(hooks, h)
+	}
+	k.hookMu.Unlock()
+	for _, h := range hooks {
+		h(p, nr)
+	}
+}
+
+// Proc returns the process with the given pid.
+func (k *Kernel) Proc(pid int) (*Proc, bool) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	p, ok := k.procs[pid]
+	return p, ok
+}
+
+// Procs returns a snapshot of all live processes.
+func (k *Kernel) Procs() []*Proc {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	out := make([]*Proc, 0, len(k.procs))
+	for _, p := range k.procs {
+		if !p.exited {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// LookupIno resolves a path (without mediation) to its inode number, the
+// facility pftables uses to translate -f filenames at rule-install time.
+func (k *Kernel) LookupIno(path string) (uint64, bool) {
+	res, err := k.FS.Resolve(nil, path, vfs.ResolveOpts{FollowFinal: true}, nil)
+	if err != nil || res.Node == nil {
+		return 0, false
+	}
+	return uint64(res.Node.Ino), true
+}
+
+// resource adapts a vfs inode to pf.Resource.
+type resource struct {
+	k    *Kernel
+	node *vfs.Inode
+	path string
+}
+
+func (r *resource) SID() mac.SID { return r.node.SID }
+func (r *resource) ID() uint64   { return uint64(r.node.Ino) }
+func (r *resource) Path() string { return r.path }
+
+func (r *resource) Class() mac.Class {
+	switch r.node.Type {
+	case vfs.TypeDir:
+		return mac.ClassDir
+	case vfs.TypeSymlink:
+		return mac.ClassLnkFile
+	case vfs.TypeSocket:
+		return mac.ClassSockFile
+	case vfs.TypeFifo:
+		return mac.ClassFifoFile
+	default:
+		return mac.ClassFile
+	}
+}
+
+func (r *resource) OwnerUID() int { return r.node.UID }
+
+// LinkTargetOwnerUID resolves the symlink's target without mediation — the
+// context module runs with kernel privilege (paper rule R8's
+// C_TGT_DAC_OWNER context).
+func (r *resource) LinkTargetOwnerUID() (int, bool) {
+	if !r.node.IsSymlink() {
+		return 0, false
+	}
+	res, err := r.k.FS.Resolve(nil, r.node.Target, vfs.ResolveOpts{FollowFinal: true}, nil)
+	if err != nil || res.Node == nil {
+		return 0, false
+	}
+	return res.Node.UID, true
+}
+
+// signalResource adapts a signal delivery to pf.Resource: the resource
+// identifier is the signal number (paper Section 5.2: "resource identifier
+// (signal or inode number)").
+type signalResource struct {
+	sig    int
+	target *Proc
+}
+
+func (r *signalResource) SID() mac.SID                    { return r.target.sid }
+func (r *signalResource) ID() uint64                      { return uint64(r.sig) }
+func (r *signalResource) Path() string                    { return "" }
+func (r *signalResource) Class() mac.Class                { return mac.ClassProcess }
+func (r *signalResource) OwnerUID() int                   { return r.target.UID }
+func (r *signalResource) LinkTargetOwnerUID() (int, bool) { return 0, false }

@@ -1,0 +1,650 @@
+package kernel
+
+import (
+	"errors"
+	"testing"
+
+	"pfirewall/internal/mac"
+	"pfirewall/internal/pf"
+	"pfirewall/internal/pftables"
+	"pfirewall/internal/ustack"
+	"pfirewall/internal/vfs"
+)
+
+// newWorld builds a small Ubuntu-flavoured system: trusted httpd/sshd/dbus
+// domains, an untrusted user, /etc /lib /tmp /var/www with standard labels.
+func newWorld(t *testing.T) *Kernel {
+	t.Helper()
+	pol := mac.NewPolicy(mac.NewSIDTable())
+	pol.MarkTrusted("httpd_t", "sshd_t", "dbusd_t", "lib_t", "etc_t", "shadow_t",
+		"httpd_content_t", "bin_t", "system_dbusd_var_run_t")
+	pol.Allow("httpd_t", "httpd_content_t", mac.ClassFile, mac.PermRead)
+	pol.Allow("httpd_t", "shadow_t", mac.ClassFile, mac.PermRead)
+	pol.Allow("user_t", "tmp_t", mac.ClassFile, mac.PermRead|mac.PermWrite|mac.PermCreate)
+	pol.Allow("user_t", "tmp_t", mac.ClassDir, mac.PermAddName|mac.PermSearch)
+	pol.Allow("user_t", "user_home_t", mac.ClassFile, mac.PermRead|mac.PermWrite)
+
+	fc := mac.NewFileContexts("default_t")
+	fc.Add("/tmp", "tmp_t")
+	fc.Add("/etc", "etc_t")
+	fc.Add("/etc/shadow", "shadow_t")
+	fc.Add("/lib", "lib_t")
+	fc.Add("/bin", "bin_t")
+	fc.Add("/var/www", "httpd_content_t")
+	fc.Add("/home", "user_home_t")
+	fc.Add("/var/run/dbus", "system_dbusd_var_run_t")
+
+	k := New(pol, fc)
+	fs := k.FS
+	tmp := fs.MustPath("/tmp")
+	fs.Chmod(tmp, 0o777|vfs.ModeSticky)
+	etc := fs.MustPath("/etc")
+	fs.MustPath("/lib")
+	fs.MustPath("/bin")
+	fs.MustPath("/var/www")
+	fs.MustPath("/home/alice")
+	fs.MustPath("/var/run/dbus")
+
+	shadow, err := fs.CreateAt(etc, "shadow", "/etc/shadow", vfs.CreateOpts{Mode: 0o600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.WriteFile(shadow, []byte("root:hash"))
+	passwd, _ := fs.CreateAt(etc, "passwd", "/etc/passwd", vfs.CreateOpts{Mode: 0o644})
+	fs.WriteFile(passwd, []byte("root:x"))
+	return k
+}
+
+func pfEnv(k *Kernel) *pftables.Env {
+	return &pftables.Env{
+		Policy:     k.Policy,
+		LookupPath: k.LookupIno,
+		Syscalls:   SyscallNames(),
+	}
+}
+
+func newRoot(k *Kernel, label mac.Label, exec string) *Proc {
+	return k.NewProc(ProcSpec{UID: 0, GID: 0, Label: label, Exec: exec})
+}
+
+func newUser(k *Kernel) *Proc {
+	return k.NewProc(ProcSpec{UID: 1000, GID: 1000, Label: "user_t", Exec: "/bin/sh"})
+}
+
+func TestOpenReadWriteClose(t *testing.T) {
+	k := newWorld(t)
+	p := newRoot(k, "httpd_t", "/usr/bin/apache2")
+	fd, err := p.Open("/etc/passwd", O_RDONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := p.ReadAll(fd)
+	if err != nil || string(data) != "root:x" {
+		t.Errorf("read = %q, %v", data, err)
+	}
+	if err := p.Close(fd); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Read(fd, 10); !errors.Is(err, ErrBadFd) {
+		t.Error("read after close should fail")
+	}
+}
+
+func TestOpenCreatesWithContextLabel(t *testing.T) {
+	k := newWorld(t)
+	p := newUser(k)
+	fd, err := p.Open("/tmp/scratch", O_CREAT|O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := p.Fstat(fd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lbl := k.Policy.SIDs().Label(st.SID); lbl != "tmp_t" {
+		t.Errorf("new file label = %q, want tmp_t", lbl)
+	}
+	if st.UID != 1000 {
+		t.Errorf("new file uid = %d, want 1000", st.UID)
+	}
+}
+
+func TestDACDenied(t *testing.T) {
+	k := newWorld(t)
+	p := newUser(k)
+	if _, err := p.Open("/etc/shadow", O_RDONLY, 0); !errors.Is(err, vfs.ErrPerm) {
+		t.Errorf("user open shadow: %v, want ErrPerm", err)
+	}
+	root := newRoot(k, "sshd_t", "/usr/sbin/sshd")
+	if _, err := root.Open("/etc/shadow", O_RDONLY, 0); err != nil {
+		t.Errorf("root open shadow: %v", err)
+	}
+}
+
+func TestMACEnforcing(t *testing.T) {
+	k := newWorld(t)
+	k.MACEnforcing = true
+	p := newUser(k)
+	// user_t has no allow rule for etc_t dir search.
+	_, err := p.Open("/etc/passwd", O_RDONLY, 0)
+	if !errors.Is(err, ErrMACDenied) {
+		t.Errorf("err = %v, want ErrMACDenied", err)
+	}
+}
+
+func TestStickyBitDeletion(t *testing.T) {
+	k := newWorld(t)
+	alice := newUser(k)
+	bob := k.NewProc(ProcSpec{UID: 1001, GID: 1001, Label: "user_t", Exec: "/bin/sh"})
+
+	if _, err := alice.Open("/tmp/af", O_CREAT|O_RDWR, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Bob cannot delete Alice's file from the sticky /tmp.
+	if err := bob.Unlink("/tmp/af"); !errors.Is(err, vfs.ErrPerm) {
+		t.Errorf("bob unlink: %v, want ErrPerm", err)
+	}
+	// Alice can.
+	if err := alice.Unlink("/tmp/af"); err != nil {
+		t.Errorf("alice unlink: %v", err)
+	}
+}
+
+func TestStatVsLstat(t *testing.T) {
+	k := newWorld(t)
+	user := newUser(k)
+	if err := user.Symlink("/etc/passwd", "/tmp/ln"); err != nil {
+		t.Fatal(err)
+	}
+	root := newRoot(k, "sshd_t", "/usr/sbin/sshd")
+	st, err := root.Stat("/tmp/ln")
+	if err != nil || st.Type != vfs.TypeRegular {
+		t.Errorf("stat follows: %+v, %v", st, err)
+	}
+	lst, err := root.Lstat("/tmp/ln")
+	if err != nil || lst.Type != vfs.TypeSymlink {
+		t.Errorf("lstat must not follow: %+v, %v", lst, err)
+	}
+}
+
+func TestONofollow(t *testing.T) {
+	k := newWorld(t)
+	user := newUser(k)
+	user.Symlink("/etc/passwd", "/tmp/ln2")
+	root := newRoot(k, "sshd_t", "/usr/sbin/sshd")
+	if _, err := root.Open("/tmp/ln2", O_NOFOLLOW, 0); !errors.Is(err, vfs.ErrLoop) {
+		t.Errorf("O_NOFOLLOW on symlink: %v, want ErrLoop", err)
+	}
+}
+
+func TestOExcl(t *testing.T) {
+	k := newWorld(t)
+	user := newUser(k)
+	if _, err := user.Open("/tmp/x", O_CREAT|O_EXCL|O_RDWR, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := user.Open("/tmp/x", O_CREAT|O_EXCL|O_RDWR, 0o600); !errors.Is(err, vfs.ErrExist) {
+		t.Errorf("second O_EXCL: %v, want ErrExist", err)
+	}
+}
+
+func TestPFBlocksSymlinkFollowInTmp(t *testing.T) {
+	k := newWorld(t)
+	engine := pf.New(k.Policy, pf.Optimized())
+	if _, err := pftables.Install(pfEnv(k), engine, `pftables -t filter -o LNK_FILE_READ -d tmp_t -j DROP`); err != nil {
+		t.Fatal(err)
+	}
+	k.AttachPF(engine)
+
+	user := newUser(k)
+	user.Symlink("/etc/shadow", "/tmp/trap")
+
+	victim := newRoot(k, "sshd_t", "/usr/sbin/sshd")
+	if _, err := victim.Open("/tmp/trap", O_RDONLY, 0); !errors.Is(err, ErrPFDenied) {
+		t.Errorf("open via /tmp symlink: %v, want ErrPFDenied", err)
+	}
+	// Direct access is unaffected.
+	if _, err := victim.Open("/etc/shadow", O_RDONLY, 0); err != nil {
+		t.Errorf("direct open: %v", err)
+	}
+}
+
+func TestCompleteMediationCounts(t *testing.T) {
+	k := newWorld(t)
+	p := newRoot(k, "sshd_t", "/usr/sbin/sshd")
+	before := k.MediationCount.Load()
+	if _, err := p.Open("/etc/passwd", O_RDONLY, 0); err != nil {
+		t.Fatal(err)
+	}
+	steps := k.MediationCount.Load() - before
+	// Expect search on / and /etc (final object is mediated via pfFilter +
+	// DAC inline, not through the vfs mediator).
+	if steps != 2 {
+		t.Errorf("mediated %d steps, want 2", steps)
+	}
+}
+
+func TestPFCreateUndoneOnDrop(t *testing.T) {
+	k := newWorld(t)
+	engine := pf.New(k.Policy, pf.Optimized())
+	// Drop creation of tmp_t files by sshd_t.
+	sshd := k.Policy.SIDs().SID("sshd_t")
+	tmp := k.Policy.SIDs().SID("tmp_t")
+	engine.Append("input", &pf.Rule{
+		Subject: pf.NewSIDSet(false, sshd),
+		Object:  pf.NewSIDSet(false, tmp),
+		Ops:     pf.NewOpSet(pf.OpFileCreate),
+		Target:  pf.Drop(),
+	})
+	k.AttachPF(engine)
+	victim := newRoot(k, "sshd_t", "/usr/sbin/sshd")
+	if _, err := victim.Open("/tmp/f", O_CREAT|O_RDWR, 0o600); !errors.Is(err, ErrPFDenied) {
+		t.Fatalf("create: %v, want ErrPFDenied", err)
+	}
+	// The file must not linger after the denied create.
+	if _, err := victim.Lstat("/tmp/f"); !errors.Is(err, vfs.ErrNotExist) {
+		t.Errorf("lstat after denied create: %v, want ErrNotExist", err)
+	}
+}
+
+func TestSyscallBeginDropAbortsSyscall(t *testing.T) {
+	k := newWorld(t)
+	engine := pf.New(k.Policy, pf.Optimized())
+	engine.Append("syscallbegin", &pf.Rule{
+		Matches: []pf.Match{&pf.SyscallArgsMatch{Arg: 0, Equal: uint64(NrUnlink)}},
+		Target:  pf.Drop(),
+	})
+	k.AttachPF(engine)
+	user := newUser(k)
+	user.Open("/tmp/z", O_CREAT|O_RDWR, 0o600)
+	if err := user.Unlink("/tmp/z"); !errors.Is(err, ErrPFDenied) {
+		t.Errorf("unlink: %v, want ErrPFDenied", err)
+	}
+	if _, err := user.Lstat("/tmp/z"); err != nil {
+		t.Error("file should survive the aborted unlink")
+	}
+}
+
+func TestSetuidExecve(t *testing.T) {
+	k := newWorld(t)
+	bin := k.FS.MustPath("/bin")
+	prog, _ := k.FS.CreateAt(bin, "passwdtool", "/bin/passwdtool", vfs.CreateOpts{
+		UID: 0, GID: 0, Mode: 0o4755 | 0o111,
+	})
+	_ = prog
+	user := newUser(k)
+	if err := user.Execve("/bin/passwdtool", map[string]string{"PATH": "/bin"}); err != nil {
+		t.Fatal(err)
+	}
+	if user.EUID != 0 || user.UID != 1000 {
+		t.Errorf("after setuid exec: uid=%d euid=%d", user.UID, user.EUID)
+	}
+	if user.ExecPath() != "/bin/passwdtool" {
+		t.Errorf("exec path = %q", user.ExecPath())
+	}
+	if _, ok := user.AddrSpace().FindByPath("/bin/passwdtool"); !ok {
+		t.Error("new image not mapped")
+	}
+}
+
+func TestForkInheritsAndIsolates(t *testing.T) {
+	k := newWorld(t)
+	parent := newUser(k)
+	parent.PFState().Set(7, 70)
+	fd, _ := parent.Open("/tmp/ff", O_CREAT|O_RDWR, 0o600)
+
+	child, err := parent.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if child.PID() == parent.PID() {
+		t.Error("child must get a fresh pid")
+	}
+	if v, _ := child.PFState().Get(7); v != 70 {
+		t.Error("child should inherit STATE dictionary")
+	}
+	child.PFState().Set(7, 71)
+	if v, _ := parent.PFState().Get(7); v != 70 {
+		t.Error("child writes must not affect parent")
+	}
+	// Child sees the inherited descriptor.
+	if _, err := child.Fstat(fd); err != nil {
+		t.Errorf("child fstat inherited fd: %v", err)
+	}
+}
+
+func TestKillDACAndHandler(t *testing.T) {
+	k := newWorld(t)
+	victim := newRoot(k, "sshd_t", "/usr/sbin/sshd")
+	attacker := newUser(k)
+
+	got := 0
+	victim.Sigaction(SIGALRM, func(p *Proc, sig int) { got = sig })
+
+	// Non-root, different uid: denied.
+	if err := attacker.Kill(victim.PID(), SIGALRM); !errors.Is(err, vfs.ErrPerm) {
+		t.Errorf("cross-uid kill: %v, want ErrPerm", err)
+	}
+	root := newRoot(k, "sshd_t", "/usr/sbin/sshd")
+	if err := root.Kill(victim.PID(), SIGALRM); err != nil {
+		t.Fatal(err)
+	}
+	if got != SIGALRM {
+		t.Error("handler did not run")
+	}
+}
+
+func TestSignalRaceBlockedByPFRules(t *testing.T) {
+	k := newWorld(t)
+	engine := pf.New(k.Policy, pf.Optimized())
+	rules := []string{
+		`pftables -I input -o PROCESS_SIGNAL_DELIVERY -j SIGNAL_CHAIN`,
+		`pftables -I signal_chain -m SIGNAL_MATCH -m STATE --key 'sig' --cmp 1 -j DROP`,
+		`pftables -A signal_chain -m SIGNAL_MATCH -j STATE --set --key 'sig' --value 1`,
+		`pftables -I syscallbegin -m SYSCALL_ARGS --arg 0 --equal NR_sigreturn -j STATE --set --key 'sig' --value 0`,
+	}
+	if _, err := pftables.InstallAll(pfEnv(k), engine, rules); err != nil {
+		t.Fatal(err)
+	}
+	k.AttachPF(engine)
+
+	victim := newRoot(k, "sshd_t", "/usr/sbin/sshd")
+	root := newRoot(k, "sshd_t", "/usr/sbin/sshd")
+
+	maxDepth := 0
+	var nestedErr error
+	victim.Sigaction(SIGALRM, func(p *Proc, sig int) {
+		if p.SigDepth() > maxDepth {
+			maxDepth = p.SigDepth()
+		}
+		if p.SigDepth() == 1 {
+			// Adversary re-signals while the handler runs.
+			nestedErr = root.Kill(victim.PID(), SIGALRM)
+		}
+	})
+
+	if err := root.Kill(victim.PID(), SIGALRM); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(nestedErr, ErrPFDenied) {
+		t.Errorf("nested delivery: %v, want ErrPFDenied", nestedErr)
+	}
+	if maxDepth != 1 {
+		t.Errorf("handler nesting depth = %d, want 1", maxDepth)
+	}
+	// After the handler returns (sigreturn), signals deliver again.
+	if err := root.Kill(victim.PID(), SIGALRM); err != nil {
+		t.Errorf("post-handler delivery: %v", err)
+	}
+}
+
+func TestSignalRaceSucceedsWithoutPF(t *testing.T) {
+	k := newWorld(t)
+	victim := newRoot(k, "sshd_t", "/usr/sbin/sshd")
+	root := newRoot(k, "sshd_t", "/usr/sbin/sshd")
+	maxDepth := 0
+	victim.Sigaction(SIGALRM, func(p *Proc, sig int) {
+		if p.SigDepth() > maxDepth {
+			maxDepth = p.SigDepth()
+		}
+		if p.SigDepth() == 1 {
+			root.Kill(victim.PID(), SIGALRM)
+		}
+	})
+	root.Kill(victim.PID(), SIGALRM)
+	if maxDepth != 2 {
+		t.Errorf("without PF the handler should re-enter: depth = %d", maxDepth)
+	}
+}
+
+func TestTOCTTOURaceViaInterleaveHook(t *testing.T) {
+	// Reproduces Figure 1(a)'s race: the adversary flips /tmp/f to a
+	// symlink between the victim's lstat and open.
+	k := newWorld(t)
+	user := newUser(k)
+	fd, err := user.Open("/tmp/f", O_CREAT|O_RDWR, 0o666)
+	if err != nil {
+		t.Fatal(err)
+	}
+	user.Close(fd)
+
+	victim := newRoot(k, "sshd_t", "/usr/sbin/sshd")
+	flipped := false
+	hook := k.AddPreSyscallHook(func(p *Proc, nr Syscall) {
+		if p == victim && nr == NrOpen && !flipped {
+			flipped = true
+			user.Unlink("/tmp/f")
+			user.Symlink("/etc/shadow", "/tmp/f")
+		}
+	})
+	defer k.RemoveHook(hook)
+
+	st, err := victim.Lstat("/tmp/f")
+	if err != nil || st.Type != vfs.TypeRegular {
+		t.Fatalf("check: %+v, %v", st, err)
+	}
+	fd, err = victim.Open("/tmp/f", O_RDONLY, 0)
+	if err != nil {
+		t.Fatalf("use: %v", err)
+	}
+	st2, _ := victim.Fstat(fd)
+	lbl := k.Policy.SIDs().Label(st2.SID)
+	if lbl != "shadow_t" {
+		t.Errorf("race should reach shadow_t, got %q", lbl)
+	}
+	if st2.Ino == st.Ino {
+		t.Error("inode must differ — that is what the check/use compare detects")
+	}
+}
+
+func TestBindConnectAndSocketSetattr(t *testing.T) {
+	k := newWorld(t)
+	dbus := newRoot(k, "dbusd_t", "/bin/dbus-daemon")
+	fd, err := dbus.Bind("/var/run/dbus/system_bus_socket", 0o666)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _ := dbus.Fstat(fd)
+	if st.Type != vfs.TypeSocket {
+		t.Error("bind should create a socket inode")
+	}
+	client := newRoot(k, "httpd_t", "/usr/bin/apache2")
+	if _, err := client.Connect("/var/run/dbus/system_bus_socket"); err != nil {
+		t.Errorf("connect: %v", err)
+	}
+	if err := dbus.Fchmod(fd, 0o644); err != nil {
+		t.Errorf("fchmod socket: %v", err)
+	}
+	if _, err := client.Connect("/etc/passwd"); !errors.Is(err, vfs.ErrInval) {
+		t.Errorf("connect non-socket: %v, want ErrInval", err)
+	}
+}
+
+func TestMmapAddsMapping(t *testing.T) {
+	k := newWorld(t)
+	lib := k.FS.MustPath("/lib")
+	k.FS.CreateAt(lib, "libc.so", "/lib/libc.so", vfs.CreateOpts{Mode: 0o755})
+	p := newRoot(k, "httpd_t", "/usr/bin/apache2")
+	fd, err := p.Open("/lib/libc.so", O_RDONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Mmap(fd); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p.AddrSpace().FindByPath("/lib/libc.so"); !ok {
+		t.Error("mmap did not add mapping")
+	}
+}
+
+func TestEntrypointRuleThroughKernel(t *testing.T) {
+	k := newWorld(t)
+	engine := pf.New(k.Policy, pf.Optimized())
+	if _, err := pftables.Install(pfEnv(k), engine,
+		`pftables -p /lib/ld-2.15.so -i 0x596b -s SYSHIGH -d ~{lib_t} -o FILE_OPEN -j DROP`); err != nil {
+		t.Fatal(err)
+	}
+	k.AttachPF(engine)
+
+	// Plant an adversary "library" in /tmp.
+	user := newUser(k)
+	ufd, _ := user.Open("/tmp/evil.so", O_CREAT|O_RDWR, 0o777)
+	user.Close(ufd)
+
+	victim := newRoot(k, "httpd_t", "/usr/bin/apache2")
+	victim.AddrSpace().Map("/lib/ld-2.15.so", 0)
+	if err := victim.PushFrame("/lib/ld-2.15.so", 0x100); err != nil {
+		t.Fatal(err)
+	}
+	if err := victim.SyscallSite("/lib/ld-2.15.so", 0x596b); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := victim.Open("/tmp/evil.so", O_RDONLY, 0); !errors.Is(err, ErrPFDenied) {
+		t.Errorf("library load from tmp: %v, want ErrPFDenied", err)
+	}
+
+	// The same process opening the same file from a different call site
+	// is allowed — per-entrypoint protection, not per-process.
+	victim.SyscallSite("/usr/bin/apache2", 0x1111)
+	if _, err := victim.Open("/tmp/evil.so", O_RDONLY, 0); err != nil {
+		t.Errorf("non-linker open: %v", err)
+	}
+}
+
+func TestExitReleasesResources(t *testing.T) {
+	k := newWorld(t)
+	p := newUser(k)
+	fd, _ := p.Open("/tmp/e", O_CREAT|O_RDWR, 0o600)
+	_ = fd
+	p.Exit(0)
+	if !p.Exited() {
+		t.Fatal("not exited")
+	}
+	if _, err := p.Getpid(); !errors.Is(err, ErrExited) {
+		t.Error("syscalls after exit must fail")
+	}
+	if _, ok := k.Proc(p.PID()); ok {
+		t.Error("exited process still in table")
+	}
+}
+
+func TestSigactionRejectsKill(t *testing.T) {
+	k := newWorld(t)
+	p := newUser(k)
+	if err := p.Sigaction(SIGKILL, func(*Proc, int) {}); !errors.Is(err, vfs.ErrInval) {
+		t.Errorf("sigaction SIGKILL: %v, want ErrInval", err)
+	}
+}
+
+func TestSigprocmaskBlocksDelivery(t *testing.T) {
+	k := newWorld(t)
+	victim := newRoot(k, "sshd_t", "/usr/sbin/sshd")
+	root := newRoot(k, "sshd_t", "/usr/sbin/sshd")
+	ran := false
+	victim.Sigaction(SIGALRM, func(*Proc, int) { ran = true })
+	victim.Sigprocmask(SIGALRM, true)
+	root.Kill(victim.PID(), SIGALRM)
+	if ran {
+		t.Error("blocked signal must not run the handler")
+	}
+	victim.Sigprocmask(SIGALRM, false)
+	root.Kill(victim.PID(), SIGALRM)
+	if !ran {
+		t.Error("unblocked signal should deliver")
+	}
+}
+
+func TestSIGKILLTerminates(t *testing.T) {
+	k := newWorld(t)
+	victim := newUser(k)
+	root := newRoot(k, "sshd_t", "/usr/sbin/sshd")
+	if err := root.Kill(victim.PID(), SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	if !victim.Exited() {
+		t.Error("SIGKILL should terminate")
+	}
+}
+
+func TestLookupIno(t *testing.T) {
+	k := newWorld(t)
+	ino, ok := k.LookupIno("/etc/passwd")
+	if !ok || ino == 0 {
+		t.Errorf("LookupIno = %d, %v", ino, ok)
+	}
+	if _, ok := k.LookupIno("/no/such"); ok {
+		t.Error("missing path should fail")
+	}
+}
+
+func TestChdirRelativeResolution(t *testing.T) {
+	k := newWorld(t)
+	home := k.FS.MustPath("/home/alice")
+	k.FS.Chown(home, 1000, 1000)
+	p := newUser(k)
+	if err := p.Chdir("/home/alice"); err != nil {
+		t.Fatal(err)
+	}
+	fd, err := p.Open("notes", O_CREAT|O_RDWR, 0o600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _ := p.Fstat(fd)
+	if lbl := k.Policy.SIDs().Label(st.SID); lbl != "user_home_t" {
+		t.Errorf("label = %q, want user_home_t", lbl)
+	}
+}
+
+func TestInterpreterFramesVisibleToPF(t *testing.T) {
+	k := newWorld(t)
+	engine := pf.New(k.Policy, pf.Optimized())
+	// Block opens from a specific PHP script line when touching tmp_t.
+	tmpSID := k.Policy.SIDs().SID("tmp_t")
+	engine.Append("input", &pf.Rule{
+		Program: "include.php", Entry: 12, EntrySet: true,
+		Object: pf.NewSIDSet(false, tmpSID),
+		Ops:    pf.NewOpSet(pf.OpFileOpen),
+		Target: pf.Drop(),
+	})
+	k.AttachPF(engine)
+
+	user := newUser(k)
+	fd, _ := user.Open("/tmp/payload", O_CREAT|O_RDWR, 0o666)
+	user.Close(fd)
+
+	php := newRoot(k, "httpd_t", "/usr/bin/php5")
+	php.BecomeInterpreter(ustackLangPHP())
+	php.InterpPush("include.php", 12)
+	if _, err := php.Open("/tmp/payload", O_RDONLY, 0); !errors.Is(err, ErrPFDenied) {
+		t.Errorf("include from script line: %v, want ErrPFDenied", err)
+	}
+	php.InterpPop()
+	if _, err := php.Open("/tmp/payload", O_RDONLY, 0); err != nil {
+		t.Errorf("outside script frame: %v", err)
+	}
+}
+
+func TestRenameReplacesAtomically(t *testing.T) {
+	k := newWorld(t)
+	user := newUser(k)
+	fd, _ := user.Open("/tmp/a", O_CREAT|O_RDWR, 0o600)
+	user.Write(fd, []byte("A"))
+	user.Close(fd)
+	fd, _ = user.Open("/tmp/b", O_CREAT|O_RDWR, 0o600)
+	user.Write(fd, []byte("B"))
+	user.Close(fd)
+	if err := user.Rename("/tmp/a", "/tmp/b"); err != nil {
+		t.Fatal(err)
+	}
+	fd, err := user.Open("/tmp/b", O_RDONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := user.ReadAll(fd)
+	if string(data) != "A" {
+		t.Errorf("renamed content = %q", data)
+	}
+}
+
+// ustackLangPHP avoids importing ustack in every test site.
+func ustackLangPHP() ustack.Lang { return ustack.LangPHP }

@@ -1,0 +1,94 @@
+package lmbench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestConfigsMatchPaperColumns(t *testing.T) {
+	want := []string{"DISABLED", "BASE", "FULL", "CONCACHE", "LAZYCON", "EPTSPC"}
+	cfgs := Configs()
+	if len(cfgs) != len(want) {
+		t.Fatalf("configs = %d, want %d", len(cfgs), len(want))
+	}
+	for i, c := range cfgs {
+		if c.Name != want[i] {
+			t.Errorf("config %d = %q, want %q", i, c.Name, want[i])
+		}
+	}
+	// Monotone optimization flags, as in the paper: "each column except
+	// the last incorporates optimizations of the previous column".
+	if cfgs[3].Engine.CtxCache != true || cfgs[4].Engine.LazyCtx != true || cfgs[5].Engine.EptChains != true {
+		t.Error("optimization flags not cumulative")
+	}
+}
+
+func TestWorkloadsMatchPaperRows(t *testing.T) {
+	want := []string{"null", "stat", "read", "write", "fstat", "open+close",
+		"fork+exit", "fork+execve", "fork+sh -c"}
+	wls := Workloads()
+	if len(wls) != len(want) {
+		t.Fatalf("workloads = %d, want %d", len(wls), len(want))
+	}
+	for i, wl := range wls {
+		if wl.Name != want[i] {
+			t.Errorf("workload %d = %q, want %q", i, wl.Name, want[i])
+		}
+	}
+}
+
+func TestSyntheticRuleBaseSizeAndValidity(t *testing.T) {
+	rules := SyntheticRuleBase(FullRuleBaseSize)
+	if len(rules) != 1218 {
+		t.Fatalf("rule base = %d, want 1218 (the paper's deployment size)", len(rules))
+	}
+	// Every rule must install (World panics otherwise).
+	w := World(Config{Name: "FULL", Attach: true, Rules: true})
+	if got := w.Engine.RuleCount(); got != 1218 {
+		t.Errorf("installed = %d, want 1218", got)
+	}
+}
+
+func TestEveryWorkloadRunsUnderEveryConfig(t *testing.T) {
+	// Smoke: each cell completes a few iterations without error and
+	// reports a positive latency.
+	for _, wl := range Workloads() {
+		for _, cfg := range Configs() {
+			m := RunCell(wl, cfg, 20)
+			if m.NsPerOp <= 0 {
+				t.Errorf("%s/%s: ns/op = %v", wl.Name, cfg.Name, m.NsPerOp)
+			}
+			if m.Workload != wl.Name || m.Config != cfg.Name {
+				t.Errorf("cell labels wrong: %+v", m)
+			}
+		}
+	}
+}
+
+func TestFormatTable6Layout(t *testing.T) {
+	cells := []Measurement{
+		{Workload: "stat", Config: "DISABLED", NsPerOp: 100},
+		{Workload: "stat", Config: "BASE", NsPerOp: 110},
+		{Workload: "stat", Config: "FULL", NsPerOp: 200},
+		{Workload: "stat", Config: "CONCACHE", NsPerOp: 180},
+		{Workload: "stat", Config: "LAZYCON", NsPerOp: 170},
+		{Workload: "stat", Config: "EPTSPC", NsPerOp: 111},
+	}
+	out := FormatTable6(cells)
+	if !strings.Contains(out, "stat") || !strings.Contains(out, "+10.0%") || !strings.Contains(out, "+100.0%") {
+		t.Errorf("format:\n%s", out)
+	}
+}
+
+func TestEptspcBeatsFullScan(t *testing.T) {
+	// The core Table 6 claim, asserted as an inequality rather than a
+	// number: with the 1218-rule base, the fully optimized engine is much
+	// cheaper per open than the unoptimized one.
+	wl := Workloads()[5] // open+close
+	full := RunCell(wl, Configs()[2], 400)
+	ept := RunCell(wl, Configs()[5], 400)
+	if ept.NsPerOp*5 > full.NsPerOp {
+		t.Errorf("EPTSPC (%v ns) should be at least 5x cheaper than FULL (%v ns)",
+			ept.NsPerOp, full.NsPerOp)
+	}
+}

@@ -1,0 +1,62 @@
+package mac
+
+import (
+	"sort"
+	"strings"
+	"sync"
+)
+
+// FileContexts assigns labels to filesystem paths by longest-prefix match,
+// a simplified form of SELinux's file_contexts configuration. The simulated
+// VFS consults it when creating files so that new resources carry labels
+// consistent with their location (e.g. everything under /tmp is tmp_t).
+type FileContexts struct {
+	mu      sync.RWMutex
+	entries []fcEntry // kept sorted by descending prefix length
+	deflt   Label
+}
+
+type fcEntry struct {
+	prefix string
+	label  Label
+}
+
+// NewFileContexts returns a FileContexts whose fallback label is deflt.
+func NewFileContexts(deflt Label) *FileContexts {
+	return &FileContexts{deflt: deflt}
+}
+
+// Add maps every path at or under prefix to label. Longer prefixes win.
+func (fc *FileContexts) Add(prefix string, label Label) {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	prefix = strings.TrimSuffix(prefix, "/")
+	if prefix == "" {
+		prefix = "/"
+	}
+	for i, e := range fc.entries {
+		if e.prefix == prefix {
+			fc.entries[i].label = label
+			return
+		}
+	}
+	fc.entries = append(fc.entries, fcEntry{prefix, label})
+	sort.Slice(fc.entries, func(i, j int) bool {
+		return len(fc.entries[i].prefix) > len(fc.entries[j].prefix)
+	})
+}
+
+// LabelFor returns the label for path.
+func (fc *FileContexts) LabelFor(path string) Label {
+	fc.mu.RLock()
+	defer fc.mu.RUnlock()
+	for _, e := range fc.entries {
+		if e.prefix == "/" || path == e.prefix || strings.HasPrefix(path, e.prefix+"/") {
+			return e.label
+		}
+	}
+	return fc.deflt
+}
+
+// Default returns the fallback label.
+func (fc *FileContexts) Default() Label { return fc.deflt }

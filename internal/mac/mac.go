@@ -1,0 +1,405 @@
+// Package mac implements a mandatory access control (MAC) substrate modeled
+// on SELinux type enforcement, as used by the Process Firewall paper
+// (EuroSys 2013) for its resource and process labels.
+//
+// The package provides:
+//
+//   - Labels (SELinux "types" such as httpd_t or tmp_t) and a SID table that
+//     interns labels as small integers for fast matching, mirroring the
+//     kernel security-ID scheme the paper relies on for rule evaluation.
+//   - An allow-rule policy: (subject type, object type, class) -> permissions.
+//   - The SYSHIGH trusted-computing-base set of subject and object labels
+//     (paper Section 5.2), used by rules such as "-s SYSHIGH".
+//   - Adversary accessibility computation (paper Section 2.2, footnote 2):
+//     a resource is adversary accessible for a victim if some adversary of
+//     the victim has permissions to it under the policy. Write permission
+//     implies integrity attacks, read permission secrecy attacks.
+package mac
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Label is an SELinux-style type label, e.g. "httpd_t" or "shadow_t".
+// By convention process (subject) labels and resource (object) labels share
+// the same namespace, as in SELinux type enforcement.
+type Label string
+
+// SID is an interned security identifier for a Label. SIDs are dense small
+// integers so rule matching can compare integers instead of strings, the
+// same optimization pftables applies when it translates labels at rule
+// install time (paper Section 5.2). SID 0 is reserved and invalid.
+type SID uint32
+
+// InvalidSID is the zero SID; it never names a label.
+const InvalidSID SID = 0
+
+// Class is the object class an operation targets, following SELinux's
+// security classes.
+type Class uint8
+
+// Object classes used by the simulated kernel.
+const (
+	ClassFile Class = iota + 1
+	ClassDir
+	ClassLnkFile
+	ClassSockFile
+	ClassUnixStreamSocket
+	ClassProcess
+	ClassFifoFile
+	classCount
+)
+
+// String returns the SELinux-style class name.
+func (c Class) String() string {
+	switch c {
+	case ClassFile:
+		return "file"
+	case ClassDir:
+		return "dir"
+	case ClassLnkFile:
+		return "lnk_file"
+	case ClassSockFile:
+		return "sock_file"
+	case ClassUnixStreamSocket:
+		return "unix_stream_socket"
+	case ClassProcess:
+		return "process"
+	case ClassFifoFile:
+		return "fifo_file"
+	default:
+		return fmt.Sprintf("class(%d)", uint8(c))
+	}
+}
+
+// Perm is a permission bit vector within a class.
+type Perm uint32
+
+// Permissions. A single flat space is used across classes for simplicity;
+// only the (class, perm) pairs the simulated kernel requests matter.
+const (
+	PermRead Perm = 1 << iota
+	PermWrite
+	PermExecute
+	PermAppend
+	PermCreate
+	PermUnlink
+	PermRename
+	PermSearch
+	PermAddName
+	PermRemoveName
+	PermSetattr
+	PermGetattr
+	PermBind
+	PermConnect
+	PermSignal
+	PermTransition
+	PermEntrypoint
+)
+
+var permNames = []struct {
+	p    Perm
+	name string
+}{
+	{PermRead, "read"}, {PermWrite, "write"}, {PermExecute, "execute"},
+	{PermAppend, "append"}, {PermCreate, "create"}, {PermUnlink, "unlink"},
+	{PermRename, "rename"}, {PermSearch, "search"}, {PermAddName, "add_name"},
+	{PermRemoveName, "remove_name"}, {PermSetattr, "setattr"},
+	{PermGetattr, "getattr"}, {PermBind, "bind"}, {PermConnect, "connect"},
+	{PermSignal, "signal"}, {PermTransition, "transition"},
+	{PermEntrypoint, "entrypoint"},
+}
+
+// String renders the permission set as a brace list, e.g. "{ read write }".
+func (p Perm) String() string {
+	if p == 0 {
+		return "{}"
+	}
+	var parts []string
+	for _, pn := range permNames {
+		if p&pn.p != 0 {
+			parts = append(parts, pn.name)
+		}
+	}
+	return "{ " + strings.Join(parts, " ") + " }"
+}
+
+// ParsePerm parses a single permission name.
+func ParsePerm(name string) (Perm, error) {
+	for _, pn := range permNames {
+		if pn.name == name {
+			return pn.p, nil
+		}
+	}
+	return 0, fmt.Errorf("mac: unknown permission %q", name)
+}
+
+// SIDTable interns labels to SIDs. It is safe for concurrent use.
+type SIDTable struct {
+	mu      sync.RWMutex
+	byLabel map[Label]SID
+	labels  []Label // index = SID; labels[0] is a placeholder
+}
+
+// NewSIDTable returns an empty SID table.
+func NewSIDTable() *SIDTable {
+	return &SIDTable{
+		byLabel: make(map[Label]SID),
+		labels:  []Label{""},
+	}
+}
+
+// SID interns lbl, assigning a new SID on first use.
+func (t *SIDTable) SID(lbl Label) SID {
+	t.mu.RLock()
+	s, ok := t.byLabel[lbl]
+	t.mu.RUnlock()
+	if ok {
+		return s
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if s, ok = t.byLabel[lbl]; ok {
+		return s
+	}
+	s = SID(len(t.labels))
+	t.labels = append(t.labels, lbl)
+	t.byLabel[lbl] = s
+	return s
+}
+
+// Lookup returns the SID for lbl without interning. The second result
+// reports whether the label was known.
+func (t *SIDTable) Lookup(lbl Label) (SID, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	s, ok := t.byLabel[lbl]
+	return s, ok
+}
+
+// Label returns the label for s, or "" if s is unknown.
+func (t *SIDTable) Label(s SID) Label {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if int(s) <= 0 || int(s) >= len(t.labels) {
+		return ""
+	}
+	return t.labels[s]
+}
+
+// Len reports the number of interned labels (excluding the invalid SID).
+func (t *SIDTable) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.labels) - 1
+}
+
+// avKey is an access-vector key.
+type avKey struct {
+	sub, obj SID
+	cls      Class
+}
+
+// Policy is a type-enforcement policy: a set of allow rules plus the
+// SYSHIGH trusted set. The zero value is unusable; use NewPolicy.
+//
+// Policy also answers the adversary-accessibility questions the Process
+// Firewall needs: given a victim subject, is a resource writable (integrity)
+// or readable (secrecy) by any of the victim's adversaries?
+type Policy struct {
+	mu      sync.RWMutex
+	sids    *SIDTable
+	allow   map[avKey]Perm
+	trusted map[SID]bool // SYSHIGH membership (subjects and objects)
+
+	// subjects is the set of SIDs that have appeared as subjects of allow
+	// rules; adversary computations quantify over these.
+	subjects map[SID]bool
+
+	// advWriteCache / advReadCache memoize adversary accessibility per
+	// object SID for TCB victims, the common case on the PF hot path.
+	advWriteCache map[SID]bool
+	advReadCache  map[SID]bool
+}
+
+// NewPolicy returns an empty policy that interns labels in sids.
+func NewPolicy(sids *SIDTable) *Policy {
+	return &Policy{
+		sids:          sids,
+		allow:         make(map[avKey]Perm),
+		trusted:       make(map[SID]bool),
+		subjects:      make(map[SID]bool),
+		advWriteCache: make(map[SID]bool),
+		advReadCache:  make(map[SID]bool),
+	}
+}
+
+// SIDs returns the policy's SID table.
+func (p *Policy) SIDs() *SIDTable { return p.sids }
+
+// Allow adds an allow rule: subject may exercise perms on objects of class cls.
+func (p *Policy) Allow(subject, object Label, cls Class, perms Perm) {
+	sub, obj := p.sids.SID(subject), p.sids.SID(object)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.allow[avKey{sub, obj, cls}] |= perms
+	p.subjects[sub] = true
+	p.invalidateCachesLocked()
+}
+
+// AllowAllClasses adds allow rules for perms across every object class.
+func (p *Policy) AllowAllClasses(subject, object Label, perms Perm) {
+	for c := Class(1); c < classCount; c++ {
+		p.Allow(subject, object, c, perms)
+	}
+}
+
+// MarkTrusted places labels into SYSHIGH, the TCB set (paper Section 5.2).
+func (p *Policy) MarkTrusted(labels ...Label) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, l := range labels {
+		p.trusted[p.sids.SID(l)] = true
+	}
+	p.invalidateCachesLocked()
+}
+
+// Trusted reports whether s is in SYSHIGH.
+func (p *Policy) Trusted(s SID) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.trusted[s]
+}
+
+// TrustedSet returns the SYSHIGH SIDs in ascending order.
+func (p *Policy) TrustedSet() []SID {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	out := make([]SID, 0, len(p.trusted))
+	for s := range p.trusted {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Authorized reports whether subject holds perms on object/cls.
+// All requested permission bits must be granted.
+func (p *Policy) Authorized(subject, object SID, cls Class, perms Perm) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.allow[avKey{subject, object, cls}]&perms == perms
+}
+
+// invalidateCachesLocked clears adversary caches; callers hold p.mu.
+func (p *Policy) invalidateCachesLocked() {
+	p.advWriteCache = make(map[SID]bool)
+	p.advReadCache = make(map[SID]bool)
+}
+
+// AdversariesOf returns the subject SIDs considered adversaries of a victim
+// subject. Following the paper's integrity-wall model, adversaries of a
+// SYSHIGH (TCB) victim are all non-SYSHIGH subjects; adversaries of an
+// untrusted victim are all subjects with a different label.
+func (p *Policy) AdversariesOf(victim SID) []SID {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	var out []SID
+	victimTrusted := p.trusted[victim]
+	for s := range p.subjects {
+		if s == victim {
+			continue
+		}
+		if victimTrusted {
+			if !p.trusted[s] {
+				out = append(out, s)
+			}
+		} else {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// AdversaryWritable reports whether any adversary of victim can write,
+// create in, or otherwise modify objects labeled obj (integrity attack
+// surface; paper Section 2.2 footnote 2).
+func (p *Policy) AdversaryWritable(victim, obj SID) bool {
+	if p.Trusted(victim) {
+		p.mu.RLock()
+		v, ok := p.advWriteCache[obj]
+		p.mu.RUnlock()
+		if ok {
+			return v
+		}
+		res := p.adversaryHasPerm(victim, obj, PermWrite|PermAppend|PermCreate|PermAddName|PermSetattr)
+		p.mu.Lock()
+		p.advWriteCache[obj] = res
+		p.mu.Unlock()
+		return res
+	}
+	return p.adversaryHasPerm(victim, obj, PermWrite|PermAppend|PermCreate|PermAddName|PermSetattr)
+}
+
+// AdversaryReadable reports whether any adversary of victim can read objects
+// labeled obj (secrecy attack surface).
+func (p *Policy) AdversaryReadable(victim, obj SID) bool {
+	if p.Trusted(victim) {
+		p.mu.RLock()
+		v, ok := p.advReadCache[obj]
+		p.mu.RUnlock()
+		if ok {
+			return v
+		}
+		res := p.adversaryHasPerm(victim, obj, PermRead)
+		p.mu.Lock()
+		p.advReadCache[obj] = res
+		p.mu.Unlock()
+		return res
+	}
+	return p.adversaryHasPerm(victim, obj, PermRead)
+}
+
+// adversaryHasPerm reports whether some adversary of victim holds any of
+// perms on obj in any class.
+func (p *Policy) adversaryHasPerm(victim, obj SID, perms Perm) bool {
+	for _, adv := range p.AdversariesOf(victim) {
+		p.mu.RLock()
+		found := false
+		for c := Class(1); c < classCount; c++ {
+			if p.allow[avKey{adv, obj, c}]&perms != 0 {
+				found = true
+				break
+			}
+		}
+		p.mu.RUnlock()
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// LowIntegrity reports whether objects labeled obj are modifiable by
+// subjects outside SYSHIGH — the paper's definition of a low-integrity
+// resource when generating rules ("any resource modifiable by processes
+// running under the untrusted SELinux user label", Section 6.3.1).
+func (p *Policy) LowIntegrity(obj SID) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	for s := range p.subjects {
+		if p.trusted[s] {
+			continue
+		}
+		for c := Class(1); c < classCount; c++ {
+			if p.allow[avKey{s, obj, c}]&(PermWrite|PermAppend|PermCreate|PermAddName|PermSetattr) != 0 {
+				return true
+			}
+		}
+	}
+	return false
+}

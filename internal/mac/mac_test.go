@@ -1,0 +1,298 @@
+package mac
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSIDTableInterning(t *testing.T) {
+	tbl := NewSIDTable()
+	a := tbl.SID("httpd_t")
+	b := tbl.SID("tmp_t")
+	if a == b {
+		t.Fatalf("distinct labels got same SID %d", a)
+	}
+	if got := tbl.SID("httpd_t"); got != a {
+		t.Errorf("re-intern httpd_t = %d, want %d", got, a)
+	}
+	if got := tbl.Label(a); got != "httpd_t" {
+		t.Errorf("Label(%d) = %q, want httpd_t", a, got)
+	}
+	if s, ok := tbl.Lookup("nope_t"); ok || s != InvalidSID {
+		t.Errorf("Lookup(nope_t) = %d,%v, want 0,false", s, ok)
+	}
+	if tbl.Len() != 2 {
+		t.Errorf("Len = %d, want 2", tbl.Len())
+	}
+}
+
+func TestSIDTableInvalidSID(t *testing.T) {
+	tbl := NewSIDTable()
+	if got := tbl.Label(InvalidSID); got != "" {
+		t.Errorf("Label(0) = %q, want empty", got)
+	}
+	if got := tbl.Label(99); got != "" {
+		t.Errorf("Label(99) = %q, want empty", got)
+	}
+}
+
+func TestSIDTableDense(t *testing.T) {
+	// Property: SIDs are dense positive integers in order of first intern.
+	tbl := NewSIDTable()
+	labels := []Label{"a_t", "b_t", "c_t", "d_t"}
+	for i, l := range labels {
+		if got := tbl.SID(l); got != SID(i+1) {
+			t.Errorf("SID(%q) = %d, want %d", l, got, i+1)
+		}
+	}
+}
+
+func TestAuthorized(t *testing.T) {
+	p := NewPolicy(NewSIDTable())
+	p.Allow("httpd_t", "httpd_content_t", ClassFile, PermRead|PermGetattr)
+	sub, _ := p.SIDs().Lookup("httpd_t")
+	obj, _ := p.SIDs().Lookup("httpd_content_t")
+
+	if !p.Authorized(sub, obj, ClassFile, PermRead) {
+		t.Error("read should be authorized")
+	}
+	if p.Authorized(sub, obj, ClassFile, PermWrite) {
+		t.Error("write should be denied")
+	}
+	if p.Authorized(sub, obj, ClassFile, PermRead|PermWrite) {
+		t.Error("read+write should be denied when only read is allowed")
+	}
+	if p.Authorized(sub, obj, ClassDir, PermRead) {
+		t.Error("read on class dir should be denied (class-specific rules)")
+	}
+}
+
+func TestAllowAccumulates(t *testing.T) {
+	p := NewPolicy(NewSIDTable())
+	p.Allow("a_t", "o_t", ClassFile, PermRead)
+	p.Allow("a_t", "o_t", ClassFile, PermWrite)
+	sub, _ := p.SIDs().Lookup("a_t")
+	obj, _ := p.SIDs().Lookup("o_t")
+	if !p.Authorized(sub, obj, ClassFile, PermRead|PermWrite) {
+		t.Error("permissions from separate Allow calls should accumulate")
+	}
+}
+
+// buildTestPolicy models a tiny SELinux-like deployment:
+// trusted httpd_t/sshd_t, untrusted user_t; user_t can write tmp_t and
+// read user_home_t, but cannot touch shadow_t or lib_t.
+func buildTestPolicy() *Policy {
+	p := NewPolicy(NewSIDTable())
+	p.MarkTrusted("httpd_t", "sshd_t", "lib_t", "shadow_t", "etc_t")
+	p.Allow("httpd_t", "httpd_content_t", ClassFile, PermRead)
+	p.Allow("httpd_t", "shadow_t", ClassFile, PermRead)
+	p.Allow("sshd_t", "etc_t", ClassFile, PermRead)
+	p.Allow("user_t", "tmp_t", ClassFile, PermRead|PermWrite|PermCreate)
+	p.Allow("user_t", "tmp_t", ClassDir, PermAddName|PermSearch)
+	p.Allow("user_t", "user_home_t", ClassFile, PermRead|PermWrite)
+	p.Allow("user_t", "httpd_content_t", ClassFile, PermRead)
+	return p
+}
+
+func TestAdversariesOf(t *testing.T) {
+	p := buildTestPolicy()
+	httpd, _ := p.SIDs().Lookup("httpd_t")
+	user, _ := p.SIDs().Lookup("user_t")
+
+	advs := p.AdversariesOf(httpd)
+	if len(advs) != 1 || advs[0] != user {
+		t.Errorf("adversaries of trusted httpd_t = %v, want [user_t=%d]", advs, user)
+	}
+
+	// For an untrusted victim, every other subject is an adversary.
+	advs = p.AdversariesOf(user)
+	for _, a := range advs {
+		if a == user {
+			t.Error("a subject must not be its own adversary")
+		}
+	}
+	if len(advs) != 2 { // httpd_t and sshd_t appear as subjects
+		t.Errorf("adversaries of user_t = %v, want 2 entries", advs)
+	}
+}
+
+func TestAdversaryWritable(t *testing.T) {
+	p := buildTestPolicy()
+	httpd, _ := p.SIDs().Lookup("httpd_t")
+	tmp, _ := p.SIDs().Lookup("tmp_t")
+	shadow, _ := p.SIDs().Lookup("shadow_t")
+
+	if !p.AdversaryWritable(httpd, tmp) {
+		t.Error("tmp_t should be adversary-writable for httpd_t (user_t writes /tmp)")
+	}
+	if p.AdversaryWritable(httpd, shadow) {
+		t.Error("shadow_t must not be adversary-writable for httpd_t")
+	}
+	// Cache path: second call must agree.
+	if !p.AdversaryWritable(httpd, tmp) {
+		t.Error("cached adversary-writable answer changed")
+	}
+}
+
+func TestAdversaryReadable(t *testing.T) {
+	p := buildTestPolicy()
+	httpd, _ := p.SIDs().Lookup("httpd_t")
+	home, _ := p.SIDs().Lookup("user_home_t")
+	shadow, _ := p.SIDs().Lookup("shadow_t")
+
+	if !p.AdversaryReadable(httpd, home) {
+		t.Error("user_home_t should be adversary-readable for httpd_t")
+	}
+	if p.AdversaryReadable(httpd, shadow) {
+		t.Error("shadow_t must not be adversary-readable for httpd_t")
+	}
+}
+
+func TestCacheInvalidationOnPolicyChange(t *testing.T) {
+	p := buildTestPolicy()
+	httpd, _ := p.SIDs().Lookup("httpd_t")
+	shadow, _ := p.SIDs().Lookup("shadow_t")
+
+	if p.AdversaryWritable(httpd, shadow) {
+		t.Fatal("precondition: shadow_t not adversary-writable")
+	}
+	// Grant the adversary write access; the cached negative must be dropped.
+	p.Allow("user_t", "shadow_t", ClassFile, PermWrite)
+	if !p.AdversaryWritable(httpd, shadow) {
+		t.Error("policy change not reflected: stale adversary cache")
+	}
+}
+
+func TestLowIntegrity(t *testing.T) {
+	p := buildTestPolicy()
+	tmp, _ := p.SIDs().Lookup("tmp_t")
+	lib := p.SIDs().SID("lib_t")
+	if !p.LowIntegrity(tmp) {
+		t.Error("tmp_t should be low integrity")
+	}
+	if p.LowIntegrity(lib) {
+		t.Error("lib_t should be high integrity")
+	}
+}
+
+func TestTrustedSet(t *testing.T) {
+	p := buildTestPolicy()
+	set := p.TrustedSet()
+	if len(set) != 5 {
+		t.Fatalf("TrustedSet len = %d, want 5", len(set))
+	}
+	for i := 1; i < len(set); i++ {
+		if set[i-1] >= set[i] {
+			t.Error("TrustedSet must be sorted ascending")
+		}
+	}
+	for _, s := range set {
+		if !p.Trusted(s) {
+			t.Errorf("SID %d in TrustedSet but Trusted()=false", s)
+		}
+	}
+}
+
+func TestPermString(t *testing.T) {
+	if got := Perm(0).String(); got != "{}" {
+		t.Errorf("Perm(0) = %q", got)
+	}
+	got := (PermRead | PermWrite).String()
+	if got != "{ read write }" {
+		t.Errorf("read|write = %q", got)
+	}
+}
+
+func TestParsePerm(t *testing.T) {
+	p, err := ParsePerm("connect")
+	if err != nil || p != PermConnect {
+		t.Errorf("ParsePerm(connect) = %v,%v", p, err)
+	}
+	if _, err := ParsePerm("fly"); err == nil {
+		t.Error("ParsePerm(fly) should fail")
+	}
+}
+
+func TestClassString(t *testing.T) {
+	cases := map[Class]string{
+		ClassFile: "file", ClassDir: "dir", ClassLnkFile: "lnk_file",
+		ClassSockFile: "sock_file", ClassUnixStreamSocket: "unix_stream_socket",
+		ClassProcess: "process", ClassFifoFile: "fifo_file",
+	}
+	for c, want := range cases {
+		if got := c.String(); got != want {
+			t.Errorf("Class(%d).String() = %q, want %q", c, got, want)
+		}
+	}
+	if got := Class(200).String(); got != "class(200)" {
+		t.Errorf("unknown class = %q", got)
+	}
+}
+
+func TestFileContextsLongestPrefix(t *testing.T) {
+	fc := NewFileContexts("default_t")
+	fc.Add("/", "root_t")
+	fc.Add("/tmp", "tmp_t")
+	fc.Add("/var/www", "httpd_content_t")
+	fc.Add("/var/www/cgi-bin", "httpd_script_t")
+
+	cases := map[string]Label{
+		"/tmp/x":                "tmp_t",
+		"/tmp":                  "tmp_t",
+		"/tmpfoo":               "root_t", // prefix must end at a component
+		"/var/www/index.html":   "httpd_content_t",
+		"/var/www/cgi-bin/a.pl": "httpd_script_t",
+		"/etc/passwd":           "root_t",
+	}
+	for path, want := range cases {
+		if got := fc.LabelFor(path); got != want {
+			t.Errorf("LabelFor(%q) = %q, want %q", path, got, want)
+		}
+	}
+}
+
+func TestFileContextsDefault(t *testing.T) {
+	fc := NewFileContexts("unlabeled_t")
+	if got := fc.LabelFor("/anything"); got != "unlabeled_t" {
+		t.Errorf("empty contexts LabelFor = %q, want unlabeled_t", got)
+	}
+	if fc.Default() != "unlabeled_t" {
+		t.Error("Default mismatch")
+	}
+}
+
+func TestFileContextsOverwrite(t *testing.T) {
+	fc := NewFileContexts("d_t")
+	fc.Add("/tmp", "a_t")
+	fc.Add("/tmp", "b_t")
+	if got := fc.LabelFor("/tmp/f"); got != "b_t" {
+		t.Errorf("overwritten prefix label = %q, want b_t", got)
+	}
+}
+
+func TestSIDRoundTripProperty(t *testing.T) {
+	tbl := NewSIDTable()
+	f := func(s string) bool {
+		l := Label(s)
+		return tbl.Label(tbl.SID(l)) == l
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAuthorizedSubsetProperty(t *testing.T) {
+	// Property: if a permission set is authorized, every subset is too.
+	p := NewPolicy(NewSIDTable())
+	p.Allow("s_t", "o_t", ClassFile, PermRead|PermWrite|PermGetattr)
+	sub, _ := p.SIDs().Lookup("s_t")
+	obj, _ := p.SIDs().Lookup("o_t")
+	full := PermRead | PermWrite | PermGetattr
+	f := func(bits uint32) bool {
+		sub32 := Perm(bits) & full
+		return p.Authorized(sub, obj, ClassFile, sub32)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

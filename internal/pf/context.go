@@ -1,0 +1,349 @@
+package pf
+
+import (
+	"pfirewall/internal/mac"
+	"pfirewall/internal/ustack"
+)
+
+// Process is the engine's view of the subject process. The simulated kernel
+// implements it on its task structure. The engine reads process-internal
+// state (user stacks, interpreter frames) through this interface — the
+// defining capability of the Process Firewall relative to sandboxes, which
+// must not trust such state (paper Section 3).
+type Process interface {
+	// PID returns the process identifier.
+	PID() int
+	// SubjectSID returns the MAC label of the process.
+	SubjectSID() mac.SID
+	// ExecPath returns the path of the program binary being executed.
+	ExecPath() string
+	// UserRegs returns the register snapshot at syscall entry.
+	UserRegs() ustack.Regs
+	// UserMemory exposes the process's user memory for unwinding.
+	UserMemory() *ustack.Memory
+	// AddrSpace returns the executable mappings, used to rebase PCs.
+	AddrSpace() *ustack.AddressSpace
+	// Interp describes the interpreter runtime, if any: the language and
+	// the user-memory address of its frame structure. Native binaries
+	// return (ustack.LangNative, 0).
+	Interp() (ustack.Lang, uint64)
+	// PFState returns the per-process firewall state (STATE dictionary,
+	// context caches, traversal state).
+	PFState() *ProcState
+}
+
+// Resource is the engine's view of the object being accessed. The kernel
+// implements it; methods that require extra system work (symlink target
+// lookup) are only called when a rule needs them, which is what lazy
+// context retrieval buys (paper Section 4.2).
+type Resource interface {
+	// SID returns the MAC label of the resource.
+	SID() mac.SID
+	// ID returns the resource identifier: inode number for filesystem
+	// objects, signal number for signals.
+	ID() uint64
+	// Path returns the name by which the resource was reached, if any.
+	Path() string
+	// Class returns the object class.
+	Class() mac.Class
+	// OwnerUID returns the DAC owner of the resource.
+	OwnerUID() int
+	// LinkTargetOwnerUID resolves the owner of a symlink's target; ok is
+	// false when the resource is not a symlink or the target is absent.
+	// Used by the COMPARE module for SymLinksIfOwnerMatch (rule R8).
+	LinkTargetOwnerUID() (uid int, ok bool)
+}
+
+// SignalInfo carries signal-delivery context for PROCESS_SIGNAL_DELIVERY
+// requests (rules R9–R11).
+type SignalInfo struct {
+	Signal      int
+	HasHandler  bool // the victim registered a handler for this signal
+	Unblockable bool // SIGKILL/SIGSTOP-like
+}
+
+// Request is the "packet" the firewall filters: one mediated operation by
+// one process on one resource (paper Section 5.1 — the Process Firewall
+// constructs its packet from process and resource context).
+type Request struct {
+	Proc Process
+	Op   Op
+	Obj  Resource
+
+	// SyscallNR and SyscallArgs describe the system call in progress, used
+	// by the SYSCALL_ARGS match (rule R12) and by syscallbegin chains.
+	SyscallNR   int
+	SyscallArgs []uint64
+
+	// Sig is non-nil for signal delivery requests.
+	Sig *SignalInfo
+}
+
+// CtxKind is a bit identifying one context field. The engine tracks which
+// fields have been collected in a bitmask, the mechanism of paper
+// Section 4.2 ("the Process Firewall associates each context field with a
+// bit in a context bit mask").
+type CtxKind uint32
+
+// Context kinds.
+const (
+	CtxEntrypoints CtxKind = 1 << iota // unwound stack as (binary, offset) pairs
+	CtxAdvWrite                        // adversary can write the resource
+	CtxAdvRead                         // adversary can read the resource
+	CtxDACOwner                        // resource DAC owner uid
+	CtxTgtDACOwner                     // symlink target owner uid
+	CtxSignal                          // signal delivery info
+	CtxSyscall                         // syscall number and args
+)
+
+// ctxKinds enumerates all kinds for eager collection.
+var ctxKinds = []CtxKind{
+	CtxEntrypoints, CtxAdvWrite, CtxAdvRead, CtxDACOwner, CtxTgtDACOwner,
+	CtxSignal, CtxSyscall,
+}
+
+// Entrypoint is a resolved stack frame: the binary (or script) and the
+// program-counter offset within it. Offsets are relative to the binary's
+// load base, making rules ASLR-independent (paper Section 5.2).
+type Entrypoint struct {
+	Path   string // binary path, or script path for interpreter frames
+	Off    uint64 // PC offset, or line number for interpreter frames
+	Interp bool   // true for interpreter-level frames
+}
+
+// ValueRef names a context value usable as a match/target argument, e.g.
+// C_INO in "--value C_INO" (paper Section 5.2: "match and target modules in
+// a rule can refer to a context in their arguments; this is replaced by the
+// actual context value at runtime").
+type ValueRef uint8
+
+// Value references.
+const (
+	RefNone        ValueRef = iota
+	RefLiteral              // a literal number carried alongside
+	RefIno                  // C_INO: resource identifier
+	RefObjSID               // C_OBJ_SID
+	RefDACOwner             // C_DAC_OWNER
+	RefTgtDACOwner          // C_TGT_DAC_OWNER
+	RefSignal               // C_SIGNAL
+)
+
+// refNames maps rule-language spellings to references.
+var refNames = map[string]ValueRef{
+	"C_INO":           RefIno,
+	"C_OBJ_SID":       RefObjSID,
+	"C_DAC_OWNER":     RefDACOwner,
+	"C_TGT_DAC_OWNER": RefTgtDACOwner,
+	"C_SIGNAL":        RefSignal,
+}
+
+// RefName returns the canonical spelling of a reference.
+func RefName(r ValueRef) string {
+	for n, v := range refNames {
+		if v == r {
+			return n
+		}
+	}
+	return "?"
+}
+
+// needsOf maps a reference to the context kind it requires.
+func needsOf(r ValueRef) CtxKind {
+	switch r {
+	case RefDACOwner:
+		return CtxDACOwner
+	case RefTgtDACOwner:
+		return CtxTgtDACOwner
+	case RefSignal:
+		return CtxSignal
+	default:
+		return 0
+	}
+}
+
+// Value is either a literal or a context reference, resolved at match time.
+type Value struct {
+	Ref ValueRef
+	Lit uint64
+}
+
+// Literal wraps a constant value.
+func Literal(v uint64) Value { return Value{Ref: RefLiteral, Lit: v} }
+
+// ParseRef parses a C_* reference name.
+func ParseRef(s string) (ValueRef, bool) {
+	r, ok := refNames[s]
+	return r, ok
+}
+
+// EvalCtx carries one request's evaluation state: the request, the engine,
+// the ruleset snapshot, and the lazily collected context fields. Statistics
+// are batched here and flushed once per request.
+type EvalCtx struct {
+	Req    *Request
+	engine *Engine
+	rs     *ruleset
+
+	rulesEvaluated uint64
+	ctxCollections uint64
+	ctxCacheHits   uint64
+
+	have CtxKind
+
+	entries  []Entrypoint
+	entryErr bool // unwinding failed; entrypoint matches cannot succeed
+
+	advWrite bool
+	advRead  bool
+
+	dacOwner   int
+	tgtOwner   int
+	tgtOwnerOK bool
+}
+
+// Require ensures kinds have been collected, invoking context modules as
+// needed. With lazy retrieval disabled the engine pre-collects everything,
+// so Require becomes a no-op.
+func (c *EvalCtx) Require(kinds CtxKind) {
+	missing := kinds &^ c.have
+	if missing == 0 {
+		return
+	}
+	for _, k := range ctxKinds {
+		if missing&k != 0 {
+			c.collect(k)
+		}
+	}
+}
+
+// collect gathers a single context field.
+func (c *EvalCtx) collect(k CtxKind) {
+	defer func() { c.have |= k }()
+	switch k {
+	case CtxEntrypoints:
+		c.collectEntrypoints()
+	case CtxAdvWrite:
+		if c.Req.Obj != nil {
+			c.advWrite = c.engine.policy.AdversaryWritable(c.Req.Proc.SubjectSID(), c.Req.Obj.SID())
+		}
+	case CtxAdvRead:
+		if c.Req.Obj != nil {
+			c.advRead = c.engine.policy.AdversaryReadable(c.Req.Proc.SubjectSID(), c.Req.Obj.SID())
+		}
+	case CtxDACOwner:
+		if c.Req.Obj != nil {
+			c.dacOwner = c.Req.Obj.OwnerUID()
+		}
+	case CtxTgtDACOwner:
+		if c.Req.Obj != nil {
+			c.tgtOwner, c.tgtOwnerOK = c.Req.Obj.LinkTargetOwnerUID()
+		}
+	case CtxSignal, CtxSyscall:
+		// Present directly on the Request; nothing to gather.
+	}
+}
+
+// collectEntrypoints unwinds the process stack (and interpreter frames) and
+// rebases PCs to (binary, offset) pairs. It consults the per-process cache
+// when the engine's caching optimization is on: the paper observes the call
+// stack is valid throughout a single system call while multiple resource
+// requests are made (Section 4.2).
+func (c *EvalCtx) collectEntrypoints() {
+	ps := c.Req.Proc.PFState()
+	if c.engine.cfg.CtxCache && ps.cacheValid && ps.cacheSeq == ps.SyscallSeq {
+		c.entries, c.entryErr = ps.cachedEntries, ps.cachedEntryErr
+		c.ctxCacheHits++
+		return
+	}
+	c.entries, c.entryErr = unwindEntrypoints(c.Req.Proc)
+	c.ctxCollections++
+	if c.engine.cfg.CtxCache {
+		ps.cachedEntries, ps.cachedEntryErr = c.entries, c.entryErr
+		ps.cacheSeq = ps.SyscallSeq
+		ps.cacheValid = true
+	}
+}
+
+// unwindEntrypoints performs the actual stack walk. Failures are contained:
+// the returned flag marks the context unavailable and only costs the
+// (possibly malicious) process its own protection (paper Section 4.4).
+func unwindEntrypoints(p Process) ([]Entrypoint, bool) {
+	pcs, err := ustack.UnwindBinary(p.UserMemory(), p.UserRegs(), ustack.MaxFrames)
+	if err != nil {
+		return nil, true
+	}
+	as := p.AddrSpace()
+	entries := make([]Entrypoint, 0, len(pcs)+4)
+	for _, pc := range pcs {
+		if path, off, ok := as.Rebase(pc); ok {
+			entries = append(entries, Entrypoint{Path: path, Off: off})
+		}
+		// PCs outside any mapping are skipped, not fatal: a partially
+		// valid stack still yields usable entrypoints.
+	}
+	if lang, head := p.Interp(); lang != ustack.LangNative {
+		frames, err := ustack.UnwindInterp(lang, p.UserMemory(), head)
+		if err != nil {
+			// Interpreter state is corrupt; binary entrypoints remain valid.
+			return entries, false
+		}
+		for _, f := range frames {
+			entries = append(entries, Entrypoint{Path: f.Script, Off: uint64(f.Line), Interp: true})
+		}
+	}
+	return entries, false
+}
+
+// Entrypoints returns the unwound entrypoints, collecting them if needed.
+func (c *EvalCtx) Entrypoints() ([]Entrypoint, bool) {
+	c.Require(CtxEntrypoints)
+	return c.entries, !c.entryErr
+}
+
+// AdversaryWritable reports the resource's adversary write accessibility.
+func (c *EvalCtx) AdversaryWritable() bool {
+	c.Require(CtxAdvWrite)
+	return c.advWrite
+}
+
+// AdversaryReadable reports the resource's adversary read accessibility.
+func (c *EvalCtx) AdversaryReadable() bool {
+	c.Require(CtxAdvRead)
+	return c.advRead
+}
+
+// Resolve evaluates a Value against the collected context.
+func (c *EvalCtx) Resolve(v Value) (uint64, bool) {
+	c.Require(needsOf(v.Ref))
+	switch v.Ref {
+	case RefLiteral:
+		return v.Lit, true
+	case RefIno:
+		if c.Req.Obj == nil {
+			return 0, false
+		}
+		return c.Req.Obj.ID(), true
+	case RefObjSID:
+		if c.Req.Obj == nil {
+			return 0, false
+		}
+		return uint64(c.Req.Obj.SID()), true
+	case RefDACOwner:
+		if c.Req.Obj == nil {
+			return 0, false
+		}
+		return uint64(int64(c.dacOwner)), true
+	case RefTgtDACOwner:
+		if !c.tgtOwnerOK {
+			return 0, false
+		}
+		return uint64(int64(c.tgtOwner)), true
+	case RefSignal:
+		if c.Req.Sig == nil {
+			return 0, false
+		}
+		return uint64(c.Req.Sig.Signal), true
+	default:
+		return 0, false
+	}
+}

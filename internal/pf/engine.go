@@ -1,0 +1,518 @@
+package pf
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"pfirewall/internal/mac"
+	"pfirewall/internal/ustack"
+)
+
+// Config selects the engine optimizations, matching the columns of the
+// paper's Table 6 microbenchmarks:
+//
+//	FULL     — Config{} (no optimizations)
+//	CONCACHE — Config{CtxCache: true}
+//	LAZYCON  — Config{CtxCache: true, LazyCtx: true}
+//	EPTSPC   — Config{CtxCache: true, LazyCtx: true, EptChains: true}
+type Config struct {
+	// CtxCache caches collected context (entrypoints) across the multiple
+	// resource requests of one system call (paper Section 4.2).
+	CtxCache bool
+	// LazyCtx collects a context field only when a rule under evaluation
+	// needs it, instead of collecting everything at hook entry.
+	LazyCtx bool
+	// EptChains indexes entrypoint-bearing rules into per-entrypoint
+	// chains so only applicable rules are traversed (paper Section 4.3).
+	EptChains bool
+}
+
+// Optimized returns the fully optimized configuration (the deployment mode).
+func Optimized() Config { return Config{CtxCache: true, LazyCtx: true, EptChains: true} }
+
+// Stats counts engine activity; read by benchmarks and tests. Counters are
+// batched per request and sharded by pid, so concurrent processes can be
+// filtered in parallel without cache-line contention.
+type Stats struct {
+	Requests       Counter
+	Accepts        Counter
+	Drops          Counter
+	RulesEvaluated Counter
+	CtxCollections Counter
+	CtxCacheHits   Counter
+}
+
+// Chain is an ordered rule list. Built-in chains are "input" (resource
+// accesses and signal delivery) and "syscallbegin" (evaluated at syscall
+// entry, used by rule R12); others are user-defined jump targets.
+type Chain struct {
+	Name  string
+	Rules []*Rule
+	// generic holds the traversal list when entrypoint rules are indexed
+	// out of the chain: only rules without an entrypoint remain, so the
+	// per-request scan never touches inapplicable entrypoint rules.
+	generic []*Rule
+}
+
+// traversalRules returns the list Filter walks for this chain.
+func (c *Chain) traversalRules(indexed bool) []*Rule {
+	if indexed && (c.Name == "input" || c.Name == "syscallbegin") {
+		return c.generic
+	}
+	return c.Rules
+}
+
+// clone returns a shallow-rule deep-slice copy for copy-on-write updates.
+func (c *Chain) clone() *Chain {
+	n := &Chain{Name: c.Name}
+	n.Rules = append([]*Rule(nil), c.Rules...)
+	n.generic = append([]*Rule(nil), c.generic...)
+	return n
+}
+
+// entryKey indexes entrypoint-specific chains. The chain is part of the
+// key so input-chain rules never run from the syscallbegin hook.
+type entryKey struct {
+	chain   string
+	program string
+	off     uint64
+}
+
+// ruleset is an immutable snapshot of the installed rules. The filter path
+// reads it through an atomic pointer with no locking — the same
+// read-copy-update discipline in-kernel packet filters use so rule updates
+// never stall the hot path (and so the engine stays re-entrant and
+// preemptible, paper Section 5.1).
+type ruleset struct {
+	chains      map[string]*Chain
+	eptIndex    map[entryKey][]*Rule
+	eptPrograms map[string]bool
+	hasEptRules bool
+	allNeeds    CtxKind
+	totalRules  int
+}
+
+// cloneRuleset deep-copies the container structure (rules are shared; their
+// hit counters are atomic).
+func (rs *ruleset) clone() *ruleset {
+	n := &ruleset{
+		chains:      make(map[string]*Chain, len(rs.chains)),
+		eptIndex:    make(map[entryKey][]*Rule, len(rs.eptIndex)),
+		eptPrograms: make(map[string]bool, len(rs.eptPrograms)),
+		hasEptRules: rs.hasEptRules,
+		allNeeds:    rs.allNeeds,
+		totalRules:  rs.totalRules,
+	}
+	for name, c := range rs.chains {
+		n.chains[name] = c.clone()
+	}
+	for k, v := range rs.eptIndex {
+		n.eptIndex[k] = append([]*Rule(nil), v...)
+	}
+	for k := range rs.eptPrograms {
+		n.eptPrograms[k] = true
+	}
+	return n
+}
+
+// Engine is the Process Firewall proper: the rule base plus the context
+// machinery. One engine serves the whole system, like the in-kernel
+// firewall; per-process state lives in ProcState.
+type Engine struct {
+	policy *mac.Policy
+	cfg    Config
+
+	// writeMu serializes rule-base writers; readers go through rs.
+	writeMu sync.Mutex
+	rs      atomic.Pointer[ruleset]
+
+	// Logger receives LOG-target records; nil discards them.
+	Logger func(LogRecord)
+	// LogDenials additionally emits a record for every DROP verdict, the
+	// denial log the paper's operators review ("we noticed it later in our
+	// denial logs", Section 6.1.2).
+	LogDenials bool
+
+	Stats Stats
+}
+
+// LogRecord is what the LOG target emits (paper Section 5.2: "logs a
+// variety of information about the current resource access in JSON
+// format"). The trace package serializes it.
+type LogRecord struct {
+	PID         int
+	SubjectSID  mac.SID
+	ObjectSID   mac.SID
+	Op          Op
+	ResourceID  uint64
+	Path        string
+	Entrypoints []Entrypoint
+	AdvWrite    bool
+	AdvRead     bool
+	Verdict     Verdict
+	Prefix      string
+}
+
+// New creates an engine over policy with the given optimization config.
+func New(policy *mac.Policy, cfg Config) *Engine {
+	e := &Engine{policy: policy, cfg: cfg}
+	rs := &ruleset{
+		chains: map[string]*Chain{
+			"input":        {Name: "input"},
+			"syscallbegin": {Name: "syscallbegin"},
+			// The mangle table's built-in chain runs before filter/input,
+			// mirroring iptables table precedence (paper Table 3 lists
+			// tables [filter | mangle]). Mangle rules typically carry
+			// side-effecting targets (STATE, LOG) rather than verdicts.
+			"mangle/input": {Name: "mangle/input"},
+		},
+		eptIndex:    make(map[entryKey][]*Rule),
+		eptPrograms: make(map[string]bool),
+	}
+	e.rs.Store(rs)
+	return e
+}
+
+// Policy returns the MAC policy the engine consults for adversary context.
+func (e *Engine) Policy() *mac.Policy { return e.policy }
+
+// Config returns the engine's optimization configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// update applies fn to a copy of the current ruleset and publishes it.
+func (e *Engine) update(fn func(*ruleset) error) error {
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
+	n := e.rs.Load().clone()
+	if err := fn(n); err != nil {
+		return err
+	}
+	e.rs.Store(n)
+	return nil
+}
+
+// NewChain creates a user-defined chain.
+func (e *Engine) NewChain(name string) error {
+	return e.update(func(rs *ruleset) error {
+		if _, ok := rs.chains[name]; ok {
+			return fmt.Errorf("pf: chain %q exists", name)
+		}
+		rs.chains[name] = &Chain{Name: name}
+		return nil
+	})
+}
+
+// Chain returns a chain snapshot by name. The returned chain is part of an
+// immutable snapshot: inspect it, but install rules through the engine.
+func (e *Engine) Chain(name string) (*Chain, bool) {
+	c, ok := e.rs.Load().chains[name]
+	return c, ok
+}
+
+// Chains returns the chain names in sorted order.
+func (e *Engine) Chains() []string {
+	rs := e.rs.Load()
+	out := make([]string, 0, len(rs.chains))
+	for n := range rs.chains {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Append adds a rule at the end of chain (pftables -A semantics; the
+// paper's listings use -I, which prepends — see Insert).
+func (e *Engine) Append(chain string, r *Rule) error { return e.install(chain, r, false) }
+
+// Insert adds a rule at the head of chain (pftables -I).
+func (e *Engine) Insert(chain string, r *Rule) error { return e.install(chain, r, true) }
+
+func (e *Engine) install(chain string, r *Rule, front bool) error {
+	if r.Target == nil {
+		return fmt.Errorf("pf: rule without target")
+	}
+	if r.EntrySet && r.Program == "" {
+		return fmt.Errorf("pf: entrypoint match requires a program (-p with -i)")
+	}
+	return e.update(func(rs *ruleset) error {
+		c, ok := rs.chains[chain]
+		if !ok {
+			return fmt.Errorf("pf: no such chain %q", chain)
+		}
+		if front {
+			c.Rules = append([]*Rule{r}, c.Rules...)
+		} else {
+			c.Rules = append(c.Rules, r)
+		}
+		rs.allNeeds |= r.needs()
+		rs.totalRules++
+		indexed := false
+		if r.EntrySet {
+			rs.hasEptRules = true
+			if e.cfg.EptChains && (chain == "input" || chain == "syscallbegin") {
+				indexed = true
+				rs.eptPrograms[r.Program] = true
+				k := entryKey{chain, r.Program, r.Entry}
+				if front {
+					rs.eptIndex[k] = append([]*Rule{r}, rs.eptIndex[k]...)
+				} else {
+					rs.eptIndex[k] = append(rs.eptIndex[k], r)
+				}
+			}
+		}
+		if !indexed {
+			if front {
+				c.generic = append([]*Rule{r}, c.generic...)
+			} else {
+				c.generic = append(c.generic, r)
+			}
+		}
+		return nil
+	})
+}
+
+// Remove deletes the first rule in chain for which match returns true,
+// repairing the generic list and the entrypoint index.
+func (e *Engine) Remove(chain string, match func(*Rule) bool) error {
+	return e.update(func(rs *ruleset) error {
+		c, ok := rs.chains[chain]
+		if !ok {
+			return fmt.Errorf("pf: no such chain %q", chain)
+		}
+		for i, r := range c.Rules {
+			if !match(r) {
+				continue
+			}
+			c.Rules = append(c.Rules[:i], c.Rules[i+1:]...)
+			rs.totalRules--
+			for j, g := range c.generic {
+				if g == r {
+					c.generic = append(c.generic[:j], c.generic[j+1:]...)
+					break
+				}
+			}
+			if r.EntrySet {
+				k := entryKey{chain, r.Program, r.Entry}
+				rules := rs.eptIndex[k]
+				for j, x := range rules {
+					if x == r {
+						rs.eptIndex[k] = append(rules[:j], rules[j+1:]...)
+						break
+					}
+				}
+			}
+			return nil
+		}
+		return fmt.Errorf("pf: no matching rule in %q", chain)
+	})
+}
+
+// Flush removes all rules from every chain.
+func (e *Engine) Flush() {
+	e.update(func(rs *ruleset) error {
+		for _, c := range rs.chains {
+			c.Rules = nil
+			c.generic = nil
+		}
+		rs.eptIndex = make(map[entryKey][]*Rule)
+		rs.eptPrograms = make(map[string]bool)
+		rs.hasEptRules = false
+		rs.allNeeds = 0
+		rs.totalRules = 0
+		return nil
+	})
+}
+
+// RuleCount returns the total number of installed rules.
+func (e *Engine) RuleCount() int { return e.rs.Load().totalRules }
+
+// Filter evaluates req against the rule base and returns the verdict.
+// This is the PF hook body of paper Figure 3: find the next rule, match it
+// against the packet, run its target, until a verdict or the default allow.
+// The read path takes no locks: the rule base is an immutable snapshot.
+func (e *Engine) Filter(req *Request) Verdict {
+	rs := e.rs.Load()
+
+	// Fast path: with no rules installed, every request takes the default
+	// allow without building evaluation context (the BASE configuration of
+	// Table 6 measures exactly this hook cost).
+	pid := req.Proc.PID()
+	if rs.totalRules == 0 {
+		e.Stats.Requests.Add(pid, 1)
+		e.Stats.Accepts.Add(pid, 1)
+		return VerdictAccept
+	}
+
+	ctx := &EvalCtx{Req: req, engine: e, rs: rs}
+	if !e.cfg.LazyCtx {
+		// Unoptimized mode gathers every context field any rule may need
+		// before matching begins (the "naive design" of Section 4.2).
+		ctx.Require(rs.allNeeds)
+	}
+
+	start := "input"
+	if req.Op == OpSyscallBegin {
+		start = "syscallbegin"
+	}
+
+	v, final := VerdictAccept, false
+	// The mangle table runs first for resource requests (it may mark state
+	// or log but can also issue verdicts, as in iptables).
+	if start == "input" {
+		if mangle := rs.chains["mangle/input"]; len(mangle.Rules) > 0 {
+			if act := e.traverse(ctx, rs, mangle, false); act.Final {
+				v, final = act.Verdict, true
+			}
+		}
+	}
+	if !final {
+		if act := e.traverse(ctx, rs, rs.chains[start], e.cfg.EptChains); act.Final {
+			v, final = act.Verdict, true
+		}
+	}
+
+	// Entrypoint-specific chains: only rules whose entrypoint appears on
+	// the current stack are considered (Section 4.3). If none of the
+	// process's mapped binaries (or interpreter) can appear in the index,
+	// the stack is not even unwound.
+	if !final && e.cfg.EptChains && rs.hasEptRules && mayMatchEpt(rs, req.Proc) {
+	scan:
+		for _, ep := range func() []Entrypoint { es, _ := ctx.Entrypoints(); return es }() {
+			for _, r := range rs.eptIndex[entryKey{start, ep.Path, ep.Off}] {
+				act := e.evalRule(ctx, r)
+				if !act.Final && act.Jump != "" {
+					if c, ok := rs.chains[act.Jump]; ok {
+						act = e.traverse(ctx, rs, c, false)
+					}
+				}
+				if act.Final {
+					v, final = act.Verdict, true
+					break scan
+				}
+			}
+		}
+	}
+	_ = final
+
+	if v == VerdictDrop && e.LogDenials {
+		e.emitLog(ctx, "denied", VerdictDrop)
+	}
+
+	// Flush batched statistics in one round of sharded atomics per request.
+	e.Stats.Requests.Add(pid, 1)
+	if v == VerdictDrop {
+		e.Stats.Drops.Add(pid, 1)
+	} else {
+		e.Stats.Accepts.Add(pid, 1)
+	}
+	if ctx.rulesEvaluated > 0 {
+		e.Stats.RulesEvaluated.Add(pid, ctx.rulesEvaluated)
+	}
+	if ctx.ctxCollections > 0 {
+		e.Stats.CtxCollections.Add(pid, ctx.ctxCollections)
+	}
+	if ctx.ctxCacheHits > 0 {
+		e.Stats.CtxCacheHits.Add(pid, ctx.ctxCacheHits)
+	}
+	return v
+}
+
+// mayMatchEpt reports whether any of proc's executable mappings is named
+// by an indexed entrypoint rule. Interpreter processes always may match,
+// since script-frame entrypoints are not mappings.
+func mayMatchEpt(rs *ruleset, p Process) bool {
+	if lang, _ := p.Interp(); lang != 0 {
+		return true
+	}
+	found := false
+	p.AddrSpace().ForEach(func(m ustack.Mapping) bool {
+		if rs.eptPrograms[m.Path] {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// traverse walks a chain (honoring jumps) using the per-process traversal
+// stack. skipEpt omits entrypoint rules in built-in chains (they are
+// handled by the entrypoint index).
+func (e *Engine) traverse(ctx *EvalCtx, rs *ruleset, start *Chain, skipEpt bool) Action {
+	ps := ctx.Req.Proc.PFState()
+	// Per-process traversal state (paper Section 5.1): we reuse the
+	// process's stack buffer; a re-entrant call simply appends deeper
+	// frames and unwinds them before returning.
+	base := len(ps.traversal)
+	ps.traversal = append(ps.traversal, traversalFrame{chain: start, index: 0})
+	defer func() { ps.traversal = ps.traversal[:base] }()
+
+	for len(ps.traversal) > base {
+		top := &ps.traversal[len(ps.traversal)-1]
+		rules := top.chain.traversalRules(skipEpt)
+		if top.index >= len(rules) {
+			ps.traversal = ps.traversal[:len(ps.traversal)-1]
+			continue
+		}
+		r := rules[top.index]
+		top.index++
+		act := e.evalRule(ctx, r)
+		if act.Final {
+			return act
+		}
+		if act.Return {
+			// Pop back to the calling chain (no-op at the base chain).
+			ps.traversal = ps.traversal[:len(ps.traversal)-1]
+			continue
+		}
+		if act.Jump != "" {
+			if c, exists := rs.chains[act.Jump]; exists {
+				ps.traversal = append(ps.traversal, traversalFrame{chain: c, index: 0})
+			}
+		}
+	}
+	return Continue
+}
+
+// evalRule matches one rule and fires its target on success.
+func (e *Engine) evalRule(ctx *EvalCtx, r *Rule) Action {
+	ctx.rulesEvaluated++
+	if !r.matchesDefaults(ctx) {
+		return Continue
+	}
+	for _, m := range r.Matches {
+		ctx.Require(m.Needs())
+		if !m.Match(ctx) {
+			return Continue
+		}
+	}
+	r.Hits.Add(1)
+	ctx.Require(r.Target.Needs())
+	return r.Target.Fire(ctx)
+}
+
+// emitLog sends a record to the engine's logger.
+func (e *Engine) emitLog(ctx *EvalCtx, prefix string, v Verdict) {
+	if e.Logger == nil {
+		return
+	}
+	rec := LogRecord{
+		PID:        ctx.Req.Proc.PID(),
+		SubjectSID: ctx.Req.Proc.SubjectSID(),
+		Op:         ctx.Req.Op,
+		Verdict:    v,
+		Prefix:     prefix,
+	}
+	if ctx.Req.Obj != nil {
+		rec.ObjectSID = ctx.Req.Obj.SID()
+		rec.ResourceID = ctx.Req.Obj.ID()
+		rec.Path = ctx.Req.Obj.Path()
+	}
+	entries, _ := ctx.Entrypoints()
+	rec.Entrypoints = entries
+	rec.AdvWrite = ctx.AdversaryWritable()
+	rec.AdvRead = ctx.AdversaryReadable()
+	e.Logger(rec)
+}

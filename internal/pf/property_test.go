@@ -1,0 +1,272 @@
+package pf
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pfirewall/internal/mac"
+)
+
+// TestDenyOnlyOrderIndependence verifies the property paper Section 4.3
+// builds entrypoint-specific chains on: with deny-only rules and a default
+// allow, the verdict is independent of rule order, so the engine may
+// evaluate applicable rules in any arrangement.
+func TestDenyOnlyOrderIndependence(t *testing.T) {
+	pol := testPolicy()
+	labels := []mac.Label{"tmp_t", "lib_t", "etc_t", "shadow_t", "httpd_content_t"}
+	ops := []Op{OpFileOpen, OpFileRead, OpLnkFileRead, OpFileCreate, OpSocketBind}
+
+	// mkRules builds n deterministic pseudo-random deny rules.
+	mkRules := func(rng *rand.Rand, n int) []*Rule {
+		rules := make([]*Rule, n)
+		for i := range rules {
+			r := &Rule{Target: Drop()}
+			if rng.Intn(2) == 0 {
+				r.Object = NewSIDSet(rng.Intn(2) == 0, sid(pol, labels[rng.Intn(len(labels))]))
+			}
+			if rng.Intn(2) == 0 {
+				r.Ops = NewOpSet(ops[rng.Intn(len(ops))])
+			}
+			if rng.Intn(3) == 0 {
+				r.ResID = uint64(rng.Intn(5))
+				r.ResIDSet = true
+			}
+			rules[i] = r
+		}
+		return rules
+	}
+
+	verdicts := func(rules []*Rule, reqs []*Request) []Verdict {
+		e := New(pol, Optimized())
+		for _, r := range rules {
+			e.Append("input", r)
+		}
+		out := make([]Verdict, len(reqs))
+		for i, req := range reqs {
+			out[i] = e.Filter(req)
+		}
+		return out
+	}
+
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rules := mkRules(rng, 1+rng.Intn(12))
+
+		// A request set covering the label/op/ino space.
+		var reqs []*Request
+		for _, l := range labels {
+			for _, op := range ops {
+				proc := newFakeProc(1, sid(pol, "httpd_t"), "/usr/bin/apache2")
+				reqs = append(reqs, &Request{
+					Proc: proc, Op: op,
+					Obj: &fakeRes{sid: sid(pol, l), id: uint64(rng.Intn(5))},
+				})
+			}
+		}
+		base := verdicts(rules, reqs)
+
+		// Shuffle and re-evaluate.
+		shuffled := append([]*Rule(nil), rules...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		// Fresh rule instances to avoid shared Hits counters mattering.
+		again := verdicts(shuffled, reqs)
+
+		for i := range base {
+			if base[i] != again[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestOptimizationsPreserveVerdicts checks that all four engine
+// configurations agree on every verdict for a mixed rule base — the
+// optimizations must be semantics-preserving.
+func TestOptimizationsPreserveVerdicts(t *testing.T) {
+	pol := testPolicy()
+	configs := []Config{
+		{},
+		{CtxCache: true},
+		{CtxCache: true, LazyCtx: true},
+		{CtxCache: true, LazyCtx: true, EptChains: true},
+	}
+
+	build := func(cfg Config) *Engine {
+		e := New(pol, cfg)
+		e.Append("input", entryRule(pol, Drop()))
+		e.Append("input", &Rule{
+			Object: NewSIDSet(false, sid(pol, "shadow_t")),
+			Ops:    NewOpSet(OpFileRead),
+			Target: Drop(),
+		})
+		e.Append("input", &Rule{
+			Ops:     NewOpSet(OpLnkFileRead),
+			Matches: []Match{&CompareMatch{V1: Value{Ref: RefDACOwner}, V2: Value{Ref: RefTgtDACOwner}, Nequal: true}},
+			Target:  Drop(),
+		})
+		return e
+	}
+
+	type tc struct {
+		op    Op
+		obj   *fakeRes
+		stack bool
+	}
+	cases := []tc{
+		{OpFileOpen, &fakeRes{sid: sid(pol, "tmp_t"), id: 1}, true},
+		{OpFileOpen, &fakeRes{sid: sid(pol, "tmp_t"), id: 1}, false},
+		{OpFileOpen, &fakeRes{sid: sid(pol, "lib_t"), id: 2}, true},
+		{OpFileRead, &fakeRes{sid: sid(pol, "shadow_t"), id: 3}, false},
+		{OpLnkFileRead, &fakeRes{sid: sid(pol, "tmp_t"), owner: 1000, tgtOwner: 0, tgtOK: true}, false},
+		{OpLnkFileRead, &fakeRes{sid: sid(pol, "tmp_t"), owner: 33, tgtOwner: 33, tgtOK: true}, false},
+	}
+
+	for ci, c := range cases {
+		var ref Verdict
+		for i, cfg := range configs {
+			e := build(cfg)
+			proc := newFakeProc(ci+1, sid(pol, "httpd_t"), "/usr/bin/apache2")
+			if c.stack {
+				setupLdSo(t, proc)
+			}
+			v := e.Filter(&Request{Proc: proc, Op: c.op, Obj: c.obj})
+			if i == 0 {
+				ref = v
+			} else if v != ref {
+				t.Errorf("case %d: config %+v verdict %v, want %v", ci, cfg, v, ref)
+			}
+		}
+	}
+}
+
+func TestReturnTarget(t *testing.T) {
+	pol := testPolicy()
+	e := New(pol, Optimized())
+	e.NewChain("sub")
+	// input: jump to sub, then DROP.
+	e.Append("input", &Rule{Ops: NewOpSet(OpFileOpen), Target: &JumpTarget{ChainName: "sub"}})
+	e.Append("input", &Rule{Ops: NewOpSet(OpFileOpen), Target: Drop()})
+	// sub: RETURN before its own DROP.
+	e.Append("sub", &Rule{Target: &ReturnTarget{}})
+	e.Append("sub", &Rule{Target: Accept()})
+
+	proc := newFakeProc(1, sid(pol, "httpd_t"), "/x")
+	v := e.Filter(&Request{Proc: proc, Op: OpFileOpen, Obj: &fakeRes{sid: sid(pol, "tmp_t")}})
+	// RETURN skips sub's ACCEPT, resumes in input, hits DROP.
+	if v != VerdictDrop {
+		t.Errorf("verdict = %v, want DROP (RETURN must resume the caller)", v)
+	}
+}
+
+func TestReturnAtBaseChainIsAllow(t *testing.T) {
+	pol := testPolicy()
+	e := New(pol, Optimized())
+	e.Append("input", &Rule{Target: &ReturnTarget{}})
+	e.Append("input", &Rule{Target: Drop()})
+	proc := newFakeProc(1, sid(pol, "httpd_t"), "/x")
+	v := e.Filter(&Request{Proc: proc, Op: OpFileOpen, Obj: &fakeRes{}})
+	// RETURN at the base chain terminates traversal -> default allow,
+	// matching iptables' built-in chain policy semantics.
+	if v != VerdictAccept {
+		t.Errorf("verdict = %v, want ACCEPT", v)
+	}
+}
+
+func TestRemoveRule(t *testing.T) {
+	pol := testPolicy()
+	e := New(pol, Optimized())
+	r1 := &Rule{Ops: NewOpSet(OpFileOpen), Target: Drop()}
+	r2 := entryRule(pol, Drop())
+	e.Append("input", r1)
+	e.Append("input", r2)
+	if err := e.Remove("input", func(r *Rule) bool { return r == r2 }); err != nil {
+		t.Fatal(err)
+	}
+	if e.RuleCount() != 1 {
+		t.Errorf("RuleCount = %d, want 1", e.RuleCount())
+	}
+	// The removed entrypoint rule must be gone from the index too.
+	proc := newFakeProc(1, sid(pol, "httpd_t"), "/usr/bin/apache2")
+	setupLdSo(t, proc)
+	v := e.Filter(&Request{Proc: proc, Op: OpFileRead, Obj: &fakeRes{sid: sid(pol, "tmp_t")}})
+	if v != VerdictAccept {
+		t.Errorf("read verdict = %v, want ACCEPT", v)
+	}
+	if err := e.Remove("input", func(r *Rule) bool { return false }); err == nil {
+		t.Error("removing a non-matching rule should fail")
+	}
+	if err := e.Remove("nochain", func(r *Rule) bool { return true }); err == nil {
+		t.Error("removing from an unknown chain should fail")
+	}
+}
+
+func TestConcurrentFilterAndInstall(t *testing.T) {
+	// The RCU-style rule base must tolerate installs racing with filters.
+	pol := testPolicy()
+	e := New(pol, Optimized())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			e.Append("input", &Rule{
+				Object: NewSIDSet(false, sid(pol, "shadow_t")),
+				Ops:    NewOpSet(OpFileRead),
+				Target: Drop(),
+			})
+			e.Remove("input", func(*Rule) bool { return true })
+		}
+	}()
+	proc := newFakeProc(1, sid(pol, "httpd_t"), "/x")
+	obj := &fakeRes{sid: sid(pol, "tmp_t")}
+	for i := 0; i < 2000; i++ {
+		e.Filter(&Request{Proc: proc, Op: OpFileOpen, Obj: obj})
+	}
+	<-done
+}
+
+func TestShardedCounter(t *testing.T) {
+	var c Counter
+	for pid := 0; pid < 300; pid++ {
+		c.Add(pid, 2)
+	}
+	if got := c.Load(); got != 600 {
+		t.Errorf("Load = %d, want 600", got)
+	}
+}
+
+func TestMangleTableRunsFirst(t *testing.T) {
+	pol := testPolicy()
+	e := New(pol, Optimized())
+	// Mangle marks state; a filter rule matches on that mark and drops.
+	e.Append("mangle/input", &Rule{
+		Ops:    NewOpSet(OpFileOpen),
+		Target: &StateTarget{Key: 0x77, Val: Literal(1)},
+	})
+	e.Append("input", &Rule{
+		Ops:     NewOpSet(OpFileOpen),
+		Matches: []Match{&StateMatch{Key: 0x77, Cmp: Literal(1)}},
+		Target:  Drop(),
+	})
+	proc := newFakeProc(1, sid(pol, "httpd_t"), "/x")
+	v := e.Filter(&Request{Proc: proc, Op: OpFileOpen, Obj: &fakeRes{sid: sid(pol, "tmp_t")}})
+	if v != VerdictDrop {
+		t.Errorf("verdict = %v, want DROP (mangle must run before filter)", v)
+	}
+}
+
+func TestMangleVerdictIsFinal(t *testing.T) {
+	pol := testPolicy()
+	e := New(pol, Optimized())
+	e.Append("mangle/input", &Rule{Ops: NewOpSet(OpFileOpen), Target: Drop()})
+	e.Append("input", &Rule{Ops: NewOpSet(OpFileOpen), Target: Accept()})
+	proc := newFakeProc(1, sid(pol, "httpd_t"), "/x")
+	v := e.Filter(&Request{Proc: proc, Op: OpFileOpen, Obj: &fakeRes{}})
+	if v != VerdictDrop {
+		t.Errorf("verdict = %v, want DROP from mangle", v)
+	}
+}

@@ -1,0 +1,212 @@
+package pf
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestModuleRenderings pins the rule-language spellings every match and
+// target module renders — these must stay parseable by pftables (the
+// save/restore round trip in internal/pftables depends on them).
+func TestModuleRenderings(t *testing.T) {
+	cases := []struct {
+		name string
+		mod  interface {
+			Args() string
+		}
+		modName string
+		want    []string
+	}{
+		{"state-match", &StateMatch{Key: 0xbeef, Cmp: Value{Ref: RefIno}, Nequal: true}, "STATE",
+			[]string{"--key 0xbeef", "--cmp C_INO", "--nequal"}},
+		{"state-match-literal", &StateMatch{Key: 1, Cmp: Literal(7)}, "STATE",
+			[]string{"--cmp 7"}},
+		{"compare", &CompareMatch{V1: Value{Ref: RefDACOwner}, V2: Value{Ref: RefTgtDACOwner}, Nequal: true}, "COMPARE",
+			[]string{"--v1 C_DAC_OWNER", "--v2 C_TGT_DAC_OWNER", "--nequal"}},
+		{"signal", &SignalMatch{}, "SIGNAL_MATCH", nil},
+		{"syscall-args", &SyscallArgsMatch{Arg: 0, Equal: 27}, "SYSCALL_ARGS",
+			[]string{"--arg 0", "--equal 27"}},
+		{"adv-access", &AdvAccessMatch{Write: true, Want: true}, "ADV_ACCESS",
+			[]string{"--write", "--is true"}},
+	}
+	for _, c := range cases {
+		args := c.mod.Args()
+		for _, w := range c.want {
+			if !strings.Contains(args, w) {
+				t.Errorf("%s args %q missing %q", c.name, args, w)
+			}
+		}
+		if m, ok := c.mod.(Match); ok && m.ModName() != c.modName {
+			t.Errorf("%s ModName = %q, want %q", c.name, m.ModName(), c.modName)
+		}
+	}
+
+	targets := []struct {
+		tgt  Target
+		name string
+		args []string
+	}{
+		{Drop(), "DROP", nil},
+		{Accept(), "ACCEPT", nil},
+		{&ReturnTarget{}, "RETURN", nil},
+		{&JumpTarget{ChainName: "signal_chain"}, "signal_chain", nil},
+		{&StateTarget{Key: 0x9, Val: Literal(1)}, "STATE", []string{"--set", "--key 0x9", "--value 1"}},
+		{&StateTarget{Key: 0x9, Val: Value{Ref: RefIno}}, "STATE", []string{"--value C_INO"}},
+		{&LogTarget{Prefix: "audit"}, "LOG", []string{`--prefix "audit"`}},
+		{&LogTarget{}, "LOG", nil},
+	}
+	for _, c := range targets {
+		if c.tgt.TargetName() != c.name {
+			t.Errorf("TargetName = %q, want %q", c.tgt.TargetName(), c.name)
+		}
+		args := c.tgt.Args()
+		for _, w := range c.args {
+			if !strings.Contains(args, w) {
+				t.Errorf("%s args %q missing %q", c.name, args, w)
+			}
+		}
+	}
+}
+
+func TestRefNameRoundTrip(t *testing.T) {
+	for _, name := range []string{"C_INO", "C_OBJ_SID", "C_DAC_OWNER", "C_TGT_DAC_OWNER", "C_SIGNAL"} {
+		ref, ok := ParseRef(name)
+		if !ok {
+			t.Errorf("ParseRef(%q) failed", name)
+			continue
+		}
+		if got := RefName(ref); got != name {
+			t.Errorf("RefName(%v) = %q, want %q", ref, got, name)
+		}
+	}
+	if _, ok := ParseRef("C_BOGUS"); ok {
+		t.Error("bogus ref parsed")
+	}
+	if RefName(RefNone) != "?" {
+		t.Error("RefName of unknown should be ?")
+	}
+}
+
+func TestResolveValueEdgeCases(t *testing.T) {
+	pol := testPolicy()
+	e := New(pol, Optimized())
+	proc := newFakeProc(1, sid(pol, "httpd_t"), "/x")
+
+	// Nil-object requests: object-derived references are unavailable.
+	ctx := &EvalCtx{Req: &Request{Proc: proc, Op: OpSyscallBegin}, engine: e}
+	for _, ref := range []ValueRef{RefIno, RefObjSID, RefDACOwner, RefSignal} {
+		if _, ok := ctx.Resolve(Value{Ref: ref}); ok {
+			t.Errorf("ref %v should be unavailable without an object", ref)
+		}
+	}
+	if _, ok := ctx.Resolve(Value{Ref: RefNone}); ok {
+		t.Error("RefNone should never resolve")
+	}
+
+	// With an object, everything but the dangling-target ref resolves.
+	obj := &fakeRes{sid: sid(pol, "tmp_t"), id: 42, owner: 7}
+	ctx = &EvalCtx{Req: &Request{Proc: proc, Op: OpFileOpen, Obj: obj}, engine: e}
+	if v, ok := ctx.Resolve(Value{Ref: RefIno}); !ok || v != 42 {
+		t.Errorf("C_INO = %d, %v", v, ok)
+	}
+	if v, ok := ctx.Resolve(Value{Ref: RefObjSID}); !ok || v != uint64(obj.sid) {
+		t.Errorf("C_OBJ_SID = %d, %v", v, ok)
+	}
+	if v, ok := ctx.Resolve(Value{Ref: RefDACOwner}); !ok || v != 7 {
+		t.Errorf("C_DAC_OWNER = %d, %v", v, ok)
+	}
+	if _, ok := ctx.Resolve(Value{Ref: RefTgtDACOwner}); ok {
+		t.Error("C_TGT_DAC_OWNER should be unavailable for non-links")
+	}
+	// Signal value with signal info present.
+	ctx = &EvalCtx{Req: &Request{Proc: proc, Op: OpSignalDeliver, Obj: obj,
+		Sig: &SignalInfo{Signal: 14}}, engine: e}
+	if v, ok := ctx.Resolve(Value{Ref: RefSignal}); !ok || v != 14 {
+		t.Errorf("C_SIGNAL = %d, %v", v, ok)
+	}
+}
+
+func TestEngineAccessors(t *testing.T) {
+	pol := testPolicy()
+	e := New(pol, Config{LazyCtx: true})
+	if e.Policy() != pol {
+		t.Error("Policy accessor")
+	}
+	if !e.Config().LazyCtx || e.Config().EptChains {
+		t.Errorf("Config = %+v", e.Config())
+	}
+	names := e.Chains()
+	want := map[string]bool{"input": true, "syscallbegin": true, "mangle/input": true}
+	for _, n := range names {
+		if !want[n] {
+			t.Errorf("unexpected chain %q", n)
+		}
+		delete(want, n)
+	}
+	if len(want) != 0 {
+		t.Errorf("missing chains: %v", want)
+	}
+	if _, ok := e.Chain("input"); !ok {
+		t.Error("Chain(input) missing")
+	}
+	if _, ok := e.Chain("nope"); ok {
+		t.Error("Chain(nope) should not exist")
+	}
+}
+
+func TestSyscallArgsMatchSlots(t *testing.T) {
+	pol := testPolicy()
+	e := New(pol, Optimized())
+	proc := newFakeProc(1, sid(pol, "httpd_t"), "/x")
+	req := &Request{Proc: proc, Op: OpSyscallBegin, SyscallNR: 5, SyscallArgs: []uint64{10, 20}}
+	ctx := &EvalCtx{Req: req, engine: e}
+
+	cases := []struct {
+		arg   int
+		equal uint64
+		want  bool
+	}{
+		{0, 5, true}, // slot 0 = syscall number
+		{0, 6, false},
+		{1, 10, true}, // first argument
+		{2, 20, true},
+		{3, 0, false}, // out of range never matches
+		{-1, 0, false},
+	}
+	for _, c := range cases {
+		m := &SyscallArgsMatch{Arg: c.arg, Equal: c.equal}
+		if got := m.Match(ctx); got != c.want {
+			t.Errorf("arg %d equal %d: %v, want %v", c.arg, c.equal, got, c.want)
+		}
+	}
+}
+
+func TestAdvAccessReadDirection(t *testing.T) {
+	pol := testPolicy()
+	e := New(pol, Optimized())
+	e.Append("input", &Rule{
+		Ops:     NewOpSet(OpFileRead),
+		Matches: []Match{&AdvAccessMatch{Write: false, Want: true}},
+		Target:  Drop(),
+	})
+	proc := newFakeProc(1, sid(pol, "httpd_t"), "/x")
+	// tmp_t is adversary-readable in the test policy (user_t reads it).
+	if v := e.Filter(&Request{Proc: proc, Op: OpFileRead, Obj: &fakeRes{sid: sid(pol, "tmp_t")}}); v != VerdictDrop {
+		t.Error("adversary-readable resource should DROP")
+	}
+	if v := e.Filter(&Request{Proc: proc, Op: OpFileRead, Obj: &fakeRes{sid: sid(pol, "shadow_t")}}); v != VerdictAccept {
+		t.Error("secret resource should pass the read-direction match")
+	}
+}
+
+func TestOpStringUnknown(t *testing.T) {
+	if got := Op(200).String(); !strings.Contains(got, "200") {
+		t.Errorf("unknown op = %q", got)
+	}
+	if got := Verdict(0).String(); got != "ACCEPT" {
+		t.Errorf("verdict 0 = %q", got)
+	}
+	if got := VerdictDrop.String(); got != "DROP" {
+		t.Errorf("drop = %q", got)
+	}
+}

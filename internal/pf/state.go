@@ -1,0 +1,67 @@
+package pf
+
+// ProcState is the per-process firewall state the paper adds to
+// struct task_struct (Sections 5.1–5.2):
+//
+//   - the STATE module's key→value dictionary, which records facts across
+//     system calls (e.g. the inode bound by dbus-daemon, or whether the
+//     process is inside a signal handler);
+//   - the rule-traversal stack, held per process rather than per table so
+//     the engine runs with preemption enabled and is safely re-entrant;
+//   - the context cache, keyed by syscall sequence number, so entrypoint
+//     unwinding happens at most once per system call even though several
+//     resource requests are mediated during pathname resolution.
+type ProcState struct {
+	// Dict is the STATE match/target dictionary.
+	Dict map[uint64]uint64
+
+	// SyscallSeq is incremented by the kernel at each syscall entry; the
+	// context cache is valid only within one sequence number.
+	SyscallSeq uint64
+
+	cachedEntries  []Entrypoint
+	cachedEntryErr bool
+	cacheSeq       uint64
+	cacheValid     bool
+
+	// traversal is the reusable chain-traversal stack.
+	traversal []traversalFrame
+}
+
+// NewProcState returns an empty per-process state.
+func NewProcState() *ProcState {
+	return &ProcState{Dict: make(map[uint64]uint64)}
+}
+
+// BeginSyscall marks a new system call: it advances the sequence number,
+// invalidating per-syscall cached context. The kernel calls this from its
+// syscall-entry stub.
+func (ps *ProcState) BeginSyscall() {
+	ps.SyscallSeq++
+	ps.cacheValid = false
+}
+
+// Get reads a dictionary key; missing keys read as (0, false).
+func (ps *ProcState) Get(key uint64) (uint64, bool) {
+	v, ok := ps.Dict[key]
+	return v, ok
+}
+
+// Set writes a dictionary key.
+func (ps *ProcState) Set(key, val uint64) { ps.Dict[key] = val }
+
+// Clone copies the state for fork(): the dictionary is duplicated, caches
+// are not inherited (the child has its own syscalls).
+func (ps *ProcState) Clone() *ProcState {
+	n := NewProcState()
+	for k, v := range ps.Dict {
+		n.Dict[k] = v
+	}
+	return n
+}
+
+// traversalFrame records a position within a chain during rule traversal.
+type traversalFrame struct {
+	chain *Chain
+	index int
+}

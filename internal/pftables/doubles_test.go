@@ -1,0 +1,51 @@
+package pftables
+
+import (
+	"pfirewall/internal/mac"
+	"pfirewall/internal/pf"
+	"pfirewall/internal/ustack"
+)
+
+// testProc is a minimal pf.Process for end-to-end parser tests.
+type testProc struct {
+	sid   mac.SID
+	exec  string
+	mem   *ustack.Memory
+	stack *ustack.Stack
+	as    *ustack.AddressSpace
+	ps    *pf.ProcState
+}
+
+func newTestProc(pol *mac.Policy, label mac.Label, exec string) *testProc {
+	mem := ustack.NewMemory(4096)
+	return &testProc{
+		sid:   pol.SIDs().SID(label),
+		exec:  exec,
+		mem:   mem,
+		stack: ustack.NewStack(mem, 1000),
+		as:    ustack.NewAddressSpace(1),
+		ps:    pf.NewProcState(),
+	}
+}
+
+func (p *testProc) PID() int                        { return 1 }
+func (p *testProc) SubjectSID() mac.SID             { return p.sid }
+func (p *testProc) ExecPath() string                { return p.exec }
+func (p *testProc) UserRegs() ustack.Regs           { return p.stack.Regs }
+func (p *testProc) UserMemory() *ustack.Memory      { return p.mem }
+func (p *testProc) AddrSpace() *ustack.AddressSpace { return p.as }
+func (p *testProc) Interp() (ustack.Lang, uint64)   { return ustack.LangNative, 0 }
+func (p *testProc) PFState() *pf.ProcState          { return p.ps }
+
+// testRes is a minimal pf.Resource.
+type testRes struct {
+	sid mac.SID
+	id  uint64
+}
+
+func (r testRes) SID() mac.SID                    { return r.sid }
+func (r testRes) ID() uint64                      { return r.id }
+func (r testRes) Path() string                    { return "" }
+func (r testRes) Class() mac.Class                { return mac.ClassFile }
+func (r testRes) OwnerUID() int                   { return 0 }
+func (r testRes) LinkTargetOwnerUID() (int, bool) { return 0, false }

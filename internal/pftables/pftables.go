@@ -1,0 +1,652 @@
+// Package pftables implements the Process Firewall rule language of paper
+// Table 3 — the userspace side that parses pftables command lines,
+// validates them, translates symbolic names (SELinux labels, SYSHIGH,
+// filenames, NR_* syscall names) into the integer forms the kernel engine
+// matches on, and installs the result (paper Section 5.2: "The PF rule
+// setup module translates input rules into an enforceable form ... it
+// translates filenames into inode numbers and SELinux security labels into
+// security IDs for fast matching").
+//
+// Grammar (Table 3):
+//
+//	pftables [-t table] [-I|-A|-D] [chain] rule_spec
+//	rule_spec : [def_match] [list of match] [target]
+//	match     : -m match_mod_name [match_mod_options]
+//	target    : -j target_mod_name [target_mod_options]
+//	def_match : -s process_label -d object_label
+//	          : -i entry_point -o lsm_operation -p program [-f filename]
+package pftables
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strconv"
+	"strings"
+
+	"pfirewall/internal/mac"
+	"pfirewall/internal/pf"
+)
+
+// Env supplies the system facilities rule compilation needs.
+type Env struct {
+	// Policy resolves labels to SIDs and expands SYSHIGH.
+	Policy *mac.Policy
+	// LookupPath translates a filename in a rule into its inode number;
+	// nil disables -f. ok is false for nonexistent paths.
+	LookupPath func(path string) (ino uint64, ok bool)
+	// Syscalls resolves NR_<name> constants; nil disables them.
+	Syscalls map[string]int
+}
+
+// Cmd is a parsed pftables command line.
+type Cmd struct {
+	Table  string // filter (default) or mangle
+	Action byte   // 'I' insert, 'A' append, 'D' delete
+	Chain  string
+	Rule   *pf.Rule
+	// NewChainName is set for "-N chain" commands.
+	NewChainName string
+}
+
+// KeyFor hashes a symbolic STATE key (e.g. 'sig') into the dictionary key
+// space; numeric keys are used directly by the parser.
+func KeyFor(name string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return h.Sum64()
+}
+
+// tokenize splits a command line on whitespace, honoring single quotes.
+func tokenize(line string) ([]string, error) {
+	var toks []string
+	var cur strings.Builder
+	inQuote := false
+	flush := func() {
+		if cur.Len() > 0 {
+			toks = append(toks, cur.String())
+			cur.Reset()
+		}
+	}
+	for _, r := range line {
+		switch {
+		case r == '\'':
+			inQuote = !inQuote
+			// Preserve emptiness markers: quotes delimit a token even if empty.
+			cur.WriteRune(0)
+		case !inQuote && (r == ' ' || r == '\t'):
+			flush()
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	if inQuote {
+		return nil, fmt.Errorf("pftables: unterminated quote")
+	}
+	flush()
+	// Strip the NUL markers inserted for quotes.
+	for i, t := range toks {
+		toks[i] = strings.ReplaceAll(t, "\x00", "")
+	}
+	return toks, nil
+}
+
+// builtinChains are always present.
+var builtinChains = map[string]bool{
+	"input": true, "output": true, "syscallbegin": true, "mangle/input": true,
+}
+
+// Parse parses one pftables command line into a Cmd. The rule is not yet
+// bound to an engine; use Compile/Install.
+func Parse(env *Env, line string) (*Cmd, error) {
+	line = strings.TrimSpace(line)
+	if i := strings.Index(line, "#"); i == 0 {
+		return nil, fmt.Errorf("pftables: comment line")
+	}
+	toks, err := tokenize(line)
+	if err != nil {
+		return nil, err
+	}
+	if len(toks) == 0 {
+		return nil, fmt.Errorf("pftables: empty command")
+	}
+	if toks[0] == "pftables" {
+		toks = toks[1:]
+	}
+	cmd := &Cmd{Table: "filter", Action: 'A', Chain: "input", Rule: &pf.Rule{}}
+	var matches []pf.Match
+
+	next := func(i int, opt string) (string, error) {
+		if i+1 >= len(toks) {
+			return "", fmt.Errorf("pftables: %s requires an argument", opt)
+		}
+		return toks[i+1], nil
+	}
+
+	i := 0
+	for i < len(toks) {
+		t := toks[i]
+		switch t {
+		case "-t":
+			v, err := next(i, t)
+			if err != nil {
+				return nil, err
+			}
+			if v != "filter" && v != "mangle" {
+				return nil, fmt.Errorf("pftables: unknown table %q", v)
+			}
+			cmd.Table = v
+			i += 2
+		case "-I", "-A", "-D":
+			cmd.Action = t[1]
+			// Optional chain operand follows.
+			if i+1 < len(toks) && !strings.HasPrefix(toks[i+1], "-") {
+				cmd.Chain = normalizeChain(toks[i+1])
+				i += 2
+			} else {
+				i++
+			}
+		case "-N":
+			v, err := next(i, t)
+			if err != nil {
+				return nil, err
+			}
+			cmd.NewChainName = normalizeChain(v)
+			i += 2
+		case "-s":
+			v, err := next(i, t)
+			if err != nil {
+				return nil, err
+			}
+			set, err := parseSIDSet(env, v)
+			if err != nil {
+				return nil, err
+			}
+			cmd.Rule.Subject = set
+			i += 2
+		case "-d":
+			v, err := next(i, t)
+			if err != nil {
+				return nil, err
+			}
+			set, err := parseSIDSet(env, v)
+			if err != nil {
+				return nil, err
+			}
+			cmd.Rule.Object = set
+			i += 2
+		case "-p", "-b": // -b "binary" appears in template T2
+			v, err := next(i, t)
+			if err != nil {
+				return nil, err
+			}
+			cmd.Rule.Program = v
+			i += 2
+		case "-i":
+			v, err := next(i, t)
+			if err != nil {
+				return nil, err
+			}
+			off, err := parseUint(v)
+			if err != nil {
+				return nil, fmt.Errorf("pftables: bad entrypoint %q: %v", v, err)
+			}
+			cmd.Rule.Entry = off
+			cmd.Rule.EntrySet = true
+			i += 2
+		case "-o":
+			v, err := next(i, t)
+			if err != nil {
+				return nil, err
+			}
+			var ops pf.OpSet
+			for _, name := range strings.Split(v, ",") {
+				op, err := pf.ParseOp(name)
+				if err != nil {
+					return nil, err
+				}
+				ops |= pf.NewOpSet(op)
+			}
+			cmd.Rule.Ops = ops
+			i += 2
+		case "--res-id":
+			v, err := next(i, t)
+			if err != nil {
+				return nil, err
+			}
+			id, err := parseUint(v)
+			if err != nil {
+				return nil, fmt.Errorf("pftables: bad --res-id %q", v)
+			}
+			cmd.Rule.ResID = id
+			cmd.Rule.ResIDSet = true
+			i += 2
+		case "-f":
+			v, err := next(i, t)
+			if err != nil {
+				return nil, err
+			}
+			if env.LookupPath == nil {
+				return nil, fmt.Errorf("pftables: -f unsupported without path lookup")
+			}
+			ino, ok := env.LookupPath(v)
+			if !ok {
+				return nil, fmt.Errorf("pftables: -f %s: no such file", v)
+			}
+			cmd.Rule.ResID = ino
+			cmd.Rule.ResIDSet = true
+			i += 2
+		case "-m":
+			name, err := next(i, t)
+			if err != nil {
+				return nil, err
+			}
+			m, n, err := parseMatch(env, name, toks[i+2:])
+			if err != nil {
+				return nil, err
+			}
+			matches = append(matches, m)
+			i += 2 + n
+		case "-j":
+			name, err := next(i, t)
+			if err != nil {
+				return nil, err
+			}
+			tg, n, err := parseTarget(env, name, toks[i+2:])
+			if err != nil {
+				return nil, err
+			}
+			cmd.Rule.Target = tg
+			i += 2 + n
+		default:
+			return nil, fmt.Errorf("pftables: unexpected token %q", t)
+		}
+	}
+	cmd.Rule.Matches = matches
+	if cmd.NewChainName == "" && cmd.Rule.Target == nil {
+		return nil, fmt.Errorf("pftables: rule has no target (-j)")
+	}
+	return cmd, nil
+}
+
+// normalizeChain lowercases chain names and collapses the paper's
+// "create/input" spelling onto input.
+func normalizeChain(name string) string {
+	n := strings.ToLower(name)
+	if strings.Contains(n, "/") {
+		parts := strings.Split(n, "/")
+		n = parts[len(parts)-1]
+	}
+	return n
+}
+
+// parseSIDSet handles "label", "~{a|b|c}", "{a|b}", "SYSHIGH", "~{SYSHIGH}".
+func parseSIDSet(env *Env, s string) (*pf.SIDSet, error) {
+	negate := strings.HasPrefix(s, "~")
+	body := strings.TrimPrefix(s, "~")
+	body = strings.TrimPrefix(body, "{")
+	body = strings.TrimSuffix(body, "}")
+	if body == "" {
+		return nil, fmt.Errorf("pftables: empty label set")
+	}
+	var sids []mac.SID
+	for _, name := range strings.Split(body, "|") {
+		name = strings.TrimSpace(name)
+		if name == "SYSHIGH" {
+			// The TCB keyword expands to every trusted label at install
+			// time (paper Section 5.2).
+			sids = append(sids, env.Policy.TrustedSet()...)
+			continue
+		}
+		sids = append(sids, env.Policy.SIDs().SID(mac.Label(name)))
+	}
+	return pf.NewSIDSet(negate, sids...), nil
+}
+
+// parseUint accepts decimal or 0x-prefixed hex.
+func parseUint(s string) (uint64, error) {
+	return strconv.ParseUint(strings.TrimPrefix(s, "0x"), map[bool]int{true: 16, false: 10}[strings.HasPrefix(s, "0x")], 64)
+}
+
+// parseValue handles literals, C_* context references, and NR_* syscall
+// numbers.
+func parseValue(env *Env, s string) (pf.Value, error) {
+	if ref, ok := pf.ParseRef(s); ok {
+		return pf.Value{Ref: ref}, nil
+	}
+	if strings.HasPrefix(s, "NR_") {
+		if env.Syscalls == nil {
+			return pf.Value{}, fmt.Errorf("pftables: NR_ constants unsupported without syscall table")
+		}
+		nr, ok := env.Syscalls[strings.TrimPrefix(s, "NR_")]
+		if !ok {
+			return pf.Value{}, fmt.Errorf("pftables: unknown syscall %q", s)
+		}
+		return pf.Literal(uint64(nr)), nil
+	}
+	v, err := parseUint(s)
+	if err != nil {
+		return pf.Value{}, fmt.Errorf("pftables: bad value %q", s)
+	}
+	return pf.Literal(v), nil
+}
+
+// parseKey accepts hex/decimal keys or symbolic names (hashed).
+func parseKey(s string) uint64 {
+	if v, err := parseUint(s); err == nil {
+		return v
+	}
+	return KeyFor(s)
+}
+
+// parseMatch consumes a match module's options from toks, returning the
+// module and the number of tokens consumed.
+func parseMatch(env *Env, name string, toks []string) (pf.Match, int, error) {
+	switch name {
+	case "STATE":
+		m := &pf.StateMatch{}
+		i := 0
+		seenKey, seenCmp := false, false
+		for i < len(toks) {
+			switch toks[i] {
+			case "--key":
+				if i+1 >= len(toks) {
+					return nil, 0, fmt.Errorf("pftables: STATE --key needs a value")
+				}
+				m.Key = parseKey(toks[i+1])
+				seenKey = true
+				i += 2
+			case "--cmp":
+				if i+1 >= len(toks) {
+					return nil, 0, fmt.Errorf("pftables: STATE --cmp needs a value")
+				}
+				v, err := parseValue(env, toks[i+1])
+				if err != nil {
+					return nil, 0, err
+				}
+				m.Cmp = v
+				seenCmp = true
+				i += 2
+			case "--nequal":
+				m.Nequal = true
+				i++
+			case "--equal":
+				m.Nequal = false
+				i++
+			default:
+				goto doneState
+			}
+		}
+	doneState:
+		if !seenKey || !seenCmp {
+			return nil, 0, fmt.Errorf("pftables: STATE match requires --key and --cmp")
+		}
+		return m, i, nil
+	case "COMPARE":
+		m := &pf.CompareMatch{}
+		i := 0
+		seen1, seen2 := false, false
+		for i < len(toks) {
+			switch toks[i] {
+			case "--v1", "--v2":
+				if i+1 >= len(toks) {
+					return nil, 0, fmt.Errorf("pftables: COMPARE %s needs a value", toks[i])
+				}
+				v, err := parseValue(env, toks[i+1])
+				if err != nil {
+					return nil, 0, err
+				}
+				if toks[i] == "--v1" {
+					m.V1, seen1 = v, true
+				} else {
+					m.V2, seen2 = v, true
+				}
+				i += 2
+			case "--nequal":
+				m.Nequal = true
+				i++
+			case "--equal":
+				m.Nequal = false
+				i++
+			default:
+				goto doneCompare
+			}
+		}
+	doneCompare:
+		if !seen1 || !seen2 {
+			return nil, 0, fmt.Errorf("pftables: COMPARE requires --v1 and --v2")
+		}
+		return m, i, nil
+	case "SIGNAL_MATCH":
+		return &pf.SignalMatch{}, 0, nil
+	case "SYSCALL_ARGS":
+		m := &pf.SyscallArgsMatch{}
+		i := 0
+		for i < len(toks) {
+			switch toks[i] {
+			case "--arg":
+				if i+1 >= len(toks) {
+					return nil, 0, fmt.Errorf("pftables: SYSCALL_ARGS --arg needs a value")
+				}
+				v, err := parseUint(toks[i+1])
+				if err != nil {
+					return nil, 0, err
+				}
+				m.Arg = int(v)
+				i += 2
+			case "--equal":
+				if i+1 >= len(toks) {
+					return nil, 0, fmt.Errorf("pftables: SYSCALL_ARGS --equal needs a value")
+				}
+				v, err := parseValue(env, toks[i+1])
+				if err != nil {
+					return nil, 0, err
+				}
+				if v.Ref != pf.RefLiteral {
+					return nil, 0, fmt.Errorf("pftables: SYSCALL_ARGS --equal must be a literal")
+				}
+				m.Equal = v.Lit
+				i += 2
+			default:
+				goto doneSys
+			}
+		}
+	doneSys:
+		return m, i, nil
+	case "ADV_ACCESS":
+		m := &pf.AdvAccessMatch{Want: true}
+		i := 0
+		for i < len(toks) {
+			switch toks[i] {
+			case "--write":
+				m.Write = true
+				i++
+			case "--read":
+				m.Write = false
+				i++
+			case "--is":
+				if i+1 >= len(toks) {
+					return nil, 0, fmt.Errorf("pftables: ADV_ACCESS --is needs a value")
+				}
+				m.Want = toks[i+1] == "true" || toks[i+1] == "1"
+				i += 2
+			default:
+				goto doneAdv
+			}
+		}
+	doneAdv:
+		return m, i, nil
+	default:
+		return nil, 0, fmt.Errorf("pftables: unknown match module %q", name)
+	}
+}
+
+// parseTarget consumes a target module's options.
+func parseTarget(env *Env, name string, toks []string) (pf.Target, int, error) {
+	switch name {
+	case "DROP":
+		return pf.Drop(), 0, nil
+	case "ACCEPT":
+		return pf.Accept(), 0, nil
+	case "RETURN":
+		return &pf.ReturnTarget{}, 0, nil
+	case "LOG":
+		t := &pf.LogTarget{}
+		i := 0
+		if i+1 < len(toks)+1 && i < len(toks) && toks[i] == "--prefix" {
+			if i+1 >= len(toks) {
+				return nil, 0, fmt.Errorf("pftables: LOG --prefix needs a value")
+			}
+			t.Prefix = strings.Trim(toks[i+1], `"`)
+			i += 2
+		}
+		return t, i, nil
+	case "STATE":
+		t := &pf.StateTarget{}
+		i := 0
+		seenKey, seenVal := false, false
+		for i < len(toks) {
+			switch toks[i] {
+			case "--set":
+				i++
+			case "--key":
+				if i+1 >= len(toks) {
+					return nil, 0, fmt.Errorf("pftables: STATE --key needs a value")
+				}
+				t.Key = parseKey(toks[i+1])
+				seenKey = true
+				i += 2
+			case "--value":
+				if i+1 >= len(toks) {
+					return nil, 0, fmt.Errorf("pftables: STATE --value needs a value")
+				}
+				v, err := parseValue(env, toks[i+1])
+				if err != nil {
+					return nil, 0, err
+				}
+				t.Val = v
+				seenVal = true
+				i += 2
+			default:
+				goto doneStateT
+			}
+		}
+	doneStateT:
+		if !seenKey || !seenVal {
+			return nil, 0, fmt.Errorf("pftables: STATE target requires --key and --value")
+		}
+		return t, i, nil
+	default:
+		// Any other name is a jump to a user chain (e.g. SIGNAL_CHAIN).
+		if strings.HasPrefix(name, "-") {
+			return nil, 0, fmt.Errorf("pftables: bad target %q", name)
+		}
+		return &pf.JumpTarget{ChainName: normalizeChain(name)}, 0, nil
+	}
+}
+
+// Install parses line and installs the resulting rule into engine,
+// creating referenced user chains on demand. It returns the parsed Cmd.
+func Install(env *Env, engine *pf.Engine, line string) (*Cmd, error) {
+	cmd, err := Parse(env, line)
+	if err != nil {
+		return nil, err
+	}
+	if cmd.NewChainName != "" {
+		if err := engine.NewChain(cmd.NewChainName); err != nil {
+			return nil, err
+		}
+		return cmd, nil
+	}
+	// Mangle-table rules live in a prefixed chain namespace so the engine
+	// can run them ahead of the filter table.
+	if cmd.Table == "mangle" {
+		cmd.Chain = "mangle/" + cmd.Chain
+	}
+	// Auto-create the destination chain and any jump-target chain, so rule
+	// files don't need explicit -N lines (matching the paper's listings).
+	ensure := func(name string) {
+		if !builtinChains[name] {
+			if _, ok := engine.Chain(name); !ok {
+				engine.NewChain(name)
+			}
+		}
+	}
+	ensure(cmd.Chain)
+	if j, ok := cmd.Rule.Target.(*pf.JumpTarget); ok {
+		ensure(j.ChainName)
+	}
+	switch cmd.Action {
+	case 'I':
+		err = engine.Insert(cmd.Chain, cmd.Rule)
+	case 'A':
+		err = engine.Append(cmd.Chain, cmd.Rule)
+	case 'D':
+		err = deleteRule(engine, cmd)
+	default:
+		err = fmt.Errorf("pftables: unknown action %q", cmd.Action)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return cmd, nil
+}
+
+// deleteRule removes the first rule in the chain whose rendering matches.
+func deleteRule(engine *pf.Engine, cmd *Cmd) error {
+	want := cmd.Rule.String(engine.Policy().SIDs())
+	if err := engine.Remove(cmd.Chain, func(r *pf.Rule) bool {
+		return r.String(engine.Policy().SIDs()) == want
+	}); err != nil {
+		return fmt.Errorf("pftables: delete: %w", err)
+	}
+	return nil
+}
+
+// Save renders the engine's entire rule base as pftables command lines
+// that reproduce it through InstallAll — the pftables-save facility OS
+// distributors ship rule packages with.
+func Save(engine *pf.Engine) []string {
+	var out []string
+	tbl := engine.Policy().SIDs()
+	for _, name := range engine.Chains() {
+		c, _ := engine.Chain(name)
+		if len(c.Rules) == 0 {
+			continue
+		}
+		table, chain := "filter", name
+		if strings.HasPrefix(name, "mangle/") {
+			table, chain = "mangle", strings.TrimPrefix(name, "mangle/")
+		}
+		if !builtinChains[name] && table == "filter" {
+			out = append(out, fmt.Sprintf("pftables -N %s", chain))
+		}
+	}
+	for _, name := range engine.Chains() {
+		c, _ := engine.Chain(name)
+		table, chain := "filter", name
+		if strings.HasPrefix(name, "mangle/") {
+			table, chain = "mangle", strings.TrimPrefix(name, "mangle/")
+		}
+		for _, r := range c.Rules {
+			out = append(out, fmt.Sprintf("pftables -t %s -A %s %s", table, chain, r.String(tbl)))
+		}
+	}
+	return out
+}
+
+// InstallAll installs every non-empty, non-comment line, returning the
+// number of rules installed.
+func InstallAll(env *Env, engine *pf.Engine, lines []string) (int, error) {
+	n := 0
+	for _, line := range lines {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if _, err := Install(env, engine, line); err != nil {
+			return n, fmt.Errorf("%q: %w", line, err)
+		}
+		n++
+	}
+	return n, nil
+}

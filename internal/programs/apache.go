@@ -1,0 +1,139 @@
+package programs
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"pfirewall/internal/kernel"
+	"pfirewall/internal/vfs"
+)
+
+// Apache models the web server of the paper's motivating example and of
+// the Figure 5 experiment: it serves files beneath DocumentRoot, optionally
+// enforcing SymLinksIfOwnerMatch either in the program (per-component
+// lstat checks, the expensive configuration the Apache documentation
+// recommends disabling) or not at all (relying on the Process Firewall's
+// rule R8 instead). A separate entrypoint reads the password file for
+// authentication, demonstrating per-instruction resource expectations.
+type Apache struct {
+	W       *World
+	DocRoot string
+
+	// SymLinksIfOwnerMatch enables the program-side symlink owner checks.
+	SymLinksIfOwnerMatch bool
+
+	// ReadHtaccess makes Serve look for .htaccess files per directory,
+	// as the paper's test-suite discussion (Section 6.3.1) describes.
+	ReadHtaccess bool
+}
+
+// NewApache returns a server rooted at /var/www/html.
+func NewApache(w *World) *Apache {
+	return &Apache{W: w, DocRoot: "/var/www/html"}
+}
+
+// Spawn starts an Apache worker process.
+func (a *Apache) Spawn() *kernel.Proc {
+	p := a.W.NewProc(kernel.ProcSpec{UID: 33, GID: 33, Label: "httpd_t", Exec: BinApache})
+	return p
+}
+
+// ErrForbidden is the server's 403 response.
+var ErrForbidden = errors.New("apache: 403 forbidden")
+
+// Serve handles GET urlPath and returns the response body. The raw URL
+// path is appended to DocRoot without canonicalization — the directory
+// traversal attack surface — while symlink policy is handled per
+// configuration.
+func (a *Apache) Serve(p *kernel.Proc, urlPath string) ([]byte, error) {
+	full := a.DocRoot + "/" + strings.TrimPrefix(urlPath, "/")
+
+	if a.SymLinksIfOwnerMatch {
+		if err := a.checkSymlinkOwners(p, full); err != nil {
+			return nil, err
+		}
+	}
+	if a.ReadHtaccess {
+		a.readHtaccess(p, full)
+	}
+
+	if err := p.SyscallSite(BinApache, EntryApacheServe); err != nil {
+		return nil, err
+	}
+	fd, err := p.Open(full, kernel.O_RDONLY, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer p.Close(fd)
+	return p.ReadAll(fd)
+}
+
+// checkSymlinkOwners is the in-program SymLinksIfOwnerMatch: for every
+// pathname component it lstats the component and, for symlinks, stats the
+// target to compare owners. This is the per-component overhead Figure 5
+// measures, and it is inherently racy (the documentation itself warns the
+// option "can be circumvented through races").
+func (a *Apache) checkSymlinkOwners(p *kernel.Proc, full string) error {
+	comps := strings.Split(strings.TrimPrefix(full, "/"), "/")
+	path := ""
+	for _, c := range comps {
+		path += "/" + c
+		if err := p.SyscallSite(BinApache, EntryApacheLink); err != nil {
+			return err
+		}
+		st, err := p.Lstat(path)
+		if err != nil {
+			return err
+		}
+		if st.Type == vfs.TypeSymlink {
+			tgt, err := p.Stat(path) // follows the link
+			if err != nil {
+				return err
+			}
+			if tgt.UID != st.UID {
+				return fmt.Errorf("%w: symlink owner mismatch at %s", ErrForbidden, path)
+			}
+		}
+	}
+	return nil
+}
+
+// readHtaccess probes each directory level for a .htaccess file.
+func (a *Apache) readHtaccess(p *kernel.Proc, full string) {
+	comps := strings.Split(strings.TrimPrefix(parentDir(full), "/"), "/")
+	path := ""
+	for _, c := range comps {
+		path += "/" + c
+		p.SyscallSite(BinApache, EntryApacheServe+8)
+		if fd, err := p.Open(path+"/.htaccess", kernel.O_RDONLY, 0); err == nil {
+			p.ReadAll(fd)
+			p.Close(fd)
+		}
+	}
+}
+
+// Authenticate reads the password database from Apache's authentication
+// entrypoint — legitimate there, and only there (Section 1's example).
+func (a *Apache) Authenticate(p *kernel.Proc, user string) (bool, error) {
+	if err := p.SyscallSite(BinApache, EntryApacheAuth); err != nil {
+		return false, err
+	}
+	fd, err := p.Open("/etc/shadow", kernel.O_RDONLY, 0)
+	if err != nil {
+		return false, err
+	}
+	defer p.Close(fd)
+	data, err := p.ReadAll(fd)
+	if err != nil {
+		return false, err
+	}
+	return strings.Contains(string(data), user+":"), nil
+}
+
+// LoadModule loads an Apache module through the dynamic linker, the vector
+// of exploit E1 (insecure RUNPATH on module binaries).
+func (a *Apache) LoadModule(p *kernel.Proc, module string) (string, error) {
+	ld := NewLinker(a.W)
+	return ld.LoadLibrary(p, module)
+}

@@ -1,0 +1,76 @@
+package programs
+
+import (
+	"pfirewall/internal/kernel"
+)
+
+// DbusDaemon models the message bus daemon whose bind→chmod sequence has
+// an unpatched TOCTTOU window (exploit E6): it binds the system socket,
+// then chmods it world-accessible. An adversary who swaps the binding in
+// between gets an arbitrary root chmod. Rules R5/R6 record the bound inode
+// and drop mismatched chmods.
+type DbusDaemon struct {
+	W          *World
+	SocketPath string
+}
+
+// NewDbusDaemon returns the daemon model bound at the standard path.
+func NewDbusDaemon(w *World) *DbusDaemon {
+	return &DbusDaemon{W: w, SocketPath: "/var/run/dbus/system_bus_socket"}
+}
+
+// Spawn starts the daemon process.
+func (d *DbusDaemon) Spawn() *kernel.Proc {
+	return d.W.NewProc(kernel.ProcSpec{UID: 0, GID: 0, Label: "dbusd_t", Exec: BinDbusD})
+}
+
+// Start performs the vulnerable startup sequence: bind at one call site,
+// chmod by path at another. The chmod resolves the path again — the race.
+func (d *DbusDaemon) Start(p *kernel.Proc) error {
+	if err := p.SyscallSite(BinDbusD, EntryDbusBind); err != nil {
+		return err
+	}
+	fd, err := p.Bind(d.SocketPath, 0o600)
+	if err != nil {
+		return err
+	}
+	defer p.Close(fd)
+
+	// The window: a real daemon does other work here; the simulation's
+	// interleave hooks let the adversary act at the next syscall entry.
+	if err := p.SyscallSite(BinDbusD, EntryDbusChmod); err != nil {
+		return err
+	}
+	return p.Chmod(d.SocketPath, 0o666)
+}
+
+// LibDbus models the client library (exploit E3, rule R3): it resolves the
+// bus address from an environment variable that setuid programs fail to
+// filter, then connects at libdbus's connect call site.
+type LibDbus struct {
+	W *World
+}
+
+// NewLibDbus returns the client library model.
+func NewLibDbus(w *World) *LibDbus { return &LibDbus{w} }
+
+// Connect opens a connection to the system bus for p. The address comes
+// from DBUS_SYSTEM_BUS_ADDRESS if set — programmers assumed only trusted
+// callers would set it.
+func (l *LibDbus) Connect(p *kernel.Proc) (int, error) {
+	if _, ok := p.AddrSpace().FindByPath(BinLibDbus); !ok {
+		p.AddrSpace().Map(BinLibDbus, 0)
+	}
+	addr := p.Env["DBUS_SYSTEM_BUS_ADDRESS"]
+	if addr == "" {
+		addr = "/var/run/dbus/system_bus_socket"
+	}
+	if err := p.PushFrame(BinLibDbus, 0x100); err != nil {
+		return -1, err
+	}
+	defer p.PopFrame()
+	if err := p.SyscallSite(BinLibDbus, EntryDbusConnect); err != nil {
+		return -1, err
+	}
+	return p.Connect(addr)
+}

@@ -1,0 +1,119 @@
+package programs
+
+import (
+	"errors"
+	"strings"
+
+	"pfirewall/internal/kernel"
+	"pfirewall/internal/ustack"
+)
+
+// PHP models the PHP interpreter's file inclusion (paper exploit E4 and
+// rule R4): include() resolves an attacker-influenced name and opens it at
+// the interpreter's include call site, while interpreter-level frames
+// record which script and line requested the inclusion.
+type PHP struct {
+	W *World
+}
+
+// NewPHP returns the interpreter model.
+func NewPHP(w *World) *PHP { return &PHP{W: w} }
+
+// Spawn starts a PHP process (running under Apache's domain, as mod_php).
+func (i *PHP) Spawn() *kernel.Proc {
+	p := i.W.NewProc(kernel.ProcSpec{UID: 33, GID: 33, Label: "httpd_t", Exec: BinPHP})
+	p.BecomeInterpreter(ustack.LangPHP)
+	return p
+}
+
+// RunScript enters script and executes body within its interpreter frame.
+func (i *PHP) RunScript(p *kernel.Proc, script string, body func() error) error {
+	if err := p.InterpPush(script, 1); err != nil {
+		return err
+	}
+	defer p.InterpPop()
+	return body()
+}
+
+// Include opens path at the interpreter's include entrypoint and returns
+// the included source. The PHP local-file-inclusion class exists because
+// scripts pass unfiltered request input here.
+func (i *PHP) Include(p *kernel.Proc, path string) ([]byte, error) {
+	if err := p.SyscallSite(BinPHP, EntryPHPInclude); err != nil {
+		return nil, err
+	}
+	fd, err := p.Open(path, kernel.O_RDONLY, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer p.Close(fd)
+	return p.ReadAll(fd)
+}
+
+// Python models the module import machinery whose untrusted search path
+// enabled exploit E2 (dstat) and CVE-2008-5983; rule R2 constrains it.
+type Python struct {
+	W *World
+	// Path is sys.path; the dstat bug is the empty entry (the cwd).
+	Path []string
+}
+
+// NewPython returns an interpreter with the standard module path.
+func NewPython(w *World) *Python {
+	return &Python{W: w, Path: []string{"/usr/lib/python2.7", "/usr/share/dstat"}}
+}
+
+// Spawn starts a Python process executing script (e.g. dstat).
+func (i *Python) Spawn(script string) *kernel.Proc {
+	p := i.W.NewProc(kernel.ProcSpec{UID: 0, GID: 0, Label: "dstat_t", Exec: BinPython, Cwd: "/home/user"})
+	p.BecomeInterpreter(ustack.LangPython)
+	p.InterpPush(script, 1)
+	return p
+}
+
+// ErrModuleNotFound reports an exhausted sys.path.
+var ErrModuleNotFound = errors.New("python: ImportError")
+
+// ImportModule searches Path for name.py, opening candidates at the
+// import entrypoint. An empty path entry means the working directory —
+// the Trojan-module attack surface.
+func (i *Python) ImportModule(p *kernel.Proc, name string) (string, error) {
+	for _, dir := range i.Path {
+		var cand string
+		switch {
+		case dir == "":
+			cand = name + ".py" // cwd-relative
+		case strings.HasSuffix(dir, "/"):
+			cand = dir + name + ".py"
+		default:
+			cand = dir + "/" + name + ".py"
+		}
+		if err := p.SyscallSite(BinPython, EntryPyImport); err != nil {
+			return "", err
+		}
+		fd, err := p.Open(cand, kernel.O_RDONLY, 0)
+		if err != nil {
+			continue // includes PF denials: try the next entry
+		}
+		p.Close(fd)
+		return cand, nil
+	}
+	return "", ErrModuleNotFound
+}
+
+// Bash models shell script execution with interpreter frames, used by the
+// init-script exploit E9.
+type Bash struct {
+	W *World
+}
+
+// NewBash returns the shell model.
+func NewBash(w *World) *Bash { return &Bash{w} }
+
+// Spawn starts a bash process running script as root (init context).
+func (b *Bash) Spawn(script string) *kernel.Proc {
+	p := b.W.NewProc(kernel.ProcSpec{UID: 0, GID: 0, Label: "init_t", Exec: BinBash})
+	p.BecomeInterpreter(ustack.LangBash)
+	p.InterpPush(script, 1)
+	return p
+}

@@ -1,0 +1,90 @@
+package programs
+
+import (
+	"errors"
+	"strings"
+
+	"pfirewall/internal/kernel"
+)
+
+// Linker models ld.so's library loading (paper Figure 1b): it builds a
+// search path from LD_LIBRARY_PATH (filtered for setuid processes), the
+// binary's RPATH, and the system default, then opens and maps the first
+// matching library — the code path behind Untrusted Library Load attacks
+// (E1, E8) and the one rule R1 protects.
+type Linker struct {
+	W *World
+	// DefaultPath is the trusted system search path.
+	DefaultPath []string
+	// Denied accumulates candidate paths the firewall rejected — the
+	// "denial log" that surfaced the previously unknown Icecat bug (E8).
+	Denied []string
+}
+
+// NewLinker returns a linker with the standard /lib:/usr/lib default path.
+func NewLinker(w *World) *Linker {
+	return &Linker{W: w, DefaultPath: []string{"/lib", "/usr/lib", "/usr/lib/apache2"}}
+}
+
+// ErrLibNotFound reports that no search-path entry yielded the library.
+var ErrLibNotFound = errors.New("ld.so: library not found")
+
+// SearchPath computes the directories to probe for p, replicating ld.so's
+// precedence: LD_LIBRARY_PATH (unless setuid), then the executable's
+// RPATH, then the default path. The setuid filtering on lines 1–5 of
+// Figure 1(b) is exactly what RPATH bugs and linker bugs bypass.
+func (l *Linker) SearchPath(p *kernel.Proc) []string {
+	var dirs []string
+	setuid := p.UID != p.EUID || p.GID != p.EGID
+	if !setuid {
+		if v, ok := p.Env["LD_LIBRARY_PATH"]; ok && v != "" {
+			dirs = append(dirs, strings.Split(v, ":")...)
+		}
+	}
+	// RPATH entries are honored even for setuid binaries — the flaw behind
+	// CVE-2006-1564 (E1).
+	dirs = append(dirs, l.W.RPaths[p.ExecPath()]...)
+	dirs = append(dirs, l.DefaultPath...)
+	return dirs
+}
+
+// LoadLibrary searches for lib and maps it, issuing the open at ld.so's
+// library-open entrypoint so rule R1 governs it. It returns the path the
+// library was loaded from.
+func (l *Linker) LoadLibrary(p *kernel.Proc, lib string) (string, error) {
+	if _, ok := p.AddrSpace().FindByPath(BinLdSo); !ok {
+		p.AddrSpace().Map(BinLdSo, 0)
+	}
+	if err := p.PushFrame(BinLdSo, 0x1000); err != nil {
+		return "", err
+	}
+	defer p.PopFrame()
+
+	for _, dir := range l.SearchPath(p) {
+		path := dir + "/" + lib
+		if err := p.SyscallSite(BinLdSo, EntryLdOpen); err != nil {
+			return "", err
+		}
+		fd, err := p.Open(path, kernel.O_RDONLY, 0)
+		if err != nil {
+			if errors.Is(err, kernel.ErrPFDenied) {
+				// The firewall blocked this candidate. ld.so sees EPERM
+				// and tries the next directory — the attack is silently
+				// defeated while trusted candidates still load, which is
+				// how the paper noticed E8 only in the denial logs.
+				l.Denied = append(l.Denied, path)
+			}
+			continue
+		}
+		if err := p.SyscallSite(BinLdSo, EntryLdOpen+0x20); err != nil {
+			return "", err
+		}
+		if err := p.Mmap(fd); err != nil {
+			p.Close(fd)
+			return "", err
+		}
+		p.Close(fd)
+		return path, nil
+	}
+	return "", ErrLibNotFound
+}

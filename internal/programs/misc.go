@@ -1,0 +1,131 @@
+package programs
+
+import (
+	"errors"
+
+	"pfirewall/internal/kernel"
+)
+
+// Java models the Java launcher's untrusted configuration search (exploit
+// E7, rule R7): it probes the working directory for a config file before
+// the system one, so an adversary-controlled cwd plants settings.
+type Java struct {
+	W *World
+}
+
+// NewJava returns the launcher model.
+func NewJava(w *World) *Java { return &Java{w} }
+
+// Spawn starts a java process with the given working directory.
+func (j *Java) Spawn(cwd string) *kernel.Proc {
+	return j.W.NewProc(kernel.ProcSpec{UID: 0, GID: 0, Label: "java_t", Exec: BinJava, Cwd: cwd})
+}
+
+// LoadConfig opens the first config found: ./.hotspotrc then
+// /etc/java.conf, both at the launcher's config-open entrypoint.
+func (j *Java) LoadConfig(p *kernel.Proc) (string, []byte, error) {
+	for _, cand := range []string{".hotspotrc", "/etc/java.conf"} {
+		if err := p.SyscallSite(BinJava, EntryJavaConf); err != nil {
+			return "", nil, err
+		}
+		fd, err := p.Open(cand, kernel.O_RDONLY, 0)
+		if err != nil {
+			continue
+		}
+		data, err := p.ReadAll(fd)
+		p.Close(fd)
+		if err != nil {
+			return "", nil, err
+		}
+		return cand, data, nil
+	}
+	return "", nil, errors.New("java: no configuration found")
+}
+
+// Icecat models the GNU Icecat browser whose launcher script left an
+// environment variable that made ld.so search the working directory
+// (exploit E8 — the previously unknown vulnerability the Process Firewall
+// blocked silently).
+type Icecat struct {
+	W *World
+}
+
+// NewIcecat returns the browser model.
+func NewIcecat(w *World) *Icecat { return &Icecat{w} }
+
+// Spawn starts icecat from cwd with the buggy environment: the launcher
+// script effectively prepends "." to the library search path.
+func (i *Icecat) Spawn(cwd string) *kernel.Proc {
+	return i.W.NewProc(kernel.ProcSpec{
+		UID: 0, GID: 0, Label: "icecat_t", Exec: BinIcecat, Cwd: cwd,
+		Env: map[string]string{"LD_LIBRARY_PATH": "."},
+	})
+}
+
+// Start loads the browser's libraries through ld.so; with the buggy env,
+// "." is searched first.
+func (i *Icecat) Start(p *kernel.Proc) (loaded []string, denied []string, err error) {
+	ld := NewLinker(i.W)
+	for _, lib := range []string{"libssl.so", "libdl.so"} {
+		path, lerr := ld.LoadLibrary(p, lib)
+		if lerr != nil {
+			return loaded, ld.Denied, lerr
+		}
+		loaded = append(loaded, path)
+	}
+	return loaded, ld.Denied, nil
+}
+
+// InitScript models the Ubuntu init script of exploit E9: it writes a pid
+// file under /tmp with a fixed name, following whatever is there — the
+// unsafe file creation the paper's system-wide safe_open rules caught.
+type InitScript struct {
+	W *World
+	// PidPath is the fixed, world-guessable path.
+	PidPath string
+}
+
+// NewInitScript returns the script model.
+func NewInitScript(w *World) *InitScript {
+	return &InitScript{W: w, PidPath: "/tmp/daemon.pid"}
+}
+
+// Run executes the script body: create-or-truncate the pid file without
+// O_EXCL and without checking for symlinks.
+func (s *InitScript) Run(p *kernel.Proc) error {
+	p.InterpPush("/etc/init.d/daemon", 23)
+	defer p.InterpPop()
+	if err := p.SyscallSite(BinBash, EntryInitCreat); err != nil {
+		return err
+	}
+	fd, err := p.Open(s.PidPath, kernel.O_CREAT|kernel.O_WRONLY|kernel.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	defer p.Close(fd)
+	_, err = p.Write(fd, []byte("4242\n"))
+	return err
+}
+
+// Dstat models the dstat utility (exploit E2): a Python script whose
+// module search path included the working directory.
+type Dstat struct {
+	W *World
+}
+
+// NewDstat returns the tool model.
+func NewDstat(w *World) *Dstat { return &Dstat{w} }
+
+// Run starts dstat from cwd and imports its plugin module; the buggy
+// sys.path searches the working directory first.
+func (d *Dstat) Run(cwd string) (module string, err error) {
+	py := NewPython(d.W)
+	py.Path = append([]string{""}, py.Path...) // the os.path bug: cwd first
+	p := py.Spawn("/usr/bin/dstat")
+	if cwd != "" {
+		if err := p.Chdir(cwd); err != nil {
+			return "", err
+		}
+	}
+	return py.ImportModule(p, "dstat_disk")
+}

@@ -1,0 +1,170 @@
+package programs
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"pfirewall/internal/kernel"
+)
+
+// This file implements a miniature PHP execution engine so the file
+// inclusion experiments run on genuine script text stored in the simulated
+// filesystem, rather than on hand-driven call sequences. The language
+// subset covers what the attack class needs:
+//
+//	$var = "literal";
+//	$var = $_GET['param'];
+//	include("path");  include($var);  include($_GET['param']);
+//	echo "text";  echo $var;
+//
+// Every include performs the interpreter's file-open at the real include
+// entrypoint (rule R4's -i 0x27ad2c) with an interpreter frame recording
+// the script and line — so both native-PC and script-level firewall rules
+// apply to script execution exactly as they do in the paper.
+
+// PHPRequest carries the attacker-controllable request parameters ($_GET).
+type PHPRequest map[string]string
+
+// ErrPHPParse reports a script construct outside the supported subset.
+var ErrPHPParse = errors.New("php: parse error")
+
+// maxIncludeDepth bounds include recursion (PHP's own limit is memory).
+const maxIncludeDepth = 16
+
+// Exec loads the script at path and executes it in process p with the
+// given request, returning the emitted output. The top-level script load
+// itself goes through the include entrypoint, like mod_php's handler.
+func (i *PHP) Exec(p *kernel.Proc, path string, req PHPRequest) (string, error) {
+	var out strings.Builder
+	if err := i.execFile(p, path, req, map[string]string{}, &out, 0); err != nil {
+		return out.String(), err
+	}
+	return out.String(), nil
+}
+
+// execFile reads and interprets one script file.
+func (i *PHP) execFile(p *kernel.Proc, path string, req PHPRequest, vars map[string]string, out *strings.Builder, depth int) error {
+	if depth > maxIncludeDepth {
+		return fmt.Errorf("php: include depth exceeded at %s", path)
+	}
+	src, err := i.Include(p, path)
+	if err != nil {
+		return err
+	}
+	body := string(src)
+	if !strings.Contains(body, "<?php") {
+		// Non-PHP content included verbatim — exactly what makes LFI an
+		// exploit: the "image" an attacker uploaded is echoed/executed.
+		out.WriteString(body)
+		return nil
+	}
+	body = strings.TrimSpace(body)
+	body = strings.TrimPrefix(body, "<?php")
+	body = strings.TrimSuffix(body, "?>")
+
+	for lineNo, raw := range strings.Split(body, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "//") || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if err := p.InterpPush(path, lineNo+2); err != nil { // +2: after <?php
+			return err
+		}
+		err := i.execLine(p, path, line, req, vars, out, depth)
+		p.InterpPop()
+		if err != nil {
+			return fmt.Errorf("%s:%d: %w", path, lineNo+2, err)
+		}
+	}
+	return nil
+}
+
+// execLine interprets a single statement.
+func (i *PHP) execLine(p *kernel.Proc, script, line string, req PHPRequest, vars map[string]string, out *strings.Builder, depth int) error {
+	line = strings.TrimSuffix(line, ";")
+	switch {
+	case strings.HasPrefix(line, "include(") && strings.HasSuffix(line, ")"):
+		expr := line[len("include(") : len(line)-1]
+		target, err := evalExpr(expr, req, vars)
+		if err != nil {
+			return err
+		}
+		// Relative includes resolve against the including script's dir.
+		if !strings.HasPrefix(target, "/") {
+			target = parentDir(script) + "/" + target
+		}
+		return i.execFile(p, target, req, vars, out, depth+1)
+
+	case strings.HasPrefix(line, "echo "):
+		v, err := evalExpr(strings.TrimPrefix(line, "echo "), req, vars)
+		if err != nil {
+			return err
+		}
+		out.WriteString(v)
+		return nil
+
+	case strings.HasPrefix(line, "$"):
+		// $var = expr
+		parts := strings.SplitN(line, "=", 2)
+		if len(parts) != 2 {
+			return fmt.Errorf("%w: %q", ErrPHPParse, line)
+		}
+		name := strings.TrimSpace(strings.TrimPrefix(parts[0], "$"))
+		v, err := evalExpr(strings.TrimSpace(parts[1]), req, vars)
+		if err != nil {
+			return err
+		}
+		vars[name] = v
+		return nil
+
+	default:
+		return fmt.Errorf("%w: %q", ErrPHPParse, line)
+	}
+}
+
+// evalExpr evaluates the expression subset: "literal", 'literal', $var,
+// $_GET['name'], and . concatenation of those.
+func evalExpr(expr string, req PHPRequest, vars map[string]string) (string, error) {
+	var out strings.Builder
+	for _, part := range splitConcat(expr) {
+		part = strings.TrimSpace(part)
+		switch {
+		case len(part) >= 2 && (part[0] == '"' || part[0] == '\''):
+			if part[len(part)-1] != part[0] {
+				return "", fmt.Errorf("%w: unterminated string %q", ErrPHPParse, part)
+			}
+			out.WriteString(part[1 : len(part)-1])
+		case strings.HasPrefix(part, "$_GET["):
+			key := strings.TrimSuffix(strings.TrimPrefix(part, "$_GET["), "]")
+			key = strings.Trim(key, `'"`)
+			out.WriteString(req[key])
+		case strings.HasPrefix(part, "$"):
+			out.WriteString(vars[strings.TrimPrefix(part, "$")])
+		default:
+			return "", fmt.Errorf("%w: expression %q", ErrPHPParse, part)
+		}
+	}
+	return out.String(), nil
+}
+
+// splitConcat splits on the PHP "." operator outside string literals.
+func splitConcat(expr string) []string {
+	var parts []string
+	depth := byte(0) // current quote char, 0 = outside strings
+	start := 0
+	for i := 0; i < len(expr); i++ {
+		c := expr[i]
+		switch {
+		case depth == 0 && (c == '"' || c == '\''):
+			depth = c
+		case depth != 0 && c == depth:
+			depth = 0
+		case depth == 0 && c == '.':
+			parts = append(parts, expr[start:i])
+			start = i + 1
+		}
+	}
+	parts = append(parts, expr[start:])
+	return parts
+}

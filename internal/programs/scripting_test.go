@@ -1,0 +1,262 @@
+package programs
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"pfirewall/internal/kernel"
+	"pfirewall/internal/pf"
+	"pfirewall/internal/vfs"
+)
+
+// putScript writes (or overwrites) a script into the world as root.
+func putScript(t *testing.T, w *World, path, content string) {
+	t.Helper()
+	dir := w.K.FS.MustPath(parentDir(path))
+	n, err := w.K.FS.CreateAt(dir, baseName(path), path, vfs.CreateOpts{Mode: 0o644})
+	if errors.Is(err, vfs.ErrExist) {
+		existing, _ := w.K.FS.Lookup(dir, baseName(path))
+		n = existing
+	} else if err != nil {
+		t.Fatal(err)
+	}
+	w.K.FS.WriteFile(n, []byte(content))
+}
+
+// --- PHP -------------------------------------------------------------------
+
+func TestPHPExecEchoAndVars(t *testing.T) {
+	w := NewWorld(WorldOpts{})
+	putScript(t, w, "/var/www/scripts/hello.php", `<?php
+$greeting = "hello";
+echo $greeting . " " . "world";
+?>`)
+	php := NewPHP(w)
+	p := php.Spawn()
+	out, err := php.Exec(p, "/var/www/scripts/hello.php", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "hello world" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestPHPExecStaticInclude(t *testing.T) {
+	w := NewWorld(WorldOpts{})
+	putScript(t, w, "/var/www/scripts/main.php", `<?php
+include("lib.php");
+echo "-after";
+?>`)
+	putScript(t, w, "/var/www/scripts/lib.php", `<?php
+echo "from-lib";
+?>`)
+	php := NewPHP(w)
+	p := php.Spawn()
+	out, err := php.Exec(p, "/var/www/scripts/main.php", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "from-lib-after" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestPHPExecGetParamInclude(t *testing.T) {
+	// The LFI pattern as real script text: include($_GET['page']).
+	w := NewWorld(WorldOpts{})
+	putScript(t, w, "/var/www/scripts/index.php", `<?php
+$page = $_GET['page'];
+include($page);
+?>`)
+	putScript(t, w, "/var/www/scripts/welcome.php", `<?php
+echo "welcome";
+?>`)
+	php := NewPHP(w)
+	p := php.Spawn()
+	out, err := php.Exec(p, "/var/www/scripts/index.php", PHPRequest{"page": "welcome.php"})
+	if err != nil || out != "welcome" {
+		t.Errorf("out = %q, %v", out, err)
+	}
+}
+
+func TestPHPExecLFIAttackAndDefense(t *testing.T) {
+	// Without the firewall the uploaded "image" is included and its
+	// contents surface; with rule R4 the include is dropped.
+	run := func(withPF bool) (string, error) {
+		var w *World
+		if withPF {
+			w = worldPF(t)
+		} else {
+			w = NewWorld(WorldOpts{})
+		}
+		putScript(t, w, "/var/www/scripts/index.php", `<?php
+include($_GET['page']);
+?>`)
+		adv := w.NewUser()
+		fd, err := adv.Open("/var/www/uploads/evil.jpg", kernel.O_CREAT|kernel.O_RDWR, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		adv.Write(fd, []byte("PAYLOAD system('id')"))
+		adv.Close(fd)
+
+		php := NewPHP(w)
+		p := php.Spawn()
+		return php.Exec(p, "/var/www/scripts/index.php",
+			PHPRequest{"page": "../uploads/evil.jpg"})
+	}
+
+	out, err := run(false)
+	if err != nil || !strings.Contains(out, "PAYLOAD") {
+		t.Errorf("attack should succeed without PF: %q, %v", out, err)
+	}
+	out, err = run(true)
+	if !errors.Is(err, kernel.ErrPFDenied) {
+		t.Errorf("attack should be blocked with PF: %q, %v", out, err)
+	}
+}
+
+func TestPHPExecIncludeDepthBounded(t *testing.T) {
+	w := NewWorld(WorldOpts{})
+	putScript(t, w, "/var/www/scripts/loop.php", `<?php
+include("loop.php");
+?>`)
+	php := NewPHP(w)
+	p := php.Spawn()
+	if _, err := php.Exec(p, "/var/www/scripts/loop.php", nil); err == nil {
+		t.Error("self-include must hit the depth bound")
+	}
+}
+
+func TestPHPExecParseErrors(t *testing.T) {
+	w := NewWorld(WorldOpts{})
+	putScript(t, w, "/var/www/scripts/bad.php", `<?php
+exec("rm -rf /");
+?>`)
+	php := NewPHP(w)
+	p := php.Spawn()
+	if _, err := php.Exec(p, "/var/www/scripts/bad.php", nil); !errors.Is(err, ErrPHPParse) {
+		t.Errorf("err = %v, want ErrPHPParse", err)
+	}
+}
+
+// --- shell -------------------------------------------------------------------
+
+func TestShellExecBasics(t *testing.T) {
+	w := NewWorld(WorldOpts{})
+	putScript(t, w, "/etc/init.d/demo", `#!/bin/sh
+# start the demo service
+mkdir /tmp/demo
+echo started > /tmp/demo/state
+echo again >> /tmp/demo/state
+cat /tmp/demo/state
+touch /tmp/demo/pid
+chmod 600 /tmp/demo/pid
+`)
+	b := NewBash(w)
+	p := b.Spawn("/etc/init.d/demo")
+	out, err := b.ExecScript(p, "/etc/init.d/demo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "started\nagain\n" {
+		t.Errorf("out = %q", out)
+	}
+	res, err := w.K.FS.Resolve(nil, "/tmp/demo/pid", vfs.ResolveOpts{}, nil)
+	if err != nil || res.Node.Mode != 0o600 {
+		t.Errorf("pid file: %+v, %v", res, err)
+	}
+}
+
+func TestShellExecSymlinkAndRm(t *testing.T) {
+	w := NewWorld(WorldOpts{})
+	putScript(t, w, "/etc/init.d/links", `#!/bin/sh
+touch /tmp/orig
+ln -s /tmp/orig /tmp/alias
+rm /tmp/orig
+`)
+	b := NewBash(w)
+	p := b.Spawn("/etc/init.d/links")
+	if _, err := b.ExecScript(p, "/etc/init.d/links"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := w.K.FS.Resolve(nil, "/tmp/alias", vfs.ResolveOpts{}, nil)
+	if err != nil || !res.Node.IsSymlink() {
+		t.Errorf("alias: %+v, %v", res, err)
+	}
+}
+
+func TestShellExecE9ThroughRealScript(t *testing.T) {
+	// Exploit E9 driven by genuine script text: the adversary's symlink
+	// turns "touch /tmp/daemon.pid" into a truncation of /etc/passwd.
+	run := func(withPF bool) error {
+		var w *World
+		if withPF {
+			w = worldPF(t)
+		} else {
+			w = NewWorld(WorldOpts{})
+		}
+		putScript(t, w, "/etc/init.d/daemon", `#!/bin/sh
+touch /tmp/daemon.pid
+echo 4242 > /tmp/daemon.pid
+`)
+		adv := w.NewUser()
+		if err := adv.Symlink("/etc/passwd", "/tmp/daemon.pid"); err != nil {
+			t.Fatal(err)
+		}
+		b := NewBash(w)
+		p := b.Spawn("/etc/init.d/daemon")
+		_, err := b.ExecScript(p, "/etc/init.d/daemon")
+		return err
+	}
+
+	if err := run(false); err != nil {
+		t.Errorf("without PF the script runs (and clobbers): %v", err)
+	}
+	if err := run(true); !errors.Is(err, kernel.ErrPFDenied) {
+		t.Errorf("with PF the symlink walk is dropped: %v", err)
+	}
+}
+
+func TestShellExecUnknownCommand(t *testing.T) {
+	w := NewWorld(WorldOpts{})
+	putScript(t, w, "/etc/init.d/bad", "curl http://evil\n")
+	b := NewBash(w)
+	p := b.Spawn("/etc/init.d/bad")
+	if _, err := b.ExecScript(p, "/etc/init.d/bad"); !errors.Is(err, ErrShellParse) {
+		t.Errorf("err = %v, want ErrShellParse", err)
+	}
+}
+
+func TestShellScriptLevelRule(t *testing.T) {
+	// Firewall rules can key on interpreter frames: block a specific
+	// script line from writing /tmp at all.
+	cfg := optimizedCfg()
+	w := NewWorld(WorldOpts{PF: &cfg})
+	putScript(t, w, "/etc/init.d/noisy", `#!/bin/sh
+touch /tmp/allowed
+touch /tmp/blocked
+`)
+	// Line 3 ("touch /tmp/blocked") is forbidden from creating tmp_t files.
+	rule := `pftables -p /etc/init.d/noisy -i 3 -d tmp_t -o FILE_CREATE -j DROP`
+	if _, err := w.InstallRules([]string{rule}); err != nil {
+		t.Fatal(err)
+	}
+	b := NewBash(w)
+	p := b.Spawn("/etc/init.d/noisy")
+	_, err := b.ExecScript(p, "/etc/init.d/noisy")
+	if !errors.Is(err, kernel.ErrPFDenied) {
+		t.Fatalf("line-3 create should be dropped: %v", err)
+	}
+	if _, ok := w.K.LookupIno("/tmp/allowed"); !ok {
+		t.Error("line 2 should have succeeded")
+	}
+	if _, ok := w.K.LookupIno("/tmp/blocked"); ok {
+		t.Error("line 3 must not have created the file")
+	}
+}
+
+// optimizedCfg avoids importing pf at each call site in this file.
+func optimizedCfg() pf.Config { return pf.Optimized() }

@@ -1,0 +1,162 @@
+package programs
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"pfirewall/internal/kernel"
+)
+
+// This file implements a miniature shell so init scripts execute genuine
+// script text from the simulated filesystem. The command subset covers
+// what boot-time resource access needs (and misuses):
+//
+//	# comment
+//	touch PATH            — create-or-truncate (the E9 foot-gun)
+//	echo TEXT > PATH      — create-or-truncate and write
+//	echo TEXT >> PATH     — append
+//	cat PATH              — read (output collected)
+//	ln -s TARGET PATH     — symlink
+//	mkdir PATH            — directory
+//	rm PATH               — unlink
+//	chmod MODE PATH       — octal chmod
+//	mkfifo PATH           — named pipe
+//
+// Each command line runs with a bash interpreter frame recording the
+// script and line number, so script-level firewall rules apply.
+
+// ErrShellParse reports an unsupported command.
+var ErrShellParse = errors.New("sh: parse error")
+
+// ExecScript reads the script at path and runs it in process p, returning
+// the accumulated cat/echo output.
+func (b *Bash) ExecScript(p *kernel.Proc, path string) (string, error) {
+	fd, err := p.Open(path, kernel.O_RDONLY, 0)
+	if err != nil {
+		return "", err
+	}
+	src, err := p.ReadAll(fd)
+	p.Close(fd)
+	if err != nil {
+		return "", err
+	}
+	var out strings.Builder
+	for lineNo, raw := range strings.Split(string(src), "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if err := p.InterpPush(path, lineNo+1); err != nil {
+			return out.String(), err
+		}
+		err := b.execLine(p, line, &out)
+		p.InterpPop()
+		if err != nil {
+			return out.String(), fmt.Errorf("%s:%d: %w", path, lineNo+1, err)
+		}
+	}
+	return out.String(), nil
+}
+
+// execLine runs one command.
+func (b *Bash) execLine(p *kernel.Proc, line string, out *strings.Builder) error {
+	// Redirections first: echo TEXT >(>) PATH.
+	if strings.HasPrefix(line, "echo ") {
+		rest := strings.TrimPrefix(line, "echo ")
+		if idx := strings.Index(rest, ">>"); idx >= 0 {
+			return b.writeFile(p, strings.TrimSpace(rest[idx+2:]), unquote(strings.TrimSpace(rest[:idx])), true)
+		}
+		if idx := strings.Index(rest, ">"); idx >= 0 {
+			return b.writeFile(p, strings.TrimSpace(rest[idx+1:]), unquote(strings.TrimSpace(rest[:idx])), false)
+		}
+		out.WriteString(unquote(strings.TrimSpace(rest)) + "\n")
+		return nil
+	}
+
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case "touch":
+		if len(fields) != 2 {
+			return fmt.Errorf("%w: %q", ErrShellParse, line)
+		}
+		// touch as init scripts use it: O_CREAT|O_TRUNC without O_EXCL —
+		// exactly the unsafe creation pattern of exploit E9.
+		fd, err := p.Open(fields[1], kernel.O_CREAT|kernel.O_WRONLY|kernel.O_TRUNC, 0o644)
+		if err != nil {
+			return err
+		}
+		return p.Close(fd)
+	case "cat":
+		if len(fields) != 2 {
+			return fmt.Errorf("%w: %q", ErrShellParse, line)
+		}
+		fd, err := p.Open(fields[1], kernel.O_RDONLY, 0)
+		if err != nil {
+			return err
+		}
+		data, err := p.ReadAll(fd)
+		p.Close(fd)
+		if err != nil {
+			return err
+		}
+		out.Write(data)
+		return nil
+	case "ln":
+		if len(fields) != 4 || fields[1] != "-s" {
+			return fmt.Errorf("%w: %q (only ln -s)", ErrShellParse, line)
+		}
+		return p.Symlink(fields[2], fields[3])
+	case "mkdir":
+		if len(fields) != 2 {
+			return fmt.Errorf("%w: %q", ErrShellParse, line)
+		}
+		return p.Mkdir(fields[1], 0o755)
+	case "rm":
+		if len(fields) != 2 {
+			return fmt.Errorf("%w: %q", ErrShellParse, line)
+		}
+		return p.Unlink(fields[1])
+	case "chmod":
+		if len(fields) != 3 {
+			return fmt.Errorf("%w: %q", ErrShellParse, line)
+		}
+		var mode uint16
+		if _, err := fmt.Sscanf(fields[1], "%o", &mode); err != nil {
+			return fmt.Errorf("%w: bad mode %q", ErrShellParse, fields[1])
+		}
+		return p.Chmod(fields[2], mode)
+	case "mkfifo":
+		if len(fields) != 2 {
+			return fmt.Errorf("%w: %q", ErrShellParse, line)
+		}
+		return p.Mkfifo(fields[1], 0o666)
+	case "true", ":":
+		return nil
+	default:
+		return fmt.Errorf("%w: unknown command %q", ErrShellParse, fields[0])
+	}
+}
+
+// writeFile implements the > and >> redirections.
+func (b *Bash) writeFile(p *kernel.Proc, path, text string, appendMode bool) error {
+	flags := kernel.O_CREAT | kernel.O_WRONLY
+	if !appendMode {
+		flags |= kernel.O_TRUNC
+	}
+	fd, err := p.Open(path, flags, 0o644)
+	if err != nil {
+		return err
+	}
+	defer p.Close(fd)
+	_, err = p.Write(fd, []byte(text+"\n"))
+	return err
+}
+
+// unquote strips one level of matched quotes.
+func unquote(s string) string {
+	if len(s) >= 2 && (s[0] == '"' || s[0] == '\'') && s[len(s)-1] == s[0] {
+		return s[1 : len(s)-1]
+	}
+	return s
+}

@@ -1,0 +1,53 @@
+package programs
+
+import (
+	"pfirewall/internal/kernel"
+)
+
+// Sshd models OpenSSH's non-reentrant SIGALRM handler (exploit E5,
+// CVE-2006-5051): the grace-period handler calls cleanup code that is not
+// safe to re-enter. If a second signal lands while the handler runs, the
+// cleanup state is corrupted — observable here as the Corrupted flag.
+// Rules R9–R12 drop the nested delivery.
+type Sshd struct {
+	W *World
+
+	// Corrupted records that the non-reentrant section was re-entered.
+	Corrupted bool
+	// HandlerRuns counts completed handler executions.
+	HandlerRuns int
+
+	inCleanup bool
+}
+
+// NewSshd returns the daemon model.
+func NewSshd(w *World) *Sshd { return &Sshd{W: w} }
+
+// Spawn starts sshd and registers the vulnerable handler.
+func (s *Sshd) Spawn() *kernel.Proc {
+	p := s.W.NewProc(kernel.ProcSpec{UID: 0, GID: 0, Label: "sshd_t", Exec: BinSshd})
+	p.Sigaction(kernel.SIGALRM, s.graceAlarmHandler)
+	return p
+}
+
+// graceAlarmHandler is sshd's grace_alarm_handler: it performs cleanup
+// that must not be re-entered (the real bug calls non-async-signal-safe
+// functions like syslog/free).
+func (s *Sshd) graceAlarmHandler(p *kernel.Proc, sig int) {
+	if s.inCleanup {
+		// Re-entered mid-cleanup: the heap/state corruption the CVE
+		// describes.
+		s.Corrupted = true
+		return
+	}
+	s.inCleanup = true
+	// The cleanup makes system calls, opening the window in which a
+	// second signal can arrive (delivered via interleave hooks in the
+	// exploit, or naturally by a second Kill in the simulation).
+	p.SyscallSite(BinSshd, 0x7730)
+	if fd, err := p.Open("/etc/passwd", kernel.O_RDONLY, 0); err == nil {
+		p.Close(fd)
+	}
+	s.inCleanup = false
+	s.HandlerRuns++
+}

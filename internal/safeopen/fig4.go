@@ -1,0 +1,144 @@
+package safeopen
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"pfirewall/internal/kernel"
+	"pfirewall/internal/pf"
+	"pfirewall/internal/programs"
+	"pfirewall/internal/vfs"
+)
+
+// This file is the Figure 4 harness: the latency of each open variant as a
+// function of pathname length n (the paper plots n = 1, 4, 7; the average
+// path length on their system was 2.3).
+
+// Variant is one line of Figure 4.
+type Variant struct {
+	Name string
+	// NeedsPF marks the firewall-assisted variant.
+	NeedsPF bool
+	Open    func(p *kernel.Proc, path string) (int, error)
+}
+
+// Variants returns the six Figure 4 lines in paper order.
+func Variants() []Variant {
+	return []Variant{
+		{Name: "open", Open: Open},
+		{Name: "open_nfflag", Open: OpenNoFollow},
+		{Name: "open_nolink", Open: OpenNoLink},
+		{Name: "open_race", Open: OpenRace},
+		{Name: "safe_open", Open: SafeOpen},
+		{Name: "safe_open_PF", NeedsPF: true, Open: SafeOpenPF},
+	}
+}
+
+// PaperPathLens are the path lengths Figure 4 plots.
+var PaperPathLens = []int{1, 4, 7}
+
+// Figure4World builds a world containing a target file at path depth n
+// and returns the victim process and the path. withPF installs the
+// safe_open-equivalent rules.
+func Figure4World(n int, withPF bool) (*programs.World, *kernel.Proc, string) {
+	var w *programs.World
+	if withPF {
+		cfg := pf.Optimized()
+		w = programs.NewWorld(programs.WorldOpts{PF: &cfg})
+		if _, err := w.InstallRules(SafeOpenPFRules()); err != nil {
+			panic(err)
+		}
+	} else {
+		w = programs.NewWorld(programs.WorldOpts{})
+	}
+	// Build /p1/p2/.../target with n components total.
+	path := ""
+	for i := 1; i < n; i++ {
+		path += fmt.Sprintf("/p%d", i)
+		w.K.FS.MustPath(path)
+	}
+	path += "/target"
+	dir := w.K.FS.MustPath(strings.TrimSuffix(path, "/target"))
+	if path == "/target" {
+		dir = w.K.FS.Root()
+	}
+	if _, err := w.K.FS.CreateAt(dir, "target", path, vfs.CreateOpts{Mode: 0o644}); err != nil {
+		panic(err)
+	}
+	p := w.NewProc(kernel.ProcSpec{UID: 0, GID: 0, Label: "sshd_t", Exec: programs.BinSshd})
+	return w, p, path
+}
+
+// Cell is one (variant, n) measurement.
+type Cell struct {
+	Variant string
+	PathLen int
+	NsPerOp float64
+}
+
+// Run measures every variant at every path length with iters iterations.
+func Run(iters int) []Cell {
+	var out []Cell
+	for _, n := range PaperPathLens {
+		for _, v := range Variants() {
+			out = append(out, RunCell(v, n, iters))
+		}
+	}
+	return out
+}
+
+// RunCell measures one cell.
+func RunCell(v Variant, n, iters int) Cell {
+	_, p, path := Figure4World(n, v.NeedsPF)
+	// Warm up, then isolate from earlier cells' garbage.
+	for i := 0; i < iters/10+1; i++ {
+		fd, err := v.Open(p, path)
+		if err != nil {
+			panic(fmt.Sprintf("fig4 %s n=%d: %v", v.Name, n, err))
+		}
+		p.Close(fd)
+	}
+	runtime.GC()
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		fd, _ := v.Open(p, path)
+		p.Close(fd)
+	}
+	elapsed := time.Since(start)
+	return Cell{Variant: v.Name, PathLen: n, NsPerOp: float64(elapsed.Nanoseconds()) / float64(iters)}
+}
+
+// Format renders the cells grouped by path length, with overhead relative
+// to the bare open, mirroring the paper's bar chart.
+func Format(cells []Cell) string {
+	base := map[int]float64{}
+	for _, c := range cells {
+		if c.Variant == "open" {
+			base[c.PathLen] = c.NsPerOp
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s", "variant")
+	for _, n := range PaperPathLens {
+		fmt.Fprintf(&b, "n=%-18d", n)
+	}
+	b.WriteString("\n")
+	for _, v := range Variants() {
+		fmt.Fprintf(&b, "%-14s", v.Name)
+		for _, n := range PaperPathLens {
+			for _, c := range cells {
+				if c.Variant == v.Name && c.PathLen == n {
+					over := 0.0
+					if base[n] > 0 {
+						over = (c.NsPerOp - base[n]) / base[n] * 100
+					}
+					fmt.Fprintf(&b, "%-20s", fmt.Sprintf("%.0fns (%+.0f%%)", c.NsPerOp, over))
+				}
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

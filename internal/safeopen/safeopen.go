@@ -1,0 +1,174 @@
+// Package safeopen implements the program-side link-following defenses the
+// paper's Figure 4 benchmarks against each other — the ladder of
+// increasingly thorough (and increasingly expensive) open() wrappers from
+// Section 2.1:
+//
+//	Open          the bare open, no checks
+//	OpenNoFollow  open with O_NOFOLLOW (non-portable; breaks legitimate links)
+//	OpenNoLink    lstat-then-open (Figure 1a lines 3–6; racy)
+//	OpenRace      adds the fstat and second-lstat comparisons (lines 7–14),
+//	              closing the classic race and the cryogenic-sleep variant
+//	SafeOpen      Chari et al.'s per-component discipline: at least four
+//	              extra system calls per pathname component
+//	SafeOpenPF    the bare open again, with the equivalent checks expressed
+//	              as Process Firewall rules (SafeOpenPFRules)
+//
+// The package exists to reproduce the paper's performance claim: moving
+// these checks into the firewall eliminates both the race windows and the
+// per-component system-call overhead.
+package safeopen
+
+import (
+	"errors"
+	"strings"
+
+	"pfirewall/internal/kernel"
+	"pfirewall/internal/vfs"
+)
+
+// Errors reported by the checking variants.
+var (
+	// ErrIsSymlink means a no-link policy found a symbolic link.
+	ErrIsSymlink = errors.New("safeopen: file is a symbolic link")
+	// ErrRace means the check and use observed different files.
+	ErrRace = errors.New("safeopen: race detected")
+	// ErrOwnerMismatch means a symlink points at another user's file.
+	ErrOwnerMismatch = errors.New("safeopen: symlink owner mismatch")
+)
+
+// Open is the baseline: a single open system call.
+func Open(p *kernel.Proc, path string) (int, error) {
+	return p.Open(path, kernel.O_RDONLY, 0)
+}
+
+// OpenNoFollow refuses to follow a symlink in the final component, like
+// open(2) with O_NOFOLLOW: effective, but non-portable and unable to
+// support legitimate symlink uses (and it does not protect intermediate
+// components).
+func OpenNoFollow(p *kernel.Proc, path string) (int, error) {
+	return p.Open(path, kernel.O_RDONLY|kernel.O_NOFOLLOW, 0)
+}
+
+// OpenNoLink is Figure 1(a) lines 3–6: lstat, reject links, then open.
+// The window between the two calls is the TOCTTOU race.
+func OpenNoLink(p *kernel.Proc, path string) (int, error) {
+	st, err := p.Lstat(path)
+	if err != nil {
+		return -1, err
+	}
+	if st.Type == vfs.TypeSymlink {
+		return -1, ErrIsSymlink
+	}
+	return p.Open(path, kernel.O_RDONLY, 0)
+}
+
+// OpenRace is the full Figure 1(a): lstat, open, fstat-compare (classic
+// race), lstat-compare again (cryogenic sleep — inode numbers cannot
+// recycle while the file is held open).
+func OpenRace(p *kernel.Proc, path string) (int, error) {
+	lst, err := p.Lstat(path)
+	if err != nil {
+		return -1, err
+	}
+	if lst.Type == vfs.TypeSymlink {
+		return -1, ErrIsSymlink
+	}
+	fd, err := p.Open(path, kernel.O_RDONLY, 0)
+	if err != nil {
+		return -1, err
+	}
+	fst, err := p.Fstat(fd)
+	if err != nil {
+		p.Close(fd)
+		return -1, err
+	}
+	if fst.Dev != lst.Dev || fst.Ino != lst.Ino {
+		p.Close(fd)
+		return -1, ErrRace
+	}
+	lst2, err := p.Lstat(path)
+	if err != nil {
+		p.Close(fd)
+		return -1, err
+	}
+	if lst2.Dev != fst.Dev || lst2.Ino != fst.Ino {
+		p.Close(fd)
+		return -1, ErrRace // cryogenic sleep detected
+	}
+	return fd, nil
+}
+
+// SafeOpen applies Chari et al.'s per-component discipline: every prefix
+// of the path is lstat'ed; symlinks are followed only when the link and
+// its target share an owner (an adversary may redirect within their own
+// files but not into a victim's); and the final open is double-checked
+// with fstat and a second per-component pass. This costs at least four
+// additional system calls per component — the overhead Figure 4 plots.
+func SafeOpen(p *kernel.Proc, path string) (int, error) {
+	check := func() (vfs.Stat, error) {
+		var last vfs.Stat
+		prefix := ""
+		for _, comp := range strings.Split(strings.TrimPrefix(path, "/"), "/") {
+			prefix += "/" + comp
+			lst, err := p.Lstat(prefix)
+			if err != nil {
+				return vfs.Stat{}, err
+			}
+			// Validate the resolved object for every component, not just
+			// symlinks: Chari et al.'s discipline stats both the name and
+			// what it resolves to, which is where the ≥4-syscalls-per-
+			// component cost comes from.
+			tgt, err := p.Stat(prefix)
+			if err != nil {
+				return vfs.Stat{}, err
+			}
+			if lst.Type == vfs.TypeSymlink && tgt.UID != lst.UID {
+				return vfs.Stat{}, ErrOwnerMismatch
+			}
+			last = lst
+		}
+		return last, nil
+	}
+
+	if _, err := check(); err != nil {
+		return -1, err
+	}
+	fd, err := p.Open(path, kernel.O_RDONLY, 0)
+	if err != nil {
+		return -1, err
+	}
+	fst, err := p.Fstat(fd)
+	if err != nil {
+		p.Close(fd)
+		return -1, err
+	}
+	// Re-validate every component now that the object is pinned open.
+	last, err := check()
+	if err != nil {
+		p.Close(fd)
+		return -1, err
+	}
+	if last.Type != vfs.TypeSymlink && (last.Ino != fst.Ino || last.Dev != fst.Dev) {
+		p.Close(fd)
+		return -1, ErrRace
+	}
+	return fd, nil
+}
+
+// SafeOpenPF is the firewall-assisted equivalent: a single open system
+// call, with SafeOpenPFRules installed so the kernel enforces the same
+// invariants atomically during pathname resolution — no extra syscalls,
+// no race window (paper Section 6.2, safe_open_PF).
+func SafeOpenPF(p *kernel.Proc, path string) (int, error) {
+	return p.Open(path, kernel.O_RDONLY, 0)
+}
+
+// SafeOpenPFRules returns the pftables rules that make SafeOpenPF
+// equivalent to SafeOpen: drop any symlink traversal where the link's
+// owner differs from its target's owner. Resolution is atomic inside the
+// kernel, so no TOCTTOU re-checks are needed.
+func SafeOpenPFRules() []string {
+	return []string{
+		`pftables -o LNK_FILE_READ -m COMPARE --v1 C_DAC_OWNER --v2 C_TGT_DAC_OWNER --nequal -j DROP`,
+	}
+}

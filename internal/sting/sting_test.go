@@ -1,0 +1,216 @@
+package sting
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"pfirewall/internal/kernel"
+	"pfirewall/internal/pf"
+	"pfirewall/internal/pftables"
+	"pfirewall/internal/programs"
+	"pfirewall/internal/vfs"
+)
+
+// tmpConfigWorkload is a vulnerable victim modeled on the java launcher
+// (E7): a root daemon that reads its configuration from a fixed name in
+// the world-writable /tmp before falling back to /etc.
+func tmpConfigWorkload() Workload {
+	return Workload{
+		NewWorld: func() *programs.World {
+			cfg := pf.Optimized()
+			return programs.NewWorld(programs.WorldOpts{PF: &cfg})
+		},
+		Run: func(w *programs.World) ([]uint64, error) {
+			p := w.NewProc(kernel.ProcSpec{UID: 0, GID: 0, Label: "java_t", Exec: programs.BinJava})
+			var used []uint64
+			for _, cand := range []string{"/tmp/app.conf", "/etc/java.conf"} {
+				if err := p.SyscallSite(programs.BinJava, programs.EntryJavaConf); err != nil {
+					return nil, err
+				}
+				fd, err := p.Open(cand, kernel.O_RDONLY, 0)
+				if err != nil {
+					continue
+				}
+				st, _ := p.Fstat(fd)
+				p.ReadAll(fd)
+				p.Close(fd)
+				used = append(used, uint64(st.Ino))
+				break
+			}
+			return used, nil
+		},
+	}
+}
+
+func TestFindSurfaces(t *testing.T) {
+	surfaces, err := New().FindSurfaces(tmpConfigWorkload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The probe of /tmp/app.conf traverses /tmp (adversary-writable dir
+	// search); the config file itself does not exist in the clean world,
+	// so the surface is the /tmp directory binding plus nothing else
+	// adversary-writable.
+	if len(surfaces) == 0 {
+		t.Fatal("no surfaces found")
+	}
+	foundTmp := false
+	for _, s := range surfaces {
+		if s.Path == "/tmp" && s.Program == programs.BinJava {
+			foundTmp = true
+			if s.Entrypoint != programs.EntryJavaConf {
+				t.Errorf("surface entrypoint = %#x, want %#x", s.Entrypoint, programs.EntryJavaConf)
+			}
+		}
+		if strings.HasPrefix(s.Path, "/etc") {
+			t.Errorf("high-integrity binding %q must not be a surface", s.Path)
+		}
+	}
+	if !foundTmp {
+		t.Errorf("surfaces = %+v, want /tmp binding", surfaces)
+	}
+}
+
+func TestProbeSquatFindsVulnerability(t *testing.T) {
+	wl := tmpConfigWorkload()
+	s := Surface{Path: "/tmp/app.conf", Program: programs.BinJava,
+		Entrypoint: programs.EntryJavaConf, Op: "FILE_OPEN"}
+	f, err := New().Probe(wl, s, ProbeSquat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f == nil {
+		t.Fatal("squat probe should confirm the vulnerability")
+	}
+	if f.Kind != ProbeSquat || f.Surface != s {
+		t.Errorf("finding = %+v", f)
+	}
+}
+
+func TestProbeSymlinkFindsVulnerability(t *testing.T) {
+	wl := tmpConfigWorkload()
+	s := Surface{Path: "/tmp/app.conf", Program: programs.BinJava,
+		Entrypoint: programs.EntryJavaConf, Op: "FILE_OPEN"}
+	f, err := New().Probe(wl, s, ProbeSymlink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f == nil {
+		t.Fatal("symlink probe should confirm the vulnerability (victim reads the secret)")
+	}
+	if f.Kind != ProbeSymlink {
+		t.Errorf("finding kind = %v", f.Kind)
+	}
+}
+
+func TestProbeSafeProgramFindsNothing(t *testing.T) {
+	// A victim that only reads its /etc config is not redirectable.
+	wl := Workload{
+		NewWorld: func() *programs.World {
+			cfg := pf.Optimized()
+			return programs.NewWorld(programs.WorldOpts{PF: &cfg})
+		},
+		Run: func(w *programs.World) ([]uint64, error) {
+			p := w.NewProc(kernel.ProcSpec{UID: 0, GID: 0, Label: "java_t", Exec: programs.BinJava})
+			p.SyscallSite(programs.BinJava, programs.EntryJavaConf)
+			fd, err := p.Open("/etc/java.conf", kernel.O_RDONLY, 0)
+			if err != nil {
+				return nil, err
+			}
+			st, _ := p.Fstat(fd)
+			p.Close(fd)
+			return []uint64{uint64(st.Ino)}, nil
+		},
+	}
+	s := Surface{Path: "/tmp/unrelated", Program: programs.BinJava,
+		Entrypoint: programs.EntryJavaConf, Op: "FILE_OPEN"}
+	f, err := New().Probe(wl, s, ProbeSquat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f != nil {
+		t.Errorf("safe program yielded a finding: %+v", f)
+	}
+}
+
+func TestHuntEndToEnd(t *testing.T) {
+	wl := tmpConfigWorkload()
+	tester := New()
+
+	// Phase 1 gives the /tmp directory surface; Hunt probes bindings, but
+	// directory-search surfaces are not directly plantable — extend the
+	// surface list with the file binding STING derives from the failed
+	// final lookup. We model that derivation here explicitly.
+	findings, err := tester.Hunt(wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := tester.Probe(wl, Surface{
+		Path: "/tmp/app.conf", Program: programs.BinJava,
+		Entrypoint: programs.EntryJavaConf, Op: "FILE_OPEN",
+	}, ProbeSquat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f != nil {
+		findings = append(findings, *f)
+	}
+	if len(findings) == 0 {
+		t.Fatal("hunt found nothing")
+	}
+
+	// Convert findings to rules, deploy, and verify the attack is dead.
+	rules := Rules(findings)
+	if len(rules) == 0 {
+		t.Fatal("no rules generated")
+	}
+	w := wl.NewWorld()
+	if _, err := pftables.InstallAll(w.Env, w.Engine, rules); err != nil {
+		t.Fatalf("install generated rules: %v", err)
+	}
+	adv := w.NewUser()
+	fd, err := adv.Open("/tmp/app.conf", kernel.O_CREAT|kernel.O_RDWR, 0o666)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv.Write(fd, []byte("SQUATTED"))
+	adv.Close(fd)
+
+	victim := w.NewProc(kernel.ProcSpec{UID: 0, GID: 0, Label: "java_t", Exec: programs.BinJava})
+	victim.SyscallSite(programs.BinJava, programs.EntryJavaConf)
+	if _, err := victim.Open("/tmp/app.conf", kernel.O_RDONLY, 0); !errors.Is(err, kernel.ErrPFDenied) {
+		t.Errorf("generated rule should block the squatted config: %v", err)
+	}
+	// The fallback config still loads — no false positive.
+	victim.SyscallSite(programs.BinJava, programs.EntryJavaConf)
+	if _, err := victim.Open("/etc/java.conf", kernel.O_RDONLY, 0); err != nil {
+		t.Errorf("trusted config blocked: %v", err)
+	}
+}
+
+func TestRulesDeduplicate(t *testing.T) {
+	s := Surface{Path: "/tmp/x", Program: "/usr/bin/java", Entrypoint: 0x5d7e, Op: "FILE_OPEN"}
+	rules := Rules([]Finding{{Surface: s, Kind: ProbeSquat}, {Surface: s, Kind: ProbeSymlink}})
+	if len(rules) != 1 {
+		t.Errorf("rules = %v, want 1 deduplicated", rules)
+	}
+}
+
+func TestProbeKindString(t *testing.T) {
+	if ProbeSymlink.String() != "symlink" || ProbeSquat.String() != "squat" {
+		t.Error("ProbeKind.String mismatch")
+	}
+}
+
+func TestPlantRequiresAttackableBinding(t *testing.T) {
+	w := programs.NewWorld(programs.WorldOpts{})
+	adv := w.NewUser()
+	// /etc is not adversary-writable; planting must fail cleanly.
+	if _, err := New().plant(w, adv, "/etc/planted", ProbeSquat); err == nil {
+		t.Error("plant in /etc should fail for the adversary")
+	}
+	if _, err := w.K.FS.Resolve(nil, "/etc/planted", vfs.ResolveOpts{}, nil); !errors.Is(err, vfs.ErrNotExist) {
+		t.Error("failed plant must leave nothing behind")
+	}
+}

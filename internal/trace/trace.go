@@ -1,0 +1,148 @@
+// Package trace implements the Process Firewall's LOG record stream
+// (paper Section 5.2: the LOG target "logs a variety of information about
+// the current resource access in JSON format") and the trace store that
+// rule generation consumes (Section 6.3).
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+
+	"pfirewall/internal/mac"
+	"pfirewall/internal/pf"
+)
+
+// Record is one logged resource access, the JSON form of pf.LogRecord with
+// labels resolved to names so traces are meaningful across systems.
+type Record struct {
+	PID          int    `json:"pid"`
+	SubjectLabel string `json:"subject"`
+	ObjectLabel  string `json:"object"`
+	Op           string `json:"op"`
+	ResourceID   uint64 `json:"resource_id"`
+	Path         string `json:"path,omitempty"`
+	// Program and Entrypoint identify the innermost resolved entrypoint.
+	Program    string `json:"program"`
+	Entrypoint uint64 `json:"entrypoint"`
+	// AdvWrite / AdvRead are the adversary accessibility of the resource —
+	// what classification keys on (low integrity = adversary writable).
+	AdvWrite bool   `json:"adv_write"`
+	AdvRead  bool   `json:"adv_read"`
+	Verdict  string `json:"verdict"`
+	Prefix   string `json:"prefix,omitempty"`
+}
+
+// EpKey identifies an entrypoint: the program (or library/script) and the
+// offset within it.
+type EpKey struct {
+	Program string
+	Off     uint64
+}
+
+// Ep returns the record's entrypoint key.
+func (r Record) Ep() EpKey { return EpKey{r.Program, r.Entrypoint} }
+
+// LowIntegrity reports whether the accessed resource was
+// adversary-modifiable, the paper's low-integrity criterion for
+// classification (Section 6.3.1).
+func (r Record) LowIntegrity() bool { return r.AdvWrite }
+
+// Store accumulates records in order; safe for concurrent use.
+type Store struct {
+	mu   sync.Mutex
+	recs []Record
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store { return &Store{} }
+
+// Add appends a record.
+func (s *Store) Add(r Record) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.recs = append(s.recs, r)
+}
+
+// Len returns the number of records.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.recs)
+}
+
+// Records returns a copy of the record slice.
+func (s *Store) Records() []Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Record, len(s.recs))
+	copy(out, s.recs)
+	return out
+}
+
+// Collector returns a pf.Engine logger that records into the store,
+// resolving SIDs against tbl. Attach with engine.Logger = store.Collector(tbl).
+func (s *Store) Collector(tbl *mac.SIDTable) func(pf.LogRecord) {
+	return func(lr pf.LogRecord) {
+		rec := Record{
+			PID:          lr.PID,
+			SubjectLabel: string(tbl.Label(lr.SubjectSID)),
+			ObjectLabel:  string(tbl.Label(lr.ObjectSID)),
+			Op:           lr.Op.String(),
+			ResourceID:   lr.ResourceID,
+			Path:         lr.Path,
+			AdvWrite:     lr.AdvWrite,
+			AdvRead:      lr.AdvRead,
+			Verdict:      lr.Verdict.String(),
+			Prefix:       lr.Prefix,
+		}
+		// The innermost non-interpreter frame is the program entrypoint;
+		// interpreter frames, when present, refine it.
+		for _, ep := range lr.Entrypoints {
+			rec.Program, rec.Entrypoint = ep.Path, ep.Off
+			break
+		}
+		s.Add(rec)
+	}
+}
+
+// WriteJSON streams the store as JSON lines.
+func (s *Store) WriteJSON(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, r := range s.Records() {
+		if err := enc.Encode(r); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSON loads JSON-lines records into a new store.
+func ReadJSON(r io.Reader) (*Store, error) {
+	s := NewStore()
+	dec := json.NewDecoder(bufio.NewReader(r))
+	for {
+		var rec Record
+		if err := dec.Decode(&rec); err == io.EOF {
+			return s, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("trace: decode: %w", err)
+		}
+		s.Add(rec)
+	}
+}
+
+// ByEntrypoint groups the store's records per entrypoint, preserving
+// per-entrypoint order (one record = one invocation, per the paper's
+// definition "one invocation is one system call").
+func (s *Store) ByEntrypoint() map[EpKey][]Record {
+	out := make(map[EpKey][]Record)
+	for _, r := range s.Records() {
+		k := r.Ep()
+		out[k] = append(out[k], r)
+	}
+	return out
+}

@@ -1,0 +1,96 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"pfirewall/internal/mac"
+	"pfirewall/internal/pf"
+)
+
+func TestStoreRoundTripJSON(t *testing.T) {
+	s := NewStore()
+	s.Add(Record{PID: 1, SubjectLabel: "httpd_t", ObjectLabel: "tmp_t",
+		Op: "FILE_OPEN", ResourceID: 42, Program: "/usr/bin/apache2",
+		Entrypoint: 0x41a20, AdvWrite: true, Verdict: "ACCEPT"})
+	s.Add(Record{PID: 2, SubjectLabel: "sshd_t", ObjectLabel: "etc_t",
+		Op: "FILE_READ", ResourceID: 7, Program: "/usr/sbin/sshd",
+		Entrypoint: 0x100, Verdict: "DROP"})
+
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != 2 {
+		t.Fatalf("loaded %d records", loaded.Len())
+	}
+	got := loaded.Records()
+	want := s.Records()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("record %d: %+v != %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestReadJSONBadInput(t *testing.T) {
+	if _, err := ReadJSON(bytes.NewBufferString("{not json")); err == nil {
+		t.Error("malformed JSON should fail")
+	}
+}
+
+func TestByEntrypointGroupsInOrder(t *testing.T) {
+	s := NewStore()
+	for i := 0; i < 5; i++ {
+		s.Add(Record{Program: "/a", Entrypoint: 1, ResourceID: uint64(i)})
+		s.Add(Record{Program: "/b", Entrypoint: 2, ResourceID: uint64(100 + i)})
+	}
+	groups := s.ByEntrypoint()
+	if len(groups) != 2 {
+		t.Fatalf("groups = %d", len(groups))
+	}
+	a := groups[EpKey{"/a", 1}]
+	for i, r := range a {
+		if r.ResourceID != uint64(i) {
+			t.Errorf("group order broken: %d -> %d", i, r.ResourceID)
+		}
+	}
+}
+
+func TestCollectorConvertsLogRecords(t *testing.T) {
+	tbl := mac.NewSIDTable()
+	httpd := tbl.SID("httpd_t")
+	tmp := tbl.SID("tmp_t")
+	s := NewStore()
+	logger := s.Collector(tbl)
+	logger(pf.LogRecord{
+		PID: 9, SubjectSID: httpd, ObjectSID: tmp, Op: pf.OpFileOpen,
+		ResourceID: 5, Path: "/tmp/x", AdvWrite: true,
+		Entrypoints: []pf.Entrypoint{{Path: "/usr/bin/apache2", Off: 0x41a20}},
+		Verdict:     pf.VerdictAccept, Prefix: "audit",
+	})
+	recs := s.Records()
+	if len(recs) != 1 {
+		t.Fatal("no record collected")
+	}
+	r := recs[0]
+	if r.SubjectLabel != "httpd_t" || r.ObjectLabel != "tmp_t" ||
+		r.Program != "/usr/bin/apache2" || r.Entrypoint != 0x41a20 ||
+		!r.AdvWrite || r.Op != "FILE_OPEN" || r.Prefix != "audit" {
+		t.Errorf("record = %+v", r)
+	}
+	if !r.LowIntegrity() {
+		t.Error("adv-writable record must be low integrity")
+	}
+}
+
+func TestEpKey(t *testing.T) {
+	r := Record{Program: "/x", Entrypoint: 7}
+	if r.Ep() != (EpKey{"/x", 7}) {
+		t.Error("Ep mismatch")
+	}
+}

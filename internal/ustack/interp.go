@@ -1,0 +1,263 @@
+package ustack
+
+import "fmt"
+
+// Lang identifies the runtime whose frames an unwinder must parse. The
+// paper adapts the backtrace code of each supported interpreter (PHP,
+// Python, Bash — Section 4.4) to run inside the kernel; we mirror that with
+// one unwinder per deliberately-different in-memory frame layout.
+type Lang uint8
+
+// Supported interpreter runtimes.
+const (
+	LangNative Lang = iota
+	LangPHP
+	LangPython
+	LangBash
+)
+
+// String names the language.
+func (l Lang) String() string {
+	switch l {
+	case LangNative:
+		return "native"
+	case LangPHP:
+		return "php"
+	case LangPython:
+		return "python"
+	case LangBash:
+		return "bash"
+	default:
+		return fmt.Sprintf("lang(%d)", uint8(l))
+	}
+}
+
+// InterpFrame is one interpreter-level stack frame: which script, and where.
+type InterpFrame struct {
+	Script string
+	Line   int
+}
+
+// InterpState is the writer side: interpreters use it to maintain their
+// frame structures in user memory as scripts call functions/include files.
+// The layouts intentionally differ per language:
+//
+//	PHP:    singly linked list, head pointer at headAddr.
+//	        frame: [scriptStrAddr, line, nextFrameAddr]
+//	Python: contiguous array, header at headAddr: [count, (scriptStrAddr, line)...]
+//	Bash:   singly linked list with fields swapped: [nextFrameAddr, line, scriptStrAddr]
+type InterpState struct {
+	Lang     Lang
+	Mem      *Memory
+	HeadAddr uint64 // where the kernel finds the frame structure
+
+	alloc  uint64 // bump allocator within the interpreter arena
+	limit  uint64
+	frames []uint64 // frame record addrs (for pop)
+	strs   map[string]uint64
+}
+
+// NewInterpState reserves [arena, arena+size) of mem for interpreter frames.
+// The head slot is the first word of the arena.
+func NewInterpState(lang Lang, mem *Memory, arena, size uint64) *InterpState {
+	st := &InterpState{
+		Lang:     lang,
+		Mem:      mem,
+		HeadAddr: arena,
+		alloc:    arena + 1,
+		limit:    arena + size,
+		strs:     make(map[string]uint64),
+	}
+	if lang == LangPython {
+		// Array layout: the head slot holds the frame count; a fixed record
+		// area of MaxFrames entries follows, then the string arena.
+		st.alloc = arena + 1 + MaxFrames*2
+	}
+	mem.Write(arena, 0) // zero count / NULL head pointer
+	return st
+}
+
+// internString writes script once and reuses the address thereafter.
+func (st *InterpState) internString(s string) (uint64, error) {
+	if addr, ok := st.strs[s]; ok {
+		return addr, nil
+	}
+	addr := st.alloc
+	n, err := st.Mem.WriteString(addr, s)
+	if err != nil {
+		return 0, err
+	}
+	st.alloc += n
+	if st.alloc >= st.limit {
+		return 0, fmt.Errorf("ustack: interpreter arena exhausted")
+	}
+	st.strs[s] = addr
+	return addr, nil
+}
+
+// Push records entry into script at line.
+func (st *InterpState) Push(script string, line int) error {
+	sAddr, err := st.internString(script)
+	if err != nil {
+		return err
+	}
+	switch st.Lang {
+	case LangPython:
+		count, err := st.Mem.Read(st.HeadAddr)
+		if err != nil {
+			return err
+		}
+		if count >= MaxFrames {
+			return fmt.Errorf("ustack: python frame array full")
+		}
+		rec := st.HeadAddr + 1 + count*2
+		if err := st.Mem.Write(rec, sAddr); err != nil {
+			return err
+		}
+		if err := st.Mem.Write(rec+1, uint64(line)); err != nil {
+			return err
+		}
+		return st.Mem.Write(st.HeadAddr, count+1)
+	case LangPHP, LangBash:
+		rec := st.alloc
+		st.alloc += 3
+		if st.alloc >= st.limit {
+			return fmt.Errorf("ustack: interpreter arena exhausted")
+		}
+		head, err := st.Mem.Read(st.HeadAddr)
+		if err != nil && head != 0 {
+			return err
+		}
+		if st.Lang == LangPHP {
+			st.Mem.Write(rec, sAddr)
+			st.Mem.Write(rec+1, uint64(line))
+			st.Mem.Write(rec+2, head)
+		} else {
+			st.Mem.Write(rec, head)
+			st.Mem.Write(rec+1, uint64(line))
+			st.Mem.Write(rec+2, sAddr)
+		}
+		st.frames = append(st.frames, rec)
+		return st.Mem.Write(st.HeadAddr, rec)
+	default:
+		return fmt.Errorf("ustack: language %v has no interpreter frames", st.Lang)
+	}
+}
+
+// Pop unwinds the most recent frame.
+func (st *InterpState) Pop() error {
+	switch st.Lang {
+	case LangPython:
+		count, err := st.Mem.Read(st.HeadAddr)
+		if err != nil {
+			return err
+		}
+		if count == 0 {
+			return fmt.Errorf("ustack: pop on empty python stack")
+		}
+		return st.Mem.Write(st.HeadAddr, count-1)
+	case LangPHP, LangBash:
+		if len(st.frames) == 0 {
+			return fmt.Errorf("ustack: pop on empty %v stack", st.Lang)
+		}
+		rec := st.frames[len(st.frames)-1]
+		st.frames = st.frames[:len(st.frames)-1]
+		var next uint64
+		var err error
+		if st.Lang == LangPHP {
+			next, err = st.Mem.Read(rec + 2)
+		} else {
+			next, err = st.Mem.Read(rec)
+		}
+		if err != nil {
+			return err
+		}
+		return st.Mem.Write(st.HeadAddr, next)
+	default:
+		return fmt.Errorf("ustack: language %v has no interpreter frames", st.Lang)
+	}
+}
+
+// UnwindInterp parses the interpreter frame structure for lang at headAddr,
+// returning frames innermost-first. It applies the same sanitization rules
+// as UnwindBinary: bounds-checked reads, cycle detection, and a MaxFrames
+// cap. Errors mean the context is unavailable, never a kernel fault.
+func UnwindInterp(lang Lang, mem *Memory, headAddr uint64) ([]InterpFrame, error) {
+	switch lang {
+	case LangPython:
+		return unwindPython(mem, headAddr)
+	case LangPHP:
+		return unwindLinked(mem, headAddr, 0, 1, 2) // script, line, next
+	case LangBash:
+		return unwindLinked(mem, headAddr, 2, 1, 0) // next, line, script order swapped
+	default:
+		return nil, fmt.Errorf("ustack: no unwinder for %v", lang)
+	}
+}
+
+func unwindPython(mem *Memory, headAddr uint64) ([]InterpFrame, error) {
+	count, err := mem.Read(headAddr)
+	if err != nil {
+		return nil, err
+	}
+	if count > MaxFrames {
+		return nil, ErrTooDeep
+	}
+	frames := make([]InterpFrame, 0, count)
+	// Innermost-first: the array grows outward, so iterate backwards.
+	for i := int64(count) - 1; i >= 0; i-- {
+		rec := headAddr + 1 + uint64(i)*2
+		sAddr, err := mem.Read(rec)
+		if err != nil {
+			return nil, err
+		}
+		line, err := mem.Read(rec + 1)
+		if err != nil {
+			return nil, err
+		}
+		script, err := mem.ReadString(sAddr)
+		if err != nil {
+			return nil, err
+		}
+		frames = append(frames, InterpFrame{Script: script, Line: int(line)})
+	}
+	return frames, nil
+}
+
+// unwindLinked walks a linked frame list whose record fields sit at the
+// given offsets relative to the record address.
+func unwindLinked(mem *Memory, headAddr uint64, scriptOff, lineOff, nextOff uint64) ([]InterpFrame, error) {
+	head, err := mem.Read(headAddr)
+	if err != nil {
+		return nil, err
+	}
+	var frames []InterpFrame
+	seen := make(map[uint64]bool)
+	for head != 0 {
+		if len(frames) >= MaxFrames {
+			return nil, ErrTooDeep
+		}
+		if seen[head] {
+			return nil, fmt.Errorf("%w: interpreter frame cycle at %#x", ErrCorrupt, head)
+		}
+		seen[head] = true
+		sAddr, err := mem.Read(head + scriptOff)
+		if err != nil {
+			return nil, err
+		}
+		line, err := mem.Read(head + lineOff)
+		if err != nil {
+			return nil, err
+		}
+		script, err := mem.ReadString(sAddr)
+		if err != nil {
+			return nil, err
+		}
+		frames = append(frames, InterpFrame{Script: script, Line: int(line)})
+		head, err = mem.Read(head + nextOff)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return frames, nil
+}

@@ -1,0 +1,331 @@
+package ustack
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestMemoryBounds(t *testing.T) {
+	m := NewMemory(16)
+	if _, err := m.Read(0); !errors.Is(err, ErrBadAddress) {
+		t.Error("read of NULL should fail")
+	}
+	if _, err := m.Read(16); !errors.Is(err, ErrBadAddress) {
+		t.Error("read past end should fail")
+	}
+	if err := m.Write(1, 42); err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.Read(1)
+	if err != nil || v != 42 {
+		t.Errorf("Read(1) = %d, %v", v, err)
+	}
+	if err := m.Write(99, 1); !errors.Is(err, ErrBadAddress) {
+		t.Error("write past end should fail")
+	}
+}
+
+func TestMemoryStrings(t *testing.T) {
+	m := NewMemory(128)
+	n, err := m.WriteString(10, "hello.php")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 10 {
+		t.Errorf("consumed %d words, want 10", n)
+	}
+	s, err := m.ReadString(10)
+	if err != nil || s != "hello.php" {
+		t.Errorf("ReadString = %q, %v", s, err)
+	}
+}
+
+func TestReadStringCorrupt(t *testing.T) {
+	m := NewMemory(64)
+	m.Write(1, maxStringLen+1) // absurd length
+	if _, err := m.ReadString(1); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("oversized length: %v, want ErrCorrupt", err)
+	}
+	m.Write(5, 2)
+	m.Write(6, 'a')
+	m.Write(7, 0x1ff) // non-byte word
+	if _, err := m.ReadString(5); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("non-byte word: %v, want ErrCorrupt", err)
+	}
+	m.Write(60, 10) // string runs past end of memory
+	if _, err := m.ReadString(60); !errors.Is(err, ErrBadAddress) {
+		t.Errorf("string past end: %v, want ErrBadAddress", err)
+	}
+}
+
+func TestStackCallRetUnwind(t *testing.T) {
+	m := NewMemory(256)
+	s := NewStack(m, 100)
+
+	// main (pc 0x10) -> helper (pc 0x20) -> syscall at 0x30
+	if err := s.Call(0x10); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Call(0x20); err != nil {
+		t.Fatal(err)
+	}
+	s.SetPC(0x30)
+
+	pcs, err := UnwindBinary(m, s.Regs, MaxFrames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{0x30, 0x20, 0x10}
+	if len(pcs) != len(want) {
+		t.Fatalf("pcs = %#x, want %#x", pcs, want)
+	}
+	for i := range want {
+		if pcs[i] != want[i] {
+			t.Errorf("pcs[%d] = %#x, want %#x", i, pcs[i], want[i])
+		}
+	}
+
+	if s.Depth() != 2 {
+		t.Errorf("Depth = %d, want 2", s.Depth())
+	}
+	if err := s.Ret(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Regs.PC != 0x20 || s.Depth() != 1 {
+		t.Errorf("after ret: PC=%#x depth=%d", s.Regs.PC, s.Depth())
+	}
+}
+
+func TestUnwindCorruptFramePointer(t *testing.T) {
+	m := NewMemory(64)
+	// Frame at 10 points to an out-of-bounds saved FP.
+	m.Write(10, 9999)
+	m.Write(11, 0x20)
+	_, err := UnwindBinary(m, Regs{PC: 0x30, FP: 10}, MaxFrames)
+	if !errors.Is(err, ErrBadAddress) {
+		t.Errorf("err = %v, want ErrBadAddress", err)
+	}
+}
+
+func TestUnwindCycle(t *testing.T) {
+	m := NewMemory(64)
+	m.Write(10, 20)
+	m.Write(11, 0x1)
+	m.Write(20, 10) // cycle back
+	m.Write(21, 0x2)
+	_, err := UnwindBinary(m, Regs{PC: 0x30, FP: 10}, MaxFrames)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Errorf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestUnwindTooDeep(t *testing.T) {
+	m := NewMemory(4 * MaxFrames * 2)
+	// Chain of MaxFrames+5 frames.
+	var prev uint64
+	var fp uint64
+	for i := 0; i < MaxFrames+5; i++ {
+		fp = uint64(2 + i*2)
+		m.Write(fp, prev)
+		m.Write(fp+1, uint64(0x100+i))
+		prev = fp
+	}
+	_, err := UnwindBinary(m, Regs{PC: 0x30, FP: fp}, MaxFrames)
+	if !errors.Is(err, ErrTooDeep) {
+		t.Errorf("err = %v, want ErrTooDeep", err)
+	}
+}
+
+func TestAddressSpaceRebase(t *testing.T) {
+	as := NewAddressSpace(3)
+	ld := as.Map("/lib/ld-2.15.so", 0)
+	libc := as.Map("/lib/libc.so", 0)
+	if ld.Base == libc.Base {
+		t.Fatal("mappings overlap")
+	}
+	path, off, ok := as.Rebase(ld.Base + 0x596b)
+	if !ok || path != "/lib/ld-2.15.so" || off != 0x596b {
+		t.Errorf("Rebase = %q, %#x, %v", path, off, ok)
+	}
+	if _, _, ok := as.Rebase(0xdeadbeef0); ok {
+		t.Error("Rebase of unmapped PC should fail")
+	}
+	if m, ok := as.FindByPath("/lib/libc.so"); !ok || m.Base != libc.Base {
+		t.Error("FindByPath failed")
+	}
+}
+
+func TestAddressSpaceASLRSeeds(t *testing.T) {
+	a := NewAddressSpace(1)
+	b := NewAddressSpace(5)
+	ma := a.Map("/bin/prog", 0)
+	mb := b.Map("/bin/prog", 0)
+	if ma.Base == mb.Base {
+		t.Error("different seeds should give different bases (ASLR stand-in)")
+	}
+	// Offsets must be stable regardless of base.
+	pa, oa, _ := a.Rebase(ma.Base + 0x42)
+	pb, ob, _ := b.Rebase(mb.Base + 0x42)
+	if pa != pb || oa != ob {
+		t.Error("rebased entrypoints must be base-independent")
+	}
+}
+
+func interpRoundTrip(t *testing.T, lang Lang) {
+	t.Helper()
+	m := NewMemory(4096)
+	st := NewInterpState(lang, m, 100, 2000)
+	if err := st.Push("index.php", 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Push("lib/gcalendar.php", 57); err != nil {
+		t.Fatal(err)
+	}
+	frames, err := UnwindInterp(lang, m, st.HeadAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 2 {
+		t.Fatalf("%v: frames = %+v", lang, frames)
+	}
+	if frames[0].Script != "lib/gcalendar.php" || frames[0].Line != 57 {
+		t.Errorf("%v: innermost = %+v", lang, frames[0])
+	}
+	if frames[1].Script != "index.php" || frames[1].Line != 3 {
+		t.Errorf("%v: outermost = %+v", lang, frames[1])
+	}
+	if err := st.Pop(); err != nil {
+		t.Fatal(err)
+	}
+	frames, err = UnwindInterp(lang, m, st.HeadAddr)
+	if err != nil || len(frames) != 1 {
+		t.Fatalf("%v after pop: %+v, %v", lang, frames, err)
+	}
+}
+
+func TestInterpUnwindPHP(t *testing.T)    { interpRoundTrip(t, LangPHP) }
+func TestInterpUnwindPython(t *testing.T) { interpRoundTrip(t, LangPython) }
+func TestInterpUnwindBash(t *testing.T)   { interpRoundTrip(t, LangBash) }
+
+func TestInterpUnwindEmpty(t *testing.T) {
+	for _, lang := range []Lang{LangPHP, LangPython, LangBash} {
+		m := NewMemory(512)
+		st := NewInterpState(lang, m, 50, 400)
+		frames, err := UnwindInterp(lang, m, st.HeadAddr)
+		if err != nil || len(frames) != 0 {
+			t.Errorf("%v: empty unwind = %+v, %v", lang, frames, err)
+		}
+	}
+}
+
+func TestInterpUnwindMaliciousCycle(t *testing.T) {
+	// A malicious PHP process links its frame list into a cycle; the
+	// unwinder must abort with ErrCorrupt, not hang (paper Section 4.4).
+	m := NewMemory(512)
+	st := NewInterpState(LangPHP, m, 50, 400)
+	st.Push("a.php", 1)
+	st.Push("b.php", 2)
+	head, _ := m.Read(st.HeadAddr)
+	// Point the second frame's next pointer back at the head frame.
+	m.Write(head+2, head)
+	_, err := UnwindInterp(LangPHP, m, st.HeadAddr)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Errorf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestInterpUnwindMaliciousPointer(t *testing.T) {
+	m := NewMemory(512)
+	st := NewInterpState(LangBash, m, 50, 400)
+	st.Push("script.sh", 10)
+	head, _ := m.Read(st.HeadAddr)
+	m.Write(head+2, 50000) // script pointer out of bounds
+	_, err := UnwindInterp(LangBash, m, st.HeadAddr)
+	if !errors.Is(err, ErrBadAddress) {
+		t.Errorf("err = %v, want ErrBadAddress", err)
+	}
+}
+
+func TestInterpPythonHugeCount(t *testing.T) {
+	m := NewMemory(512)
+	st := NewInterpState(LangPython, m, 50, 400)
+	m.Write(st.HeadAddr, uint64(MaxFrames+1))
+	_, err := UnwindInterp(LangPython, m, st.HeadAddr)
+	if !errors.Is(err, ErrTooDeep) {
+		t.Errorf("err = %v, want ErrTooDeep", err)
+	}
+}
+
+func TestInterpPopEmpty(t *testing.T) {
+	for _, lang := range []Lang{LangPHP, LangPython, LangBash} {
+		m := NewMemory(256)
+		st := NewInterpState(lang, m, 20, 200)
+		if err := st.Pop(); err == nil {
+			t.Errorf("%v: pop on empty stack should fail", lang)
+		}
+	}
+}
+
+func TestLangString(t *testing.T) {
+	if LangPHP.String() != "php" || LangNative.String() != "native" {
+		t.Error("Lang.String mismatch")
+	}
+}
+
+func TestStackUnwindProperty(t *testing.T) {
+	// Property: after n calls, unwinding yields n+1 PCs in reverse call order.
+	f := func(depth uint8) bool {
+		n := int(depth%20) + 1
+		m := NewMemory(1024)
+		s := NewStack(m, 200)
+		for i := 0; i < n; i++ {
+			if err := s.Call(uint64(0x1000 + i)); err != nil {
+				return false
+			}
+		}
+		s.SetPC(0xffff)
+		pcs, err := UnwindBinary(m, s.Regs, MaxFrames)
+		if err != nil || len(pcs) != n+1 || pcs[0] != 0xffff {
+			return false
+		}
+		for i := 1; i <= n; i++ {
+			if pcs[i] != uint64(0x1000+n-i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInterpRoundTripProperty(t *testing.T) {
+	// Property: push k frames then unwind yields those frames innermost-first.
+	f := func(k uint8, lineSeed uint16) bool {
+		n := int(k%10) + 1
+		for _, lang := range []Lang{LangPHP, LangPython, LangBash} {
+			m := NewMemory(8192)
+			st := NewInterpState(lang, m, 100, 7000)
+			for i := 0; i < n; i++ {
+				if st.Push("s.php", int(lineSeed)+i) != nil {
+					return false
+				}
+			}
+			frames, err := UnwindInterp(lang, m, st.HeadAddr)
+			if err != nil || len(frames) != n {
+				return false
+			}
+			for i, fr := range frames {
+				if fr.Line != int(lineSeed)+n-1-i {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

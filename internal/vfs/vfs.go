@@ -1,0 +1,745 @@
+// Package vfs implements the filesystem substrate of the simulated kernel:
+// inodes, directories, symbolic links, hard links, UNIX discretionary access
+// control, and — crucially for the Process Firewall paper — pathname
+// resolution performed component by component with a mediation callback per
+// resolved object, mirroring how Linux Security Module hooks observe every
+// resource a system call touches (paper Sections 4 and 5.1).
+//
+// Two properties of real UNIX filesystems that resource access attacks
+// exploit are reproduced faithfully:
+//
+//   - Namespace bindings are mutable between system calls, enabling
+//     TOCTTOU races (paper Section 2.1, Figure 1a).
+//   - Inode numbers are recycled once the last link and last open file
+//     reference are gone, enabling Olaf Kirch's "cryogenic sleep" attack
+//     where a check/use pair passes because a recycled inode reuses the
+//     number the check observed.
+package vfs
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"pfirewall/internal/mac"
+)
+
+// Ino is an inode number.
+type Ino uint64
+
+// FileType distinguishes inode kinds.
+type FileType uint8
+
+// Inode kinds.
+const (
+	TypeRegular FileType = iota + 1
+	TypeDir
+	TypeSymlink
+	TypeSocket
+	TypeFifo
+)
+
+// String returns a one-letter name similar to ls(1) file type characters.
+func (t FileType) String() string {
+	switch t {
+	case TypeRegular:
+		return "-"
+	case TypeDir:
+		return "d"
+	case TypeSymlink:
+		return "l"
+	case TypeSocket:
+		return "s"
+	case TypeFifo:
+		return "p"
+	default:
+		return "?"
+	}
+}
+
+// Mode permission bits, a subset of POSIX mode_t.
+const (
+	ModeSticky uint16 = 0o1000
+	ModeSetuid uint16 = 0o4000
+)
+
+// Errors returned by filesystem operations, mirroring errno values.
+var (
+	ErrNotExist    = errors.New("no such file or directory")         // ENOENT
+	ErrExist       = errors.New("file exists")                       // EEXIST
+	ErrNotDir      = errors.New("not a directory")                   // ENOTDIR
+	ErrIsDir       = errors.New("is a directory")                    // EISDIR
+	ErrPerm        = errors.New("permission denied")                 // EACCES
+	ErrLoop        = errors.New("too many levels of symbolic links") // ELOOP
+	ErrNotEmpty    = errors.New("directory not empty")               // ENOTEMPTY
+	ErrInval       = errors.New("invalid argument")                  // EINVAL
+	ErrNameTooLong = errors.New("file name too long")                // ENAMETOOLONG
+)
+
+// maxSymlinkDepth matches Linux's limit of 40 nested symlink resolutions.
+const maxSymlinkDepth = 40
+
+// maxPathComponents bounds resolution work, standing in for PATH_MAX.
+const maxPathComponents = 256
+
+// Inode is an in-memory inode. Fields are protected by the owning FS lock;
+// callers outside the package must treat Inode as read-only snapshots except
+// through FS methods.
+type Inode struct {
+	Ino  Ino
+	Gen  uint32 // generation: bumped when the number is recycled
+	Type FileType
+	UID  int
+	GID  int
+	Mode uint16  // permission bits incl. sticky/setuid
+	SID  mac.SID // MAC label
+
+	Data    []byte            // regular file content
+	Target  string            // symlink target
+	entries map[string]*Inode // directory entries
+	Nlink   int               // hard link count
+	opens   int               // open file-description references
+
+	// SockOwner records the pid that bound a socket inode, used by the
+	// simulated D-Bus daemon exploit (E6).
+	SockOwner int
+}
+
+// IsDir reports whether the inode is a directory.
+func (n *Inode) IsDir() bool { return n.Type == TypeDir }
+
+// IsSymlink reports whether the inode is a symbolic link.
+func (n *Inode) IsSymlink() bool { return n.Type == TypeSymlink }
+
+// Access describes one mediated object access during resolution or an
+// operation. The kernel's Mediator receives one Access per path component
+// touched, exactly as LSM hooks fire on every dentry during lookup.
+type Access struct {
+	Node  *Inode
+	Path  string    // absolute path of Node as resolved
+	Class mac.Class // object class of Node
+	Want  mac.Perm  // permissions exercised by this step
+}
+
+// Mediator authorizes individual object accesses. Resolution aborts with the
+// returned error when a mediator denies a step. The simulated kernel chains
+// DAC, MAC (LSM), and the Process Firewall behind this interface.
+type Mediator interface {
+	Mediate(a Access) error
+}
+
+// MediatorFunc adapts a function to the Mediator interface.
+type MediatorFunc func(a Access) error
+
+// Mediate calls f(a).
+func (f MediatorFunc) Mediate(a Access) error { return f(a) }
+
+// nopMediator allows everything.
+type nopMediator struct{}
+
+func (nopMediator) Mediate(Access) error { return nil }
+
+// NopMediator is a Mediator that allows every access; useful for setup code
+// that populates a filesystem outside any process context.
+var NopMediator Mediator = nopMediator{}
+
+// FS is a single-device filesystem. All methods are safe for concurrent use.
+type FS struct {
+	mu       sync.Mutex
+	root     *Inode
+	nextIno  Ino
+	freeInos []Ino // recycled inode numbers, reused LIFO
+	contexts *mac.FileContexts
+	sids     *mac.SIDTable
+
+	// Stats counters, exercised by tests and the benchmark harness.
+	Resolutions uint64 // total path resolutions
+	Components  uint64 // total components walked
+}
+
+// New creates a filesystem whose root directory is owned by root (uid 0)
+// with mode 0755 and labeled per contexts.
+func New(sids *mac.SIDTable, contexts *mac.FileContexts) *FS {
+	fs := &FS{nextIno: 2, contexts: contexts, sids: sids}
+	fs.root = &Inode{
+		Ino:     1,
+		Type:    TypeDir,
+		UID:     0,
+		GID:     0,
+		Mode:    0o755,
+		SID:     sids.SID(contexts.LabelFor("/")),
+		entries: make(map[string]*Inode),
+		Nlink:   2,
+	}
+	return fs
+}
+
+// Root returns the root directory inode.
+func (fs *FS) Root() *Inode { return fs.root }
+
+// SIDs returns the SID table labels are interned in.
+func (fs *FS) SIDs() *mac.SIDTable { return fs.sids }
+
+// allocIno returns the next inode number, preferring recycled numbers,
+// which is what makes the cryogenic-sleep TOCTTOU variant expressible.
+func (fs *FS) allocIno() Ino {
+	if n := len(fs.freeInos); n > 0 {
+		ino := fs.freeInos[n-1]
+		fs.freeInos = fs.freeInos[:n-1]
+		return ino
+	}
+	ino := fs.nextIno
+	fs.nextIno++
+	return ino
+}
+
+// releaseIno returns an inode number to the free pool.
+func (fs *FS) releaseIno(ino Ino) { fs.freeInos = append(fs.freeInos, ino) }
+
+// maybeFree recycles the inode number if the inode has neither links nor
+// open references left.
+func (fs *FS) maybeFree(n *Inode) {
+	if n.Nlink <= 0 && n.opens <= 0 {
+		fs.releaseIno(n.Ino)
+	}
+}
+
+// IncOpen records an open file description referencing n (kernel open()).
+func (fs *FS) IncOpen(n *Inode) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	n.opens++
+}
+
+// DecOpen drops an open reference; the inode number recycles if this was the
+// last reference to an unlinked inode.
+func (fs *FS) DecOpen(n *Inode) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	n.opens--
+	fs.maybeFree(n)
+}
+
+// CanAccess performs the UNIX DAC check: does (uid, gid) hold the requested
+// rwx bits on n? uid 0 bypasses permission checks except execute on files
+// with no execute bit at all.
+func CanAccess(n *Inode, uid, gid int, r, w, x bool) bool {
+	if uid == 0 {
+		if x && n.Type == TypeRegular && n.Mode&0o111 == 0 {
+			return false
+		}
+		return true
+	}
+	var shift uint
+	switch {
+	case uid == n.UID:
+		shift = 6
+	case gid == n.GID:
+		shift = 3
+	default:
+		shift = 0
+	}
+	bits := (n.Mode >> shift) & 0o7
+	if r && bits&0o4 == 0 {
+		return false
+	}
+	if w && bits&0o2 == 0 {
+		return false
+	}
+	if x && bits&0o1 == 0 {
+		return false
+	}
+	return true
+}
+
+// split breaks a path into components, ignoring empty and "." entries.
+func split(path string) []string {
+	var out []string
+	for _, c := range strings.Split(path, "/") {
+		if c == "" || c == "." {
+			continue
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// ResolveOpts controls path resolution.
+type ResolveOpts struct {
+	// FollowFinal resolves a symlink in the final component (open default);
+	// when false the final symlink inode itself is returned (lstat).
+	FollowFinal bool
+	// WantParent resolves to the parent directory of the final component,
+	// returning the (possibly nonexistent) final name; used by create,
+	// unlink, rename, symlink, mkdir.
+	WantParent bool
+	// CwdPath is the absolute path of cwd, used to reconstruct absolute
+	// names for relative resolutions (labels and rules key off full paths).
+	CwdPath string
+	// Root overrides the filesystem root for this resolution (chroot):
+	// absolute paths and absolute symlink targets start here, and ".."
+	// cannot climb above it. nil means the global root.
+	Root *Inode
+	// RootPath is Root's absolute path in the global namespace, used to
+	// reconstruct full names for labeling.
+	RootPath string
+}
+
+// Resolved is the result of a path resolution.
+type Resolved struct {
+	Node   *Inode // final inode; nil when WantParent and the name is absent
+	Parent *Inode // parent directory of the final component
+	Name   string // final component name
+	Path   string // absolute path of Node (or Parent/Name)
+	// Trail lists every inode mediated during resolution, in order; tests
+	// use it to assert complete mediation.
+	Trail []Access
+}
+
+// Resolve walks path starting at cwd (or the root for absolute paths),
+// invoking m once per directory searched and once per symlink read, then
+// once more for the final object by the caller-specified operation (the
+// caller mediates the final op itself, since the class/permission depend on
+// the system call). Symlink chains deeper than 40 return ErrLoop.
+//
+// The filesystem lock is NOT held across mediator callouts — mirroring how
+// LSM hooks run without global namespace locks — so mediators (and the
+// Process Firewall context modules behind them) may themselves resolve
+// paths, and adversaries on other goroutines may mutate bindings between
+// steps, which is precisely the TOCTTOU surface.
+func (fs *FS) Resolve(cwd *Inode, path string, opts ResolveOpts, m Mediator) (*Resolved, error) {
+	fs.mu.Lock()
+	fs.Resolutions++
+	fs.mu.Unlock()
+	if m == nil {
+		m = NopMediator
+	}
+	depth := 0
+	return fs.resolve(cwd, path, opts, m, &depth)
+}
+
+// lockedChild looks up one directory entry under the lock.
+func (fs *FS) lockedChild(dir *Inode, name string) *Inode {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return dir.entries[name]
+}
+
+func (fs *FS) resolve(cwd *Inode, path string, opts ResolveOpts, m Mediator, depth *int) (*Resolved, error) {
+	root := fs.root
+	rootPath := ""
+	if opts.Root != nil {
+		root = opts.Root
+		rootPath = strings.TrimSuffix(opts.RootPath, "/")
+	}
+	cur := cwd
+	curPath := ""
+	if cur == nil || strings.HasPrefix(path, "/") {
+		cur = root
+		curPath = rootPath
+	} else if cur != fs.root {
+		if opts.CwdPath != "" {
+			curPath = strings.TrimSuffix(opts.CwdPath, "/")
+		} else {
+			// Unknown cwd path: trail entries are printed relative.
+			curPath = "."
+		}
+	}
+	comps := split(path)
+	if len(comps) > maxPathComponents {
+		return nil, ErrNameTooLong
+	}
+	res := &Resolved{}
+	if len(comps) == 0 {
+		if opts.WantParent {
+			return nil, ErrInval
+		}
+		rp := curPath
+		if rp == "" {
+			rp = "/"
+		}
+		a := Access{Node: cur, Path: rp, Class: mac.ClassDir, Want: mac.PermSearch}
+		res.Trail = append(res.Trail, a)
+		if err := m.Mediate(a); err != nil {
+			return nil, err
+		}
+		res.Node, res.Parent, res.Path = cur, cur, rp
+		return res, nil
+	}
+
+	for i, comp := range comps {
+		fs.mu.Lock()
+		fs.Components++
+		fs.mu.Unlock()
+		if !cur.IsDir() {
+			return nil, ErrNotDir
+		}
+		// Mediate the directory search step.
+		dirPath := curPath
+		if dirPath == "" {
+			dirPath = "/"
+		}
+		a := Access{Node: cur, Path: dirPath, Class: mac.ClassDir, Want: mac.PermSearch}
+		res.Trail = append(res.Trail, a)
+		if err := m.Mediate(a); err != nil {
+			return nil, err
+		}
+
+		final := i == len(comps)-1
+		var next *Inode
+		if comp == ".." {
+			// Parent tracking: directories do not store parent pointers in
+			// this simplified VFS; ".." is resolved by re-walking from the
+			// root. ".." clamps at the resolution root, so a chroot cannot
+			// be climbed out of with dot-dot.
+			if cur == root {
+				next = cur
+			} else {
+				next = fs.parentOf(cur)
+			}
+		} else {
+			next = fs.lockedChild(cur, comp)
+		}
+		childPath := joinPath(curPath, comp)
+
+		if next == nil {
+			if final && opts.WantParent {
+				res.Parent, res.Name, res.Path = cur, comp, childPath
+				return res, nil
+			}
+			return nil, ErrNotExist
+		}
+
+		// Symbolic link handling.
+		if next.IsSymlink() && (!final || opts.FollowFinal) {
+			*depth++
+			if *depth > maxSymlinkDepth {
+				return nil, ErrLoop
+			}
+			la := Access{Node: next, Path: childPath, Class: mac.ClassLnkFile, Want: mac.PermRead}
+			res.Trail = append(res.Trail, la)
+			if err := m.Mediate(la); err != nil {
+				return nil, err
+			}
+			// Resolve the link target, then continue with remaining comps.
+			rest := strings.Join(comps[i+1:], "/")
+			target := next.Target
+			if rest != "" {
+				target = target + "/" + rest
+			}
+			start := cur
+			if strings.HasPrefix(next.Target, "/") {
+				// Absolute symlink targets resolve inside the chroot.
+				start = root
+			}
+			// Re-resolving from the link's directory: absolute targets use
+			// the link target path itself for labeling/paths.
+			subOpts := opts
+			subOpts.CwdPath = curPath
+			sub, err := fs.resolve(start, target, subOpts, m, depth)
+			if err != nil {
+				return nil, err
+			}
+			sub.Trail = append(res.Trail, sub.Trail...)
+			return sub, nil
+		}
+
+		if final {
+			if opts.WantParent {
+				res.Parent, res.Name, res.Path, res.Node = cur, comp, childPath, next
+				return res, nil
+			}
+			res.Node, res.Parent, res.Name, res.Path = next, cur, comp, childPath
+			return res, nil
+		}
+		cur = next
+		curPath = childPath
+	}
+	return nil, ErrNotExist // unreachable
+}
+
+// parentOf finds the directory containing dir by scanning from the
+// root. O(n) but directories are small in the simulation.
+func (fs *FS) parentOf(dir *Inode) *Inode {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if dir == fs.root {
+		return fs.root
+	}
+	var walk func(d *Inode) *Inode
+	var seen map[*Inode]bool
+	seen = make(map[*Inode]bool)
+	walk = func(d *Inode) *Inode {
+		if seen[d] {
+			return nil
+		}
+		seen[d] = true
+		for _, e := range d.entries {
+			if e == dir {
+				return d
+			}
+			if e.IsDir() {
+				if p := walk(e); p != nil {
+					return p
+				}
+			}
+		}
+		return nil
+	}
+	if p := walk(fs.root); p != nil {
+		return p
+	}
+	return fs.root
+}
+
+// joinPath appends comp to base producing a clean absolute-ish path.
+func joinPath(base, comp string) string {
+	if base == "" || base == "/" {
+		return "/" + comp
+	}
+	return base + "/" + comp
+}
+
+// CreateOpts parameterizes file creation.
+type CreateOpts struct {
+	UID, GID int
+	Mode     uint16
+	Type     FileType
+	Target   string    // for symlinks
+	Label    mac.Label // override label; empty means use file contexts
+}
+
+// CreateAt creates a new inode named name inside dir. The caller must have
+// resolved dir and performed write mediation on it already.
+func (fs *FS) CreateAt(dir *Inode, name, fullPath string, o CreateOpts) (*Inode, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if !dir.IsDir() {
+		return nil, ErrNotDir
+	}
+	if _, ok := dir.entries[name]; ok {
+		return nil, ErrExist
+	}
+	if o.Type == 0 {
+		o.Type = TypeRegular
+	}
+	lbl := o.Label
+	if lbl == "" {
+		lbl = fs.contexts.LabelFor(fullPath)
+	}
+	n := &Inode{
+		Ino:    fs.allocIno(),
+		Type:   o.Type,
+		UID:    o.UID,
+		GID:    o.GID,
+		Mode:   o.Mode,
+		SID:    fs.sids.SID(lbl),
+		Nlink:  1,
+		Target: o.Target,
+	}
+	if n.Type == TypeDir {
+		n.entries = make(map[string]*Inode)
+		n.Nlink = 2
+		dir.Nlink++
+	}
+	dir.entries[name] = n
+	return n, nil
+}
+
+// Link adds a hard link to node under dir/name.
+func (fs *FS) Link(dir *Inode, name string, node *Inode) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if !dir.IsDir() {
+		return ErrNotDir
+	}
+	if node.IsDir() {
+		return ErrPerm // hard links to directories are forbidden
+	}
+	if _, ok := dir.entries[name]; ok {
+		return ErrExist
+	}
+	dir.entries[name] = node
+	node.Nlink++
+	return nil
+}
+
+// Unlink removes dir/name. Directory entries must be removed with Rmdir.
+// The sticky-bit restricted-deletion rule is enforced by the kernel's DAC
+// layer, not here.
+func (fs *FS) Unlink(dir *Inode, name string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	n, ok := dir.entries[name]
+	if !ok {
+		return ErrNotExist
+	}
+	if n.IsDir() {
+		return ErrIsDir
+	}
+	delete(dir.entries, name)
+	n.Nlink--
+	fs.maybeFree(n)
+	return nil
+}
+
+// Rmdir removes an empty directory dir/name.
+func (fs *FS) Rmdir(dir *Inode, name string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	n, ok := dir.entries[name]
+	if !ok {
+		return ErrNotExist
+	}
+	if !n.IsDir() {
+		return ErrNotDir
+	}
+	if len(n.entries) > 0 {
+		return ErrNotEmpty
+	}
+	delete(dir.entries, name)
+	n.Nlink -= 2
+	dir.Nlink--
+	fs.maybeFree(n)
+	return nil
+}
+
+// Rename moves srcDir/srcName to dstDir/dstName, replacing a non-directory
+// target if present. This is the atomic operation adversaries use to flip
+// bindings between a victim's check and use calls.
+func (fs *FS) Rename(srcDir *Inode, srcName string, dstDir *Inode, dstName string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	n, ok := srcDir.entries[srcName]
+	if !ok {
+		return ErrNotExist
+	}
+	if old, ok := dstDir.entries[dstName]; ok {
+		if old.IsDir() {
+			return ErrIsDir
+		}
+		old.Nlink--
+		fs.maybeFree(old)
+	}
+	delete(srcDir.entries, srcName)
+	dstDir.entries[dstName] = n
+	return nil
+}
+
+// Lookup returns the child of dir named name without mediation; intended
+// for tests and setup code.
+func (fs *FS) Lookup(dir *Inode, name string) (*Inode, bool) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	n, ok := dir.entries[name]
+	return n, ok
+}
+
+// List returns dir's entry names in sorted order.
+func (fs *FS) List(dir *Inode) []string {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	out := make([]string, 0, len(dir.entries))
+	for name := range dir.entries {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ReadFile returns a copy of the file's content.
+func (fs *FS) ReadFile(n *Inode) ([]byte, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if n.IsDir() {
+		return nil, ErrIsDir
+	}
+	out := make([]byte, len(n.Data))
+	copy(out, n.Data)
+	return out, nil
+}
+
+// WriteFile replaces the file's content.
+func (fs *FS) WriteFile(n *Inode, data []byte) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if n.IsDir() {
+		return ErrIsDir
+	}
+	n.Data = append(n.Data[:0], data...)
+	return nil
+}
+
+// Chmod sets the permission bits.
+func (fs *FS) Chmod(n *Inode, mode uint16) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	n.Mode = mode
+}
+
+// Chown sets ownership.
+func (fs *FS) Chown(n *Inode, uid, gid int) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	n.UID, n.GID = uid, gid
+}
+
+// Relabel overrides an inode's MAC label.
+func (fs *FS) Relabel(n *Inode, lbl mac.Label) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	n.SID = fs.sids.SID(lbl)
+}
+
+// Stat is the subset of struct stat that the paper's defenses compare:
+// device constant, inode number, generation, type, ownership, and mode.
+type Stat struct {
+	Dev  uint32
+	Ino  Ino
+	Gen  uint32
+	Type FileType
+	UID  int
+	GID  int
+	Mode uint16
+	Size int
+	SID  mac.SID
+}
+
+// StatOf snapshots n's metadata.
+func (fs *FS) StatOf(n *Inode) Stat {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return Stat{
+		Dev: 1, Ino: n.Ino, Gen: n.Gen, Type: n.Type,
+		UID: n.UID, GID: n.GID, Mode: n.Mode, Size: len(n.Data), SID: n.SID,
+	}
+}
+
+// MustPath is a setup helper: it creates every directory along path (mode
+// 0755, root-owned) and returns the final directory. It panics on conflict,
+// which is acceptable for world-building code.
+func (fs *FS) MustPath(path string) *Inode {
+	cur := fs.root
+	curPath := ""
+	for _, comp := range split(path) {
+		curPath = joinPath(curPath, comp)
+		fs.mu.Lock()
+		next, ok := cur.entries[comp]
+		fs.mu.Unlock()
+		if ok {
+			if !next.IsDir() {
+				panic(fmt.Sprintf("vfs: MustPath %s: %s is not a directory", path, curPath))
+			}
+			cur = next
+			continue
+		}
+		n, err := fs.CreateAt(cur, comp, curPath, CreateOpts{Mode: 0o755, Type: TypeDir})
+		if err != nil {
+			panic(fmt.Sprintf("vfs: MustPath %s: %v", path, err))
+		}
+		cur = n
+	}
+	return cur
+}

@@ -1,0 +1,577 @@
+package vfs
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"pfirewall/internal/mac"
+)
+
+func newTestFS() *FS {
+	sids := mac.NewSIDTable()
+	fc := mac.NewFileContexts("default_t")
+	fc.Add("/tmp", "tmp_t")
+	fc.Add("/etc", "etc_t")
+	fc.Add("/lib", "lib_t")
+	return New(sids, fc)
+}
+
+func mustCreate(t *testing.T, fs *FS, dir *Inode, name, path string, o CreateOpts) *Inode {
+	t.Helper()
+	n, err := fs.CreateAt(dir, name, path, o)
+	if err != nil {
+		t.Fatalf("create %s: %v", path, err)
+	}
+	return n
+}
+
+func TestMustPathAndLabels(t *testing.T) {
+	fs := newTestFS()
+	tmp := fs.MustPath("/tmp")
+	etc := fs.MustPath("/etc")
+	if tmp == etc {
+		t.Fatal("distinct paths returned same inode")
+	}
+	f := mustCreate(t, fs, tmp, "x", "/tmp/x", CreateOpts{Mode: 0o644})
+	if lbl := fs.SIDs().Label(f.SID); lbl != "tmp_t" {
+		t.Errorf("/tmp/x label = %q, want tmp_t", lbl)
+	}
+	g := mustCreate(t, fs, etc, "passwd", "/etc/passwd", CreateOpts{Mode: 0o644})
+	if lbl := fs.SIDs().Label(g.SID); lbl != "etc_t" {
+		t.Errorf("/etc/passwd label = %q, want etc_t", lbl)
+	}
+}
+
+func TestCreateLabelOverride(t *testing.T) {
+	fs := newTestFS()
+	tmp := fs.MustPath("/tmp")
+	f := mustCreate(t, fs, tmp, "s", "/tmp/s", CreateOpts{Label: "shadow_t"})
+	if lbl := fs.SIDs().Label(f.SID); lbl != "shadow_t" {
+		t.Errorf("label override = %q, want shadow_t", lbl)
+	}
+}
+
+func TestResolveBasic(t *testing.T) {
+	fs := newTestFS()
+	etc := fs.MustPath("/etc")
+	want := mustCreate(t, fs, etc, "passwd", "/etc/passwd", CreateOpts{Mode: 0o644})
+
+	res, err := fs.Resolve(nil, "/etc/passwd", ResolveOpts{FollowFinal: true}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Node != want {
+		t.Error("resolved wrong inode")
+	}
+	if res.Path != "/etc/passwd" {
+		t.Errorf("Path = %q", res.Path)
+	}
+	if res.Parent != etc || res.Name != "passwd" {
+		t.Error("parent/name wrong")
+	}
+}
+
+func TestResolveMissing(t *testing.T) {
+	fs := newTestFS()
+	fs.MustPath("/etc")
+	_, err := fs.Resolve(nil, "/etc/nope", ResolveOpts{}, nil)
+	if !errors.Is(err, ErrNotExist) {
+		t.Errorf("err = %v, want ErrNotExist", err)
+	}
+	_, err = fs.Resolve(nil, "/nope/deep/file", ResolveOpts{}, nil)
+	if !errors.Is(err, ErrNotExist) {
+		t.Errorf("err = %v, want ErrNotExist", err)
+	}
+}
+
+func TestResolveThroughFileFails(t *testing.T) {
+	fs := newTestFS()
+	etc := fs.MustPath("/etc")
+	mustCreate(t, fs, etc, "f", "/etc/f", CreateOpts{})
+	_, err := fs.Resolve(nil, "/etc/f/x", ResolveOpts{}, nil)
+	if !errors.Is(err, ErrNotDir) {
+		t.Errorf("err = %v, want ErrNotDir", err)
+	}
+}
+
+func TestResolveWantParent(t *testing.T) {
+	fs := newTestFS()
+	fs.MustPath("/tmp")
+	res, err := fs.Resolve(nil, "/tmp/newfile", ResolveOpts{WantParent: true}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Node != nil {
+		t.Error("Node should be nil for absent final component")
+	}
+	if res.Name != "newfile" || res.Path != "/tmp/newfile" {
+		t.Errorf("Name=%q Path=%q", res.Name, res.Path)
+	}
+	// Existing final component: Node is set too.
+	tmp := fs.MustPath("/tmp")
+	f := mustCreate(t, fs, tmp, "exists", "/tmp/exists", CreateOpts{})
+	res, err = fs.Resolve(nil, "/tmp/exists", ResolveOpts{WantParent: true}, nil)
+	if err != nil || res.Node != f {
+		t.Errorf("WantParent on existing: node=%v err=%v", res.Node, err)
+	}
+}
+
+func TestSymlinkFollow(t *testing.T) {
+	fs := newTestFS()
+	etc := fs.MustPath("/etc")
+	tmp := fs.MustPath("/tmp")
+	passwd := mustCreate(t, fs, etc, "passwd", "/etc/passwd", CreateOpts{Mode: 0o644})
+	mustCreate(t, fs, tmp, "link", "/tmp/link", CreateOpts{Type: TypeSymlink, Target: "/etc/passwd"})
+
+	res, err := fs.Resolve(nil, "/tmp/link", ResolveOpts{FollowFinal: true}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Node != passwd {
+		t.Error("symlink did not resolve to target")
+	}
+
+	// lstat semantics: do not follow the final symlink.
+	res, err = fs.Resolve(nil, "/tmp/link", ResolveOpts{FollowFinal: false}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Node.IsSymlink() {
+		t.Error("FollowFinal=false should return the link inode")
+	}
+}
+
+func TestSymlinkRelative(t *testing.T) {
+	fs := newTestFS()
+	dir := fs.MustPath("/a/b")
+	target := mustCreate(t, fs, dir, "t", "/a/b/t", CreateOpts{})
+	mustCreate(t, fs, dir, "l", "/a/b/l", CreateOpts{Type: TypeSymlink, Target: "t"})
+	res, err := fs.Resolve(nil, "/a/b/l", ResolveOpts{FollowFinal: true}, nil)
+	if err != nil || res.Node != target {
+		t.Fatalf("relative symlink: node=%v err=%v", res.Node, err)
+	}
+}
+
+func TestSymlinkMidPath(t *testing.T) {
+	fs := newTestFS()
+	fs.MustPath("/var/www")
+	www := fs.MustPath("/var/www")
+	f := mustCreate(t, fs, www, "index", "/var/www/index", CreateOpts{})
+	srv := fs.MustPath("/srv")
+	mustCreate(t, fs, srv, "web", "/srv/web", CreateOpts{Type: TypeSymlink, Target: "/var/www"})
+
+	res, err := fs.Resolve(nil, "/srv/web/index", ResolveOpts{FollowFinal: false}, nil)
+	if err != nil || res.Node != f {
+		t.Fatalf("mid-path symlink: node=%v err=%v", res.Node, err)
+	}
+}
+
+func TestSymlinkLoop(t *testing.T) {
+	fs := newTestFS()
+	tmp := fs.MustPath("/tmp")
+	mustCreate(t, fs, tmp, "a", "/tmp/a", CreateOpts{Type: TypeSymlink, Target: "/tmp/b"})
+	mustCreate(t, fs, tmp, "b", "/tmp/b", CreateOpts{Type: TypeSymlink, Target: "/tmp/a"})
+	_, err := fs.Resolve(nil, "/tmp/a", ResolveOpts{FollowFinal: true}, nil)
+	if !errors.Is(err, ErrLoop) {
+		t.Errorf("err = %v, want ErrLoop", err)
+	}
+}
+
+func TestResolveMediationTrail(t *testing.T) {
+	fs := newTestFS()
+	etc := fs.MustPath("/etc")
+	mustCreate(t, fs, etc, "passwd", "/etc/passwd", CreateOpts{Mode: 0o644})
+
+	var steps []Access
+	m := MediatorFunc(func(a Access) error {
+		steps = append(steps, a)
+		return nil
+	})
+	_, err := fs.Resolve(nil, "/etc/passwd", ResolveOpts{FollowFinal: true}, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expect: search /, search /etc. (Final object mediation is the
+	// caller's responsibility.)
+	if len(steps) != 2 {
+		t.Fatalf("mediated %d steps, want 2: %+v", len(steps), steps)
+	}
+	if steps[0].Path != "/" || steps[1].Path != "/etc" {
+		t.Errorf("trail paths: %q, %q", steps[0].Path, steps[1].Path)
+	}
+	for _, s := range steps {
+		if s.Class != mac.ClassDir || s.Want != mac.PermSearch {
+			t.Errorf("step %+v: want dir search", s)
+		}
+	}
+}
+
+func TestResolveMediatesSymlinkRead(t *testing.T) {
+	fs := newTestFS()
+	tmp := fs.MustPath("/tmp")
+	fs.MustPath("/etc")
+	etc := fs.MustPath("/etc")
+	mustCreate(t, fs, etc, "passwd", "/etc/passwd", CreateOpts{})
+	mustCreate(t, fs, tmp, "l", "/tmp/l", CreateOpts{Type: TypeSymlink, Target: "/etc/passwd"})
+
+	var linkReads int
+	m := MediatorFunc(func(a Access) error {
+		if a.Class == mac.ClassLnkFile {
+			linkReads++
+			if a.Path != "/tmp/l" {
+				t.Errorf("link read path = %q", a.Path)
+			}
+		}
+		return nil
+	})
+	if _, err := fs.Resolve(nil, "/tmp/l", ResolveOpts{FollowFinal: true}, m); err != nil {
+		t.Fatal(err)
+	}
+	if linkReads != 1 {
+		t.Errorf("link reads = %d, want 1", linkReads)
+	}
+}
+
+func TestResolveDenied(t *testing.T) {
+	fs := newTestFS()
+	etc := fs.MustPath("/etc")
+	mustCreate(t, fs, etc, "passwd", "/etc/passwd", CreateOpts{})
+	denied := errors.New("denied by test")
+	m := MediatorFunc(func(a Access) error {
+		if a.Path == "/etc" {
+			return denied
+		}
+		return nil
+	})
+	_, err := fs.Resolve(nil, "/etc/passwd", ResolveOpts{FollowFinal: true}, m)
+	if !errors.Is(err, denied) {
+		t.Errorf("err = %v, want mediation denial", err)
+	}
+}
+
+func TestResolveRelativeToCwd(t *testing.T) {
+	fs := newTestFS()
+	home := fs.MustPath("/home/alice")
+	f := mustCreate(t, fs, home, "doc", "/home/alice/doc", CreateOpts{})
+	res, err := fs.Resolve(home, "doc", ResolveOpts{}, nil)
+	if err != nil || res.Node != f {
+		t.Fatalf("relative resolve: %v %v", res, err)
+	}
+}
+
+func TestResolveDotDot(t *testing.T) {
+	fs := newTestFS()
+	fs.MustPath("/var/www/html")
+	etc := fs.MustPath("/etc")
+	passwd := mustCreate(t, fs, etc, "passwd", "/etc/passwd", CreateOpts{})
+	html := fs.MustPath("/var/www/html")
+
+	// The directory traversal attack path: ../../../etc/passwd.
+	res, err := fs.Resolve(html, "../../../etc/passwd", ResolveOpts{}, nil)
+	if err != nil || res.Node != passwd {
+		t.Fatalf("dotdot resolve: node=%v err=%v", res.Node, err)
+	}
+}
+
+func TestDotDotFromRoot(t *testing.T) {
+	fs := newTestFS()
+	etc := fs.MustPath("/etc")
+	f := mustCreate(t, fs, etc, "x", "/etc/x", CreateOpts{})
+	res, err := fs.Resolve(nil, "/../etc/x", ResolveOpts{}, nil)
+	if err != nil || res.Node != f {
+		t.Fatalf("root dotdot: %v %v", res, err)
+	}
+}
+
+func TestUnlinkRecyclesIno(t *testing.T) {
+	fs := newTestFS()
+	tmp := fs.MustPath("/tmp")
+	f := mustCreate(t, fs, tmp, "a", "/tmp/a", CreateOpts{})
+	ino := f.Ino
+	if err := fs.Unlink(tmp, "a"); err != nil {
+		t.Fatal(err)
+	}
+	g := mustCreate(t, fs, tmp, "b", "/tmp/b", CreateOpts{})
+	if g.Ino != ino {
+		t.Errorf("recycled ino = %d, want %d (cryogenic-sleep precondition)", g.Ino, ino)
+	}
+}
+
+func TestOpenFileBlocksRecycling(t *testing.T) {
+	fs := newTestFS()
+	tmp := fs.MustPath("/tmp")
+	f := mustCreate(t, fs, tmp, "a", "/tmp/a", CreateOpts{})
+	ino := f.Ino
+	fs.IncOpen(f)
+	if err := fs.Unlink(tmp, "a"); err != nil {
+		t.Fatal(err)
+	}
+	g := mustCreate(t, fs, tmp, "b", "/tmp/b", CreateOpts{})
+	if g.Ino == ino {
+		t.Error("ino recycled while file still open — safe_open invariant broken")
+	}
+	fs.DecOpen(f)
+	h := mustCreate(t, fs, tmp, "c", "/tmp/c", CreateOpts{})
+	if h.Ino != ino {
+		t.Errorf("after close, ino should recycle: got %d want %d", h.Ino, ino)
+	}
+}
+
+func TestHardLinks(t *testing.T) {
+	fs := newTestFS()
+	tmp := fs.MustPath("/tmp")
+	f := mustCreate(t, fs, tmp, "a", "/tmp/a", CreateOpts{})
+	if err := fs.Link(tmp, "b", f); err != nil {
+		t.Fatal(err)
+	}
+	if f.Nlink != 2 {
+		t.Errorf("Nlink = %d, want 2", f.Nlink)
+	}
+	if err := fs.Unlink(tmp, "a"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := fs.Resolve(nil, "/tmp/b", ResolveOpts{}, nil)
+	if err != nil || res.Node != f {
+		t.Error("hard link should survive unlink of original name")
+	}
+	// No hard links to directories.
+	d := fs.MustPath("/tmp/dir")
+	if err := fs.Link(tmp, "dlink", d); !errors.Is(err, ErrPerm) {
+		t.Errorf("hard link to dir: err = %v, want ErrPerm", err)
+	}
+}
+
+func TestRenameReplaces(t *testing.T) {
+	fs := newTestFS()
+	tmp := fs.MustPath("/tmp")
+	a := mustCreate(t, fs, tmp, "a", "/tmp/a", CreateOpts{})
+	mustCreate(t, fs, tmp, "b", "/tmp/b", CreateOpts{})
+	if err := fs.Rename(tmp, "a", tmp, "b"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := fs.Resolve(nil, "/tmp/b", ResolveOpts{}, nil)
+	if err != nil || res.Node != a {
+		t.Error("rename did not replace target")
+	}
+	if _, err := fs.Resolve(nil, "/tmp/a", ResolveOpts{}, nil); !errors.Is(err, ErrNotExist) {
+		t.Error("source name should be gone after rename")
+	}
+}
+
+func TestRenameSwapsBindingForRace(t *testing.T) {
+	// The canonical TOCTTOU adversary action: replace a plain file with a
+	// symlink to a secret between a victim's check and use.
+	fs := newTestFS()
+	tmp := fs.MustPath("/tmp")
+	etc := fs.MustPath("/etc")
+	mustCreate(t, fs, etc, "shadow", "/etc/shadow", CreateOpts{Mode: 0o600})
+	mustCreate(t, fs, tmp, "f", "/tmp/f", CreateOpts{Mode: 0o644})
+
+	// check: lstat says regular file
+	res1, _ := fs.Resolve(nil, "/tmp/f", ResolveOpts{}, nil)
+	if res1.Node.IsSymlink() {
+		t.Fatal("precondition failed")
+	}
+
+	// adversary flips the binding
+	if err := fs.Unlink(tmp, "f"); err != nil {
+		t.Fatal(err)
+	}
+	mustCreate(t, fs, tmp, "f", "/tmp/f", CreateOpts{Type: TypeSymlink, Target: "/etc/shadow"})
+
+	// use: open follows to the secret
+	res2, err := fs.Resolve(nil, "/tmp/f", ResolveOpts{FollowFinal: true}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.SIDs().Label(res2.Node.SID) == fs.SIDs().Label(res1.Node.SID) {
+		t.Error("race should reach a different object")
+	}
+	if res2.Node.Ino == res1.Node.Ino {
+		t.Error("inode comparison should detect this race variant")
+	}
+}
+
+func TestRmdir(t *testing.T) {
+	fs := newTestFS()
+	tmp := fs.MustPath("/tmp")
+	fs.MustPath("/tmp/d")
+	if err := fs.Rmdir(tmp, "d"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Resolve(nil, "/tmp/d", ResolveOpts{}, nil); !errors.Is(err, ErrNotExist) {
+		t.Error("rmdir'd directory still resolvable")
+	}
+	fs.MustPath("/tmp/e/inner")
+	if err := fs.Rmdir(tmp, "e"); !errors.Is(err, ErrNotEmpty) {
+		t.Errorf("rmdir non-empty: err = %v, want ErrNotEmpty", err)
+	}
+}
+
+func TestCanAccessDAC(t *testing.T) {
+	n := &Inode{Type: TypeRegular, UID: 1000, GID: 100, Mode: 0o640}
+	cases := []struct {
+		uid, gid int
+		r, w, x  bool
+		want     bool
+	}{
+		{1000, 100, true, true, false, true},   // owner rw
+		{1000, 100, false, false, true, false}, // owner x denied
+		{2000, 100, true, false, false, true},  // group r
+		{2000, 100, false, true, false, false}, // group w denied
+		{2000, 200, true, false, false, false}, // other r denied
+		{0, 0, true, true, false, true},        // root bypasses rw
+		{0, 0, false, false, true, false},      // root x needs some x bit
+	}
+	for i, c := range cases {
+		if got := CanAccess(n, c.uid, c.gid, c.r, c.w, c.x); got != c.want {
+			t.Errorf("case %d: CanAccess = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestCanAccessRootExecWithAnyXBit(t *testing.T) {
+	n := &Inode{Type: TypeRegular, UID: 1000, GID: 100, Mode: 0o700}
+	if !CanAccess(n, 0, 0, false, false, true) {
+		t.Error("root should exec when any x bit set")
+	}
+}
+
+func TestReadWriteFile(t *testing.T) {
+	fs := newTestFS()
+	tmp := fs.MustPath("/tmp")
+	f := mustCreate(t, fs, tmp, "f", "/tmp/f", CreateOpts{})
+	if err := fs.WriteFile(f, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := fs.ReadFile(f)
+	if err != nil || string(data) != "hello" {
+		t.Errorf("ReadFile = %q, %v", data, err)
+	}
+	// Mutating the returned slice must not alias inode data.
+	data[0] = 'X'
+	data2, _ := fs.ReadFile(f)
+	if string(data2) != "hello" {
+		t.Error("ReadFile aliases inode data")
+	}
+	d := fs.MustPath("/tmp/d")
+	if err := fs.WriteFile(d, nil); !errors.Is(err, ErrIsDir) {
+		t.Errorf("write dir: %v", err)
+	}
+}
+
+func TestStatOf(t *testing.T) {
+	fs := newTestFS()
+	tmp := fs.MustPath("/tmp")
+	f := mustCreate(t, fs, tmp, "f", "/tmp/f", CreateOpts{UID: 33, GID: 33, Mode: 0o644})
+	fs.WriteFile(f, []byte("abc"))
+	st := fs.StatOf(f)
+	if st.Ino != f.Ino || st.UID != 33 || st.Size != 3 || st.Type != TypeRegular || st.Dev != 1 {
+		t.Errorf("StatOf = %+v", st)
+	}
+}
+
+func TestCreateExisting(t *testing.T) {
+	fs := newTestFS()
+	tmp := fs.MustPath("/tmp")
+	mustCreate(t, fs, tmp, "f", "/tmp/f", CreateOpts{})
+	if _, err := fs.CreateAt(tmp, "f", "/tmp/f", CreateOpts{}); !errors.Is(err, ErrExist) {
+		t.Errorf("duplicate create: %v, want ErrExist", err)
+	}
+}
+
+func TestChmodChownRelabel(t *testing.T) {
+	fs := newTestFS()
+	tmp := fs.MustPath("/tmp")
+	f := mustCreate(t, fs, tmp, "f", "/tmp/f", CreateOpts{Mode: 0o600})
+	fs.Chmod(f, 0o644)
+	if f.Mode != 0o644 {
+		t.Error("chmod failed")
+	}
+	fs.Chown(f, 5, 6)
+	if f.UID != 5 || f.GID != 6 {
+		t.Error("chown failed")
+	}
+	fs.Relabel(f, "var_t")
+	if fs.SIDs().Label(f.SID) != "var_t" {
+		t.Error("relabel failed")
+	}
+}
+
+func TestListSorted(t *testing.T) {
+	fs := newTestFS()
+	tmp := fs.MustPath("/tmp")
+	for _, n := range []string{"c", "a", "b"} {
+		mustCreate(t, fs, tmp, n, "/tmp/"+n, CreateOpts{})
+	}
+	got := fs.List(tmp)
+	want := []string{"a", "b", "c"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("List = %v", got)
+		}
+	}
+}
+
+func TestPathTooLong(t *testing.T) {
+	fs := newTestFS()
+	long := ""
+	for i := 0; i < maxPathComponents+1; i++ {
+		long += "/x"
+	}
+	if _, err := fs.Resolve(nil, long, ResolveOpts{}, nil); !errors.Is(err, ErrNameTooLong) {
+		t.Errorf("err = %v, want ErrNameTooLong", err)
+	}
+}
+
+func TestResolveRoot(t *testing.T) {
+	fs := newTestFS()
+	res, err := fs.Resolve(nil, "/", ResolveOpts{}, nil)
+	if err != nil || res.Node != fs.Root() {
+		t.Fatalf("resolve /: %v %v", res, err)
+	}
+}
+
+func TestSplitProperty(t *testing.T) {
+	// Property: split never returns empty or "." components.
+	f := func(s string) bool {
+		for _, c := range split(s) {
+			if c == "" || c == "." {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInoUniqueAmongLive(t *testing.T) {
+	// Property: all live inodes have distinct inode numbers even after
+	// heavy create/unlink churn.
+	fs := newTestFS()
+	tmp := fs.MustPath("/tmp")
+	names := []string{"a", "b", "c", "d", "e"}
+	for round := 0; round < 50; round++ {
+		for _, n := range names {
+			if _, ok := fs.Lookup(tmp, n); ok {
+				fs.Unlink(tmp, n)
+			} else {
+				mustCreate(t, fs, tmp, n, "/tmp/"+n, CreateOpts{})
+			}
+		}
+		seen := map[Ino]bool{}
+		for _, n := range fs.List(tmp) {
+			node, _ := fs.Lookup(tmp, n)
+			if node.IsDir() {
+				continue
+			}
+			if seen[node.Ino] {
+				t.Fatalf("round %d: duplicate live ino %d", round, node.Ino)
+			}
+			seen[node.Ino] = true
+		}
+	}
+}
