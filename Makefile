@@ -1,0 +1,32 @@
+# Developer / CI entry points. `make check` is the tier-1 gate plus the
+# race-enabled test suite; `make bench-smoke` is a fast perf sanity pass;
+# `make bench-hotpath` refreshes BENCH_hotpath.json so the scaling
+# trajectory is tracked across PRs.
+
+GO ?= go
+
+.PHONY: all vet build test test-race check bench-smoke bench-hotpath
+
+all: check
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+check: vet build test-race
+
+# A quick pass over the hot-path benchmarks: single-thread latency
+# (Table 6 open/stat), ruleset-size flatness, and multi-goroutine scaling.
+bench-smoke:
+	$(GO) test -run xxx -bench 'BenchmarkTable6/(stat|open\+close)/EPTSPC|BenchmarkRuleBaseScaling/eptchains|BenchmarkParallel' -benchtime 0.1s .
+
+bench-hotpath:
+	$(GO) run ./cmd/pfbench -parallel -iters 20000 -json BENCH_hotpath.json

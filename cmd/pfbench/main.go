@@ -5,14 +5,19 @@
 //	pfbench -table7   # macrobenchmarks × {Without PF, PF Base, PF Full}
 //	pfbench -fig4     # open variants × path length
 //	pfbench -fig5     # Apache SymLinksIfOwnerMatch: program vs rule R8
+//	pfbench -parallel # multi-process hot-path scaling at 1/4/8 goroutines
 //	pfbench -all      # everything
 //
-// -iters and -requests trade precision for runtime.
+// -iters and -requests trade precision for runtime. -json writes the
+// -parallel results (plus hardware parallelism) to the given file, e.g.
+// `pfbench -parallel -json BENCH_hotpath.json`.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"os"
 
 	"pfirewall/internal/lmbench"
 	"pfirewall/internal/safeopen"
@@ -24,18 +29,20 @@ func main() {
 	t7 := flag.Bool("table7", false, "run the Table 7 macrobenchmarks")
 	f4 := flag.Bool("fig4", false, "run the Figure 4 open-variant comparison")
 	f5 := flag.Bool("fig5", false, "run the Figure 5 Apache comparison")
+	par := flag.Bool("parallel", false, "run the multi-process hot-path scaling measurement")
 	all := flag.Bool("all", false, "run everything")
 	iters := flag.Int("iters", 20000, "iterations per microbenchmark cell")
 	requests := flag.Int("requests", 300, "requests per client per web cell")
 	scale := flag.Int("scale", 50, "macrobenchmark scale (build units)")
+	jsonPath := flag.String("json", "", "write -parallel results as JSON to this file")
 	flag.Parse()
 
-	if !*t6 && !*t7 && !*f4 && !*f5 && !*all {
+	if !*t6 && !*t7 && !*f4 && !*f5 && !*par && !*all {
 		flag.Usage()
 		return
 	}
 	if *all {
-		*t6, *t7, *f4, *f5 = true, true, true, true
+		*t6, *t7, *f4, *f5, *par = true, true, true, true, true
 	}
 
 	if *t6 {
@@ -57,5 +64,24 @@ func main() {
 		fmt.Println("Figure 5: Apache SymLinksIfOwnerMatch — program checks vs PF rule R8 (req/s)")
 		fmt.Print(webbench.FormatFigure5(webbench.RunFigure5(*requests)))
 		fmt.Println()
+	}
+	if *par {
+		fmt.Println("Hot-path scaling: mediated syscalls across concurrent processes")
+		rep := lmbench.RunParallel(*iters, lmbench.ParallelFanout)
+		fmt.Print(lmbench.FormatParallel(rep))
+		fmt.Println()
+		if *jsonPath != "" {
+			buf, err := json.MarshalIndent(rep, "", "  ")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "json:", err)
+				os.Exit(1)
+			}
+			buf = append(buf, '\n')
+			if err := os.WriteFile(*jsonPath, buf, 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "write:", err)
+				os.Exit(1)
+			}
+			fmt.Println("wrote", *jsonPath)
+		}
 	}
 }

@@ -1,0 +1,223 @@
+// concurrency_test.go is the multi-core stress suite for the mediation hot
+// path: many processes resolving, creating, renaming, unlinking and
+// signalling on one shared world, run under `go test -race`. It validates
+// the lock-free read structures introduced for scalability — the vfs dentry
+// cache, the MAC adversary snapshot, the kernel hook snapshot, and the PF
+// ruleset — against concurrent namespace and policy mutation.
+package pfirewall_test
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"pfirewall/internal/kernel"
+	"pfirewall/internal/lmbench"
+	"pfirewall/internal/mac"
+	"pfirewall/internal/pf"
+	"pfirewall/internal/programs"
+	"pfirewall/internal/vfs"
+)
+
+// stressWorld builds one fully armed world: optimized PF engine with the
+// deployment-scale synthetic rule base installed.
+func stressWorld(t *testing.T) *programs.World {
+	t.Helper()
+	cfg := pf.Optimized()
+	w := programs.NewWorld(programs.WorldOpts{PF: &cfg})
+	if _, err := w.InstallRules(lmbench.SyntheticRuleBase(lmbench.FullRuleBaseSize)); err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// stressProc spawns a root sshd_t process with a realistic stack so
+// entrypoint collection has work to do.
+func stressProc(w *programs.World) *kernel.Proc {
+	p := w.NewProc(kernel.ProcSpec{UID: 0, GID: 0, Label: "sshd_t", Exec: programs.BinSshd})
+	for f := 0; f < 8; f++ {
+		p.PushFrame(programs.BinSshd, uint64(0x100+f*0x10))
+	}
+	p.SyscallSite(programs.BinSshd, 0x300)
+	return p
+}
+
+// benignErr reports whether err is an acceptable outcome for operations
+// that race namespace mutators or trip firewall rules: the binding may be
+// mid-flip (ENOENT/EEXIST) or a PF rule may fire. Anything else is a bug.
+func benignErr(err error) bool {
+	return err == nil ||
+		errors.Is(err, vfs.ErrNotExist) ||
+		errors.Is(err, vfs.ErrExist) ||
+		errors.Is(err, kernel.ErrPFDenied)
+}
+
+// TestConcurrentMediationStress drives openers, a renamer, a
+// creator/unlinker and a signaller against one shared world. Stable paths
+// must always resolve; racing paths may come and go but must never produce
+// an unexpected error class; and the whole run must be race-detector clean.
+func TestConcurrentMediationStress(t *testing.T) {
+	w := stressWorld(t)
+
+	iters := 400
+	if testing.Short() {
+		iters = 50
+	}
+
+	var wg sync.WaitGroup
+
+	// Four openers hammer stable paths and poke the flipping one.
+	const openers = 4
+	for g := 0; g < openers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p := stressProc(w)
+			for i := 0; i < iters; i++ {
+				fd, err := p.Open("/etc/passwd", kernel.O_RDONLY, 0)
+				if err != nil {
+					t.Errorf("open /etc/passwd: %v", err)
+					return
+				}
+				p.Close(fd)
+				if _, err := p.Stat("/var/www/html/index.html"); err != nil {
+					t.Errorf("stat index.html: %v", err)
+					return
+				}
+				// The flipping binding: any benign outcome is fine.
+				if fd, err := p.Open("/tmp/flip", kernel.O_RDONLY, 0); err == nil {
+					p.Close(fd)
+				} else if !benignErr(err) {
+					t.Errorf("open /tmp/flip: %v", err)
+					return
+				}
+			}
+		}()
+	}
+
+	// The renamer flips /tmp/flip: create under a scratch name, rename
+	// over, unlink — the adversary pattern of paper Figure 1a.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		p := stressProc(w)
+		for i := 0; i < iters; i++ {
+			fd, err := p.Open("/tmp/flip-src", kernel.O_CREAT|kernel.O_RDWR, 0o600)
+			if !benignErr(err) {
+				t.Errorf("create flip-src: %v", err)
+				return
+			}
+			if err == nil {
+				p.Close(fd)
+			}
+			if err := p.Rename("/tmp/flip-src", "/tmp/flip"); !benignErr(err) {
+				t.Errorf("rename: %v", err)
+				return
+			}
+			if err := p.Unlink("/tmp/flip"); !benignErr(err) {
+				t.Errorf("unlink flip: %v", err)
+				return
+			}
+		}
+	}()
+
+	// The creator/unlinker churns private names, exercising negative
+	// dentries and inode recycling.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		p := stressProc(w)
+		for i := 0; i < iters; i++ {
+			path := fmt.Sprintf("/tmp/cu-%d", i%7)
+			fd, err := p.Open(path, kernel.O_CREAT|kernel.O_RDWR, 0o600)
+			if !benignErr(err) {
+				t.Errorf("create %s: %v", path, err)
+				return
+			}
+			if err == nil {
+				p.Close(fd)
+			}
+			if err := p.Unlink(path); !benignErr(err) {
+				t.Errorf("unlink %s: %v", path, err)
+				return
+			}
+		}
+	}()
+
+	// The signaller delivers to a dedicated victim, driving the PF signal
+	// chain (rules R9-R12 shape) concurrently with resource mediation.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		sender := stressProc(w)
+		victim := stressProc(w)
+		victim.Sigaction(kernel.SIGTERM, func(*kernel.Proc, int) {})
+		for i := 0; i < iters; i++ {
+			if err := sender.Kill(victim.PID(), kernel.SIGTERM); !benignErr(err) {
+				t.Errorf("kill: %v", err)
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+
+	// The shared counters must have seen traffic from all flows, and the
+	// firewall must not have dropped the stable-path accesses.
+	if w.K.FS.Resolutions.Load() == 0 || w.K.FS.Components.Load() == 0 {
+		t.Error("resolution counters did not advance")
+	}
+	if w.K.FS.DcacheHits.Load() == 0 {
+		t.Error("dentry cache served no hits under a read-heavy load")
+	}
+}
+
+// TestConcurrentRuleInstallDuringTraffic races rule-base edits (RCU
+// ruleset swaps) and MAC policy edits (adversary snapshot swaps) against
+// mediated traffic on stable paths, which must keep succeeding throughout.
+func TestConcurrentRuleInstallDuringTraffic(t *testing.T) {
+	w := stressWorld(t)
+
+	iters := 300
+	if testing.Short() {
+		iters = 40
+	}
+
+	var wg sync.WaitGroup
+	const openers = 3
+	for g := 0; g < openers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p := stressProc(w)
+			for i := 0; i < iters; i++ {
+				fd, err := p.Open("/etc/passwd", kernel.O_RDONLY, 0)
+				if err != nil {
+					t.Errorf("open during rule churn: %v", err)
+					return
+				}
+				p.Close(fd)
+			}
+		}()
+	}
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters/4; i++ {
+			// LOG rules match everything but verdict nothing: traffic keeps
+			// flowing while the ruleset snapshot is republished.
+			if _, err := w.InstallRules([]string{
+				`pftables -o FILE_OPEN -m ADV_ACCESS --write --is true -j LOG`,
+			}); err != nil {
+				t.Errorf("install: %v", err)
+				return
+			}
+			// Policy edit: forces adversary snapshot invalidation mid-run.
+			w.K.Policy.Allow("user_t", "tmp_t", mac.ClassFile, mac.PermRead)
+		}
+	}()
+
+	wg.Wait()
+}

@@ -31,9 +31,12 @@ type Kernel struct {
 	procs   map[int]*Proc
 	nextPid int
 
+	// preHooks is published as an immutable snapshot: syscall dispatch
+	// (runPreHooks, on every syscall) loads it with one atomic read and no
+	// lock; registration and removal copy-on-write under hookMu.
 	hookMu   sync.Mutex
 	nextHook int
-	preHooks map[int]SyscallHook
+	preHooks atomic.Pointer[[]hookEntry]
 
 	// SyscallCount counts every syscall dispatched, for benchmarks.
 	SyscallCount atomic.Uint64
@@ -47,6 +50,14 @@ type Kernel struct {
 // moment a real scheduler could preempt the victim (paper Section 2.1).
 type SyscallHook func(p *Proc, nr Syscall)
 
+// hookEntry pairs a registered hook with its removal id. Entries are kept
+// in registration order, so hooks fire deterministically (the map-based
+// predecessor iterated in random order).
+type hookEntry struct {
+	id int
+	h  SyscallHook
+}
+
 // New creates a kernel with an empty filesystem labeled by contexts.
 func New(policy *mac.Policy, contexts *mac.FileContexts) *Kernel {
 	return &Kernel{
@@ -55,7 +66,6 @@ func New(policy *mac.Policy, contexts *mac.FileContexts) *Kernel {
 		Contexts: contexts,
 		procs:    make(map[int]*Proc),
 		nextPid:  1,
-		preHooks: make(map[int]SyscallHook),
 	}
 }
 
@@ -67,7 +77,14 @@ func (k *Kernel) AddPreSyscallHook(h SyscallHook) int {
 	k.hookMu.Lock()
 	defer k.hookMu.Unlock()
 	k.nextHook++
-	k.preHooks[k.nextHook] = h
+	var old []hookEntry
+	if p := k.preHooks.Load(); p != nil {
+		old = *p
+	}
+	hooks := make([]hookEntry, len(old), len(old)+1)
+	copy(hooks, old)
+	hooks = append(hooks, hookEntry{id: k.nextHook, h: h})
+	k.preHooks.Store(&hooks)
 	return k.nextHook
 }
 
@@ -75,19 +92,28 @@ func (k *Kernel) AddPreSyscallHook(h SyscallHook) int {
 func (k *Kernel) RemoveHook(id int) {
 	k.hookMu.Lock()
 	defer k.hookMu.Unlock()
-	delete(k.preHooks, id)
+	p := k.preHooks.Load()
+	if p == nil {
+		return
+	}
+	hooks := make([]hookEntry, 0, len(*p))
+	for _, e := range *p {
+		if e.id != id {
+			hooks = append(hooks, e)
+		}
+	}
+	k.preHooks.Store(&hooks)
 }
 
-// runPreHooks fires registered hooks for a syscall entry.
+// runPreHooks fires registered hooks for a syscall entry. The snapshot load
+// is the only synchronization: no lock is taken on the dispatch path.
 func (k *Kernel) runPreHooks(p *Proc, nr Syscall) {
-	k.hookMu.Lock()
-	hooks := make([]SyscallHook, 0, len(k.preHooks))
-	for _, h := range k.preHooks {
-		hooks = append(hooks, h)
+	hooks := k.preHooks.Load()
+	if hooks == nil {
+		return
 	}
-	k.hookMu.Unlock()
-	for _, h := range hooks {
-		h(p, nr)
+	for _, e := range *hooks {
+		e.h(p, nr)
 	}
 }
 

@@ -1,0 +1,101 @@
+package mac
+
+import (
+	"sync"
+	"testing"
+)
+
+// snapshotPolicy builds a policy with one trusted victim and one untrusted
+// adversary subject, returning (policy, victim SID, object SID).
+func snapshotPolicy() (*Policy, SID, SID) {
+	sids := NewSIDTable()
+	p := NewPolicy(sids)
+	p.MarkTrusted("sshd_t")
+	p.Allow("sshd_t", "etc_t", ClassFile, PermRead)
+	p.Allow("user_t", "tmp_t", ClassFile, PermRead|PermWrite)
+	return p, sids.SID("sshd_t"), sids.SID("etc_t")
+}
+
+// TestAdvSnapshotInvalidatedByAllow checks that the memoized adversary
+// answer is discarded when a later Allow changes it — the cache must never
+// serve a pre-edit verdict after the edit completes.
+func TestAdvSnapshotInvalidatedByAllow(t *testing.T) {
+	p, victim, obj := snapshotPolicy()
+
+	if p.AdversaryWritable(victim, obj) {
+		t.Fatal("etc_t must not be adversary-writable initially")
+	}
+	// Memoized hit must agree.
+	if p.AdversaryWritable(victim, obj) {
+		t.Fatal("memoized answer diverged")
+	}
+
+	p.Allow("user_t", "etc_t", ClassFile, PermWrite)
+	if !p.AdversaryWritable(victim, obj) {
+		t.Fatal("stale snapshot: AdversaryWritable false after adversary was granted write")
+	}
+
+	if p.AdversaryReadable(victim, obj) {
+		t.Fatal("etc_t must not be adversary-readable yet")
+	}
+	p.Allow("user_t", "etc_t", ClassFile, PermRead)
+	if !p.AdversaryReadable(victim, obj) {
+		t.Fatal("stale snapshot: AdversaryReadable false after adversary was granted read")
+	}
+}
+
+// TestAdvSnapshotInvalidatedByMarkTrusted checks that trusting a former
+// adversary updates the memoized answers (the adversary set of a TCB victim
+// is the non-SYSHIGH subjects, so SYSHIGH membership edits invalidate too).
+func TestAdvSnapshotInvalidatedByMarkTrusted(t *testing.T) {
+	sids := NewSIDTable()
+	p := NewPolicy(sids)
+	p.MarkTrusted("sshd_t")
+	p.Allow("sshd_t", "etc_t", ClassFile, PermRead)
+	p.Allow("helper_t", "etc_t", ClassFile, PermWrite)
+	victim, obj := sids.SID("sshd_t"), sids.SID("etc_t")
+
+	if !p.AdversaryWritable(victim, obj) {
+		t.Fatal("untrusted helper_t with write perm must make etc_t adversary-writable")
+	}
+	p.MarkTrusted("helper_t")
+	if p.AdversaryWritable(victim, obj) {
+		t.Fatal("stale snapshot: helper_t joined SYSHIGH but is still counted as adversary")
+	}
+}
+
+// TestAdvSnapshotConcurrentQueriesAndEdits races wait-free readers against
+// policy editors; under -race this validates the copy-on-write publication,
+// and the final quiescent query must reflect the last edit.
+func TestAdvSnapshotConcurrentQueriesAndEdits(t *testing.T) {
+	p, victim, obj := snapshotPolicy()
+
+	var wg sync.WaitGroup
+	const readers = 4
+	wg.Add(readers)
+	for r := 0; r < readers; r++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				p.AdversaryWritable(victim, obj)
+				p.AdversaryReadable(victim, obj)
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			// Alternate rule edits that flip nothing material but force
+			// epoch advances and snapshot republication.
+			p.Allow("user_t", "tmp_t", ClassFile, PermRead)
+			p.MarkTrusted("sshd_t")
+		}
+	}()
+	wg.Wait()
+
+	p.Allow("user_t", "etc_t", ClassFile, PermWrite)
+	if !p.AdversaryWritable(victim, obj) {
+		t.Fatal("post-race edit not visible: snapshot stale")
+	}
+}

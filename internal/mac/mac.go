@@ -21,6 +21,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Label is an SELinux-style type label, e.g. "httpd_t" or "shadow_t".
@@ -219,22 +220,38 @@ type Policy struct {
 	// rules; adversary computations quantify over these.
 	subjects map[SID]bool
 
-	// advWriteCache / advReadCache memoize adversary accessibility per
-	// object SID for TCB victims, the common case on the PF hot path.
-	advWriteCache map[SID]bool
-	advReadCache  map[SID]bool
+	// adv is the adversary-accessibility snapshot consulted on the PF hot
+	// path. It is immutable once published: cache hits are wait-free loads
+	// with no lock acquisition, misses memoize by copy-on-write swap, and
+	// policy edits publish a fresh empty snapshot (RCU discipline, like the
+	// PF engine's ruleset). advEpoch, guarded by mu, detects a policy edit
+	// racing a miss-path computation so a stale result is never memoized.
+	adv      atomic.Pointer[advSnapshot]
+	advEpoch uint64
+}
+
+// advSnapshot memoizes adversary accessibility per object SID for TCB
+// victims, the common case on the PF hot path. All maps are frozen at
+// publication; trusted is shared across successive snapshots of one epoch.
+type advSnapshot struct {
+	epoch   uint64
+	trusted map[SID]bool // SYSHIGH membership at snapshot time
+	write   map[SID]bool // object SID -> adversary-writable
+	read    map[SID]bool // object SID -> adversary-readable
 }
 
 // NewPolicy returns an empty policy that interns labels in sids.
 func NewPolicy(sids *SIDTable) *Policy {
-	return &Policy{
-		sids:          sids,
-		allow:         make(map[avKey]Perm),
-		trusted:       make(map[SID]bool),
-		subjects:      make(map[SID]bool),
-		advWriteCache: make(map[SID]bool),
-		advReadCache:  make(map[SID]bool),
+	p := &Policy{
+		sids:     sids,
+		allow:    make(map[avKey]Perm),
+		trusted:  make(map[SID]bool),
+		subjects: make(map[SID]bool),
 	}
+	p.adv.Store(&advSnapshot{
+		trusted: map[SID]bool{}, write: map[SID]bool{}, read: map[SID]bool{},
+	})
+	return p
 }
 
 // SIDs returns the policy's SID table.
@@ -294,10 +311,49 @@ func (p *Policy) Authorized(subject, object SID, cls Class, perms Perm) bool {
 	return p.allow[avKey{subject, object, cls}]&perms == perms
 }
 
-// invalidateCachesLocked clears adversary caches; callers hold p.mu.
+// invalidateCachesLocked publishes a fresh, empty adversary snapshot and
+// advances the epoch so in-flight miss computations against the old policy
+// cannot memoize their (possibly stale) results; callers hold p.mu.
 func (p *Policy) invalidateCachesLocked() {
-	p.advWriteCache = make(map[SID]bool)
-	p.advReadCache = make(map[SID]bool)
+	p.advEpoch++
+	t := make(map[SID]bool, len(p.trusted))
+	for s := range p.trusted {
+		t[s] = true
+	}
+	p.adv.Store(&advSnapshot{
+		epoch: p.advEpoch, trusted: t,
+		write: map[SID]bool{}, read: map[SID]bool{},
+	})
+}
+
+// memoizeAdv publishes snap extended with obj->res in the write or read
+// map. The copy-on-write swap happens under p.mu; if the policy changed
+// since the caller loaded snap (epoch mismatch), the result is dropped —
+// the original shared-map design would have cached it into the freshly
+// invalidated cache, serving stale answers after a policy edit.
+func (p *Policy) memoizeAdv(snap *advSnapshot, obj SID, res, write bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.advEpoch != snap.epoch {
+		return
+	}
+	cur := p.adv.Load()
+	n := &advSnapshot{epoch: cur.epoch, trusted: cur.trusted, write: cur.write, read: cur.read}
+	src := cur.write
+	if !write {
+		src = cur.read
+	}
+	m := make(map[SID]bool, len(src)+1)
+	for k, v := range src {
+		m[k] = v
+	}
+	m[obj] = res
+	if write {
+		n.write = m
+	} else {
+		n.read = m
+	}
+	p.adv.Store(n)
 }
 
 // AdversariesOf returns the subject SIDs considered adversaries of a victim
@@ -325,43 +381,41 @@ func (p *Policy) AdversariesOf(victim SID) []SID {
 	return out
 }
 
+// advWritePerms are the permissions whose grant to an adversary makes an
+// object an integrity attack surface.
+const advWritePerms = PermWrite | PermAppend | PermCreate | PermAddName | PermSetattr
+
 // AdversaryWritable reports whether any adversary of victim can write,
 // create in, or otherwise modify objects labeled obj (integrity attack
-// surface; paper Section 2.2 footnote 2).
+// surface; paper Section 2.2 footnote 2). For TCB victims — the common case
+// on the PF hot path, and the case where the adversary set is
+// victim-independent — the answer is memoized in the wait-free snapshot.
 func (p *Policy) AdversaryWritable(victim, obj SID) bool {
-	if p.Trusted(victim) {
-		p.mu.RLock()
-		v, ok := p.advWriteCache[obj]
-		p.mu.RUnlock()
-		if ok {
-			return v
-		}
-		res := p.adversaryHasPerm(victim, obj, PermWrite|PermAppend|PermCreate|PermAddName|PermSetattr)
-		p.mu.Lock()
-		p.advWriteCache[obj] = res
-		p.mu.Unlock()
-		return res
+	snap := p.adv.Load()
+	if !snap.trusted[victim] {
+		return p.adversaryHasPerm(victim, obj, advWritePerms)
 	}
-	return p.adversaryHasPerm(victim, obj, PermWrite|PermAppend|PermCreate|PermAddName|PermSetattr)
+	if v, ok := snap.write[obj]; ok {
+		return v
+	}
+	res := p.adversaryHasPerm(victim, obj, advWritePerms)
+	p.memoizeAdv(snap, obj, res, true)
+	return res
 }
 
 // AdversaryReadable reports whether any adversary of victim can read objects
-// labeled obj (secrecy attack surface).
+// labeled obj (secrecy attack surface). Memoized like AdversaryWritable.
 func (p *Policy) AdversaryReadable(victim, obj SID) bool {
-	if p.Trusted(victim) {
-		p.mu.RLock()
-		v, ok := p.advReadCache[obj]
-		p.mu.RUnlock()
-		if ok {
-			return v
-		}
-		res := p.adversaryHasPerm(victim, obj, PermRead)
-		p.mu.Lock()
-		p.advReadCache[obj] = res
-		p.mu.Unlock()
-		return res
+	snap := p.adv.Load()
+	if !snap.trusted[victim] {
+		return p.adversaryHasPerm(victim, obj, PermRead)
 	}
-	return p.adversaryHasPerm(victim, obj, PermRead)
+	if v, ok := snap.read[obj]; ok {
+		return v
+	}
+	res := p.adversaryHasPerm(victim, obj, PermRead)
+	p.memoizeAdv(snap, obj, res, false)
+	return res
 }
 
 // adversaryHasPerm reports whether some adversary of victim holds any of

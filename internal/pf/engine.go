@@ -310,8 +310,8 @@ func (e *Engine) Remove(chain string, match func(*Rule) bool) error {
 }
 
 // Flush removes all rules from every chain.
-func (e *Engine) Flush() {
-	e.update(func(rs *ruleset) error {
+func (e *Engine) Flush() error {
+	return e.update(func(rs *ruleset) error {
 		for _, c := range rs.chains {
 			c.Rules = nil
 			c.generic = nil
@@ -378,8 +378,9 @@ func (e *Engine) Filter(req *Request) Verdict {
 	// process's mapped binaries (or interpreter) can appear in the index,
 	// the stack is not even unwound.
 	if !final && e.cfg.EptChains && rs.hasEptRules && mayMatchEpt(rs, req.Proc) {
+		eps, _ := ctx.Entrypoints()
 	scan:
-		for _, ep := range func() []Entrypoint { es, _ := ctx.Entrypoints(); return es }() {
+		for _, ep := range eps {
 			for _, r := range rs.eptIndex[entryKey{start, ep.Path, ep.Off}] {
 				act := e.evalRule(ctx, r)
 				if !act.Final && act.Jump != "" {

@@ -589,7 +589,9 @@ func TestFlushAndRuleCount(t *testing.T) {
 	if e.RuleCount() != 2 {
 		t.Errorf("RuleCount = %d, want 2", e.RuleCount())
 	}
-	e.Flush()
+	if err := e.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
 	if e.RuleCount() != 0 {
 		t.Error("Flush left rules behind")
 	}

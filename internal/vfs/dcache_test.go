@@ -1,0 +1,160 @@
+package vfs
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// resolveNode resolves path and returns the final inode (nil on error).
+func resolveNode(t *testing.T, fs *FS, path string) *Inode {
+	t.Helper()
+	res, err := fs.Resolve(nil, path, ResolveOpts{FollowFinal: true}, nil)
+	if err != nil {
+		t.Fatalf("resolve %s: %v", path, err)
+	}
+	return res.Node
+}
+
+// TestDcacheHitsOnRepeatedResolution verifies the cache actually serves the
+// hot path: resolving the same path twice must hit on the second walk.
+func TestDcacheHitsOnRepeatedResolution(t *testing.T) {
+	fs := newTestFS()
+	etc := fs.MustPath("/etc")
+	mustCreate(t, fs, etc, "passwd", "/etc/passwd", CreateOpts{Mode: 0o644})
+
+	resolveNode(t, fs, "/etc/passwd") // fill
+	before := fs.DcacheHits.Load()
+	resolveNode(t, fs, "/etc/passwd")
+	if hits := fs.DcacheHits.Load() - before; hits < 2 {
+		t.Errorf("second resolution produced %d dcache hits, want >= 2 (etc + passwd)", hits)
+	}
+}
+
+// TestDcacheRenameInvalidation is the TOCTTOU-shaped correctness property:
+// once a rename completes, no later resolution may return the old binding,
+// even though earlier resolutions populated the dentry cache.
+func TestDcacheRenameInvalidation(t *testing.T) {
+	fs := newTestFS()
+	d := fs.MustPath("/d")
+	old := mustCreate(t, fs, d, "f", "/d/f", CreateOpts{Mode: 0o644})
+	evil := mustCreate(t, fs, d, "g", "/d/g", CreateOpts{Mode: 0o644})
+
+	if got := resolveNode(t, fs, "/d/f"); got != old {
+		t.Fatalf("pre-rename resolution = ino %d, want %d", got.Ino, old.Ino)
+	}
+	// The adversary's flip: rename g over f (atomic replace).
+	if err := fs.Rename(d, "g", d, "f"); err != nil {
+		t.Fatalf("rename: %v", err)
+	}
+	if got := resolveNode(t, fs, "/d/f"); got != evil {
+		t.Fatalf("post-rename resolution returned stale dentry (ino %d, want %d)", got.Ino, evil.Ino)
+	}
+
+	// Unlink must invalidate too.
+	if err := fs.Unlink(d, "f"); err != nil {
+		t.Fatalf("unlink: %v", err)
+	}
+	if _, err := fs.Resolve(nil, "/d/f", ResolveOpts{FollowFinal: true}, nil); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("post-unlink resolve err = %v, want ErrNotExist", err)
+	}
+
+	// Negative dentries must be invalidated by creation.
+	fresh := mustCreate(t, fs, d, "f", "/d/f", CreateOpts{Mode: 0o644})
+	if got := resolveNode(t, fs, "/d/f"); got != fresh {
+		t.Fatalf("post-create resolution returned stale negative dentry")
+	}
+}
+
+// TestDcacheSymlinkReplacement covers the symlink-flip variant: replacing a
+// symlink (unlink + re-create) must redirect subsequent resolutions.
+func TestDcacheSymlinkReplacement(t *testing.T) {
+	fs := newTestFS()
+	etc := fs.MustPath("/etc")
+	tmp := fs.MustPath("/tmp")
+	safe := mustCreate(t, fs, etc, "real", "/etc/real", CreateOpts{Mode: 0o644})
+	trap := mustCreate(t, fs, tmp, "trap", "/tmp/trap", CreateOpts{Mode: 0o644})
+	mustCreate(t, fs, tmp, "ln", "/tmp/ln", CreateOpts{Type: TypeSymlink, Target: "/etc/real"})
+
+	if got := resolveNode(t, fs, "/tmp/ln"); got != safe {
+		t.Fatalf("symlink resolved to ino %d, want %d", got.Ino, safe.Ino)
+	}
+	if err := fs.Unlink(tmp, "ln"); err != nil {
+		t.Fatal(err)
+	}
+	mustCreate(t, fs, tmp, "ln", "/tmp/ln", CreateOpts{Type: TypeSymlink, Target: "/tmp/trap"})
+	if got := resolveNode(t, fs, "/tmp/ln"); got != trap {
+		t.Fatalf("flipped symlink resolved to stale target (ino %d, want %d)", got.Ino, trap.Ino)
+	}
+}
+
+// TestDcacheConcurrentRenameNeverStale races resolvers against a renamer:
+// every resolution must observe one of the two inodes that legitimately
+// carried the name at some point during the run — never a third value —
+// and once the renamer stops, resolution must agree with the authoritative
+// (locked) lookup. Run under -race this also proves the lock-free hit path
+// is data-race free against concurrent namespace mutation.
+func TestDcacheConcurrentRenameNeverStale(t *testing.T) {
+	fs := newTestFS()
+	d := fs.MustPath("/d")
+	a := mustCreate(t, fs, d, "a", "/d/a", CreateOpts{Mode: 0o644})
+	b := mustCreate(t, fs, d, "b", "/d/b", CreateOpts{Mode: 0o644})
+	// "cur" flips between inode a and inode b via atomic rename-over.
+	if err := fs.Link(d, "cur", a); err != nil {
+		t.Fatal(err)
+	}
+
+	var stop atomic.Bool
+	renamerDone := make(chan struct{})
+	go func() {
+		defer close(renamerDone)
+		for i := 0; !stop.Load(); i++ {
+			next := a
+			if i%2 == 1 {
+				next = b
+			}
+			// Link under a scratch name, then rename-over: "cur" atomically
+			// flips between inode a and inode b, and always exists.
+			if err := fs.Link(d, "spare", next); err != nil {
+				t.Errorf("link: %v", err)
+				return
+			}
+			if err := fs.Rename(d, "spare", d, "cur"); err != nil {
+				t.Errorf("rename: %v", err)
+				return
+			}
+		}
+	}()
+
+	const resolvers = 4
+	var wg sync.WaitGroup
+	wg.Add(resolvers)
+	for r := 0; r < resolvers; r++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				res, err := fs.Resolve(nil, "/d/cur", ResolveOpts{FollowFinal: true}, nil)
+				if err != nil {
+					t.Errorf("resolve: %v", err)
+					return
+				}
+				if res.Node != a && res.Node != b {
+					t.Errorf("resolution returned inode %d, not one of the two valid bindings", res.Node.Ino)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	stop.Store(true)
+	<-renamerDone
+
+	want, ok := fs.Lookup(d, "cur")
+	if !ok {
+		t.Fatal("cur vanished")
+	}
+	if got := resolveNode(t, fs, "/d/cur"); got != want {
+		t.Fatalf("quiescent resolution (ino %d) disagrees with authoritative lookup (ino %d): stale dentry", got.Ino, want.Ino)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"pfirewall/internal/mac"
 )
@@ -102,6 +103,14 @@ type Inode struct {
 	Nlink   int               // hard link count
 	opens   int               // open file-description references
 
+	// dgen is the directory's dentry generation. Every namespace mutation
+	// of this directory (create, link, unlink, rmdir, rename) bumps it
+	// *before* touching entries, inside the FS write lock. A cached dentry
+	// is valid only while the generation it was filled under is still
+	// current, so lock-free lookups can never observe a binding older than
+	// the last completed mutation.
+	dgen atomic.Uint64
+
 	// SockOwner records the pid that bound a socket inode, used by the
 	// simulated D-Bus daemon exploit (E6).
 	SockOwner int
@@ -146,23 +155,60 @@ func (nopMediator) Mediate(Access) error { return nil }
 var NopMediator Mediator = nopMediator{}
 
 // FS is a single-device filesystem. All methods are safe for concurrent use.
+//
+// Concurrency model: mu is a readers-writer lock — namespace and metadata
+// mutations take the write side; lookups that miss the dentry cache take the
+// read side, so independent resolutions proceed concurrently. The dentry
+// cache itself is read without any lock and validated against per-directory
+// generation counters (see Inode.dgen), the same RCU-flavored discipline the
+// PF engine uses for its ruleset snapshot.
 type FS struct {
-	mu       sync.Mutex
+	mu       sync.RWMutex
 	root     *Inode
 	nextIno  Ino
 	freeInos []Ino // recycled inode numbers, reused LIFO
 	contexts *mac.FileContexts
 	sids     *mac.SIDTable
 
-	// Stats counters, exercised by tests and the benchmark harness.
-	Resolutions uint64 // total path resolutions
-	Components  uint64 // total components walked
+	// dcache is the lock-free dentry cache: dentryKey -> *dentry. The map
+	// is held behind an atomic pointer so a wholesale purge (size cap) is
+	// one pointer swap. Individual entries are invalidated by generation
+	// mismatch, never by deletion.
+	dcache atomic.Pointer[sync.Map]
+	dsize  atomic.Int64 // approximate entry count, for the purge cap
+
+	// Stats counters, exercised by tests and the benchmark harness. They
+	// are atomics because they are mutated on the lock-free hot path.
+	Resolutions  atomic.Uint64 // total path resolutions
+	Components   atomic.Uint64 // total components walked
+	DcacheHits   atomic.Uint64 // component lookups served by the dentry cache
+	DcacheMisses atomic.Uint64 // component lookups that fell back to the lock
 }
+
+// dentryKey identifies one directory entry: the directory inode (by
+// identity, so recycled inode numbers cannot alias) and the component name.
+type dentryKey struct {
+	dir  *Inode
+	name string
+}
+
+// dentry is one cached lookup result. node == nil is a negative entry (the
+// name was absent), which accelerates repeated failing lookups the same way
+// kernel negative dentries do.
+type dentry struct {
+	node *Inode
+	gen  uint64 // dir.dgen observed before the authoritative lookup
+}
+
+// dcacheMaxEntries caps the dentry cache; exceeding it purges the whole
+// cache (one pointer swap) rather than tracking LRU state on the hot path.
+const dcacheMaxEntries = 1 << 16
 
 // New creates a filesystem whose root directory is owned by root (uid 0)
 // with mode 0755 and labeled per contexts.
 func New(sids *mac.SIDTable, contexts *mac.FileContexts) *FS {
 	fs := &FS{nextIno: 2, contexts: contexts, sids: sids}
+	fs.dcache.Store(new(sync.Map))
 	fs.root = &Inode{
 		Ino:     1,
 		Type:    TypeDir,
@@ -310,9 +356,7 @@ type Resolved struct {
 // paths, and adversaries on other goroutines may mutate bindings between
 // steps, which is precisely the TOCTTOU surface.
 func (fs *FS) Resolve(cwd *Inode, path string, opts ResolveOpts, m Mediator) (*Resolved, error) {
-	fs.mu.Lock()
-	fs.Resolutions++
-	fs.mu.Unlock()
+	fs.Resolutions.Add(1)
 	if m == nil {
 		m = NopMediator
 	}
@@ -320,11 +364,42 @@ func (fs *FS) Resolve(cwd *Inode, path string, opts ResolveOpts, m Mediator) (*R
 	return fs.resolve(cwd, path, opts, m, &depth)
 }
 
-// lockedChild looks up one directory entry under the lock.
-func (fs *FS) lockedChild(dir *Inode, name string) *Inode {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	return dir.entries[name]
+// child looks up one directory entry, serving from the dentry cache when a
+// generation-valid entry exists and falling back to a read-locked lookup of
+// the authoritative directory map otherwise.
+//
+// Why a hit can never be stale: mutators bump dir.dgen inside the write
+// lock *before* modifying entries. A cached dentry carries the generation
+// read before its authoritative lookup; if that lookup raced a mutation,
+// the generation it stored is already outdated and the entry never
+// validates. Conversely a hit means dgen is unchanged since the fill's
+// pre-lookup read, so no mutation of this directory has even started
+// committing in between. The cache accelerates resolution only — every
+// component still fires its Mediator hook, preserving complete mediation.
+func (fs *FS) child(dir *Inode, name string) *Inode {
+	g := dir.dgen.Load()
+	m := fs.dcache.Load()
+	key := dentryKey{dir: dir, name: name}
+	if v, ok := m.Load(key); ok {
+		d := v.(*dentry)
+		if d.gen == g {
+			fs.DcacheHits.Add(1)
+			return d.node
+		}
+	}
+	fs.DcacheMisses.Add(1)
+	fs.mu.RLock()
+	n := dir.entries[name]
+	fs.mu.RUnlock()
+	if fs.dsize.Add(1) > dcacheMaxEntries {
+		// Wholesale purge: swap in a fresh map. A racing fill may land in
+		// the unreachable old map, which merely loses that one entry.
+		fs.dsize.Store(0)
+		fs.dcache.Store(new(sync.Map))
+		return n
+	}
+	m.Store(key, &dentry{node: n, gen: g})
+	return n
 }
 
 func (fs *FS) resolve(cwd *Inode, path string, opts ResolveOpts, m Mediator, depth *int) (*Resolved, error) {
@@ -370,9 +445,7 @@ func (fs *FS) resolve(cwd *Inode, path string, opts ResolveOpts, m Mediator, dep
 	}
 
 	for i, comp := range comps {
-		fs.mu.Lock()
-		fs.Components++
-		fs.mu.Unlock()
+		fs.Components.Add(1)
 		if !cur.IsDir() {
 			return nil, ErrNotDir
 		}
@@ -400,7 +473,7 @@ func (fs *FS) resolve(cwd *Inode, path string, opts ResolveOpts, m Mediator, dep
 				next = fs.parentOf(cur)
 			}
 		} else {
-			next = fs.lockedChild(cur, comp)
+			next = fs.child(cur, comp)
 		}
 		childPath := joinPath(curPath, comp)
 
@@ -463,8 +536,8 @@ func (fs *FS) resolve(cwd *Inode, path string, opts ResolveOpts, m Mediator, dep
 // parentOf finds the directory containing dir by scanning from the
 // root. O(n) but directories are small in the simulation.
 func (fs *FS) parentOf(dir *Inode) *Inode {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
 	if dir == fs.root {
 		return fs.root
 	}
@@ -519,6 +592,7 @@ func (fs *FS) CreateAt(dir *Inode, name, fullPath string, o CreateOpts) (*Inode,
 	if !dir.IsDir() {
 		return nil, ErrNotDir
 	}
+	dir.dgen.Add(1) // invalidate cached (dir, name) dentries, incl. negative
 	if _, ok := dir.entries[name]; ok {
 		return nil, ErrExist
 	}
@@ -561,6 +635,7 @@ func (fs *FS) Link(dir *Inode, name string, node *Inode) error {
 	if _, ok := dir.entries[name]; ok {
 		return ErrExist
 	}
+	dir.dgen.Add(1)
 	dir.entries[name] = node
 	node.Nlink++
 	return nil
@@ -579,6 +654,7 @@ func (fs *FS) Unlink(dir *Inode, name string) error {
 	if n.IsDir() {
 		return ErrIsDir
 	}
+	dir.dgen.Add(1)
 	delete(dir.entries, name)
 	n.Nlink--
 	fs.maybeFree(n)
@@ -599,6 +675,7 @@ func (fs *FS) Rmdir(dir *Inode, name string) error {
 	if len(n.entries) > 0 {
 		return ErrNotEmpty
 	}
+	dir.dgen.Add(1)
 	delete(dir.entries, name)
 	n.Nlink -= 2
 	dir.Nlink--
@@ -616,6 +693,8 @@ func (fs *FS) Rename(srcDir *Inode, srcName string, dstDir *Inode, dstName strin
 	if !ok {
 		return ErrNotExist
 	}
+	srcDir.dgen.Add(1)
+	dstDir.dgen.Add(1)
 	if old, ok := dstDir.entries[dstName]; ok {
 		if old.IsDir() {
 			return ErrIsDir
@@ -631,16 +710,16 @@ func (fs *FS) Rename(srcDir *Inode, srcName string, dstDir *Inode, dstName strin
 // Lookup returns the child of dir named name without mediation; intended
 // for tests and setup code.
 func (fs *FS) Lookup(dir *Inode, name string) (*Inode, bool) {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
 	n, ok := dir.entries[name]
 	return n, ok
 }
 
 // List returns dir's entry names in sorted order.
 func (fs *FS) List(dir *Inode) []string {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
 	out := make([]string, 0, len(dir.entries))
 	for name := range dir.entries {
 		out = append(out, name)
@@ -651,8 +730,8 @@ func (fs *FS) List(dir *Inode) []string {
 
 // ReadFile returns a copy of the file's content.
 func (fs *FS) ReadFile(n *Inode) ([]byte, error) {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
 	if n.IsDir() {
 		return nil, ErrIsDir
 	}
@@ -709,8 +788,8 @@ type Stat struct {
 
 // StatOf snapshots n's metadata.
 func (fs *FS) StatOf(n *Inode) Stat {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
 	return Stat{
 		Dev: 1, Ino: n.Ino, Gen: n.Gen, Type: n.Type,
 		UID: n.UID, GID: n.GID, Mode: n.Mode, Size: len(n.Data), SID: n.SID,
@@ -725,9 +804,9 @@ func (fs *FS) MustPath(path string) *Inode {
 	curPath := ""
 	for _, comp := range split(path) {
 		curPath = joinPath(curPath, comp)
-		fs.mu.Lock()
+		fs.mu.RLock()
 		next, ok := cur.entries[comp]
-		fs.mu.Unlock()
+		fs.mu.RUnlock()
 		if ok {
 			if !next.IsDir() {
 				panic(fmt.Sprintf("vfs: MustPath %s: %s is not a directory", path, curPath))
