@@ -1,11 +1,11 @@
 # Developer / CI entry points. `make check` is the tier-1 gate plus the
 # race-enabled test suite; `make bench-smoke` is a fast perf sanity pass;
-# `make bench-hotpath` refreshes BENCH_hotpath.json so the scaling
-# trajectory is tracked across PRs.
+# `make bench-hotpath` refreshes BENCH_hotpath.json and `make bench-ipc`
+# refreshes BENCH_ipc.json so the scaling trajectory is tracked across PRs.
 
 GO ?= go
 
-.PHONY: all vet build test test-race check bench-smoke bench-hotpath
+.PHONY: all vet build test test-race check bench-smoke bench-hotpath bench-ipc
 
 all: check
 
@@ -30,3 +30,6 @@ bench-smoke:
 
 bench-hotpath:
 	$(GO) run ./cmd/pfbench -parallel -iters 20000 -json BENCH_hotpath.json
+
+bench-ipc:
+	$(GO) run ./cmd/pfbench -ipc -iters 20000 -ipc-json BENCH_ipc.json

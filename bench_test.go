@@ -241,6 +241,80 @@ func BenchmarkParallelWeb(b *testing.B) {
 	}
 }
 
+// BenchmarkParallelIPC measures the mediated socket round trip — connect,
+// accept, request, reply, close — with b.N split across g goroutines, each
+// driving its own daemon/client process pair against a private abstract
+// listener. The namespace registry and the PF ruleset are shared across
+// all goroutines; both are published through atomic pointers, so the read
+// side scales like the open path in BenchmarkParallelOpen.
+func BenchmarkParallelIPC(b *testing.B) {
+	for _, g := range lmbench.ParallelFanout {
+		b.Run(fmt.Sprintf("goroutines=%d", g), func(b *testing.B) {
+			cfg := pf.Optimized()
+			w := programs.NewWorld(programs.WorldOpts{PF: &cfg})
+			if _, err := w.InstallRules(lmbench.SyntheticRuleBase(lmbench.FullRuleBaseSize)); err != nil {
+				b.Fatal(err)
+			}
+			type pair struct {
+				daemon, client *kernel.Proc
+				sfd            int
+				name           string
+			}
+			pairs := make([]pair, g)
+			for i := range pairs {
+				daemon := w.NewProc(kernel.ProcSpec{UID: 0, GID: 0, Label: "dbusd_t", Exec: programs.BinDbusD})
+				client := w.NewProc(kernel.ProcSpec{UID: 0, GID: 0, Label: "sshd_t", Exec: programs.BinSshd})
+				client.SyscallSite(programs.BinSshd, 0x300)
+				name := fmt.Sprintf("bench-ipc-%d", i)
+				sfd, err := daemon.BindAbstract(name)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := daemon.Listen(sfd, 16); err != nil {
+					b.Fatal(err)
+				}
+				pairs[i] = pair{daemon: daemon, client: client, sfd: sfd, name: name}
+			}
+			req := []byte("GET job\n")
+			per := b.N / g
+			if per == 0 {
+				per = 1
+			}
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for i := 0; i < g; i++ {
+				wg.Add(1)
+				go func(pr pair) {
+					defer wg.Done()
+					for n := 0; n < per; n++ {
+						cfd, err := pr.client.ConnectAbstract(pr.name)
+						if err != nil {
+							b.Error(err)
+							return
+						}
+						afd, err := pr.daemon.Accept(pr.sfd)
+						if err != nil {
+							b.Error(err)
+							return
+						}
+						if _, err := pr.client.Send(cfd, req); err != nil {
+							b.Error(err)
+							return
+						}
+						if _, err := pr.daemon.Recv(afd, 0); err != nil {
+							b.Error(err)
+							return
+						}
+						pr.client.Close(cfd)
+						pr.daemon.Close(afd)
+					}
+				}(pairs[i])
+			}
+			wg.Wait()
+		})
+	}
+}
+
 // BenchmarkAdversaryCache is the ablation for the MAC-layer memoization of
 // adversary accessibility, which sits on the PF hot path for every
 // ADV_ACCESS and ~{SYSHIGH} evaluation.

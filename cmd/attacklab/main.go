@@ -7,6 +7,7 @@
 //	attacklab           # run E1–E9 and print Table 4
 //	attacklab -table1   # print the CVE survey data of Table 1
 //	attacklab -table2   # print the attack taxonomy of Table 2
+//	attacklab -ipc      # run the IPC rendezvous exploits E10–E12
 //	attacklab -run E4   # run a single exploit in both modes
 package main
 
@@ -23,7 +24,8 @@ func main() {
 	table1 := flag.Bool("table1", false, "print Table 1 (CVE counts per attack class)")
 	table2 := flag.Bool("table2", false, "print Table 2 (attack taxonomy)")
 	extra := flag.Bool("extra", false, "run the extra exploits X1-X3 (cryogenic sleep, traversal, squat)")
-	runOne := flag.String("run", "", "run a single exploit by id (E1..E9, X1..X3)")
+	ipc := flag.Bool("ipc", false, "run the IPC rendezvous exploits E10-E12 (squats and stale rebinds)")
+	runOne := flag.String("run", "", "run a single exploit by id (E1..E12, X1..X3)")
 	flag.Parse()
 
 	switch {
@@ -33,6 +35,11 @@ func main() {
 		printTable2()
 	case *extra:
 		if err := runExtra(); err != nil {
+			fmt.Fprintln(os.Stderr, "attacklab:", err)
+			os.Exit(1)
+		}
+	case *ipc:
+		if err := runIPC(); err != nil {
 			fmt.Fprintln(os.Stderr, "attacklab:", err)
 			os.Exit(1)
 		}
@@ -71,9 +78,20 @@ func printTable2() {
 
 func runExtra() error {
 	fmt.Println("Extra exploits (beyond the paper's Table 4)")
+	return printBothWays(attacks.ExtraExploits())
+}
+
+func runIPC() error {
+	fmt.Println("IPC rendezvous exploits (socket namespaces, beyond the paper's Table 4)")
+	return printBothWays(attacks.IPCExploits())
+}
+
+// printBothWays runs each exploit with the firewall off and on and prints
+// the Table 4-style verdict row.
+func printBothWays(exploits []attacks.Exploit) error {
 	fmt.Printf("%-3s %-18s %-15s %-26s %-10s %-10s\n",
 		"#", "Program", "Reference", "Class", "PF off", "PF on")
-	for _, e := range attacks.ExtraExploits() {
+	for _, e := range exploits {
 		off, err := attacks.RunOne(e, false)
 		if err != nil {
 			return err
@@ -95,7 +113,9 @@ func runExtra() error {
 }
 
 func runSingle(id string) error {
-	for _, e := range append(attacks.Exploits(), attacks.ExtraExploits()...) {
+	all := append(attacks.Exploits(), attacks.ExtraExploits()...)
+	all = append(all, attacks.IPCExploits()...)
+	for _, e := range all {
 		if !strings.EqualFold(e.ID, id) {
 			continue
 		}

@@ -6,11 +6,13 @@
 //	pfbench -fig4     # open variants × path length
 //	pfbench -fig5     # Apache SymLinksIfOwnerMatch: program vs rule R8
 //	pfbench -parallel # multi-process hot-path scaling at 1/4/8 goroutines
+//	pfbench -ipc      # socket round-trip scaling across the three namespaces
 //	pfbench -all      # everything
 //
 // -iters and -requests trade precision for runtime. -json writes the
 // -parallel results (plus hardware parallelism) to the given file, e.g.
-// `pfbench -parallel -json BENCH_hotpath.json`.
+// `pfbench -parallel -json BENCH_hotpath.json`; -ipc-json does the same
+// for the -ipc results, e.g. `pfbench -ipc -ipc-json BENCH_ipc.json`.
 package main
 
 import (
@@ -30,19 +32,21 @@ func main() {
 	f4 := flag.Bool("fig4", false, "run the Figure 4 open-variant comparison")
 	f5 := flag.Bool("fig5", false, "run the Figure 5 Apache comparison")
 	par := flag.Bool("parallel", false, "run the multi-process hot-path scaling measurement")
+	ipc := flag.Bool("ipc", false, "run the socket round-trip scaling measurement")
 	all := flag.Bool("all", false, "run everything")
 	iters := flag.Int("iters", 20000, "iterations per microbenchmark cell")
 	requests := flag.Int("requests", 300, "requests per client per web cell")
 	scale := flag.Int("scale", 50, "macrobenchmark scale (build units)")
 	jsonPath := flag.String("json", "", "write -parallel results as JSON to this file")
+	ipcJSONPath := flag.String("ipc-json", "", "write -ipc results as JSON to this file")
 	flag.Parse()
 
-	if !*t6 && !*t7 && !*f4 && !*f5 && !*par && !*all {
+	if !*t6 && !*t7 && !*f4 && !*f5 && !*par && !*ipc && !*all {
 		flag.Usage()
 		return
 	}
 	if *all {
-		*t6, *t7, *f4, *f5, *par = true, true, true, true, true
+		*t6, *t7, *f4, *f5, *par, *ipc = true, true, true, true, true, true
 	}
 
 	if *t6 {
@@ -71,17 +75,30 @@ func main() {
 		fmt.Print(lmbench.FormatParallel(rep))
 		fmt.Println()
 		if *jsonPath != "" {
-			buf, err := json.MarshalIndent(rep, "", "  ")
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "json:", err)
-				os.Exit(1)
-			}
-			buf = append(buf, '\n')
-			if err := os.WriteFile(*jsonPath, buf, 0o644); err != nil {
-				fmt.Fprintln(os.Stderr, "write:", err)
-				os.Exit(1)
-			}
-			fmt.Println("wrote", *jsonPath)
+			writeJSON(*jsonPath, rep)
 		}
 	}
+	if *ipc {
+		fmt.Println("IPC scaling: socket round trips across concurrent daemon/client pairs")
+		rep := lmbench.RunIPC(*iters, lmbench.ParallelFanout)
+		fmt.Print(lmbench.FormatIPC(rep))
+		fmt.Println()
+		if *ipcJSONPath != "" {
+			writeJSON(*ipcJSONPath, rep)
+		}
+	}
+}
+
+func writeJSON(path string, v any) {
+	buf, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "json:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "write:", err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote", path)
 }

@@ -160,3 +160,36 @@ func TestExtraRulesParse(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestIPCExploits(t *testing.T) {
+	for _, e := range IPCExploits() {
+		e := e
+		t.Run(e.ID+"_noPF", func(t *testing.T) {
+			o, err := RunOne(e, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !o.Succeeded {
+				t.Errorf("%s must succeed without PF", e.ID)
+			}
+		})
+		t.Run(e.ID+"_PF", func(t *testing.T) {
+			o, err := RunOne(e, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if o.Succeeded {
+				t.Errorf("%s must be blocked with PF", e.ID)
+			}
+		})
+	}
+}
+
+func TestIPCRulesParse(t *testing.T) {
+	if len(IPCRules()) != 3 {
+		t.Fatalf("ipc rules = %d, want 3", len(IPCRules()))
+	}
+	if _, err := RunIPC(true); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -45,6 +45,10 @@ func RunOne(e Exploit, pfEnabled bool) (Outcome, error) {
 		if strings.HasPrefix(e.ID, "X") {
 			rules = append(rules, ExtraRules()...)
 		}
+		switch e.ID {
+		case "E10", "E11", "E12":
+			rules = append(rules, IPCRules()...)
+		}
 		if _, err := w.InstallRules(rules); err != nil {
 			return Outcome{}, fmt.Errorf("install rules: %w", err)
 		}
@@ -62,6 +66,20 @@ func RunOne(e Exploit, pfEnabled bool) (Outcome, error) {
 func RunExtra(pfEnabled bool) ([]Outcome, error) {
 	var outcomes []Outcome
 	for _, e := range ExtraExploits() {
+		o, err := RunOne(e, pfEnabled)
+		if err != nil {
+			return outcomes, fmt.Errorf("%s (%s): %w", e.ID, e.Program, err)
+		}
+		outcomes = append(outcomes, o)
+	}
+	return outcomes, nil
+}
+
+// RunIPC executes the IPC rendezvous exploits (E10–E12) under one
+// configuration.
+func RunIPC(pfEnabled bool) ([]Outcome, error) {
+	var outcomes []Outcome
+	for _, e := range IPCExploits() {
 		o, err := RunOne(e, pfEnabled)
 		if err != nil {
 			return outcomes, fmt.Errorf("%s (%s): %w", e.ID, e.Program, err)

@@ -98,7 +98,7 @@ func TestMkfifoPFCreateDenied(t *testing.T) {
 	tmp := k.Policy.SIDs().SID("tmp_t")
 	engine.Append("input", &pf.Rule{
 		Object: pf.NewSIDSet(false, tmp),
-		Ops:    pf.NewOpSet(pf.OpFileCreate),
+		Ops:    pf.NewOpSet(pf.OpFifoCreate),
 		Target: pf.Drop(),
 	})
 	k.AttachPF(engine)

@@ -1,6 +1,7 @@
 package kernel
 
 import (
+	"pfirewall/internal/ipc"
 	"pfirewall/internal/mac"
 	"pfirewall/internal/pf"
 	"pfirewall/internal/vfs"
@@ -109,7 +110,10 @@ func (p *Proc) Close(fd int) error {
 		return err
 	}
 	delete(p.fds, fd)
-	p.k.FS.DecOpen(f.Node)
+	if f.Node != nil {
+		p.k.FS.DecOpen(f.Node)
+	}
+	f.closeEndpoints()
 	return nil
 }
 
@@ -122,8 +126,28 @@ func (p *Proc) Read(fd, n int) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	if f.Node == nil {
+		// Inode-less socket descriptor: read(2) on a socket is recv.
+		if f.Conn == nil {
+			return nil, vfs.ErrInval
+		}
+		if err := p.pfFilterRes(pf.OpSocketRecv, connResource(f.Conn), NrRead); err != nil {
+			return nil, err
+		}
+		return f.Conn.Recv(n)
+	}
 	if err := p.pfFilter(pf.OpFileRead, f.Node, f.Path, NrRead); err != nil {
 		return nil, err
+	}
+	if f.Node.Type == vfs.TypeFifo {
+		if q, ok := p.k.IPC.Fifo(f.Node.IPCID); ok {
+			return q.Pop(n), nil
+		}
+		return nil, nil
+	}
+	if f.Conn != nil {
+		// A connected filesystem socket reads from its stream.
+		return f.Conn.Recv(n)
 	}
 	data, err := p.k.FS.ReadFile(f.Node)
 	if err != nil {
@@ -153,8 +177,27 @@ func (p *Proc) Write(fd int, data []byte) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	if f.Node == nil {
+		// Inode-less socket descriptor: write(2) on a socket is send.
+		if f.Conn == nil {
+			return 0, vfs.ErrInval
+		}
+		if err := p.pfFilterRes(pf.OpSocketSend, connResource(f.Conn), NrWrite); err != nil {
+			return 0, err
+		}
+		return f.Conn.Send(data)
+	}
 	if err := p.pfFilter(pf.OpFileWrite, f.Node, f.Path, NrWrite); err != nil {
 		return 0, err
+	}
+	if f.Node.Type == vfs.TypeFifo {
+		if q, ok := p.k.IPC.Fifo(f.Node.IPCID); ok {
+			return q.Push(data)
+		}
+		return len(data), nil
+	}
+	if f.Conn != nil {
+		return f.Conn.Send(data)
 	}
 	old, err := p.k.FS.ReadFile(f.Node)
 	if err != nil {
@@ -204,6 +247,9 @@ func (p *Proc) Fstat(fd int) (vfs.Stat, error) {
 	f, err := p.getFd(fd)
 	if err != nil {
 		return vfs.Stat{}, err
+	}
+	if f.Node == nil {
+		return vfs.Stat{}, vfs.ErrInval
 	}
 	if err := p.pfFilter(pf.OpFileGetattr, f.Node, f.Path, NrFstat); err != nil {
 		return vfs.Stat{}, err
@@ -465,7 +511,11 @@ func (p *Proc) Bind(path string, mode uint16) (int, error) {
 		p.k.FS.Unlink(res.Parent, res.Name)
 		return -1, err
 	}
-	return p.installFd(node, res.Path), nil
+	lis := p.k.IPC.BindFile(res.Path, node.SID, p.cred())
+	node.IPCID = lis.Meta().ID
+	fd := p.installFd(node, res.Path)
+	p.fds[fd].Lis = lis
+	return fd, nil
 }
 
 // Connect opens a client connection to the socket at path (the libdbus
@@ -484,10 +534,34 @@ func (p *Proc) Connect(path string) (int, error) {
 	if !vfs.CanAccess(res.Node, p.EUID, p.EGID, true, true, false) {
 		return -1, vfs.ErrPerm
 	}
-	if err := p.pfFilter(pf.OpSocketConnect, res.Node, res.Path, NrConnect); err != nil {
+	// A socket inode is only a rendezvous name; the connection needs a live
+	// listener behind it. A dangling socket file whose owner exited (its
+	// listener closed with its fds) refuses the connection rather than
+	// handing out a descriptor to nobody.
+	var lis *ipc.Listener
+	if res.Node.IPCID != 0 {
+		lis, _ = p.k.IPC.FileListener(res.Node.IPCID)
+	}
+	if lis == nil || lis.Closed() {
+		return -1, ErrConnRefused
+	}
+	// The PF sees the file identity (label, inode, path) plus the socket
+	// context: namespace and the listener owner's credentials — the peer
+	// this client will actually be talking to.
+	ipcRes := metaResource(lis.Meta(), mac.ClassSockFile)
+	ipcRes.sid = res.Node.SID
+	ipcRes.id = uint64(res.Node.Ino)
+	ipcRes.path = res.Path
+	ipcRes.owner = res.Node.UID
+	owner := lis.Owner()
+	ipcRes.peer = &owner
+	conn, err := p.connectListener(lis, ipcRes)
+	if err != nil {
 		return -1, err
 	}
-	return p.installFd(res.Node, res.Path), nil
+	fd := p.installFd(res.Node, res.Path)
+	p.fds[fd].Conn = conn
+	return fd, nil
 }
 
 // Mkfifo creates a named pipe at path — the IPC rendezvous object of the
@@ -514,10 +588,11 @@ func (p *Proc) Mkfifo(path string, mode uint16) error {
 		return err
 	}
 	node.SockOwner = p.pid
-	if err := p.pfFilter(pf.OpFileCreate, node, res.Path, NrMkfifo); err != nil {
+	if err := p.pfFilter(pf.OpFifoCreate, node, res.Path, NrMkfifo); err != nil {
 		p.k.FS.Unlink(res.Parent, res.Name)
 		return err
 	}
+	node.IPCID = p.k.IPC.NewFifo()
 	return nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"pfirewall/internal/ipc"
 	"pfirewall/internal/mac"
 	"pfirewall/internal/pf"
 	"pfirewall/internal/vfs"
@@ -16,6 +17,10 @@ type Kernel struct {
 	FS       *vfs.FS
 	Policy   *mac.Policy
 	Contexts *mac.FileContexts
+
+	// IPC holds the socket rendezvous namespaces (filesystem, abstract,
+	// port) and the fifo byte queues backing the data plane.
+	IPC *ipc.Registry
 
 	// PF is the Process Firewall; nil disables it entirely (the DISABLED
 	// column of Table 6).
@@ -64,6 +69,7 @@ func New(policy *mac.Policy, contexts *mac.FileContexts) *Kernel {
 		FS:       vfs.New(policy.SIDs(), contexts),
 		Policy:   policy,
 		Contexts: contexts,
+		IPC:      ipc.NewRegistry(),
 		procs:    make(map[int]*Proc),
 		nextPid:  1,
 	}

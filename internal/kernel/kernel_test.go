@@ -448,6 +448,9 @@ func TestBindConnectAndSocketSetattr(t *testing.T) {
 	if st.Type != vfs.TypeSocket {
 		t.Error("bind should create a socket inode")
 	}
+	if err := dbus.Listen(fd, 8); err != nil {
+		t.Fatalf("listen: %v", err)
+	}
 	client := newRoot(k, "httpd_t", "/usr/bin/apache2")
 	if _, err := client.Connect("/var/run/dbus/system_bus_socket"); err != nil {
 		t.Errorf("connect: %v", err)

@@ -12,7 +12,11 @@
 // context.
 package kernel
 
-import "errors"
+import (
+	"errors"
+
+	"pfirewall/internal/ipc"
+)
 
 // Syscall numbers, used by syscallbegin-chain rules via NR_* constants
 // (paper rule R12 matches NR_sigreturn).
@@ -52,6 +56,10 @@ const (
 	NrFtruncate
 	NrChroot
 	NrMkfifo
+	NrListen
+	NrAccept
+	NrSendmsg
+	NrRecvmsg
 	nrCount
 )
 
@@ -65,6 +73,7 @@ var syscallNames = map[Syscall]string{
 	NrFork: "fork", NrExecve: "execve", NrExit: "exit", NrKill: "kill",
 	NrSigaction: "sigaction", NrSigprocmask: "sigprocmask",
 	NrSigreturn: "sigreturn", NrGetpid: "getpid", NrFtruncate: "ftruncate", NrChroot: "chroot", NrMkfifo: "mkfifo",
+	NrListen: "listen", NrAccept: "accept", NrSendmsg: "sendmsg", NrRecvmsg: "recvmsg",
 }
 
 // String returns the syscall name.
@@ -109,4 +118,7 @@ var (
 	ErrNoProc = errors.New("no such process")
 	// ErrExited is returned for syscalls from an exited process.
 	ErrExited = errors.New("process has exited")
+	// ErrConnRefused is returned when connecting to a socket nobody is
+	// listening on — including a dangling socket inode whose owner exited.
+	ErrConnRefused = ipc.ErrRefused
 )

@@ -3,6 +3,7 @@ package kernel
 import (
 	"fmt"
 
+	"pfirewall/internal/ipc"
 	"pfirewall/internal/mac"
 	"pfirewall/internal/pf"
 	"pfirewall/internal/ustack"
@@ -62,11 +63,17 @@ type Proc struct {
 	ExitCode int
 }
 
-// File is an open file description.
+// File is an open file description. Socket descriptors additionally carry
+// an IPC endpoint: Lis after bind (a rendezvous point that may be listening),
+// Conn after connect/accept (one end of a connected pair). Abstract- and
+// port-namespace sockets have no inode, so Node may be nil.
 type File struct {
 	Node *vfs.Inode
 	Path string
 	pos  int
+
+	Lis  *ipc.Listener
+	Conn *ipc.Conn
 }
 
 // ProcSpec parameterizes process creation.
@@ -337,11 +344,41 @@ func (p *Proc) getFd(fd int) (*File, error) {
 	return f, nil
 }
 
-// installFd allocates a descriptor for node.
+// installFd allocates a descriptor for node. node may be nil for
+// inode-less endpoints (abstract/port sockets, connected pairs).
 func (p *Proc) installFd(node *vfs.Inode, path string) int {
 	fd := p.nextFd
 	p.nextFd++
 	p.fds[fd] = &File{Node: node, Path: path}
-	p.k.FS.IncOpen(node)
+	if node != nil {
+		p.k.FS.IncOpen(node)
+	}
 	return fd
+}
+
+// pfFilterRes consults the Process Firewall with a caller-built resource,
+// used by the socket layer where the resource is an IPC endpoint rather
+// than (only) an inode.
+func (p *Proc) pfFilterRes(op pf.Op, res pf.Resource, nr Syscall) error {
+	if p.k.PF == nil {
+		return nil
+	}
+	req := &pf.Request{Proc: p, Op: op, Obj: res, SyscallNR: int(nr)}
+	if p.k.PF.Filter(req) == pf.VerdictDrop {
+		return ErrPFDenied
+	}
+	return nil
+}
+
+// closeEndpoints releases any IPC endpoint attached to f: closing a bound
+// listener vacates its rendezvous name (opening the squat window an
+// adversary exploits and the PF must compensate for), closing a conn
+// resets the peer.
+func (f *File) closeEndpoints() {
+	if f.Lis != nil {
+		f.Lis.Close()
+	}
+	if f.Conn != nil {
+		f.Conn.Close()
+	}
 }

@@ -110,7 +110,13 @@ func (p *Proc) Exit(code int) {
 	}
 	p.enterSyscall(NrExit, uint64(code))
 	for fd, f := range p.fds {
-		p.k.FS.DecOpen(f.Node)
+		if f.Node != nil {
+			p.k.FS.DecOpen(f.Node)
+		}
+		// Closing the endpoints is what makes owner death observable: bound
+		// names become squattable, and clients of a dead server get
+		// connection-refused instead of a descriptor to nobody.
+		f.closeEndpoints()
 		delete(p.fds, fd)
 	}
 	p.exited = true

@@ -1,0 +1,270 @@
+package kernel
+
+import (
+	"errors"
+	"fmt"
+
+	"pfirewall/internal/ipc"
+	"pfirewall/internal/mac"
+	"pfirewall/internal/pf"
+	"pfirewall/internal/vfs"
+)
+
+// ipcResource adapts an IPC endpoint to pf.Resource and pf.SockResource.
+// For filesystem sockets it carries the socket inode's identity (label,
+// inode number, path) so label- and identifier-based rules written against
+// the file keep working, while the socket context modules (SOCK_NS, PORT,
+// PEER_CRED) see the rendezvous namespace and the credential captured on
+// the other end — the context no namespace squatter can forge.
+type ipcResource struct {
+	sid    mac.SID
+	id     uint64
+	path   string
+	class  mac.Class
+	owner  int
+	ns     ipc.NS
+	port   uint16
+	portOK bool
+	peer   *ipc.Cred
+}
+
+func (r *ipcResource) SID() mac.SID                    { return r.sid }
+func (r *ipcResource) ID() uint64                      { return r.id }
+func (r *ipcResource) Path() string                    { return r.path }
+func (r *ipcResource) Class() mac.Class                { return r.class }
+func (r *ipcResource) OwnerUID() int                   { return r.owner }
+func (r *ipcResource) LinkTargetOwnerUID() (int, bool) { return 0, false }
+
+// SockNS implements pf.SockResource.
+func (r *ipcResource) SockNS() (string, bool) { return r.ns.String(), true }
+
+// SockPort implements pf.SockResource.
+func (r *ipcResource) SockPort() (uint16, bool) { return r.port, r.portOK }
+
+// PeerCred implements pf.SockResource.
+func (r *ipcResource) PeerCred() (pid, uid, gid int, ok bool) {
+	if r.peer == nil {
+		return 0, 0, 0, false
+	}
+	return r.peer.PID, r.peer.UID, r.peer.GID, true
+}
+
+// metaResource builds the common identity fields from endpoint metadata.
+func metaResource(m ipc.Meta, class mac.Class) *ipcResource {
+	r := &ipcResource{sid: m.SID, id: m.ID, class: class, ns: m.NS}
+	switch m.NS {
+	case ipc.NSAbstract:
+		r.path = "@" + m.Key
+	case ipc.NSPort:
+		r.path = fmt.Sprintf(":%d", m.Port)
+		r.port = m.Port
+		r.portOK = true
+	default:
+		r.path = m.Key
+	}
+	return r
+}
+
+// lisResource describes a rendezvous point for bind/listen mediation. The
+// peer credential is the listener's own binder (what a later client will
+// observe).
+func lisResource(l *ipc.Listener) *ipcResource {
+	r := metaResource(l.Meta(), mac.ClassUnixStreamSocket)
+	owner := l.Owner()
+	r.owner = owner.UID
+	r.peer = &owner
+	return r
+}
+
+// connResource describes one end of a connected pair for accept/send/recv
+// mediation; the peer credential is the remote end's, captured at connect
+// time (SO_PEERCRED).
+func connResource(c *ipc.Conn) *ipcResource {
+	r := metaResource(c.Meta(), mac.ClassUnixStreamSocket)
+	peer := c.PeerCred()
+	r.owner = peer.UID
+	r.peer = &peer
+	return r
+}
+
+// cred snapshots the process's effective credentials for SO_PEERCRED.
+func (p *Proc) cred() ipc.Cred { return ipc.Cred{PID: p.pid, UID: p.EUID, GID: p.EGID} }
+
+// BindAbstract binds name in the abstract socket namespace — no inode, no
+// DAC: first-come first-served, the classic squat surface the Process
+// Firewall compensates for with PEER_CRED/SOCK_NS rules.
+func (p *Proc) BindAbstract(name string) (int, error) {
+	if err := p.enterSyscall(NrBind); err != nil {
+		return -1, err
+	}
+	l, err := p.k.IPC.BindAbstract(name, p.sid, p.cred())
+	if err != nil {
+		return -1, err
+	}
+	if err := p.pfFilterRes(pf.OpSocketBind, lisResource(l), NrBind); err != nil {
+		l.Close()
+		return -1, err
+	}
+	fd := p.installFd(nil, "@"+name)
+	p.fds[fd].Lis = l
+	return fd, nil
+}
+
+// BindPort binds a TCP-like port. Closing the listener vacates the port
+// immediately (SO_REUSEADDR semantics), so a daemon restart leaves a
+// window in which any process may squat its port.
+func (p *Proc) BindPort(port uint16) (int, error) {
+	if err := p.enterSyscall(NrBind, uint64(port)); err != nil {
+		return -1, err
+	}
+	l, err := p.k.IPC.BindPort(port, p.sid, p.cred())
+	if err != nil {
+		return -1, err
+	}
+	if err := p.pfFilterRes(pf.OpSocketBind, lisResource(l), NrBind); err != nil {
+		l.Close()
+		return -1, err
+	}
+	fd := p.installFd(nil, fmt.Sprintf(":%d", port))
+	p.fds[fd].Lis = l
+	return fd, nil
+}
+
+// Listen marks the socket behind fd as accepting connections with a
+// bounded backlog.
+func (p *Proc) Listen(fd, backlog int) error {
+	if err := p.enterSyscall(NrListen, uint64(fd), uint64(backlog)); err != nil {
+		return err
+	}
+	f, err := p.getFd(fd)
+	if err != nil {
+		return err
+	}
+	if f.Lis == nil {
+		return vfs.ErrInval
+	}
+	if err := p.pfFilterRes(pf.OpSocketListen, lisResource(f.Lis), NrListen); err != nil {
+		return err
+	}
+	return f.Lis.Listen(backlog)
+}
+
+// Accept pops one pending connection off the listener's backlog. The
+// Process Firewall mediates with the connecting peer's credentials; a DROP
+// resets the pending connection (the client observes a closed peer).
+func (p *Proc) Accept(fd int) (int, error) {
+	if err := p.enterSyscall(NrAccept, uint64(fd)); err != nil {
+		return -1, err
+	}
+	f, err := p.getFd(fd)
+	if err != nil {
+		return -1, err
+	}
+	if f.Lis == nil {
+		return -1, vfs.ErrInval
+	}
+	conn, err := f.Lis.Accept()
+	if err != nil {
+		return -1, err
+	}
+	if err := p.pfFilterRes(pf.OpSocketAccept, connResource(conn), NrAccept); err != nil {
+		conn.Close()
+		return -1, err
+	}
+	nfd := p.installFd(nil, f.Path)
+	p.fds[nfd].Conn = conn
+	return nfd, nil
+}
+
+// connectListener mediates and establishes a connection to l, returning
+// the client end. res carries the identity the PF should see (for
+// filesystem sockets, the socket inode's).
+func (p *Proc) connectListener(l *ipc.Listener, res *ipcResource) (*ipc.Conn, error) {
+	if err := p.pfFilterRes(pf.OpSocketConnect, res, NrConnect); err != nil {
+		return nil, err
+	}
+	return p.k.IPC.Connect(l, p.cred())
+}
+
+// ConnectAbstract connects to an abstract-namespace socket.
+func (p *Proc) ConnectAbstract(name string) (int, error) {
+	if err := p.enterSyscall(NrConnect); err != nil {
+		return -1, err
+	}
+	l, ok := p.k.IPC.LookupAbstract(name)
+	if !ok {
+		return -1, ErrConnRefused
+	}
+	conn, err := p.connectListener(l, lisResource(l))
+	if err != nil {
+		return -1, err
+	}
+	fd := p.installFd(nil, "@"+name)
+	p.fds[fd].Conn = conn
+	return fd, nil
+}
+
+// ConnectPort connects to a port-namespace socket.
+func (p *Proc) ConnectPort(port uint16) (int, error) {
+	if err := p.enterSyscall(NrConnect, uint64(port)); err != nil {
+		return -1, err
+	}
+	l, ok := p.k.IPC.LookupPort(port)
+	if !ok {
+		return -1, ErrConnRefused
+	}
+	conn, err := p.connectListener(l, lisResource(l))
+	if err != nil {
+		return -1, err
+	}
+	fd := p.installFd(nil, fmt.Sprintf(":%d", port))
+	p.fds[fd].Conn = conn
+	return fd, nil
+}
+
+// Send writes data to the connected socket behind fd.
+func (p *Proc) Send(fd int, data []byte) (int, error) {
+	if err := p.enterSyscall(NrSendmsg, uint64(fd), uint64(len(data))); err != nil {
+		return 0, err
+	}
+	f, err := p.getFd(fd)
+	if err != nil {
+		return 0, err
+	}
+	if f.Conn == nil {
+		return 0, vfs.ErrInval
+	}
+	if err := p.pfFilterRes(pf.OpSocketSend, connResource(f.Conn), NrSendmsg); err != nil {
+		return 0, err
+	}
+	return f.Conn.Send(data)
+}
+
+// Recv reads up to n bytes (n <= 0: everything buffered) from the
+// connected socket behind fd.
+func (p *Proc) Recv(fd, n int) ([]byte, error) {
+	if err := p.enterSyscall(NrRecvmsg, uint64(fd)); err != nil {
+		return nil, err
+	}
+	f, err := p.getFd(fd)
+	if err != nil {
+		return nil, err
+	}
+	if f.Conn == nil {
+		return nil, vfs.ErrInval
+	}
+	if err := p.pfFilterRes(pf.OpSocketRecv, connResource(f.Conn), NrRecvmsg); err != nil {
+		return nil, err
+	}
+	return f.Conn.Recv(n)
+}
+
+// ErrWouldBlock and friends are re-exported so callers need not import the
+// ipc package to classify data-plane errors.
+var (
+	ErrWouldBlock = ipc.ErrWouldBlock
+	ErrPeerClosed = ipc.ErrPeerClosed
+)
+
+// IsWouldBlock reports whether err is the non-blocking "try again" error.
+func IsWouldBlock(err error) bool { return errors.Is(err, ipc.ErrWouldBlock) }

@@ -1,0 +1,185 @@
+// ipc.go measures the mediated IPC rendezvous and data plane across the
+// three socket namespaces. Each goroutine drives its own daemon/client
+// process pair through a full round trip — connect, accept, request,
+// reply, close — so every iteration crosses the firewall at the connect,
+// accept, send and recv hooks while the namespace registries (atomic COW
+// maps, like the dcache) are hit concurrently from every goroutine.
+package lmbench
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"pfirewall/internal/kernel"
+	"pfirewall/internal/pf"
+	"pfirewall/internal/programs"
+)
+
+// IPCCell is one (namespace, fan-out) measurement; an "op" is one complete
+// round trip (connect + accept + two sends + two recvs + two closes).
+type IPCCell struct {
+	Namespace  string  `json:"namespace"`
+	Goroutines int     `json:"goroutines"`
+	Ops        int     `json:"ops"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	OpsPerSec  float64 `json:"ops_per_sec"`
+}
+
+// IPCReport is the full IPC scaling run, annotated with the hardware
+// parallelism actually available so results are interpretable.
+type IPCReport struct {
+	NumCPU     int       `json:"num_cpu"`
+	GOMAXPROCS int       `json:"gomaxprocs"`
+	Cells      []IPCCell `json:"cells"`
+}
+
+// ipcNamespaces are the three rendezvous spaces: filesystem sockets walk
+// the vfs on every connect, the abstract and port namespaces only touch
+// the IPC registry.
+var ipcNamespaces = []string{"fs", "abstract", "port"}
+
+// ipcPair is one daemon/client pairing with its private listener.
+type ipcPair struct {
+	daemon  *kernel.Proc
+	client  *kernel.Proc
+	sfd     int
+	connect func() (int, error)
+}
+
+var ipcRequest = []byte("GET job\n")
+var ipcReply = []byte("OK job\n")
+
+// newIPCPair binds a listener in the given namespace under a key unique to
+// this pair index and returns the ready-to-run pairing.
+func newIPCPair(w *programs.World, ns string, i int) ipcPair {
+	daemon := w.NewProc(kernel.ProcSpec{UID: 0, GID: 0, Label: "dbusd_t", Exec: programs.BinDbusD})
+	client := parallelProc(w)
+	var sfd int
+	var err error
+	var connect func() (int, error)
+	switch ns {
+	case "fs":
+		path := fmt.Sprintf("/tmp/ipcbench-%d", i)
+		if sfd, err = daemon.Bind(path, 0o666); err != nil {
+			panic(err)
+		}
+		connect = func() (int, error) { return client.Connect(path) }
+	case "abstract":
+		name := fmt.Sprintf("ipcbench-%d", i)
+		if sfd, err = daemon.BindAbstract(name); err != nil {
+			panic(err)
+		}
+		connect = func() (int, error) { return client.ConnectAbstract(name) }
+	case "port":
+		port := uint16(9000 + i)
+		if sfd, err = daemon.BindPort(port); err != nil {
+			panic(err)
+		}
+		connect = func() (int, error) { return client.ConnectPort(port) }
+	default:
+		panic("unknown namespace " + ns)
+	}
+	if err := daemon.Listen(sfd, 16); err != nil {
+		panic(err)
+	}
+	return ipcPair{daemon: daemon, client: client, sfd: sfd, connect: connect}
+}
+
+// roundTrip is the measured body: a complete client/daemon exchange.
+// Connect enqueues the pending pair synchronously, so Accept never spins.
+func (pr ipcPair) roundTrip() {
+	cfd, err := pr.connect()
+	if err != nil {
+		panic(err)
+	}
+	afd, err := pr.daemon.Accept(pr.sfd)
+	if err != nil {
+		panic(err)
+	}
+	if _, err := pr.client.Send(cfd, ipcRequest); err != nil {
+		panic(err)
+	}
+	if _, err := pr.daemon.Recv(afd, 0); err != nil {
+		panic(err)
+	}
+	if _, err := pr.daemon.Send(afd, ipcReply); err != nil {
+		panic(err)
+	}
+	if _, err := pr.client.Recv(cfd, 0); err != nil {
+		panic(err)
+	}
+	pr.client.Close(cfd)
+	pr.daemon.Close(afd)
+}
+
+// RunIPC measures each namespace at each fan-out, itersPerGoroutine round
+// trips per goroutine, on a fully armed world (EPTSPC configuration with
+// the deployment-scale rule base).
+func RunIPC(itersPerGoroutine int, fanout []int) IPCReport {
+	if itersPerGoroutine < 1 {
+		itersPerGoroutine = 1
+	}
+	rep := IPCReport{NumCPU: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	for _, ns := range ipcNamespaces {
+		for _, g := range fanout {
+			cfg := pf.Optimized()
+			w := programs.NewWorld(programs.WorldOpts{PF: &cfg})
+			if _, err := w.InstallRules(SyntheticRuleBase(FullRuleBaseSize)); err != nil {
+				panic(err)
+			}
+			pairs := make([]ipcPair, g)
+			for i := range pairs {
+				pairs[i] = newIPCPair(w, ns, i)
+				pairs[i].roundTrip() // warm per-process context caches
+			}
+
+			var wg sync.WaitGroup
+			start := time.Now()
+			for i := 0; i < g; i++ {
+				wg.Add(1)
+				go func(pr ipcPair) {
+					defer wg.Done()
+					for n := 0; n < itersPerGoroutine; n++ {
+						pr.roundTrip()
+					}
+				}(pairs[i])
+			}
+			wg.Wait()
+			elapsed := time.Since(start)
+
+			ops := g * itersPerGoroutine
+			rep.Cells = append(rep.Cells, IPCCell{
+				Namespace:  ns,
+				Goroutines: g,
+				Ops:        ops,
+				NsPerOp:    float64(elapsed.Nanoseconds()) / float64(ops),
+				OpsPerSec:  float64(ops) / elapsed.Seconds(),
+			})
+		}
+	}
+	return rep
+}
+
+// FormatIPC renders the IPC scaling run as a table with per-namespace
+// speedup relative to the single-goroutine cell.
+func FormatIPC(rep IPCReport) string {
+	out := fmt.Sprintf("%-10s %10s %12s %14s %9s\n",
+		"namespace", "goroutines", "ns/op", "ops/sec", "speedup")
+	base := map[string]float64{}
+	for _, c := range rep.Cells {
+		if c.Goroutines == 1 {
+			base[c.Namespace] = c.OpsPerSec
+		}
+		speedup := 0.0
+		if b := base[c.Namespace]; b > 0 {
+			speedup = c.OpsPerSec / b
+		}
+		out += fmt.Sprintf("%-10s %10d %12.0f %14.0f %8.2fx\n",
+			c.Namespace, c.Goroutines, c.NsPerOp, c.OpsPerSec, speedup)
+	}
+	out += fmt.Sprintf("(NumCPU=%d GOMAXPROCS=%d — one op is a full connect/accept/send/recv/close round trip)\n",
+		rep.NumCPU, rep.GOMAXPROCS)
+	return out
+}

@@ -54,6 +54,21 @@ type Resource interface {
 	LinkTargetOwnerUID() (uid int, ok bool)
 }
 
+// SockResource is the optional extension a Resource implements when the
+// object is a socket endpoint. Like LinkTargetOwnerUID, each method is only
+// called when a rule needs it (lazy context retrieval): ok is false when the
+// field does not apply to the object.
+type SockResource interface {
+	// SockNS names the rendezvous namespace: "fs", "abstract", or "port".
+	SockNS() (ns string, ok bool)
+	// SockPort returns the port for port-namespace sockets.
+	SockPort() (port uint16, ok bool)
+	// PeerCred returns the peer credential captured at connect time
+	// (SO_PEERCRED): for a connect, the listener's owner; for accept and
+	// the data plane, the other endpoint of the stream.
+	PeerCred() (pid, uid, gid int, ok bool)
+}
+
 // SignalInfo carries signal-delivery context for PROCESS_SIGNAL_DELIVERY
 // requests (rules R9–R11).
 type SignalInfo struct {
@@ -94,12 +109,15 @@ const (
 	CtxTgtDACOwner                     // symlink target owner uid
 	CtxSignal                          // signal delivery info
 	CtxSyscall                         // syscall number and args
+	CtxPeerCred                        // socket peer credential (SO_PEERCRED)
+	CtxSockNS                          // socket rendezvous namespace
+	CtxPort                            // port-namespace port number
 )
 
 // ctxKinds enumerates all kinds for eager collection.
 var ctxKinds = []CtxKind{
 	CtxEntrypoints, CtxAdvWrite, CtxAdvRead, CtxDACOwner, CtxTgtDACOwner,
-	CtxSignal, CtxSyscall,
+	CtxSignal, CtxSyscall, CtxPeerCred, CtxSockNS, CtxPort,
 }
 
 // Entrypoint is a resolved stack frame: the binary (or script) and the
@@ -126,6 +144,9 @@ const (
 	RefDACOwner             // C_DAC_OWNER
 	RefTgtDACOwner          // C_TGT_DAC_OWNER
 	RefSignal               // C_SIGNAL
+	RefPeerUID              // C_PEER_UID
+	RefPeerPID              // C_PEER_PID
+	RefPort                 // C_PORT
 )
 
 // refNames maps rule-language spellings to references.
@@ -135,6 +156,9 @@ var refNames = map[string]ValueRef{
 	"C_DAC_OWNER":     RefDACOwner,
 	"C_TGT_DAC_OWNER": RefTgtDACOwner,
 	"C_SIGNAL":        RefSignal,
+	"C_PEER_UID":      RefPeerUID,
+	"C_PEER_PID":      RefPeerPID,
+	"C_PORT":          RefPort,
 }
 
 // RefName returns the canonical spelling of a reference.
@@ -156,6 +180,10 @@ func needsOf(r ValueRef) CtxKind {
 		return CtxTgtDACOwner
 	case RefSignal:
 		return CtxSignal
+	case RefPeerUID, RefPeerPID:
+		return CtxPeerCred
+	case RefPort:
+		return CtxPort
 	default:
 		return 0
 	}
@@ -199,6 +227,15 @@ type EvalCtx struct {
 	dacOwner   int
 	tgtOwner   int
 	tgtOwnerOK bool
+
+	peerPID, peerUID, peerGID int
+	peerOK                    bool
+
+	sockNS   string
+	sockNSOK bool
+
+	port   uint16
+	portOK bool
 }
 
 // Require ensures kinds have been collected, invoking context modules as
@@ -237,6 +274,18 @@ func (c *EvalCtx) collect(k CtxKind) {
 	case CtxTgtDACOwner:
 		if c.Req.Obj != nil {
 			c.tgtOwner, c.tgtOwnerOK = c.Req.Obj.LinkTargetOwnerUID()
+		}
+	case CtxPeerCred:
+		if sr, ok := c.Req.Obj.(SockResource); ok {
+			c.peerPID, c.peerUID, c.peerGID, c.peerOK = sr.PeerCred()
+		}
+	case CtxSockNS:
+		if sr, ok := c.Req.Obj.(SockResource); ok {
+			c.sockNS, c.sockNSOK = sr.SockNS()
+		}
+	case CtxPort:
+		if sr, ok := c.Req.Obj.(SockResource); ok {
+			c.port, c.portOK = sr.SockPort()
 		}
 	case CtxSignal, CtxSyscall:
 		// Present directly on the Request; nothing to gather.
@@ -312,6 +361,25 @@ func (c *EvalCtx) AdversaryReadable() bool {
 	return c.advRead
 }
 
+// PeerCred returns the socket peer credential, collecting it if needed; ok
+// is false when the object is not a connected socket endpoint.
+func (c *EvalCtx) PeerCred() (pid, uid, gid int, ok bool) {
+	c.Require(CtxPeerCred)
+	return c.peerPID, c.peerUID, c.peerGID, c.peerOK
+}
+
+// SockNS returns the socket's rendezvous namespace name.
+func (c *EvalCtx) SockNS() (string, bool) {
+	c.Require(CtxSockNS)
+	return c.sockNS, c.sockNSOK
+}
+
+// SockPort returns the socket's port for port-namespace endpoints.
+func (c *EvalCtx) SockPort() (uint16, bool) {
+	c.Require(CtxPort)
+	return c.port, c.portOK
+}
+
 // Resolve evaluates a Value against the collected context.
 func (c *EvalCtx) Resolve(v Value) (uint64, bool) {
 	c.Require(needsOf(v.Ref))
@@ -343,6 +411,21 @@ func (c *EvalCtx) Resolve(v Value) (uint64, bool) {
 			return 0, false
 		}
 		return uint64(c.Req.Sig.Signal), true
+	case RefPeerUID:
+		if !c.peerOK {
+			return 0, false
+		}
+		return uint64(int64(c.peerUID)), true
+	case RefPeerPID:
+		if !c.peerOK {
+			return 0, false
+		}
+		return uint64(int64(c.peerPID)), true
+	case RefPort:
+		if !c.portOK {
+			return 0, false
+		}
+		return uint64(c.port), true
 	default:
 		return 0, false
 	}

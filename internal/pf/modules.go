@@ -186,6 +186,96 @@ func (m *AdvAccessMatch) Args() string {
 	return fmt.Sprintf("%s --is %v", kind, m.Want)
 }
 
+// PeerCredMatch tests the socket peer's uid (SO_PEERCRED context), the
+// binding a squatted rendezvous cannot forge: whoever answers at the name,
+// their credential was captured when the connection pair was created. With
+// Nequal it expresses "must be answered by uid N" as a deny rule, e.g.
+// "-m PEER_CRED --uid 0 --nequal -j DROP" pins a system service's clients
+// to a root-owned peer. Unavailable context (not a connected endpoint)
+// never matches, so deny rules predicated on it simply do not apply.
+type PeerCredMatch struct {
+	UID    Value
+	Nequal bool
+}
+
+// ModName implements Match.
+func (m *PeerCredMatch) ModName() string { return "PEER_CRED" }
+
+// Needs implements Match.
+func (m *PeerCredMatch) Needs() CtxKind { return CtxPeerCred | needsOf(m.UID.Ref) }
+
+// Match implements Match.
+func (m *PeerCredMatch) Match(ctx *EvalCtx) bool {
+	_, uid, _, ok := ctx.PeerCred()
+	if !ok {
+		return false
+	}
+	want, ok := ctx.Resolve(m.UID)
+	if !ok {
+		return false
+	}
+	if m.Nequal {
+		return uint64(int64(uid)) != want
+	}
+	return uint64(int64(uid)) == want
+}
+
+// Args implements Match.
+func (m *PeerCredMatch) Args() string {
+	val := fmt.Sprintf("%d", m.UID.Lit)
+	if m.UID.Ref != RefLiteral {
+		val = RefName(m.UID.Ref)
+	}
+	s := fmt.Sprintf("--uid %s", val)
+	if m.Nequal {
+		s += " --nequal"
+	}
+	return s
+}
+
+// SockNSMatch tests which rendezvous namespace the socket lives in ("fs",
+// "abstract", "port"), letting rules treat the inode-less namespaces — the
+// classic squat surfaces — differently from filesystem sockets.
+type SockNSMatch struct {
+	NS string
+}
+
+// ModName implements Match.
+func (m *SockNSMatch) ModName() string { return "SOCK_NS" }
+
+// Needs implements Match.
+func (m *SockNSMatch) Needs() CtxKind { return CtxSockNS }
+
+// Match implements Match.
+func (m *SockNSMatch) Match(ctx *EvalCtx) bool {
+	ns, ok := ctx.SockNS()
+	return ok && ns == m.NS
+}
+
+// Args implements Match.
+func (m *SockNSMatch) Args() string { return fmt.Sprintf("--ns %s", m.NS) }
+
+// PortMatch tests the port of a port-namespace socket against an inclusive
+// range, iptables --dport style.
+type PortMatch struct {
+	Min, Max uint16
+}
+
+// ModName implements Match.
+func (m *PortMatch) ModName() string { return "PORT" }
+
+// Needs implements Match.
+func (m *PortMatch) Needs() CtxKind { return CtxPort }
+
+// Match implements Match.
+func (m *PortMatch) Match(ctx *EvalCtx) bool {
+	p, ok := ctx.SockPort()
+	return ok && p >= m.Min && p <= m.Max
+}
+
+// Args implements Match.
+func (m *PortMatch) Args() string { return fmt.Sprintf("--min %d --max %d", m.Min, m.Max) }
+
 // --- Target modules ----------------------------------------------------
 
 // VerdictTarget terminates traversal with a fixed verdict (ACCEPT / DROP).

@@ -42,6 +42,11 @@ const (
 	OpSocketBind
 	OpSocketConnect
 	OpSocketSetattr
+	OpSocketListen
+	OpSocketAccept
+	OpSocketSend
+	OpSocketRecv
+	OpFifoCreate
 	OpSignalDeliver
 	OpSyscallBegin
 	opCount
@@ -64,6 +69,11 @@ var opNames = map[Op]string{
 	OpSocketBind:    "SOCKET_BIND",
 	OpSocketConnect: "UNIX_STREAM_SOCKET_CONNECT",
 	OpSocketSetattr: "SOCKET_SETATTR",
+	OpSocketListen:  "SOCKET_LISTEN",
+	OpSocketAccept:  "SOCKET_ACCEPT",
+	OpSocketSend:    "SOCKET_SENDMSG",
+	OpSocketRecv:    "SOCKET_RECVMSG",
+	OpFifoCreate:    "FIFO_CREATE",
 	OpSignalDeliver: "PROCESS_SIGNAL_DELIVERY",
 	OpSyscallBegin:  "SYSCALL_BEGIN",
 }

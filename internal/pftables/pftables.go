@@ -23,6 +23,7 @@ import (
 	"strconv"
 	"strings"
 
+	"pfirewall/internal/ipc"
 	"pfirewall/internal/mac"
 	"pfirewall/internal/pf"
 )
@@ -205,6 +206,12 @@ func Parse(env *Env, line string) (*Cmd, error) {
 					return nil, err
 				}
 				ops |= pf.NewOpSet(op)
+				// Backward compatibility: fifo creation used to be mediated
+				// as the generic FILE_CREATE, so rule files written before
+				// FIFO_CREATE existed keep covering mkfifo.
+				if op == pf.OpFileCreate {
+					ops |= pf.NewOpSet(pf.OpFifoCreate)
+				}
 			}
 			cmd.Rule.Ops = ops
 			i += 2
@@ -451,6 +458,117 @@ func parseMatch(env *Env, name string, toks []string) (pf.Match, int, error) {
 			}
 		}
 	doneSys:
+		return m, i, nil
+	case "PEER_CRED":
+		m := &pf.PeerCredMatch{}
+		i := 0
+		seenUID := false
+		for i < len(toks) {
+			switch toks[i] {
+			case "--uid":
+				if i+1 >= len(toks) {
+					return nil, 0, fmt.Errorf("pftables: PEER_CRED --uid needs a value")
+				}
+				v, err := parseValue(env, toks[i+1])
+				if err != nil {
+					return nil, 0, err
+				}
+				m.UID = v
+				seenUID = true
+				i += 2
+			case "--nequal":
+				m.Nequal = true
+				i++
+			case "--equal":
+				m.Nequal = false
+				i++
+			default:
+				goto donePeer
+			}
+		}
+	donePeer:
+		if !seenUID {
+			return nil, 0, fmt.Errorf("pftables: PEER_CRED requires --uid")
+		}
+		return m, i, nil
+	case "SOCK_NS":
+		m := &pf.SockNSMatch{}
+		i := 0
+		for i < len(toks) {
+			switch toks[i] {
+			case "--ns":
+				if i+1 >= len(toks) {
+					return nil, 0, fmt.Errorf("pftables: SOCK_NS --ns needs a value")
+				}
+				ns, ok := ipc.ParseNS(toks[i+1])
+				if !ok {
+					return nil, 0, fmt.Errorf("pftables: SOCK_NS: unknown namespace %q", toks[i+1])
+				}
+				m.NS = ns.String()
+				i += 2
+			default:
+				goto doneNS
+			}
+		}
+	doneNS:
+		if m.NS == "" {
+			return nil, 0, fmt.Errorf("pftables: SOCK_NS requires --ns")
+		}
+		return m, i, nil
+	case "PORT":
+		m := &pf.PortMatch{}
+		i := 0
+		seen := false
+		parsePort := func(s string) (uint16, error) {
+			v, err := parseUint(s)
+			if err != nil || v > 0xffff {
+				return 0, fmt.Errorf("pftables: PORT: bad port %q", s)
+			}
+			return uint16(v), nil
+		}
+		for i < len(toks) {
+			switch toks[i] {
+			case "--port":
+				if i+1 >= len(toks) {
+					return nil, 0, fmt.Errorf("pftables: PORT --port needs a value")
+				}
+				v, err := parsePort(toks[i+1])
+				if err != nil {
+					return nil, 0, err
+				}
+				m.Min, m.Max = v, v
+				seen = true
+				i += 2
+			case "--min":
+				if i+1 >= len(toks) {
+					return nil, 0, fmt.Errorf("pftables: PORT --min needs a value")
+				}
+				v, err := parsePort(toks[i+1])
+				if err != nil {
+					return nil, 0, err
+				}
+				m.Min = v
+				seen = true
+				i += 2
+			case "--max":
+				if i+1 >= len(toks) {
+					return nil, 0, fmt.Errorf("pftables: PORT --max needs a value")
+				}
+				v, err := parsePort(toks[i+1])
+				if err != nil {
+					return nil, 0, err
+				}
+				m.Max = v
+				seen = true
+				i += 2
+			default:
+				goto donePort
+			}
+		}
+	donePort:
+		if !seen {
+			return nil, 0, fmt.Errorf("pftables: PORT requires --port or --min/--max")
+		}
 		return m, i, nil
 	case "ADV_ACCESS":
 		m := &pf.AdvAccessMatch{Want: true}

@@ -1,0 +1,125 @@
+package pftables
+
+import (
+	"strings"
+	"testing"
+
+	"pfirewall/internal/pf"
+)
+
+// socketRules covers every new socket/port keyword: the four data-plane
+// operations, FIFO_CREATE, and the PEER_CRED / SOCK_NS / PORT matches in
+// all their argument spellings.
+var socketRules = []string{
+	`pftables -o SOCKET_LISTEN -j DROP`,
+	`pftables -o SOCKET_ACCEPT -m PEER_CRED --uid 1000 -j DROP`,
+	`pftables -o SOCKET_SENDMSG,SOCKET_RECVMSG -m SOCK_NS --ns abstract -j DROP`,
+	`pftables -o FIFO_CREATE -d tmp_t -j DROP`,
+	`pftables -o UNIX_STREAM_SOCKET_CONNECT -m SOCK_NS --ns port -m PORT --min 1 --max 1023 -j DROP`,
+	`pftables -o UNIX_STREAM_SOCKET_CONNECT -m PEER_CRED --uid 0 --nequal -j DROP`,
+	`pftables -o SOCKET_ACCEPT -m PEER_CRED --uid C_PORT --nequal -j DROP`,
+	`pftables -o SOCKET_BIND -m SOCK_NS --ns fs -j LOG --prefix "fsbind"`,
+}
+
+func TestSocketRuleRoundTrip(t *testing.T) {
+	env := testEnv()
+	engine := pf.New(env.Policy, pf.Optimized())
+	if _, err := InstallAll(env, engine, socketRules); err != nil {
+		t.Fatal(err)
+	}
+
+	saved := Save(engine)
+	engine2 := pf.New(env.Policy, pf.Optimized())
+	if _, err := InstallAll(env, engine2, saved); err != nil {
+		t.Fatalf("restore: %v\nsaved:\n%s", err, strings.Join(saved, "\n"))
+	}
+	saved2 := Save(engine2)
+	if len(saved) != len(saved2) {
+		t.Fatalf("save lengths differ: %d vs %d", len(saved), len(saved2))
+	}
+	for i := range saved {
+		if saved[i] != saved2[i] {
+			t.Errorf("line %d not a fixed point:\n%s\n%s", i, saved[i], saved2[i])
+		}
+	}
+}
+
+func TestPortSingleSpellingNormalizes(t *testing.T) {
+	env := testEnv()
+	cmd, err := Parse(env, `pftables -o SOCKET_BIND -m PORT --port 631 -j DROP`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := cmd.Rule.Matches[0].(*pf.PortMatch)
+	if m.Min != 631 || m.Max != 631 {
+		t.Errorf("PORT --port 631 = [%d,%d], want [631,631]", m.Min, m.Max)
+	}
+	// --port renders as --min/--max, which must reparse identically.
+	if !strings.Contains(m.Args(), "--min 631 --max 631") {
+		t.Errorf("Args() = %q", m.Args())
+	}
+}
+
+func TestSockNSAcceptsAliases(t *testing.T) {
+	env := testEnv()
+	for spelling, want := range map[string]string{"file": "fs", "fs": "fs", "abstract": "abstract", "port": "port"} {
+		cmd, err := Parse(env, `pftables -o SOCKET_BIND -m SOCK_NS --ns `+spelling+` -j DROP`)
+		if err != nil {
+			t.Fatalf("--ns %s: %v", spelling, err)
+		}
+		if got := cmd.Rule.Matches[0].(*pf.SockNSMatch).NS; got != want {
+			t.Errorf("--ns %s parsed as %q, want %q", spelling, got, want)
+		}
+	}
+	if _, err := Parse(env, `pftables -m SOCK_NS --ns bogus -j DROP`); err == nil {
+		t.Error("bogus namespace should fail to parse")
+	}
+}
+
+// TestFileCreateCoversFifoCreate pins the backward-compatibility expansion:
+// rule files written when mkfifo was mediated as FILE_CREATE keep covering
+// fifo creation, and the expansion is a Save/restore fixed point.
+func TestFileCreateCoversFifoCreate(t *testing.T) {
+	env := testEnv()
+	cmd, err := Parse(env, `pftables -o FILE_CREATE -j DROP`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cmd.Rule.Ops.Has(pf.OpFifoCreate) {
+		t.Error("FILE_CREATE must expand to cover FIFO_CREATE")
+	}
+	if !cmd.Rule.Ops.Has(pf.OpFileCreate) {
+		t.Error("expansion must keep FILE_CREATE itself")
+	}
+	if cmd.Rule.Ops.Has(pf.OpSocketBind) {
+		t.Error("expansion must not leak into unrelated ops")
+	}
+
+	engine := pf.New(env.Policy, pf.Optimized())
+	if _, err := Install(env, engine, `pftables -o FILE_CREATE -j DROP`); err != nil {
+		t.Fatal(err)
+	}
+	saved := Save(engine)
+	engine2 := pf.New(env.Policy, pf.Optimized())
+	if _, err := InstallAll(env, engine2, saved); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if saved2 := Save(engine2); saved[0] != saved2[0] {
+		t.Errorf("not a fixed point:\n%s\n%s", saved[0], saved2[0])
+	}
+}
+
+func TestSocketMatchParseErrors(t *testing.T) {
+	env := testEnv()
+	for _, line := range []string{
+		`pftables -m PEER_CRED -j DROP`,
+		`pftables -m PEER_CRED --uid -j DROP`,
+		`pftables -m SOCK_NS -j DROP`,
+		`pftables -m PORT -j DROP`,
+		`pftables -m PORT --port 99999 -j DROP`,
+	} {
+		if _, err := Parse(env, line); err == nil {
+			t.Errorf("%q should fail to parse", line)
+		}
+	}
+}

@@ -1,6 +1,8 @@
 package programs
 
 import (
+	"strings"
+
 	"pfirewall/internal/kernel"
 )
 
@@ -12,11 +14,15 @@ import (
 type DbusDaemon struct {
 	W          *World
 	SocketPath string
+
+	// fd is the listening socket, kept open for the daemon's lifetime once
+	// Start succeeds.
+	fd int
 }
 
 // NewDbusDaemon returns the daemon model bound at the standard path.
 func NewDbusDaemon(w *World) *DbusDaemon {
-	return &DbusDaemon{W: w, SocketPath: "/var/run/dbus/system_bus_socket"}
+	return &DbusDaemon{W: w, SocketPath: "/var/run/dbus/system_bus_socket", fd: -1}
 }
 
 // Spawn starts the daemon process.
@@ -26,6 +32,7 @@ func (d *DbusDaemon) Spawn() *kernel.Proc {
 
 // Start performs the vulnerable startup sequence: bind at one call site,
 // chmod by path at another. The chmod resolves the path again — the race.
+// On success the daemon is left listening on the bus socket.
 func (d *DbusDaemon) Start(p *kernel.Proc) error {
 	if err := p.SyscallSite(BinDbusD, EntryDbusBind); err != nil {
 		return err
@@ -34,14 +41,36 @@ func (d *DbusDaemon) Start(p *kernel.Proc) error {
 	if err != nil {
 		return err
 	}
-	defer p.Close(fd)
 
 	// The window: a real daemon does other work here; the simulation's
 	// interleave hooks let the adversary act at the next syscall entry.
 	if err := p.SyscallSite(BinDbusD, EntryDbusChmod); err != nil {
+		p.Close(fd)
 		return err
 	}
-	return p.Chmod(d.SocketPath, 0o666)
+	if err := p.Chmod(d.SocketPath, 0o666); err != nil {
+		p.Close(fd)
+		return err
+	}
+	if err := p.SyscallSite(BinDbusD, EntryDbusListen); err != nil {
+		p.Close(fd)
+		return err
+	}
+	if err := p.Listen(fd, 16); err != nil {
+		p.Close(fd)
+		return err
+	}
+	d.fd = fd
+	return nil
+}
+
+// Fd returns the daemon's listening descriptor (-1 before Start succeeds).
+func (d *DbusDaemon) Fd() int { return d.fd }
+
+// AcceptOne accepts a single pending client connection, returning the
+// connected descriptor.
+func (d *DbusDaemon) AcceptOne(p *kernel.Proc) (int, error) {
+	return p.Accept(d.fd)
 }
 
 // LibDbus models the client library (exploit E3, rule R3): it resolves the
@@ -56,7 +85,8 @@ func NewLibDbus(w *World) *LibDbus { return &LibDbus{w} }
 
 // Connect opens a connection to the system bus for p. The address comes
 // from DBUS_SYSTEM_BUS_ADDRESS if set — programmers assumed only trusted
-// callers would set it.
+// callers would set it. Addresses of the form "abstract=NAME" use the
+// inode-less abstract namespace, as real D-Bus session buses do.
 func (l *LibDbus) Connect(p *kernel.Proc) (int, error) {
 	if _, ok := p.AddrSpace().FindByPath(BinLibDbus); !ok {
 		p.AddrSpace().Map(BinLibDbus, 0)
@@ -71,6 +101,9 @@ func (l *LibDbus) Connect(p *kernel.Proc) (int, error) {
 	defer p.PopFrame()
 	if err := p.SyscallSite(BinLibDbus, EntryDbusConnect); err != nil {
 		return -1, err
+	}
+	if name, ok := strings.CutPrefix(addr, "abstract="); ok {
+		return p.ConnectAbstract(name)
 	}
 	return p.Connect(addr)
 }

@@ -296,6 +296,100 @@ func TestLibDbusDefaultConnect(t *testing.T) {
 	}
 }
 
+func TestDbusRendezvousDataPlane(t *testing.T) {
+	// A full message round trip over the real data plane: client connects
+	// through libdbus, daemon accepts and reads the bytes, replies, client
+	// reads the reply — all under the standard rule set.
+	w := worldPF(t)
+	d := NewDbusDaemon(w)
+	dp := d.Spawn()
+	if err := d.Start(dp); err != nil {
+		t.Fatal(err)
+	}
+	lib := NewLibDbus(w)
+	client := w.NewProc(kernel.ProcSpec{UID: 0, GID: 0, Label: "httpd_t", Exec: BinApache})
+	cfd, err := lib.Connect(client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Send(cfd, []byte("Hello")); err != nil {
+		t.Fatalf("client send: %v", err)
+	}
+	sfd, err := d.AcceptOne(dp)
+	if err != nil {
+		t.Fatalf("daemon accept: %v", err)
+	}
+	if got, err := dp.Recv(sfd, 0); err != nil || string(got) != "Hello" {
+		t.Fatalf("daemon recv = %q, %v", got, err)
+	}
+	if _, err := dp.Send(sfd, []byte("NameAcquired :1.42")); err != nil {
+		t.Fatalf("daemon send: %v", err)
+	}
+	if got, err := client.Recv(cfd, 0); err != nil || string(got) != "NameAcquired :1.42" {
+		t.Fatalf("client recv = %q, %v", got, err)
+	}
+}
+
+func TestLibDbusAbstractAddress(t *testing.T) {
+	// Session buses use abstract addresses; libdbus parses the abstract=
+	// prefix and connects through the inode-less namespace. No rule set
+	// here: R3 pins the libdbus entrypoint to the system bus label, and an
+	// abstract listener carries its binder's process label instead (that
+	// interaction is asserted separately below).
+	w := NewWorld(WorldOpts{})
+	daemon := w.NewProc(kernel.ProcSpec{UID: 0, GID: 0, Label: "dbusd_t", Exec: BinDbusD})
+	lfd, err := daemon.BindAbstract("dbus-session-abc123")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := daemon.Listen(lfd, 4); err != nil {
+		t.Fatal(err)
+	}
+	lib := NewLibDbus(w)
+	client := w.NewProc(kernel.ProcSpec{
+		UID: 0, GID: 0, Label: "httpd_t", Exec: BinApache,
+		Env: map[string]string{"DBUS_SYSTEM_BUS_ADDRESS": "abstract=dbus-session-abc123"},
+	})
+	cfd, err := lib.Connect(client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Send(cfd, []byte("Hello")); err != nil {
+		t.Fatal(err)
+	}
+	sfd, err := daemon.Accept(lfd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := daemon.Recv(sfd, 0); err != nil || string(got) != "Hello" {
+		t.Fatalf("recv over abstract = %q, %v", got, err)
+	}
+}
+
+func TestR3BlocksAbstractSquatViaLibDbus(t *testing.T) {
+	// With the standard rules, R3 confines the libdbus connect entrypoint
+	// to system_dbusd_var_run_t. An abstract socket carries its binder's
+	// process label, so pointing DBUS_SYSTEM_BUS_ADDRESS at an abstract
+	// name — squatted or not — is dropped at that entrypoint.
+	w := worldPF(t)
+	adv := w.NewUser()
+	sfd, err := adv.BindAbstract("fake_bus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := adv.Listen(sfd, 4); err != nil {
+		t.Fatal(err)
+	}
+	lib := NewLibDbus(w)
+	victim := w.NewProc(kernel.ProcSpec{
+		UID: 0, GID: 0, Label: "httpd_t", Exec: BinApache,
+		Env: map[string]string{"DBUS_SYSTEM_BUS_ADDRESS": "abstract=fake_bus"},
+	})
+	if _, err := lib.Connect(victim); !errors.Is(err, kernel.ErrPFDenied) {
+		t.Fatalf("connect to abstract squat via libdbus: %v, want ErrPFDenied", err)
+	}
+}
+
 // --- sshd -----------------------------------------------------------------------
 
 func TestSshdSingleSignalWithRules(t *testing.T) {

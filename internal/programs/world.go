@@ -48,6 +48,10 @@ const (
 	// sites (rules R5, R6).
 	EntryDbusBind  uint64 = 0x3c750
 	EntryDbusChmod uint64 = 0x3c786
+
+	// EntryDbusListen is dbus-daemon's listen call site, reached after the
+	// socket is made world-accessible.
+	EntryDbusListen uint64 = 0x3c7b2
 	// EntryJavaConf is the Java launcher's configuration-open call site
 	// (rule R7).
 	EntryJavaConf uint64 = 0x5d7e

@@ -114,6 +114,12 @@ type Inode struct {
 	// SockOwner records the pid that bound a socket inode, used by the
 	// simulated D-Bus daemon exploit (E6).
 	SockOwner int
+
+	// IPCID links a socket or fifo inode to its listener/queue in the IPC
+	// registry. Zero means no endpoint is registered; registry IDs start
+	// at 1 and are never recycled, so a stale IPCID can never alias a
+	// later endpoint.
+	IPCID uint64
 }
 
 // IsDir reports whether the inode is a directory.
