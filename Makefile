@@ -1,11 +1,12 @@
 # Developer / CI entry points. `make check` is the tier-1 gate plus the
 # race-enabled test suite; `make bench-smoke` is a fast perf sanity pass;
-# `make bench-hotpath` refreshes BENCH_hotpath.json and `make bench-ipc`
-# refreshes BENCH_ipc.json so the scaling trajectory is tracked across PRs.
+# `make bench-hotpath` refreshes BENCH_hotpath.json, `make bench-ipc`
+# refreshes BENCH_ipc.json, and `make bench-obs` refreshes BENCH_obs.json
+# (observability overhead) so the perf trajectory is tracked across PRs.
 
 GO ?= go
 
-.PHONY: all vet build test test-race check bench-smoke bench-hotpath bench-ipc
+.PHONY: all vet build test test-race check bench-smoke bench-hotpath bench-ipc bench-obs
 
 all: check
 
@@ -24,12 +25,19 @@ test-race:
 check: vet build test-race
 
 # A quick pass over the hot-path benchmarks: single-thread latency
-# (Table 6 open/stat), ruleset-size flatness, and multi-goroutine scaling.
+# (Table 6 open/stat), ruleset-size flatness, multi-goroutine scaling with
+# the metrics layer enabled, and a short off/on overhead comparison
+# emitting BENCH_obs.json.
 bench-smoke:
-	$(GO) test -run xxx -bench 'BenchmarkTable6/(stat|open\+close)/EPTSPC|BenchmarkRuleBaseScaling/eptchains|BenchmarkParallel' -benchtime 0.1s .
+	$(GO) test -run xxx -bench 'BenchmarkTable6/(stat|open\+close)/EPTSPC|BenchmarkRuleBaseScaling/eptchains' -benchtime 0.1s .
+	PFBENCH_OBS=1 $(GO) test -run xxx -bench 'BenchmarkParallel' -benchtime 100x .
+	$(GO) run ./cmd/pfbench -obs -iters 2000 -obs-json BENCH_obs.json
 
 bench-hotpath:
 	$(GO) run ./cmd/pfbench -parallel -iters 20000 -json BENCH_hotpath.json
 
 bench-ipc:
 	$(GO) run ./cmd/pfbench -ipc -iters 20000 -ipc-json BENCH_ipc.json
+
+bench-obs:
+	$(GO) run ./cmd/pfbench -obs -iters 20000 -obs-json BENCH_obs.json

@@ -13,16 +13,37 @@ package pfirewall_test
 
 import (
 	"fmt"
+	"os"
 	"sync"
 	"testing"
 
 	"pfirewall/internal/kernel"
 	"pfirewall/internal/lmbench"
+	"pfirewall/internal/obs"
 	"pfirewall/internal/pf"
 	"pfirewall/internal/programs"
 	"pfirewall/internal/safeopen"
 	"pfirewall/internal/webbench"
 )
+
+// parallelBenchWorld builds the fully optimized world the parallel
+// benchmarks run against. PFBENCH_OBS=1 additionally attaches the metrics
+// layer, so `PFBENCH_OBS=1 go test -bench=BenchmarkParallel` measures the
+// observability-enabled hot path against the same benchmark baseline (the
+// `make bench-smoke` comparison).
+func parallelBenchWorld(b *testing.B) *programs.World {
+	b.Helper()
+	cfg := pf.Optimized()
+	wopts := programs.WorldOpts{PF: &cfg}
+	if os.Getenv("PFBENCH_OBS") == "1" {
+		wopts.Obs = obs.New()
+	}
+	w := programs.NewWorld(wopts)
+	if _, err := w.InstallRules(lmbench.SyntheticRuleBase(lmbench.FullRuleBaseSize)); err != nil {
+		b.Fatal(err)
+	}
+	return w
+}
 
 // BenchmarkTable6 measures each syscall workload under each firewall
 // configuration; compare ns/op across configs to reproduce Table 6's
@@ -171,11 +192,7 @@ func BenchmarkRuleBaseScaling(b *testing.B) {
 func BenchmarkParallelOpen(b *testing.B) {
 	for _, g := range lmbench.ParallelFanout {
 		b.Run(fmt.Sprintf("goroutines=%d", g), func(b *testing.B) {
-			cfg := pf.Optimized()
-			w := programs.NewWorld(programs.WorldOpts{PF: &cfg})
-			if _, err := w.InstallRules(lmbench.SyntheticRuleBase(lmbench.FullRuleBaseSize)); err != nil {
-				b.Fatal(err)
-			}
+			w := parallelBenchWorld(b)
 			procs := make([]*kernel.Proc, g)
 			for i := range procs {
 				p := w.NewProc(kernel.ProcSpec{UID: 0, GID: 0, Label: "sshd_t", Exec: programs.BinSshd})
@@ -250,11 +267,7 @@ func BenchmarkParallelWeb(b *testing.B) {
 func BenchmarkParallelIPC(b *testing.B) {
 	for _, g := range lmbench.ParallelFanout {
 		b.Run(fmt.Sprintf("goroutines=%d", g), func(b *testing.B) {
-			cfg := pf.Optimized()
-			w := programs.NewWorld(programs.WorldOpts{PF: &cfg})
-			if _, err := w.InstallRules(lmbench.SyntheticRuleBase(lmbench.FullRuleBaseSize)); err != nil {
-				b.Fatal(err)
-			}
+			w := parallelBenchWorld(b)
 			type pair struct {
 				daemon, client *kernel.Proc
 				sfd            int

@@ -13,6 +13,11 @@
 // -parallel results (plus hardware parallelism) to the given file, e.g.
 // `pfbench -parallel -json BENCH_hotpath.json`; -ipc-json does the same
 // for the -ipc results, e.g. `pfbench -ipc -ipc-json BENCH_ipc.json`.
+//
+// -obs runs the observability-overhead comparison (hot paths with the
+// metrics layer off vs on); -obs-json writes its report, e.g.
+// `pfbench -obs -obs-json BENCH_obs.json`. -cpuprofile, -memprofile and
+// -trace capture pprof/runtime-trace artifacts of whatever ran.
 package main
 
 import (
@@ -20,6 +25,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
 
 	"pfirewall/internal/lmbench"
 	"pfirewall/internal/safeopen"
@@ -33,20 +41,60 @@ func main() {
 	f5 := flag.Bool("fig5", false, "run the Figure 5 Apache comparison")
 	par := flag.Bool("parallel", false, "run the multi-process hot-path scaling measurement")
 	ipc := flag.Bool("ipc", false, "run the socket round-trip scaling measurement")
+	obsRun := flag.Bool("obs", false, "run the observability-overhead comparison (metrics off vs on)")
 	all := flag.Bool("all", false, "run everything")
 	iters := flag.Int("iters", 20000, "iterations per microbenchmark cell")
 	requests := flag.Int("requests", 300, "requests per client per web cell")
 	scale := flag.Int("scale", 50, "macrobenchmark scale (build units)")
+	sampleEvery := flag.Int("obs-sample", 0, "latency sampling period for -obs (0: the default)")
 	jsonPath := flag.String("json", "", "write -parallel results as JSON to this file")
 	ipcJSONPath := flag.String("ipc-json", "", "write -ipc results as JSON to this file")
+	obsJSONPath := flag.String("obs-json", "", "write -obs results as JSON to this file")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	tracePath := flag.String("trace", "", "write a runtime execution trace to this file")
 	flag.Parse()
 
-	if !*t6 && !*t7 && !*f4 && !*f5 && !*par && !*ipc && !*all {
+	if !*t6 && !*t7 && !*f4 && !*f5 && !*par && !*ipc && !*obsRun && !*all {
 		flag.Usage()
 		return
 	}
 	if *all {
-		*t6, *t7, *f4, *f5, *par, *ipc = true, true, true, true, true, true
+		*t6, *t7, *f4, *f5, *par, *ipc, *obsRun = true, true, true, true, true, true, true
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal("cpuprofile:", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal("cpuprofile:", err)
+		}
+		defer func() { pprof.StopCPUProfile(); f.Close() }()
+	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fatal("trace:", err)
+		}
+		if err := trace.Start(f); err != nil {
+			fatal("trace:", err)
+		}
+		defer func() { trace.Stop(); f.Close() }()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fatal("memprofile:", err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal("memprofile:", err)
+			}
+		}()
 	}
 
 	if *t6 {
@@ -87,6 +135,20 @@ func main() {
 			writeJSON(*ipcJSONPath, rep)
 		}
 	}
+	if *obsRun {
+		fmt.Println("Observability overhead: hot paths with the metrics layer off vs on")
+		rep := lmbench.RunObsOverhead(*iters, *sampleEvery, lmbench.ParallelFanout)
+		fmt.Print(lmbench.FormatObsOverhead(rep))
+		fmt.Println()
+		if *obsJSONPath != "" {
+			writeJSON(*obsJSONPath, rep)
+		}
+	}
+}
+
+func fatal(prefix string, err error) {
+	fmt.Fprintln(os.Stderr, "pfbench:", prefix, err)
+	os.Exit(1)
 }
 
 func writeJSON(path string, v any) {

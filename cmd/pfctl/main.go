@@ -1,37 +1,91 @@
 // Command pfctl is the userspace rule tool: it parses pftables rule files
 // against the standard simulated world, validates them, installs them into
 // an engine, and prints the compiled form — the workflow of the paper's
-// pftables process (Section 5.2).
+// pftables process (Section 5.2). It doubles as the observability
+// front-end: -stats and -stats-prom export the internal/obs metrics
+// registry (counters, latency histograms, the flight recorder) after
+// exercising a canned deterministic workload, and -listen serves the same
+// registry over HTTP.
 //
 // Usage:
 //
 //	pfctl -f rules.pft        # compile and validate a rule file
 //	pfctl -standard           # print and validate the paper's Table 5 rules
 //	pfctl -e 'pftables ...'   # compile one rule from the command line
+//	pfctl -standard -L        # list chains with hits, traversals, verdicts
+//	pfctl -stats              # run the demo workload, dump metrics as JSON
+//	pfctl -stats-prom         # same, Prometheus text exposition format
+//	pfctl -listen :9090       # serve /metrics and /vars over HTTP
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"strings"
 
+	"pfirewall/internal/audit"
+	"pfirewall/internal/kernel"
+	"pfirewall/internal/obs"
 	"pfirewall/internal/pf"
 	"pfirewall/internal/pftables"
 	"pfirewall/internal/programs"
+	"pfirewall/internal/trace"
 )
 
 func main() {
-	file := flag.String("f", "", "rule file to compile")
-	standard := flag.Bool("standard", false, "compile the paper's Table 5 rule set")
-	expr := flag.String("e", "", "compile a single rule")
-	list := flag.Bool("L", false, "list installed chains and rules with hit counters")
-	save := flag.Bool("S", false, "print the installed rule base as re-loadable pftables lines")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+// statsTopDenials caps the denial summary embedded in -stats output.
+const statsTopDenials = 10
+
+// run is the whole tool behind a testable seam: args are the command line
+// without the program name, out receives everything the user sees.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("pfctl", flag.ContinueOnError)
+	file := fs.String("f", "", "rule file to compile")
+	standard := fs.Bool("standard", false, "compile the paper's Table 5 rule set")
+	expr := fs.String("e", "", "compile a single rule")
+	list := fs.Bool("L", false, "list installed chains and rules with hit, traversal and verdict counters")
+	save := fs.Bool("S", false, "print the installed rule base as re-loadable pftables lines")
+	workload := fs.Bool("workload", false, "exercise the canned deterministic workload after installing rules (implied by -stats/-stats-prom/-listen)")
+	stats := fs.Bool("stats", false, "run the workload and print the metrics registry and denial summary as JSON")
+	statsProm := fs.Bool("stats-prom", false, "run the workload and print the metrics registry in Prometheus text format")
+	listen := fs.String("listen", "", "serve /metrics (Prometheus) and /vars (JSON) on this address after running the workload")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	exporting := *stats || *statsProm || *listen != ""
+	if exporting {
+		*workload = true
+	}
 
 	cfg := pf.Optimized()
-	w := programs.NewWorld(programs.WorldOpts{PF: &cfg})
+	wopts := programs.WorldOpts{PF: &cfg}
+	var reg *obs.Registry
+	if *workload || exporting {
+		// Sample every request so the short deterministic workload
+		// populates the latency histograms, not just the counters.
+		reg = obs.New()
+		wopts.Obs = reg
+		wopts.ObsEvery = 1
+	}
+	w := programs.NewWorld(wopts)
+
+	var store *trace.Store
+	if exporting {
+		store = trace.NewStore()
+		w.Engine.Logger = store.Collector(w.K.Policy.SIDs())
+		w.Engine.LogDenials = true
+	}
 
 	var lines []string
 	switch {
@@ -42,7 +96,7 @@ func main() {
 	case *file != "":
 		f, err := os.Open(*file)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		defer f.Close()
 		sc := bufio.NewScanner(f)
@@ -50,13 +104,19 @@ func main() {
 			lines = append(lines, sc.Text())
 		}
 		if err := sc.Err(); err != nil {
-			fatal(err)
+			return err
 		}
+	case exporting:
+		// Pure stats runs default to the standard rule base so the
+		// workload has something to traverse.
+		lines = programs.StandardRules()
 	default:
-		flag.Usage()
+		fs.Usage()
 		os.Exit(2)
 	}
 
+	// In export mode the compiled-rule chatter would corrupt the JSON or
+	// Prometheus stream, so keep stdout for the exposition only.
 	installed := 0
 	for _, line := range lines {
 		line = strings.TrimSpace(line)
@@ -65,36 +125,129 @@ func main() {
 		}
 		cmd, err := pftables.Install(w.Env, w.Engine, line)
 		if err != nil {
-			fatal(fmt.Errorf("%s\n  -> %w", line, err))
+			return fmt.Errorf("%s\n  -> %w", line, err)
 		}
 		installed++
-		if cmd.NewChainName != "" {
-			fmt.Printf("chain %s created\n", cmd.NewChainName)
+		if exporting {
 			continue
 		}
-		fmt.Printf("[%s/%s] %s\n", cmd.Table, cmd.Chain, cmd.Rule.String(w.K.Policy.SIDs()))
+		if cmd.NewChainName != "" {
+			fmt.Fprintf(out, "chain %s created\n", cmd.NewChainName)
+			continue
+		}
+		fmt.Fprintf(out, "[%s/%s] %s\n", cmd.Table, cmd.Chain, cmd.Rule.String(w.K.Policy.SIDs()))
 	}
-	fmt.Printf("# %d rules installed; chains: %s\n", installed, strings.Join(w.Engine.Chains(), ", "))
+	if !exporting {
+		fmt.Fprintf(out, "# %d rules installed; chains: %s\n", installed, strings.Join(w.Engine.Chains(), ", "))
+	}
+
+	if *workload {
+		runWorkload(w)
+	}
 	if *list {
-		listRules(w.Engine)
+		listRules(w.Engine, out)
 	}
 	if *save {
 		for _, line := range pftables.Save(w.Engine) {
-			fmt.Println(line)
+			fmt.Fprintln(out, line)
 		}
+	}
+	if *stats {
+		if err := writeStats(out, reg, store); err != nil {
+			return err
+		}
+	}
+	if *statsProm {
+		if err := reg.WritePrometheus(out); err != nil {
+			return err
+		}
+	}
+	if *listen != "" {
+		fmt.Fprintf(os.Stderr, "pfctl: serving /metrics and /vars on %s\n", *listen)
+		return http.ListenAndServe(*listen, reg.Handler())
+	}
+	return nil
+}
+
+// runWorkload drives a canned, deterministic slice of the simulated world
+// through the firewall so every exported metric family has data: trusted
+// file opens (FILE_OPEN accepts), an abstract-socket echo session
+// (SOCKET_SENDMSG / RECVMSG), and an adversary link-following attack that
+// the rule base drops (populating the flight recorder and denial log).
+func runWorkload(w *programs.World) {
+	sshd := w.NewProc(kernel.ProcSpec{UID: 0, GID: 0, Label: "sshd_t", Exec: programs.BinSshd})
+	for i := 0; i < 8; i++ {
+		if fd, err := sshd.Open("/etc/passwd", kernel.O_RDONLY, 0); err == nil {
+			sshd.ReadAll(fd)
+			sshd.Close(fd)
+		}
+	}
+
+	srv := w.NewProc(kernel.ProcSpec{UID: 0, GID: 0, Label: "sshd_t", Exec: programs.BinSshd})
+	cli := w.NewProc(kernel.ProcSpec{UID: 0, GID: 0, Label: "sshd_t", Exec: programs.BinSshd})
+	if lfd, err := srv.BindAbstract("pfctl-demo"); err == nil {
+		if srv.Listen(lfd, 4) == nil {
+			if cfd, err := cli.ConnectAbstract("pfctl-demo"); err == nil {
+				if sfd, err := srv.Accept(lfd); err == nil {
+					for i := 0; i < 4; i++ {
+						cli.Send(cfd, []byte("ping"))
+						srv.Recv(sfd, -1)
+						srv.Send(sfd, []byte("pong"))
+						cli.Recv(cfd, -1)
+					}
+					srv.Close(sfd)
+				}
+				cli.Close(cfd)
+			}
+		}
+		srv.Close(lfd)
+	}
+
+	adv := w.NewUser()
+	adv.Symlink("/etc/shadow", "/tmp/trap")
+	if fd, err := sshd.Open("/tmp/trap", kernel.O_RDONLY, 0); err == nil {
+		// Only reached when the installed rules lack a link-walk guard.
+		sshd.Close(fd)
 	}
 }
 
-// listRules prints every chain with per-rule hit counters, like
-// iptables -L -v.
-func listRules(engine *pf.Engine) {
+// statsDoc is the -stats JSON document: the full metrics registry plus the
+// operator-facing denial summary (audit.TopN over the trace store).
+type statsDoc struct {
+	Metrics json.RawMessage     `json:"metrics"`
+	Denials []audit.DenialGroup `json:"denials"`
+}
+
+func writeStats(out io.Writer, reg *obs.Registry, store *trace.Store) error {
+	metrics, err := reg.MarshalJSON()
+	if err != nil {
+		return err
+	}
+	doc := statsDoc{
+		Metrics: metrics,
+		Denials: audit.TopN(audit.Denials(store), statsTopDenials),
+	}
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(out, "%s\n", enc)
+	return err
+}
+
+// listRules prints every chain with per-rule hit counters and per-chain
+// traversal counts, like iptables -L -v, followed by the engine's verdict
+// totals.
+func listRules(engine *pf.Engine, out io.Writer) {
 	for _, name := range engine.Chains() {
 		c, _ := engine.Chain(name)
-		fmt.Printf("Chain %s (%d rules)\n", name, len(c.Rules))
+		fmt.Fprintf(out, "Chain %s (%d rules, traversals=%d)\n", name, len(c.Rules), c.Traversals.Load())
 		for i, r := range c.Rules {
-			fmt.Printf("  %3d  hits=%-8d %s\n", i+1, r.Hits.Load(), r.String(engine.Policy().SIDs()))
+			fmt.Fprintf(out, "  %3d  hits=%-8d %s\n", i+1, r.Hits.Load(), r.String(engine.Policy().SIDs()))
 		}
 	}
+	fmt.Fprintf(out, "Verdict totals: requests=%d accepts=%d drops=%d\n",
+		engine.Stats.Requests.Load(), engine.Stats.Accepts.Load(), engine.Stats.Drops.Load())
 }
 
 func fatal(err error) {

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestListGolden pins the -L output format: per-rule hit counters,
+// per-chain traversal counts, and the verdict-totals footer. The world and
+// the canned workload are fully deterministic, so the whole listing is
+// byte-stable.
+func TestListGolden(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-e", "pftables -o LNK_FILE_READ -d tmp_t -j DROP", "-workload", "-L"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const golden = `[filter/input] -d {tmp_t} -o LNK_FILE_READ -j DROP
+# 1 rules installed; chains: input, mangle/input, syscallbegin
+Chain input (1 rules, traversals=58)
+    1  hits=1        -d {tmp_t} -o LNK_FILE_READ -j DROP
+Chain mangle/input (0 rules, traversals=0)
+Chain syscallbegin (0 rules, traversals=49)
+Verdict totals: requests=107 accepts=106 drops=1
+`
+	if buf.String() != golden {
+		t.Errorf("-L output drifted:\n--- got ---\n%s--- want ---\n%s", buf.String(), golden)
+	}
+}
+
+// TestStatsPromFormat checks the Prometheus exposition for the acceptance
+// series: FILE_OPEN and SOCKET_SENDMSG counters and histograms with the
+// deterministic workload's counts, plus verdict totals.
+func TestStatsPromFormat(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-stats-prom"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE pf_mediations_total counter\n",
+		"# TYPE pf_gauntlet_latency_ns histogram\n",
+		"# TYPE pf_verdicts_total counter\n",
+		`pf_mediations_total{op="FILE_OPEN",verdict="ACCEPT"} 8` + "\n",
+		`pf_mediations_total{op="SOCKET_SENDMSG",verdict="ACCEPT"} 8` + "\n",
+		`pf_gauntlet_latency_ns_bucket{op="FILE_OPEN",le="+Inf"} 8` + "\n",
+		`pf_gauntlet_latency_ns_count{op="FILE_OPEN"} 8` + "\n",
+		`pf_gauntlet_latency_ns_count{op="SOCKET_SENDMSG"} 8` + "\n",
+		`pf_verdicts_total{verdict="DROP"} 1` + "\n",
+		`ipc_binds_total{ns="abstract"} 1` + "\n",
+		`kernel_syscalls_total{nr="open"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-stats-prom output missing %q", want)
+		}
+	}
+	// Every sample line parses as "name{labels} value" or "name value".
+	for _, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if strings.Count(line, " ") != 1 {
+			t.Errorf("malformed sample line %q", line)
+		}
+	}
+}
+
+// TestStatsJSONRoundTrip checks that -stats emits a JSON document that
+// round-trips through encoding/json and carries the workload's evidence:
+// the registry snapshot and the TopN denial summary.
+func TestStatsJSONRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-stats"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("-stats output is not valid JSON: %v", err)
+	}
+	re, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc2 map[string]any
+	if err := json.Unmarshal(re, &doc2); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(doc, doc2) {
+		t.Error("-stats JSON does not round-trip through encoding/json")
+	}
+
+	metrics, ok := doc["metrics"].(map[string]any)
+	if !ok {
+		t.Fatalf("metrics section missing: %v", doc)
+	}
+	counters := metrics["counters"].(map[string]any)
+	med := counters["pf_mediations_total"].(map[string]any)
+	if got := med["op=FILE_OPEN,verdict=ACCEPT"].(float64); got != 8 {
+		t.Errorf("FILE_OPEN accepts = %v, want 8", got)
+	}
+	if got := med["op=SOCKET_SENDMSG,verdict=ACCEPT"].(float64); got != 8 {
+		t.Errorf("SOCKET_SENDMSG accepts = %v, want 8", got)
+	}
+	rings := metrics["rings"].(map[string]any)
+	drop := rings["pf_flight_drop"].(map[string]any)
+	if got := drop["total"].(float64); got < 1 {
+		t.Errorf("flight recorder captured no drops: %v", drop)
+	}
+	denials, ok := doc["denials"].([]any)
+	if !ok || len(denials) == 0 {
+		t.Fatalf("denial summary missing: %v", doc["denials"])
+	}
+	top := denials[0].(map[string]any)
+	if op := top["Key"].(map[string]any)["Op"]; op != "LNK_FILE_READ" {
+		t.Errorf("top denial op = %v, want LNK_FILE_READ", op)
+	}
+}

@@ -68,15 +68,38 @@ func Denials(s *trace.Store) []DenialGroup {
 	}
 	out := make([]DenialGroup, 0, len(groups))
 	for _, g := range groups {
+		sort.Strings(g.Paths)
 		out = append(out, *g)
 	}
+	// Fully deterministic order: count descending, then the whole key —
+	// two groups can share a program (different entrypoints or ops), and
+	// map iteration order must never leak into operator-facing output.
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Count != out[j].Count {
 			return out[i].Count > out[j].Count
 		}
-		return out[i].Key.Program < out[j].Key.Program
+		a, b := out[i].Key, out[j].Key
+		if a.Program != b.Program {
+			return a.Program < b.Program
+		}
+		if a.Entrypoint != b.Entrypoint {
+			return a.Entrypoint < b.Entrypoint
+		}
+		if a.Op != b.Op {
+			return a.Op < b.Op
+		}
+		return a.ObjectLbl < b.ObjectLbl
 	})
 	return out
+}
+
+// TopN returns the first n groups (all of them when n <= 0 or exceeds the
+// group count) — the summary slice pfctl -stats embeds.
+func TopN(groups []DenialGroup, n int) []DenialGroup {
+	if n <= 0 || n > len(groups) {
+		n = len(groups)
+	}
+	return groups[:n]
 }
 
 // Report renders the denial groups as the operator-facing summary.

@@ -127,3 +127,54 @@ func TestDenialLoggingOffByDefault(t *testing.T) {
 		t.Errorf("no records expected without LogDenials, got %d", store.Len())
 	}
 }
+
+func TestDenialsDeterministicOrder(t *testing.T) {
+	// Two groups with equal counts in the same program but different
+	// entrypoints/ops, with paths arriving out of order: the output must
+	// be identical run to run regardless of map iteration.
+	build := func() *trace.Store {
+		s := trace.NewStore()
+		for _, r := range []trace.Record{
+			{Program: "/usr/bin/a", Entrypoint: 0x20, Op: "FILE_OPEN", ObjectLabel: "tmp_t", Path: "/tmp/z", Verdict: "DROP"},
+			{Program: "/usr/bin/a", Entrypoint: 0x10, Op: "FILE_OPEN", ObjectLabel: "tmp_t", Path: "/tmp/b", Verdict: "DROP"},
+			{Program: "/usr/bin/a", Entrypoint: 0x10, Op: "FILE_OPEN", ObjectLabel: "tmp_t", Path: "/tmp/a", Verdict: "DROP"},
+			{Program: "/usr/bin/a", Entrypoint: 0x20, Op: "FILE_OPEN", ObjectLabel: "tmp_t", Path: "/tmp/y", Verdict: "DROP"},
+			{Program: "/usr/bin/a", Entrypoint: 0x10, Op: "LNK_FILE_READ", ObjectLabel: "tmp_t", Path: "/tmp/l", Verdict: "DROP"},
+			{Program: "/usr/bin/a", Entrypoint: 0x10, Op: "LNK_FILE_READ", ObjectLabel: "tmp_t", Path: "/tmp/k", Verdict: "DROP"},
+			{Program: "/usr/bin/b", Entrypoint: 0x10, Op: "FILE_OPEN", ObjectLabel: "etc_t", Path: "/etc/x", Verdict: "ACCEPT"},
+		} {
+			s.Add(r)
+		}
+		return s
+	}
+	first := Report(Denials(build()))
+	for i := 0; i < 20; i++ {
+		if got := Report(Denials(build())); got != first {
+			t.Fatalf("nondeterministic report on run %d:\n%s\n---\n%s", i, got, first)
+		}
+	}
+	groups := Denials(build())
+	if len(groups) != 3 {
+		t.Fatalf("groups = %d, want 3 (ACCEPT excluded)", len(groups))
+	}
+	// Equal counts: ordered by entrypoint then op within the program.
+	if groups[0].Key.Entrypoint != 0x10 || groups[0].Key.Op != "FILE_OPEN" ||
+		groups[1].Key.Entrypoint != 0x10 || groups[1].Key.Op != "LNK_FILE_READ" ||
+		groups[2].Key.Entrypoint != 0x20 {
+		t.Errorf("tie-break order wrong: %+v", groups)
+	}
+	// Paths sorted within each group.
+	if len(groups[0].Paths) != 2 || groups[0].Paths[0] != "/tmp/a" || groups[0].Paths[1] != "/tmp/b" {
+		t.Errorf("paths not sorted: %v", groups[0].Paths)
+	}
+	// TopN truncates and tolerates out-of-range n.
+	if got := TopN(groups, 2); len(got) != 2 {
+		t.Errorf("TopN(2) = %d groups", len(got))
+	}
+	if got := TopN(groups, 0); len(got) != 3 {
+		t.Errorf("TopN(0) = %d groups, want all", len(got))
+	}
+	if got := TopN(groups, 99); len(got) != 3 {
+		t.Errorf("TopN(99) = %d groups, want all", len(got))
+	}
+}

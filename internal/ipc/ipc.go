@@ -25,7 +25,22 @@ import (
 	"sync/atomic"
 
 	"pfirewall/internal/mac"
+	"pfirewall/internal/obs"
 )
+
+// Stats counts registry activity with sharded atomics (always on; the
+// observability layer samples them at export time). Listeners, streams,
+// and FIFO queues carry a backpointer so the counting happens where the
+// event happens without threading a registry through every call.
+type Stats struct {
+	BindsFile     obs.Counter
+	BindsAbstract obs.Counter
+	BindsPort     obs.Counter
+	Connects      obs.Counter
+	BacklogDrops  obs.Counter // connects refused because the backlog was full
+	StreamBytes   obs.Counter // bytes queued through connected streams
+	FifoBytes     obs.Counter // bytes queued through FIFO queues
+}
 
 // Errors mirroring the errno a real kernel would return.
 var (
@@ -106,6 +121,7 @@ type Meta struct {
 type Listener struct {
 	meta  Meta
 	owner Cred
+	stats *Stats // owning registry's counters; may be nil in isolation
 
 	mu        sync.Mutex
 	listening bool
@@ -192,10 +208,16 @@ func (l *Listener) connect(client Cred) (*Conn, error) {
 		return nil, ErrRefused
 	}
 	if len(l.queue) >= l.maxQueue {
+		if l.stats != nil {
+			l.stats.BacklogDrops.Add(client.PID, 1)
+		}
 		return nil, ErrRefused // backlog full; a real stack may also EAGAIN
 	}
-	server, clientEnd := newPair(l.meta, l.owner, client)
+	server, clientEnd := newPair(l.meta, l.owner, client, l.stats)
 	l.queue = append(l.queue, server)
+	if l.stats != nil {
+		l.stats.Connects.Add(client.PID, 1)
+	}
 	return clientEnd, nil
 }
 
@@ -209,18 +231,19 @@ type pairState struct {
 
 // Conn is one endpoint of a connected stream.
 type Conn struct {
-	pair *pairState
-	end  int // index into pair arrays
-	meta Meta
+	pair  *pairState
+	end   int // index into pair arrays
+	meta  Meta
+	stats *Stats // owning registry's counters; may be nil in isolation
 
 	local, remote Cred
 }
 
 // newPair builds a connected (server, client) endpoint pair.
-func newPair(meta Meta, server, client Cred) (*Conn, *Conn) {
+func newPair(meta Meta, server, client Cred, stats *Stats) (*Conn, *Conn) {
 	ps := &pairState{}
-	s := &Conn{pair: ps, end: 0, meta: meta, local: server, remote: client}
-	c := &Conn{pair: ps, end: 1, meta: meta, local: client, remote: server}
+	s := &Conn{pair: ps, end: 0, meta: meta, stats: stats, local: server, remote: client}
+	c := &Conn{pair: ps, end: 1, meta: meta, stats: stats, local: client, remote: server}
 	return s, c
 }
 
@@ -247,6 +270,9 @@ func (c *Conn) Send(data []byte) (int, error) {
 		return 0, ErrPeerClosed
 	}
 	ps.buf[1-c.end] = append(ps.buf[1-c.end], data...)
+	if c.stats != nil {
+		c.stats.StreamBytes.Add(c.local.PID, uint64(len(data)))
+	}
 	return len(data), nil
 }
 
@@ -298,6 +324,9 @@ const fifoMax = 1 << 16
 // Queue is the byte queue behind a FIFO inode: many writers, many readers,
 // never blocking.
 type Queue struct {
+	id    uint64 // registry id; sharding key for byte counting
+	stats *Stats // owning registry's counters; may be nil in isolation
+
 	mu  sync.Mutex
 	buf []byte
 }
@@ -314,6 +343,9 @@ func (q *Queue) Push(data []byte) (int, error) {
 		data = data[:room]
 	}
 	q.buf = append(q.buf, data...)
+	if q.stats != nil {
+		q.stats.FifoBytes.Add(int(q.id), uint64(len(data)))
+	}
 	return len(data), nil
 }
 
@@ -346,6 +378,10 @@ func (q *Queue) Len() int {
 // All four tables are copy-on-write maps behind atomic pointers: the
 // connect/lookup path is lock-free, mutation serializes on mu.
 type Registry struct {
+	// Stats is the registry's activity accounting, read by the
+	// observability exporter.
+	Stats Stats
+
 	mu     sync.Mutex
 	nextID atomic.Uint64
 
@@ -370,6 +406,7 @@ func (r *Registry) newListener(ns NS, key string, port uint16, sid mac.SID, owne
 	return &Listener{
 		meta:  Meta{NS: ns, Key: key, Port: port, ID: r.nextID.Add(1), SID: sid},
 		owner: owner,
+		stats: &r.Stats,
 	}
 }
 
@@ -379,6 +416,7 @@ func (r *Registry) newListener(ns NS, key string, port uint16, sid mac.SID, owne
 // either exists or it doesn't), so BindFile never fails.
 func (r *Registry) BindFile(path string, sid mac.SID, owner Cred) *Listener {
 	l := r.newListener(NSFile, path, 0, sid, owner)
+	r.Stats.BindsFile.Add(owner.PID, 1)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	old := *r.files.Load()
@@ -408,6 +446,7 @@ func (r *Registry) BindAbstract(name string, sid mac.SID, owner Cred) (*Listener
 		return nil, ErrAddrInUse
 	}
 	l := r.newListener(NSAbstract, name, 0, sid, owner)
+	r.Stats.BindsAbstract.Add(owner.PID, 1)
 	next := make(map[string]*Listener, len(old)+1)
 	for k, v := range old {
 		next[k] = v
@@ -435,6 +474,7 @@ func (r *Registry) BindPort(port uint16, sid mac.SID, owner Cred) (*Listener, er
 		return nil, ErrAddrInUse
 	}
 	l := r.newListener(NSPort, "", port, sid, owner)
+	r.Stats.BindsPort.Add(owner.PID, 1)
 	next := make(map[uint16]*Listener, len(old)+1)
 	for k, v := range old {
 		next[k] = v
@@ -459,8 +499,8 @@ func (r *Registry) Connect(l *Listener, client Cred) (*Conn, error) {
 // NewFifo allocates the byte queue behind a new FIFO inode and returns its
 // registry id.
 func (r *Registry) NewFifo() uint64 {
-	q := &Queue{}
 	id := r.nextID.Add(1)
+	q := &Queue{id: id, stats: &r.Stats}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	old := *r.fifos.Load()

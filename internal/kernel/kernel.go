@@ -47,6 +47,10 @@ type Kernel struct {
 	SyscallCount atomic.Uint64
 	// MediationCount counts individual mediated object accesses.
 	MediationCount atomic.Uint64
+
+	// obs is the attached observability instrumentation; nil (the
+	// default) costs dispatch one predictable branch. See AttachObs.
+	obs atomic.Pointer[kernelObs]
 }
 
 // SyscallHook observes (and may act at) a syscall boundary; adversary

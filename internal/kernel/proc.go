@@ -2,6 +2,7 @@ package kernel
 
 import (
 	"fmt"
+	"time"
 
 	"pfirewall/internal/ipc"
 	"pfirewall/internal/mac"
@@ -247,6 +248,9 @@ func (p *Proc) enterSyscall(nr Syscall, args ...uint64) error {
 		return ErrExited
 	}
 	p.k.SyscallCount.Add(1)
+	if ob := p.k.obs.Load(); ob != nil && nr > 0 && nr < nrCount {
+		ob.syscalls[nr].Add(p.pid, 1)
+	}
 	p.ps.BeginSyscall()
 	if p.k.PF != nil {
 		req := &pf.Request{Proc: p, Op: pf.OpSyscallBegin, SyscallNR: int(nr), SyscallArgs: args}
@@ -290,9 +294,24 @@ func (p *Proc) mediator(nr Syscall) vfs.Mediator {
 	})
 }
 
-// mediate authorizes one object access.
+// mediate authorizes one object access, timing a sample of the full
+// gauntlet (DAC → MAC → PF) when observability is attached. The sampling
+// decision rides on MediationCount, which mediation maintains regardless,
+// so the disabled path costs one pointer load and the enabled path adds no
+// extra read-modify-write.
 func (p *Proc) mediate(nr Syscall, a vfs.Access) error {
-	p.k.MediationCount.Add(1)
+	n := p.k.MediationCount.Add(1)
+	ob := p.k.obs.Load()
+	if ob == nil || n&ob.sampleMask != 0 {
+		return p.mediate1(nr, a)
+	}
+	t0 := time.Now()
+	err := p.mediate1(nr, a)
+	ob.medLatency.Observe(p.pid, uint64(time.Since(t0)))
+	return err
+}
+
+func (p *Proc) mediate1(nr Syscall, a vfs.Access) error {
 	// DAC.
 	r, w, x := dacBits(a)
 	if !vfs.CanAccess(a.Node, p.EUID, p.EGID, r, w, x) {

@@ -1,0 +1,159 @@
+// obs_overhead.go measures what the observability layer costs on the two
+// contended hot paths: the mediated open+close pair and the abstract-socket
+// round trip. Each cell runs the identical workload twice — once on a world
+// without a metrics registry (the disabled path is a single atomic pointer
+// load per mediation) and once with metrics attached at the given sampling
+// period — and reports the relative slowdown. The issue budget is 5%.
+package lmbench
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"pfirewall/internal/obs"
+	"pfirewall/internal/pf"
+	"pfirewall/internal/programs"
+)
+
+// DefaultObsSampleEvery is the latency sampling period used when none is
+// given — the same default kernel.AttachObs applies.
+const DefaultObsSampleEvery = 16
+
+// ObsCell is one (workload, fan-out) off/on comparison.
+type ObsCell struct {
+	Workload    string  `json:"workload"`
+	Goroutines  int     `json:"goroutines"`
+	Ops         int     `json:"ops"`
+	OffNsPerOp  float64 `json:"off_ns_per_op"`
+	OnNsPerOp   float64 `json:"on_ns_per_op"`
+	OverheadPct float64 `json:"overhead_pct"`
+}
+
+// ObsReport is the full overhead run; BENCH_obs.json is this shape.
+type ObsReport struct {
+	NumCPU      int       `json:"num_cpu"`
+	GOMAXPROCS  int       `json:"gomaxprocs"`
+	SampleEvery int       `json:"sample_every"`
+	Cells       []ObsCell `json:"cells"`
+}
+
+// obsWorld builds the benchmark world (EPTSPC configuration,
+// deployment-scale rule base), optionally with the metrics layer attached.
+func obsWorld(withObs bool, sampleEvery int) *programs.World {
+	cfg := pf.Optimized()
+	wopts := programs.WorldOpts{PF: &cfg}
+	if withObs {
+		wopts.Obs = obs.New()
+		wopts.ObsEvery = sampleEvery
+	}
+	w := programs.NewWorld(wopts)
+	if _, err := w.InstallRules(SyntheticRuleBase(FullRuleBaseSize)); err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// RunObsOverhead runs the off/on comparison for each workload at each
+// fan-out. sampleEvery <= 0 selects the default period.
+func RunObsOverhead(itersPerGoroutine, sampleEvery int, fanout []int) ObsReport {
+	if itersPerGoroutine < 1 {
+		itersPerGoroutine = 1
+	}
+	if sampleEvery <= 0 {
+		sampleEvery = DefaultObsSampleEvery
+	}
+	rep := ObsReport{NumCPU: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0), SampleEvery: sampleEvery}
+	workloads := []struct {
+		name string
+		run  func(w *programs.World, g, iters int) (int, float64)
+	}{
+		{"open+close", runObsOpen},
+		{"ipc/abstract", runObsIPC},
+	}
+	// Each cell is the best of obsRounds fresh-world runs, with off and on
+	// rounds interleaved so slow drift (GC pressure, thermal, scheduler)
+	// hits both sides equally; the minimum is the least-interfered run.
+	const obsRounds = 5
+	for _, wl := range workloads {
+		for _, g := range fanout {
+			opsOff, off, on := 0, 0.0, 0.0
+			for r := 0; r < obsRounds; r++ {
+				ops, offR := wl.run(obsWorld(false, sampleEvery), g, itersPerGoroutine)
+				_, onR := wl.run(obsWorld(true, sampleEvery), g, itersPerGoroutine)
+				if r == 0 || offR < off {
+					opsOff, off = ops, offR
+				}
+				if r == 0 || onR < on {
+					on = onR
+				}
+			}
+			rep.Cells = append(rep.Cells, ObsCell{
+				Workload:    wl.name,
+				Goroutines:  g,
+				Ops:         opsOff,
+				OffNsPerOp:  off,
+				OnNsPerOp:   on,
+				OverheadPct: (on - off) / off * 100,
+			})
+		}
+	}
+	return rep
+}
+
+// runObsOpen times the mediated open+close pair, mirroring RunParallel.
+func runObsOpen(w *programs.World, g, itersPerGoroutine int) (int, float64) {
+	wl := parallelWorkloads[0] // open+close
+	return obsTimed(g, itersPerGoroutine, func(i int) func() {
+		p := parallelProc(w)
+		wl.Body(p) // warm per-process context caches
+		return func() { wl.Body(p) }
+	})
+}
+
+// runObsIPC times the abstract-namespace round trip, mirroring RunIPC.
+func runObsIPC(w *programs.World, g, itersPerGoroutine int) (int, float64) {
+	return obsTimed(g, itersPerGoroutine, func(i int) func() {
+		pr := newIPCPair(w, "abstract", i)
+		pr.roundTrip() // warm per-process context caches
+		return func() { pr.roundTrip() }
+	})
+}
+
+// obsTimed builds g per-goroutine bodies, then times itersPerGoroutine
+// calls of each concurrently.
+func obsTimed(g, itersPerGoroutine int, build func(i int) func()) (int, float64) {
+	bodies := make([]func(), g)
+	for i := range bodies {
+		bodies[i] = build(i)
+	}
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < g; i++ {
+		wg.Add(1)
+		go func(body func()) {
+			defer wg.Done()
+			for n := 0; n < itersPerGoroutine; n++ {
+				body()
+			}
+		}(bodies[i])
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	ops := g * itersPerGoroutine
+	return ops, float64(elapsed.Nanoseconds()) / float64(ops)
+}
+
+// FormatObsOverhead renders the off/on comparison as a table.
+func FormatObsOverhead(rep ObsReport) string {
+	out := fmt.Sprintf("%-14s %10s %13s %13s %9s\n",
+		"workload", "goroutines", "off ns/op", "on ns/op", "overhead")
+	for _, c := range rep.Cells {
+		out += fmt.Sprintf("%-14s %10d %13.0f %13.0f %8.1f%%\n",
+			c.Workload, c.Goroutines, c.OffNsPerOp, c.OnNsPerOp, c.OverheadPct)
+	}
+	out += fmt.Sprintf("(NumCPU=%d GOMAXPROCS=%d sample_every=%d — counters are exact, latency is sampled)\n",
+		rep.NumCPU, rep.GOMAXPROCS, rep.SampleEvery)
+	return out
+}

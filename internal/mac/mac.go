@@ -22,6 +22,8 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"pfirewall/internal/obs"
 )
 
 // Label is an SELinux-style type label, e.g. "httpd_t" or "shadow_t".
@@ -224,10 +226,20 @@ type Policy struct {
 	// path. It is immutable once published: cache hits are wait-free loads
 	// with no lock acquisition, misses memoize by copy-on-write swap, and
 	// policy edits publish a fresh empty snapshot (RCU discipline, like the
-	// PF engine's ruleset). advEpoch, guarded by mu, detects a policy edit
-	// racing a miss-path computation so a stale result is never memoized.
+	// PF engine's ruleset). advEpoch (written under mu, read lock-free)
+	// detects a policy edit racing a miss-path computation so a stale
+	// result is never memoized; it also doubles as a churn gauge for the
+	// observability layer.
 	adv      atomic.Pointer[advSnapshot]
-	advEpoch uint64
+	advEpoch atomic.Uint64
+
+	// AdvCacheHits and AdvCacheMisses count adversary-accessibility
+	// lookups served from the snapshot versus recomputed, sharded by
+	// object SID (no pid is in scope here). Always on — two sharded
+	// atomic adds next to a full policy walk are noise — and sampled by
+	// the observability exporter at export time.
+	AdvCacheHits   obs.Counter
+	AdvCacheMisses obs.Counter
 }
 
 // advSnapshot memoizes adversary accessibility per object SID for TCB
@@ -315,16 +327,20 @@ func (p *Policy) Authorized(subject, object SID, cls Class, perms Perm) bool {
 // advances the epoch so in-flight miss computations against the old policy
 // cannot memoize their (possibly stale) results; callers hold p.mu.
 func (p *Policy) invalidateCachesLocked() {
-	p.advEpoch++
+	epoch := p.advEpoch.Add(1)
 	t := make(map[SID]bool, len(p.trusted))
 	for s := range p.trusted {
 		t[s] = true
 	}
 	p.adv.Store(&advSnapshot{
-		epoch: p.advEpoch, trusted: t,
+		epoch: epoch, trusted: t,
 		write: map[SID]bool{}, read: map[SID]bool{},
 	})
 }
+
+// AdvEpoch returns the adversary-cache epoch: the number of policy edits
+// that invalidated the snapshot. Lock-free; exported as a churn gauge.
+func (p *Policy) AdvEpoch() uint64 { return p.advEpoch.Load() }
 
 // memoizeAdv publishes snap extended with obj->res in the write or read
 // map. The copy-on-write swap happens under p.mu; if the policy changed
@@ -334,7 +350,7 @@ func (p *Policy) invalidateCachesLocked() {
 func (p *Policy) memoizeAdv(snap *advSnapshot, obj SID, res, write bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if p.advEpoch != snap.epoch {
+	if p.advEpoch.Load() != snap.epoch {
 		return
 	}
 	cur := p.adv.Load()
@@ -393,11 +409,14 @@ const advWritePerms = PermWrite | PermAppend | PermCreate | PermAddName | PermSe
 func (p *Policy) AdversaryWritable(victim, obj SID) bool {
 	snap := p.adv.Load()
 	if !snap.trusted[victim] {
+		p.AdvCacheMisses.Add(int(obj), 1)
 		return p.adversaryHasPerm(victim, obj, advWritePerms)
 	}
 	if v, ok := snap.write[obj]; ok {
+		p.AdvCacheHits.Add(int(obj), 1)
 		return v
 	}
+	p.AdvCacheMisses.Add(int(obj), 1)
 	res := p.adversaryHasPerm(victim, obj, advWritePerms)
 	p.memoizeAdv(snap, obj, res, true)
 	return res
@@ -408,11 +427,14 @@ func (p *Policy) AdversaryWritable(victim, obj SID) bool {
 func (p *Policy) AdversaryReadable(victim, obj SID) bool {
 	snap := p.adv.Load()
 	if !snap.trusted[victim] {
+		p.AdvCacheMisses.Add(int(obj), 1)
 		return p.adversaryHasPerm(victim, obj, PermRead)
 	}
 	if v, ok := snap.read[obj]; ok {
+		p.AdvCacheHits.Add(int(obj), 1)
 		return v
 	}
+	p.AdvCacheMisses.Add(int(obj), 1)
 	res := p.adversaryHasPerm(victim, obj, PermRead)
 	p.memoizeAdv(snap, obj, res, false)
 	return res

@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"sort"
+	"sync/atomic"
+)
+
+// Event is one flight-recorder entry: a mediation event compact enough to
+// record on the hot path (recording happens only for the verdicts the
+// engine opts in, DROPs by default, so inspectability does not require
+// unbounded trace growth).
+type Event struct {
+	Seq          uint64 `json:"seq"`
+	TimeUnixNano int64  `json:"time_unix_nano"`
+	PID          int    `json:"pid"`
+	Op           string `json:"op"`
+	Verdict      string `json:"verdict"`
+	Chain        string `json:"chain,omitempty"`
+	Path         string `json:"path,omitempty"`
+	ResourceID   uint64 `json:"resource_id,omitempty"`
+}
+
+// Ring is a fixed-size, lock-free flight recorder: the last cap events
+// survive, oldest evicted first. Writers claim a monotonically increasing
+// sequence number with one atomic add and publish the event with one
+// atomic pointer store; readers snapshot without blocking writers. A
+// reader racing a writer may miss the very newest slot or see a slightly
+// stale one — acceptable for a diagnostic surface, and the Seq makes any
+// reordering visible.
+type Ring struct {
+	name  string
+	slots []atomic.Pointer[Event]
+	seq   atomic.Uint64
+}
+
+// NewRing returns a ring holding the last cap events (minimum 1).
+func NewRing(name string, cap int) *Ring {
+	if cap < 1 {
+		cap = 1
+	}
+	return &Ring{name: name, slots: make([]atomic.Pointer[Event], cap)}
+}
+
+// Name returns the ring's registry name.
+func (r *Ring) Name() string { return r.name }
+
+// Cap returns the ring capacity.
+func (r *Ring) Cap() int { return len(r.slots) }
+
+// Record stores ev, evicting the oldest entry once the ring is full. The
+// event's Seq is assigned here (1-based).
+func (r *Ring) Record(ev Event) {
+	seq := r.seq.Add(1)
+	ev.Seq = seq
+	r.slots[(seq-1)%uint64(len(r.slots))].Store(&ev)
+}
+
+// Total returns how many events were ever recorded (recorded - Cap, when
+// positive, were evicted).
+func (r *Ring) Total() uint64 { return r.seq.Load() }
+
+// Snapshot returns the surviving events, oldest first.
+func (r *Ring) Snapshot() []Event {
+	out := make([]Event, 0, len(r.slots))
+	for i := range r.slots {
+		if ev := r.slots[i].Load(); ev != nil {
+			out = append(out, *ev)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}

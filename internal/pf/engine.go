@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"pfirewall/internal/mac"
 	"pfirewall/internal/ustack"
@@ -50,10 +51,19 @@ type Stats struct {
 type Chain struct {
 	Name  string
 	Rules []*Rule
+	// Traversals counts entries into this chain (initial dispatch and
+	// jumps). Like Rule.Hits it is shared across copy-on-write ruleset
+	// snapshots, so counts survive rule updates.
+	Traversals *Counter
 	// generic holds the traversal list when entrypoint rules are indexed
 	// out of the chain: only rules without an entrypoint remain, so the
 	// per-request scan never touches inapplicable entrypoint rules.
 	generic []*Rule
+}
+
+// newChain builds a chain with its traversal counter armed.
+func newChain(name string) *Chain {
+	return &Chain{Name: name, Traversals: &Counter{}}
 }
 
 // traversalRules returns the list Filter walks for this chain.
@@ -66,7 +76,7 @@ func (c *Chain) traversalRules(indexed bool) []*Rule {
 
 // clone returns a shallow-rule deep-slice copy for copy-on-write updates.
 func (c *Chain) clone() *Chain {
-	n := &Chain{Name: c.Name}
+	n := &Chain{Name: c.Name, Traversals: c.Traversals}
 	n.Rules = append([]*Rule(nil), c.Rules...)
 	n.generic = append([]*Rule(nil), c.generic...)
 	return n
@@ -136,6 +146,10 @@ type Engine struct {
 	LogDenials bool
 
 	Stats Stats
+
+	// obs is the attached observability instrumentation; nil (the default)
+	// costs the hot path one predictable branch. See AttachObs.
+	obs atomic.Pointer[engineObs]
 }
 
 // LogRecord is what the LOG target emits (paper Section 5.2: "logs a
@@ -160,13 +174,13 @@ func New(policy *mac.Policy, cfg Config) *Engine {
 	e := &Engine{policy: policy, cfg: cfg}
 	rs := &ruleset{
 		chains: map[string]*Chain{
-			"input":        {Name: "input"},
-			"syscallbegin": {Name: "syscallbegin"},
+			"input":        newChain("input"),
+			"syscallbegin": newChain("syscallbegin"),
 			// The mangle table's built-in chain runs before filter/input,
 			// mirroring iptables table precedence (paper Table 3 lists
 			// tables [filter | mangle]). Mangle rules typically carry
 			// side-effecting targets (STATE, LOG) rather than verdicts.
-			"mangle/input": {Name: "mangle/input"},
+			"mangle/input": newChain("mangle/input"),
 		},
 		eptIndex:    make(map[entryKey][]*Rule),
 		eptPrograms: make(map[string]bool),
@@ -195,13 +209,17 @@ func (e *Engine) update(fn func(*ruleset) error) error {
 
 // NewChain creates a user-defined chain.
 func (e *Engine) NewChain(name string) error {
-	return e.update(func(rs *ruleset) error {
+	err := e.update(func(rs *ruleset) error {
 		if _, ok := rs.chains[name]; ok {
 			return fmt.Errorf("pf: chain %q exists", name)
 		}
-		rs.chains[name] = &Chain{Name: name}
+		rs.chains[name] = newChain(name)
 		return nil
 	})
+	if err == nil {
+		e.registerChainObs(name)
+	}
+	return err
 }
 
 // Chain returns a chain snapshot by name. The returned chain is part of an
@@ -334,14 +352,31 @@ func (e *Engine) RuleCount() int { return e.rs.Load().totalRules }
 // The read path takes no locks: the rule base is an immutable snapshot.
 func (e *Engine) Filter(req *Request) Verdict {
 	rs := e.rs.Load()
+	pid := req.Proc.PID()
+
+	// Observability: when attached, count every request exactly, but take
+	// the two timestamps only on sampled requests — the timer calls, not
+	// the sharded counter adds, are what would bust the overhead budget.
+	// The sampling decision piggybacks on the request counter this shard
+	// is about to increment anyway (first request per shard samples, so
+	// short workloads still populate the histograms).
+	ob := e.obs.Load()
+	var t0 time.Time
+	sampled := false
+	if ob != nil && e.Stats.Requests.LoadKey(pid)&ob.sampleMask == 0 {
+		sampled = true
+		t0 = time.Now()
+	}
 
 	// Fast path: with no rules installed, every request takes the default
 	// allow without building evaluation context (the BASE configuration of
 	// Table 6 measures exactly this hook cost).
-	pid := req.Proc.PID()
 	if rs.totalRules == 0 {
 		e.Stats.Requests.Add(pid, 1)
 		e.Stats.Accepts.Add(pid, 1)
+		if ob != nil {
+			ob.finish(pid, req, VerdictAccept, sampled, t0, "")
+		}
 		return VerdictAccept
 	}
 
@@ -417,6 +452,9 @@ func (e *Engine) Filter(req *Request) Verdict {
 	if ctx.ctxCacheHits > 0 {
 		e.Stats.CtxCacheHits.Add(pid, ctx.ctxCacheHits)
 	}
+	if ob != nil {
+		ob.finish(pid, req, v, sampled, t0, start)
+	}
 	return v
 }
 
@@ -443,12 +481,16 @@ func mayMatchEpt(rs *ruleset, p Process) bool {
 // handled by the entrypoint index).
 func (e *Engine) traverse(ctx *EvalCtx, rs *ruleset, start *Chain, skipEpt bool) Action {
 	ps := ctx.Req.Proc.PFState()
+	pid := ctx.Req.Proc.PID()
 	// Per-process traversal state (paper Section 5.1): we reuse the
 	// process's stack buffer; a re-entrant call simply appends deeper
 	// frames and unwinds them before returning.
 	base := len(ps.traversal)
 	ps.traversal = append(ps.traversal, traversalFrame{chain: start, index: 0})
 	defer func() { ps.traversal = ps.traversal[:base] }()
+	if start.Traversals != nil {
+		start.Traversals.Add(pid, 1)
+	}
 
 	for len(ps.traversal) > base {
 		top := &ps.traversal[len(ps.traversal)-1]
@@ -471,6 +513,9 @@ func (e *Engine) traverse(ctx *EvalCtx, rs *ruleset, start *Chain, skipEpt bool)
 		if act.Jump != "" {
 			if c, exists := rs.chains[act.Jump]; exists {
 				ps.traversal = append(ps.traversal, traversalFrame{chain: c, index: 0})
+				if c.Traversals != nil {
+					c.Traversals.Add(pid, 1)
+				}
 			}
 		}
 	}
@@ -498,6 +543,9 @@ func (e *Engine) evalRule(ctx *EvalCtx, r *Rule) Action {
 func (e *Engine) emitLog(ctx *EvalCtx, prefix string, v Verdict) {
 	if e.Logger == nil {
 		return
+	}
+	if ob := e.obs.Load(); ob != nil {
+		ob.logEmissions.Add(ctx.Req.Proc.PID(), 1)
 	}
 	rec := LogRecord{
 		PID:        ctx.Req.Proc.PID(),

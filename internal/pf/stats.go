@@ -1,32 +1,11 @@
 package pf
 
-import "sync/atomic"
+import "pfirewall/internal/obs"
 
 // Counter is a sharded monotonic counter: increments go to a per-shard
 // cache line selected by pid, so a thousand concurrent processes do not
 // serialize on one atomic — the user-space analogue of the kernel's
-// per-CPU statistics.
-type Counter struct {
-	shards [counterShards]paddedUint64
-}
-
-const counterShards = 64
-
-type paddedUint64 struct {
-	v atomic.Uint64
-	_ [56]byte // pad to a cache line
-}
-
-// Add adds n on the shard selected by key (typically the pid).
-func (c *Counter) Add(key int, n uint64) {
-	c.shards[uint(key)%counterShards].v.Add(n)
-}
-
-// Load sums all shards.
-func (c *Counter) Load() uint64 {
-	var sum uint64
-	for i := range c.shards {
-		sum += c.shards[i].v.Load()
-	}
-	return sum
-}
+// per-CPU statistics. The implementation now lives in the observability
+// layer (internal/obs), which grew out of this type; the alias keeps the
+// engine API unchanged.
+type Counter = obs.Counter

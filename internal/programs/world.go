@@ -14,6 +14,7 @@ package programs
 import (
 	"pfirewall/internal/kernel"
 	"pfirewall/internal/mac"
+	"pfirewall/internal/obs"
 	"pfirewall/internal/pf"
 	"pfirewall/internal/pftables"
 	"pfirewall/internal/vfs"
@@ -154,6 +155,14 @@ type WorldOpts struct {
 	// WebTreeDepth adds nested /var/www/html directories d1/d2/.../index.html
 	// for the path-length experiments (Figures 4 and 5). Zero means 1 level.
 	WebTreeDepth int
+	// Obs, when non-nil, attaches the observability layer to the kernel
+	// (and the engine, when PF is set), registering every mediation-stack
+	// metric on the given registry.
+	Obs *obs.Registry
+	// ObsEvery overrides the latency sampling period (default 16;
+	// 1 samples every request — what pfctl uses so short deterministic
+	// workloads populate the histograms).
+	ObsEvery int
 }
 
 // NewWorld builds the standard simulated system.
@@ -175,6 +184,9 @@ func NewWorld(opts WorldOpts) *World {
 	if opts.PF != nil {
 		w.Engine = pf.New(pol, *opts.PF)
 		k.AttachPF(w.Engine)
+	}
+	if opts.Obs != nil {
+		k.AttachObs(opts.Obs, kernel.ObsConfig{SampleEvery: opts.ObsEvery})
 	}
 	w.populate(opts)
 	return w

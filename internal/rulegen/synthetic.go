@@ -135,8 +135,10 @@ func SyntheticDeployment(seed uint64) *trace.Store {
 	}
 
 	// Emit records. Interleaving across entrypoints is irrelevant to the
-	// analysis (classification is per entrypoint), so emit grouped.
-	s := trace.NewStore()
+	// analysis (classification is per entrypoint), so emit grouped. The
+	// deployment-scale trace (~410k records) exceeds the store's default
+	// ring capacity, so size it explicitly.
+	s := trace.NewStoreCapacity(1 << 20)
 	for _, sp := range specs {
 		for inv := 1; inv <= sp.invokes; inv++ {
 			low := sp.startLow

@@ -50,35 +50,78 @@ func (r Record) Ep() EpKey { return EpKey{r.Program, r.Entrypoint} }
 // classification (Section 6.3.1).
 func (r Record) LowIntegrity() bool { return r.AdvWrite }
 
-// Store accumulates records in order; safe for concurrent use.
+// DefaultCapacity bounds a Store created with NewStore. 65536 records is
+// plenty for a rule-generation profiling run (the paper's traces are per
+// entrypoint invocation) while capping a LOG-heavy workload at a few tens
+// of megabytes instead of unbounded growth.
+const DefaultCapacity = 1 << 16
+
+// Store accumulates records in arrival order with ring semantics: once
+// the capacity is reached, the oldest records are evicted. Safe for
+// concurrent use.
 type Store struct {
-	mu   sync.Mutex
-	recs []Record
+	mu      sync.Mutex
+	cap     int
+	start   int // index of the oldest record once wrapped
+	wrapped bool
+	evicted uint64
+	recs    []Record
 }
 
-// NewStore returns an empty store.
-func NewStore() *Store { return &Store{} }
+// NewStore returns an empty store with DefaultCapacity.
+func NewStore() *Store { return NewStoreCapacity(DefaultCapacity) }
 
-// Add appends a record.
+// NewStoreCapacity returns an empty store holding the last capacity
+// records (minimum 1).
+func NewStoreCapacity(capacity int) *Store {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Store{cap: capacity}
+}
+
+// Add appends a record, evicting the oldest once the store is full.
 func (s *Store) Add(r Record) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.recs = append(s.recs, r)
+	if s.cap == 0 {
+		s.cap = DefaultCapacity // zero-value Store
+	}
+	if len(s.recs) < s.cap {
+		s.recs = append(s.recs, r)
+		return
+	}
+	s.recs[s.start] = r
+	s.start = (s.start + 1) % s.cap
+	s.wrapped = true
+	s.evicted++
 }
 
-// Len returns the number of records.
+// Len returns the number of retained records.
 func (s *Store) Len() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.recs)
 }
 
-// Records returns a copy of the record slice.
+// Evicted returns how many records ring eviction has discarded.
+func (s *Store) Evicted() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.evicted
+}
+
+// Records returns the retained records, oldest first.
 func (s *Store) Records() []Record {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := make([]Record, len(s.recs))
-	copy(out, s.recs)
+	if !s.wrapped {
+		copy(out, s.recs)
+		return out
+	}
+	n := copy(out, s.recs[s.start:])
+	copy(out[n:], s.recs[:s.start])
 	return out
 }
 

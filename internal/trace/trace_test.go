@@ -94,3 +94,38 @@ func TestEpKey(t *testing.T) {
 		t.Error("Ep mismatch")
 	}
 }
+
+func TestStoreRingEviction(t *testing.T) {
+	s := NewStoreCapacity(3)
+	for i := 1; i <= 5; i++ {
+		s.Add(Record{PID: i})
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	if s.Evicted() != 2 {
+		t.Fatalf("Evicted = %d, want 2", s.Evicted())
+	}
+	recs := s.Records()
+	for i, r := range recs {
+		if r.PID != i+3 {
+			t.Fatalf("Records() = %v, want pids 3,4,5", recs)
+		}
+	}
+	// Under capacity: order preserved, nothing evicted.
+	s2 := NewStoreCapacity(10)
+	s2.Add(Record{PID: 1})
+	s2.Add(Record{PID: 2})
+	if got := s2.Records(); len(got) != 2 || got[0].PID != 1 || got[1].PID != 2 {
+		t.Fatalf("under-capacity Records() = %v", got)
+	}
+	if s2.Evicted() != 0 {
+		t.Fatal("nothing should be evicted under capacity")
+	}
+	// The zero value and NewStore use the documented default.
+	var zero Store
+	zero.Add(Record{PID: 1})
+	if zero.Len() != 1 {
+		t.Fatal("zero-value store must accept records")
+	}
+}

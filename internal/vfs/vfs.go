@@ -189,6 +189,13 @@ type FS struct {
 	Components   atomic.Uint64 // total components walked
 	DcacheHits   atomic.Uint64 // component lookups served by the dentry cache
 	DcacheMisses atomic.Uint64 // component lookups that fell back to the lock
+
+	// DcacheInvalidations counts directory-generation bumps (one per
+	// namespace mutation per affected directory); DcachePurges counts
+	// wholesale cache swaps when the entry cap is exceeded. Both feed the
+	// observability exporter.
+	DcacheInvalidations atomic.Uint64
+	DcachePurges        atomic.Uint64
 }
 
 // dentryKey identifies one directory entry: the directory inode (by
@@ -209,6 +216,13 @@ type dentry struct {
 // dcacheMaxEntries caps the dentry cache; exceeding it purges the whole
 // cache (one pointer swap) rather than tracking LRU state on the hot path.
 const dcacheMaxEntries = 1 << 16
+
+// bumpDgen invalidates dir's cached dentries ahead of a namespace
+// mutation; callers hold the FS write lock.
+func (fs *FS) bumpDgen(dir *Inode) {
+	dir.dgen.Add(1)
+	fs.DcacheInvalidations.Add(1)
+}
 
 // New creates a filesystem whose root directory is owned by root (uid 0)
 // with mode 0755 and labeled per contexts.
@@ -398,6 +412,7 @@ func (fs *FS) child(dir *Inode, name string) *Inode {
 	n := dir.entries[name]
 	fs.mu.RUnlock()
 	if fs.dsize.Add(1) > dcacheMaxEntries {
+		fs.DcachePurges.Add(1)
 		// Wholesale purge: swap in a fresh map. A racing fill may land in
 		// the unreachable old map, which merely loses that one entry.
 		fs.dsize.Store(0)
@@ -598,7 +613,7 @@ func (fs *FS) CreateAt(dir *Inode, name, fullPath string, o CreateOpts) (*Inode,
 	if !dir.IsDir() {
 		return nil, ErrNotDir
 	}
-	dir.dgen.Add(1) // invalidate cached (dir, name) dentries, incl. negative
+	fs.bumpDgen(dir) // invalidate cached (dir, name) dentries, incl. negative
 	if _, ok := dir.entries[name]; ok {
 		return nil, ErrExist
 	}
@@ -641,7 +656,7 @@ func (fs *FS) Link(dir *Inode, name string, node *Inode) error {
 	if _, ok := dir.entries[name]; ok {
 		return ErrExist
 	}
-	dir.dgen.Add(1)
+	fs.bumpDgen(dir)
 	dir.entries[name] = node
 	node.Nlink++
 	return nil
@@ -660,7 +675,7 @@ func (fs *FS) Unlink(dir *Inode, name string) error {
 	if n.IsDir() {
 		return ErrIsDir
 	}
-	dir.dgen.Add(1)
+	fs.bumpDgen(dir)
 	delete(dir.entries, name)
 	n.Nlink--
 	fs.maybeFree(n)
@@ -681,7 +696,7 @@ func (fs *FS) Rmdir(dir *Inode, name string) error {
 	if len(n.entries) > 0 {
 		return ErrNotEmpty
 	}
-	dir.dgen.Add(1)
+	fs.bumpDgen(dir)
 	delete(dir.entries, name)
 	n.Nlink -= 2
 	dir.Nlink--
@@ -699,8 +714,8 @@ func (fs *FS) Rename(srcDir *Inode, srcName string, dstDir *Inode, dstName strin
 	if !ok {
 		return ErrNotExist
 	}
-	srcDir.dgen.Add(1)
-	dstDir.dgen.Add(1)
+	fs.bumpDgen(srcDir)
+	fs.bumpDgen(dstDir)
 	if old, ok := dstDir.entries[dstName]; ok {
 		if old.IsDir() {
 			return ErrIsDir

@@ -45,6 +45,7 @@ import (
 
 	"pfirewall/internal/kernel"
 	"pfirewall/internal/mac"
+	"pfirewall/internal/obs"
 	"pfirewall/internal/pf"
 	"pfirewall/internal/pftables"
 	"pfirewall/internal/programs"
@@ -115,6 +116,14 @@ type Options struct {
 	// CollectTrace attaches a trace store and a system-wide LOG rule so
 	// every resource access is recorded for rule generation.
 	CollectTrace bool
+	// Observability attaches the lock-free metrics layer (internal/obs):
+	// syscall/mediation counters, latency histograms, cache statistics,
+	// and the PF flight recorder, exportable as Prometheus text or JSON
+	// through System.Obs().
+	Observability bool
+	// ObsSampleEvery overrides the latency sampling period (default 16;
+	// 1 samples every request). Ignored unless Observability is set.
+	ObsSampleEvery int
 }
 
 // System is one simulated machine: kernel, policy, programs, and
@@ -123,6 +132,7 @@ type System struct {
 	world *programs.World
 	// Trace is non-nil when Options.CollectTrace was set.
 	Trace *TraceStore
+	obs   *obs.Registry
 }
 
 // NewSystem builds the standard Ubuntu-flavoured world of the paper's
@@ -141,8 +151,12 @@ func NewSystem(opts Options) *System {
 		}
 		wopts.PF = &cfg
 	}
+	if opts.Observability {
+		wopts.Obs = obs.New()
+		wopts.ObsEvery = opts.ObsSampleEvery
+	}
 	w := programs.NewWorld(wopts)
-	sys := &System{world: w}
+	sys := &System{world: w, obs: wopts.Obs}
 	if opts.CollectTrace && w.Engine != nil {
 		sys.Trace = trace.NewStore()
 		w.Engine.Logger = sys.Trace.Collector(w.K.Policy.SIDs())
@@ -153,6 +167,10 @@ func NewSystem(opts Options) *System {
 
 // Kernel exposes the simulated kernel.
 func (s *System) Kernel() *Kernel { return s.world.K }
+
+// Obs exposes the metrics registry, or nil when Options.Observability was
+// not set. Use its WritePrometheus/WriteJSON/Handler methods to export.
+func (s *System) Obs() *obs.Registry { return s.obs }
 
 // Firewall exposes the engine, or nil when disabled.
 func (s *System) Firewall() *Engine { return s.world.Engine }
