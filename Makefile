@@ -1,12 +1,14 @@
 # Developer / CI entry points. `make check` is the tier-1 gate plus the
 # race-enabled test suite; `make bench-smoke` is a fast perf sanity pass;
 # `make bench-hotpath` refreshes BENCH_hotpath.json, `make bench-ipc`
-# refreshes BENCH_ipc.json, and `make bench-obs` refreshes BENCH_obs.json
-# (observability overhead) so the perf trajectory is tracked across PRs.
+# refreshes BENCH_ipc.json, `make bench-obs` refreshes BENCH_obs.json
+# (observability overhead), and `make bench-rulescale` refreshes
+# BENCH_rulescale.json (ns/op vs rule-base size, compiled dispatch vs
+# linear) so the perf trajectory is tracked across PRs.
 
 GO ?= go
 
-.PHONY: all vet build test test-race check bench-smoke bench-hotpath bench-ipc bench-obs
+.PHONY: all vet build test test-race check bench-smoke bench-hotpath bench-ipc bench-obs bench-rulescale bench-rulescale-smoke
 
 all: check
 
@@ -41,3 +43,11 @@ bench-ipc:
 
 bench-obs:
 	$(GO) run ./cmd/pfbench -obs -iters 20000 -obs-json BENCH_obs.json
+
+bench-rulescale:
+	$(GO) run ./cmd/pfbench -rulescale -iters 50000 -rulescale-json BENCH_rulescale.json
+
+# CI variant: fewer iterations and the 10k-rule cells dropped, but the same
+# JSON artifact, so every PR still records the compiled-vs-linear curve.
+bench-rulescale-smoke:
+	$(GO) run ./cmd/pfbench -rulescale -iters 4000 -rulescale-max 1200 -rulescale-json BENCH_rulescale.json

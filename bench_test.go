@@ -22,6 +22,7 @@ import (
 	"pfirewall/internal/obs"
 	"pfirewall/internal/pf"
 	"pfirewall/internal/programs"
+	"pfirewall/internal/rulegen"
 	"pfirewall/internal/safeopen"
 	"pfirewall/internal/webbench"
 )
@@ -165,6 +166,43 @@ func BenchmarkRuleBaseScaling(b *testing.B) {
 				cfg := pf.Config{CtxCache: true, LazyCtx: true, EptChains: indexed}
 				w := programs.NewWorld(programs.WorldOpts{PF: &cfg})
 				if _, err := w.InstallRules(lmbench.SyntheticRuleBase(nrules)); err != nil {
+					b.Fatal(err)
+				}
+				p := w.NewProc(kernel.ProcSpec{UID: 0, GID: 0, Label: "sshd_t", Exec: programs.BinSshd})
+				p.SyscallSite(programs.BinSshd, 0x300)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					fd, err := p.Open("/etc/passwd", kernel.O_RDONLY, 0)
+					if err != nil {
+						b.Fatal(err)
+					}
+					p.Close(fd)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkRuleScale measures generic-rule scaling: the mediated open+close
+// pair against the deployment-scale generated rule base, with the
+// publish-time dispatch index off ("linear" — the paper's EPTSPC
+// configuration) and on ("compiled"). Compiled dispatch should stay near
+// flat as the rule count grows. The 10,000-rule cells are gated behind
+// PFBENCH_RULESCALE=1 (like the PFBENCH_OBS benches) so a blanket
+// `go test -bench .` stays fast; `pfbench -rulescale` always runs them.
+func BenchmarkRuleScale(b *testing.B) {
+	for _, mode := range []struct {
+		name      string
+		ruleIndex bool
+	}{{"linear", false}, {"compiled", true}} {
+		for _, nrules := range rulegen.ScaleSizes {
+			b.Run(fmt.Sprintf("%s/rules=%d", mode.name, nrules), func(b *testing.B) {
+				if nrules > 1200 && os.Getenv("PFBENCH_RULESCALE") != "1" {
+					b.Skip("set PFBENCH_RULESCALE=1 for the 10k-rule cells")
+				}
+				cfg := pf.Config{CtxCache: true, LazyCtx: true, EptChains: true, RuleIndex: mode.ruleIndex}
+				w := programs.NewWorld(programs.WorldOpts{PF: &cfg})
+				if _, err := w.InstallRules(rulegen.ScaleRuleBase(1, nrules)); err != nil {
 					b.Fatal(err)
 				}
 				p := w.NewProc(kernel.ProcSpec{UID: 0, GID: 0, Label: "sshd_t", Exec: programs.BinSshd})

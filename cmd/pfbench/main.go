@@ -5,9 +5,10 @@
 //	pfbench -table7   # macrobenchmarks × {Without PF, PF Base, PF Full}
 //	pfbench -fig4     # open variants × path length
 //	pfbench -fig5     # Apache SymLinksIfOwnerMatch: program vs rule R8
-//	pfbench -parallel # multi-process hot-path scaling at 1/4/8 goroutines
-//	pfbench -ipc      # socket round-trip scaling across the three namespaces
-//	pfbench -all      # everything
+//	pfbench -parallel  # multi-process hot-path scaling at 1/4/8 goroutines
+//	pfbench -ipc       # socket round-trip scaling across the three namespaces
+//	pfbench -rulescale # ns/op vs rule-base size, compiled dispatch vs linear
+//	pfbench -all       # everything
 //
 // -iters and -requests trade precision for runtime. -json writes the
 // -parallel results (plus hardware parallelism) to the given file, e.g.
@@ -30,6 +31,7 @@ import (
 	"runtime/trace"
 
 	"pfirewall/internal/lmbench"
+	"pfirewall/internal/rulegen"
 	"pfirewall/internal/safeopen"
 	"pfirewall/internal/webbench"
 )
@@ -42,6 +44,7 @@ func main() {
 	par := flag.Bool("parallel", false, "run the multi-process hot-path scaling measurement")
 	ipc := flag.Bool("ipc", false, "run the socket round-trip scaling measurement")
 	obsRun := flag.Bool("obs", false, "run the observability-overhead comparison (metrics off vs on)")
+	ruleScale := flag.Bool("rulescale", false, "run the rule-base scaling comparison (compiled dispatch vs linear)")
 	all := flag.Bool("all", false, "run everything")
 	iters := flag.Int("iters", 20000, "iterations per microbenchmark cell")
 	requests := flag.Int("requests", 300, "requests per client per web cell")
@@ -50,17 +53,19 @@ func main() {
 	jsonPath := flag.String("json", "", "write -parallel results as JSON to this file")
 	ipcJSONPath := flag.String("ipc-json", "", "write -ipc results as JSON to this file")
 	obsJSONPath := flag.String("obs-json", "", "write -obs results as JSON to this file")
+	ruleScaleJSONPath := flag.String("rulescale-json", "", "write -rulescale results as JSON to this file")
+	ruleScaleMax := flag.Int("rulescale-max", 0, "largest -rulescale rule-base size (0: all standard sizes)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	tracePath := flag.String("trace", "", "write a runtime execution trace to this file")
 	flag.Parse()
 
-	if !*t6 && !*t7 && !*f4 && !*f5 && !*par && !*ipc && !*obsRun && !*all {
+	if !*t6 && !*t7 && !*f4 && !*f5 && !*par && !*ipc && !*obsRun && !*ruleScale && !*all {
 		flag.Usage()
 		return
 	}
 	if *all {
-		*t6, *t7, *f4, *f5, *par, *ipc, *obsRun = true, true, true, true, true, true, true
+		*t6, *t7, *f4, *f5, *par, *ipc, *obsRun, *ruleScale = true, true, true, true, true, true, true, true
 	}
 
 	if *cpuprofile != "" {
@@ -133,6 +138,25 @@ func main() {
 		fmt.Println()
 		if *ipcJSONPath != "" {
 			writeJSON(*ipcJSONPath, rep)
+		}
+	}
+	if *ruleScale {
+		fmt.Println("Rule-base scaling: compiled dispatch vs linear traversal")
+		sizes := rulegen.ScaleSizes
+		if *ruleScaleMax > 0 {
+			var trimmed []int
+			for _, n := range sizes {
+				if n <= *ruleScaleMax {
+					trimmed = append(trimmed, n)
+				}
+			}
+			sizes = trimmed
+		}
+		rep := lmbench.RunRuleScale(*iters, sizes)
+		fmt.Print(lmbench.FormatRuleScale(rep))
+		fmt.Println()
+		if *ruleScaleJSONPath != "" {
+			writeJSON(*ruleScaleJSONPath, rep)
 		}
 	}
 	if *obsRun {

@@ -1,0 +1,55 @@
+package kernel
+
+import (
+	"errors"
+	"testing"
+
+	"pfirewall/internal/pf"
+	"pfirewall/internal/pftables"
+	"pfirewall/internal/vfs"
+)
+
+// TestEptPrefilterTracksMmap pins the memoized entrypoint pre-filter against
+// the kernel's real mapping path: mayMatchEpt caches "none of this process's
+// mappings carry entrypoint rules" in PFState, and an mmap that loads a
+// rule-bearing library must invalidate that memo (via the address-space
+// mapping generation) or the entrypoint rule would silently never fire again
+// for this process.
+func TestEptPrefilterTracksMmap(t *testing.T) {
+	k := newWorld(t)
+	lib := k.FS.MustPath("/lib")
+	if _, err := k.FS.CreateAt(lib, "libc.so", "/lib/libc.so", vfs.CreateOpts{Mode: 0o755}); err != nil {
+		t.Fatal(err)
+	}
+	engine := pf.New(k.Policy, pf.Optimized())
+	if _, err := pftables.Install(pfEnv(k), engine,
+		`pftables -p /lib/libc.so -i 0x80 -s SYSHIGH -d ~{lib_t} -o FILE_OPEN -j DROP`); err != nil {
+		t.Fatal(err)
+	}
+	k.AttachPF(engine)
+
+	p := newRoot(k, "httpd_t", "/usr/bin/apache2")
+
+	// Before the mapping exists the pre-filter says no and memoizes it.
+	fd, err := p.Open("/etc/passwd", O_RDONLY, 0)
+	if err != nil {
+		t.Fatalf("open before mmap: %v", err)
+	}
+	p.Close(fd)
+
+	// Map the rule-bearing library through the kernel and enter via the
+	// guarded entrypoint; the memoized "no" must not survive the mmap.
+	lfd, err := p.Open("/lib/libc.so", O_RDONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Mmap(lfd); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.PushFrame("/lib/libc.so", 0x80); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Open("/etc/passwd", O_RDONLY, 0); !errors.Is(err, ErrPFDenied) {
+		t.Fatalf("open after mmap through guarded entrypoint: %v, want ErrPFDenied", err)
+	}
+}

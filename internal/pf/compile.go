@@ -1,0 +1,164 @@
+package pf
+
+import "pfirewall/internal/mac"
+
+// Ruleset compilation (DESIGN.md §7). At publish time each built-in chain's
+// traversal list is compiled into a dispatch index bucketed by operation and
+// then by subject SID. A request consults only the buckets that can contain
+// rules matching its (op, subject) pair; every other rule is provably
+// non-matching and is never inspected, so per-request cost scales with the
+// number of possibly-matching rules instead of the total rule count.
+//
+// Soundness rests on two static facts about rule predicates:
+//
+//   - OpSet membership: a rule whose op mask excludes the request's op can
+//     never match it (an empty mask matches every op and fans into every
+//     bucket).
+//   - Exact subject SIDs: a rule with a non-negated subject set only matches
+//     requests whose subject SID is in the set, so it lives in exactly those
+//     SID buckets. Rules with no subject — or a negated one — go to the
+//     per-op wildcard bucket, which every request scans.
+//
+// Both are over-approximations: a candidate still runs the full predicate
+// (matchesDefaults + match modules), so false positives cost a comparison,
+// never a wrong verdict. First-match order is preserved by recording each
+// rule's install sequence number and merging the two candidate streams by
+// sequence at dispatch time.
+
+// indexedRule is one compiled candidate: the rule plus its position in the
+// chain's traversal list, so merged bucket scans preserve install order.
+type indexedRule struct {
+	seq  int
+	ctrl bool
+	r    *Rule
+}
+
+// opBucket holds the candidate rules for one operation.
+type opBucket struct {
+	bySID map[mac.SID][]indexedRule // exact, non-negated subject sets
+	wild  []indexedRule             // no subject, or a negated subject set
+}
+
+// chainIndex is the compiled dispatch index of one built-in chain.
+type chainIndex struct {
+	chain *Chain
+	// skipEpt records which traversal list the index was compiled from, so
+	// the control-flow fallback resumes over the same rule sequence.
+	skipEpt bool
+	ops     [opCount]*opBucket
+}
+
+// isCtrlTarget reports whether firing t can redirect chain traversal. The
+// dispatch merge can run verdict-, state-, and log-targets directly: they
+// either end evaluation or fall through to the next rule. Anything else
+// (JUMP, RETURN, custom targets) may move to a different chain position, so
+// dispatch conservatively falls back to linear traversal at that rule.
+func isCtrlTarget(t Target) bool {
+	switch t.(type) {
+	case *VerdictTarget, *StateTarget, *LogTarget:
+		return false
+	}
+	return true
+}
+
+// compiledChains names the built-in chains dispatch covers. User-defined
+// chains are only ever reached through jumps — a control transfer — which
+// already run under linear traversal.
+var compiledChains = []string{"input", "syscallbegin", "mangle/input"}
+
+// compileRuleset builds the dispatch indexes for rs's built-in chains.
+// It runs under the engine's write lock on a not-yet-published snapshot;
+// once published the index is immutable like everything else in it.
+func compileRuleset(rs *ruleset, cfg Config) map[string]*chainIndex {
+	out := make(map[string]*chainIndex, len(compiledChains))
+	for _, name := range compiledChains {
+		c := rs.chains[name]
+		if c == nil {
+			continue
+		}
+		// Mangle always traverses its full rule list; the filter chains
+		// skip entrypoint rules when EptChains has indexed them out.
+		skipEpt := cfg.EptChains && name != "mangle/input"
+		out[name] = compileChain(c, skipEpt)
+	}
+	return out
+}
+
+// compileChain fans each rule of c's traversal list into its op buckets.
+func compileChain(c *Chain, skipEpt bool) *chainIndex {
+	ci := &chainIndex{chain: c, skipEpt: skipEpt}
+	for seq, r := range c.traversalRules(skipEpt) {
+		ir := indexedRule{seq: seq, ctrl: isCtrlTarget(r.Target), r: r}
+		exact := r.Subject != nil && !r.Subject.Negate
+		if exact && len(r.Subject.sids) == 0 {
+			// A non-negated empty subject set matches no request; the rule
+			// is unreachable and needs no buckets. (Linear traversal still
+			// evaluates it to the same non-match.)
+			continue
+		}
+		// Op(0) is OpInvalid; only an empty op mask — which matches every
+		// op, including a zero-valued one — lands in its bucket, keeping
+		// dispatch bit-for-bit with linear evaluation even for degenerate
+		// requests.
+		for op := Op(0); op < opCount; op++ {
+			if !r.Ops.Has(op) {
+				continue
+			}
+			b := ci.ops[op]
+			if b == nil {
+				b = &opBucket{bySID: make(map[mac.SID][]indexedRule)}
+				ci.ops[op] = b
+			}
+			if exact {
+				for sid := range r.Subject.sids {
+					b.bySID[sid] = append(b.bySID[sid], ir)
+				}
+			} else {
+				b.wild = append(b.wild, ir)
+			}
+		}
+	}
+	return ci
+}
+
+// dispatch evaluates the chain through its compiled index: an
+// order-preserving two-pointer merge of the exact-SID bucket and the
+// wildcard bucket for the request's op. A rule with a control-flow target
+// aborts the merge and resumes linear traversal at that rule — everything
+// before it is provably non-matching, so first-match semantics (including
+// jump/return and user-chain traversal) are preserved exactly.
+func (e *Engine) dispatch(ctx *EvalCtx, rs *ruleset, ci *chainIndex) Action {
+	op := ctx.Req.Op
+	if op >= opCount {
+		// Unknown future op: the index has no bucket for it; stay correct
+		// via plain traversal.
+		return e.traverse(ctx, rs, ci.chain, ci.skipEpt)
+	}
+	if ci.chain.Traversals != nil {
+		ci.chain.Traversals.Add(ctx.Req.Proc.PID(), 1)
+	}
+	b := ci.ops[op]
+	if b == nil {
+		return Continue
+	}
+	exact := b.bySID[ctx.Req.Proc.SubjectSID()]
+	wild := b.wild
+	i, j := 0, 0
+	for i < len(exact) || j < len(wild) {
+		var ir indexedRule
+		if j >= len(wild) || (i < len(exact) && exact[i].seq < wild[j].seq) {
+			ir = exact[i]
+			i++
+		} else {
+			ir = wild[j]
+			j++
+		}
+		if ir.ctrl {
+			return e.traverseFrom(ctx, rs, ci.chain, ir.seq, ci.skipEpt, false)
+		}
+		if act := e.evalRule(ctx, ir.r); act.Final {
+			return act
+		}
+	}
+	return Continue
+}

@@ -28,10 +28,18 @@ type Config struct {
 	// EptChains indexes entrypoint-bearing rules into per-entrypoint
 	// chains so only applicable rules are traversed (paper Section 4.3).
 	EptChains bool
+	// RuleIndex compiles each built-in chain's generic rules into an
+	// (op, subject-SID) dispatch index at publish time, so per-request cost
+	// scales with the number of possibly-matching rules rather than the
+	// total rule count. Goes beyond the paper's EPTSPC: entrypoint rules
+	// were already indexed; this indexes everything else.
+	RuleIndex bool
 }
 
 // Optimized returns the fully optimized configuration (the deployment mode).
-func Optimized() Config { return Config{CtxCache: true, LazyCtx: true, EptChains: true} }
+func Optimized() Config {
+	return Config{CtxCache: true, LazyCtx: true, EptChains: true, RuleIndex: true}
+}
 
 // Stats counts engine activity; read by benchmarks and tests. Counters are
 // batched per request and sharded by pid, so concurrent processes can be
@@ -102,7 +110,18 @@ type ruleset struct {
 	hasEptRules bool
 	allNeeds    CtxKind
 	totalRules  int
+	// compiled holds the per-chain dispatch indexes when Config.RuleIndex
+	// is set; nil otherwise. Rebuilt from scratch on every publish (see
+	// compile.go) so it is as immutable as the rest of the snapshot.
+	compiled map[string]*chainIndex
+	// gen identifies this snapshot. Generations are globally unique (drawn
+	// from rulesetGen), so per-process caches keyed on gen can never alias
+	// a snapshot of a different engine.
+	gen uint64
 }
+
+// rulesetGen issues snapshot generations; see ruleset.gen.
+var rulesetGen atomic.Uint64
 
 // cloneRuleset deep-copies the container structure (rules are shared; their
 // hit counters are atomic).
@@ -124,6 +143,8 @@ func (rs *ruleset) clone() *ruleset {
 	for k := range rs.eptPrograms {
 		n.eptPrograms[k] = true
 	}
+	// compiled is intentionally not copied: update() recompiles it after
+	// the mutation, and gen is reissued at publish time.
 	return n
 }
 
@@ -184,6 +205,10 @@ func New(policy *mac.Policy, cfg Config) *Engine {
 		},
 		eptIndex:    make(map[entryKey][]*Rule),
 		eptPrograms: make(map[string]bool),
+		gen:         rulesetGen.Add(1),
+	}
+	if cfg.RuleIndex {
+		rs.compiled = compileRuleset(rs, cfg)
 	}
 	e.rs.Store(rs)
 	return e
@@ -195,13 +220,20 @@ func (e *Engine) Policy() *mac.Policy { return e.policy }
 // Config returns the engine's optimization configuration.
 func (e *Engine) Config() Config { return e.cfg }
 
-// update applies fn to a copy of the current ruleset and publishes it.
+// update applies fn to a copy of the current ruleset and publishes it. The
+// dispatch index is recompiled after fn succeeds, so a snapshot's compiled
+// form can never disagree with its rule lists, and a fresh generation is
+// issued so per-process caches keyed on the old snapshot self-invalidate.
 func (e *Engine) update(fn func(*ruleset) error) error {
 	e.writeMu.Lock()
 	defer e.writeMu.Unlock()
 	n := e.rs.Load().clone()
 	if err := fn(n); err != nil {
 		return err
+	}
+	n.gen = rulesetGen.Add(1)
+	if e.cfg.RuleIndex {
+		n.compiled = compileRuleset(n, e.cfg)
 	}
 	e.rs.Store(n)
 	return nil
@@ -321,10 +353,37 @@ func (e *Engine) Remove(chain string, match func(*Rule) bool) error {
 					}
 				}
 			}
+			rs.recomputeDerived()
 			return nil
 		}
 		return fmt.Errorf("pf: no matching rule in %q", chain)
 	})
+}
+
+// recomputeDerived rebuilds the summaries install() maintains incrementally
+// (allNeeds, hasEptRules, eptPrograms). Installation only ever widens them;
+// removal must recompute from scratch or deleting the last entrypoint rule
+// would leave mayMatchEpt unwinding stacks — and non-lazy mode over-collecting
+// context — forever.
+func (rs *ruleset) recomputeDerived() {
+	rs.allNeeds = 0
+	rs.hasEptRules = false
+	for _, c := range rs.chains {
+		for _, r := range c.Rules {
+			rs.allNeeds |= r.needs()
+			if r.EntrySet {
+				rs.hasEptRules = true
+			}
+		}
+	}
+	rs.eptPrograms = make(map[string]bool)
+	for k, rules := range rs.eptIndex {
+		if len(rules) == 0 {
+			delete(rs.eptIndex, k)
+			continue
+		}
+		rs.eptPrograms[k.program] = true
+	}
 }
 
 // Flush removes all rules from every chain.
@@ -396,14 +455,14 @@ func (e *Engine) Filter(req *Request) Verdict {
 	// The mangle table runs first for resource requests (it may mark state
 	// or log but can also issue verdicts, as in iptables).
 	if start == "input" {
-		if mangle := rs.chains["mangle/input"]; len(mangle.Rules) > 0 {
-			if act := e.traverse(ctx, rs, mangle, false); act.Final {
+		if mangle := rs.chains["mangle/input"]; mangle != nil && len(mangle.Rules) > 0 {
+			if act := e.runChain(ctx, rs, mangle, false); act.Final {
 				v, final = act.Verdict, true
 			}
 		}
 	}
 	if !final {
-		if act := e.traverse(ctx, rs, rs.chains[start], e.cfg.EptChains); act.Final {
+		if act := e.runChain(ctx, rs, rs.chains[start], e.cfg.EptChains); act.Final {
 			v, final = act.Verdict, true
 		}
 	}
@@ -424,13 +483,12 @@ func (e *Engine) Filter(req *Request) Verdict {
 					}
 				}
 				if act.Final {
-					v, final = act.Verdict, true
+					v = act.Verdict
 					break scan
 				}
 			}
 		}
 	}
-	_ = final
 
 	if v == VerdictDrop && e.LogDenials {
 		e.emitLog(ctx, "denied", VerdictDrop)
@@ -460,35 +518,73 @@ func (e *Engine) Filter(req *Request) Verdict {
 
 // mayMatchEpt reports whether any of proc's executable mappings is named
 // by an indexed entrypoint rule. Interpreter processes always may match,
-// since script-frame entrypoints are not mappings.
+// since script-frame entrypoints are not mappings. The answer is a pure
+// function of (address space contents, installed rules), so it is memoized
+// in the process's PFState keyed on the mapping generation and the ruleset
+// generation — an mmap/execve or a rule update each bump their counter and
+// naturally invalidate the memo.
 func mayMatchEpt(rs *ruleset, p Process) bool {
 	if lang, _ := p.Interp(); lang != 0 {
 		return true
 	}
+	as := p.AddrSpace()
+	ps := p.PFState()
+	mapGen := as.Gen()
+	if ps.eptMemoValid && ps.eptMemoMapGen == mapGen && ps.eptMemoRSGen == rs.gen {
+		return ps.eptMemoMayMatch
+	}
 	found := false
-	p.AddrSpace().ForEach(func(m ustack.Mapping) bool {
+	as.ForEach(func(m ustack.Mapping) bool {
 		if rs.eptPrograms[m.Path] {
 			found = true
 			return false
 		}
 		return true
 	})
+	ps.eptMemoMayMatch = found
+	ps.eptMemoMapGen = mapGen
+	ps.eptMemoRSGen = rs.gen
+	ps.eptMemoValid = true
 	return found
+}
+
+// runChain evaluates one built-in chain for the request, through the
+// compiled dispatch index when the snapshot carries one for this chain and
+// linear traversal otherwise. Verdict, hit-counter, and LOG behavior are
+// identical either way; only the number of rules inspected differs.
+func (e *Engine) runChain(ctx *EvalCtx, rs *ruleset, c *Chain, skipEpt bool) Action {
+	if c == nil {
+		return Continue
+	}
+	if rs.compiled != nil {
+		if ci := rs.compiled[c.Name]; ci != nil {
+			return e.dispatch(ctx, rs, ci)
+		}
+	}
+	return e.traverse(ctx, rs, c, skipEpt)
 }
 
 // traverse walks a chain (honoring jumps) using the per-process traversal
 // stack. skipEpt omits entrypoint rules in built-in chains (they are
 // handled by the entrypoint index).
 func (e *Engine) traverse(ctx *EvalCtx, rs *ruleset, start *Chain, skipEpt bool) Action {
+	return e.traverseFrom(ctx, rs, start, 0, skipEpt, true)
+}
+
+// traverseFrom is traverse starting at rule index from within start's
+// traversal list. countEntry controls whether entering start increments its
+// Traversals counter: the compiled dispatch path has already counted the
+// chain entry when it falls back here, and must not count it twice.
+func (e *Engine) traverseFrom(ctx *EvalCtx, rs *ruleset, start *Chain, from int, skipEpt bool, countEntry bool) Action {
 	ps := ctx.Req.Proc.PFState()
 	pid := ctx.Req.Proc.PID()
 	// Per-process traversal state (paper Section 5.1): we reuse the
 	// process's stack buffer; a re-entrant call simply appends deeper
 	// frames and unwinds them before returning.
 	base := len(ps.traversal)
-	ps.traversal = append(ps.traversal, traversalFrame{chain: start, index: 0})
+	ps.traversal = append(ps.traversal, traversalFrame{chain: start, index: from})
 	defer func() { ps.traversal = ps.traversal[:base] }()
-	if start.Traversals != nil {
+	if countEntry && start.Traversals != nil {
 		start.Traversals.Add(pid, 1)
 	}
 

@@ -172,17 +172,14 @@ func (r *Rule) matchesDefaults(ctx *EvalCtx) bool {
 		}
 	}
 	if r.EntrySet {
-		entries, ok := ctx.Entrypoints()
-		if !ok && len(entries) == 0 {
-			return false
-		}
+		// An unwind failure yields no entrypoints, and a rule requiring one
+		// then cannot match (fail-safe: a process that corrupts its own
+		// stack only loses its own protection, paper Section 4.4). Binary
+		// and interpreter frames match identically — by (program, offset).
+		entries, _ := ctx.Entrypoints()
 		found := false
 		for _, e := range entries {
-			if !e.Interp && e.Path == r.Program && e.Off == r.Entry {
-				found = true
-				break
-			}
-			if e.Interp && r.Program == e.Path && e.Off == r.Entry {
+			if e.Path == r.Program && e.Off == r.Entry {
 				found = true
 				break
 			}

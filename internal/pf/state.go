@@ -24,6 +24,17 @@ type ProcState struct {
 	cacheSeq       uint64
 	cacheValid     bool
 
+	// mayMatchEpt memo: whether any executable mapping is named by an
+	// indexed entrypoint rule, valid while both the address-space mapping
+	// generation and the ruleset generation are unchanged. Both generations
+	// are globally unique, so a memo taken against one address space (or one
+	// engine's snapshot) can never be mistaken for another's — even across
+	// execve, which swaps the address space under a surviving ProcState.
+	eptMemoMayMatch bool
+	eptMemoValid    bool
+	eptMemoMapGen   uint64
+	eptMemoRSGen    uint64
+
 	// traversal is the reusable chain-traversal stack.
 	traversal []traversalFrame
 }

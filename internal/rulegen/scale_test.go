@@ -1,0 +1,46 @@
+package rulegen
+
+import (
+	"testing"
+
+	"pfirewall/internal/pf"
+	"pfirewall/internal/programs"
+)
+
+// TestScaleRuleBaseInstalls checks every generated line parses and installs
+// through the real pftables front end, at the two smaller benchmark sizes
+// (the 10k base is exercised by the benchmarks; installing it under the race
+// detector in CI is disproportionate).
+func TestScaleRuleBaseInstalls(t *testing.T) {
+	for _, n := range []int{100, 1200} {
+		lines := ScaleRuleBase(1, n)
+		if len(lines) != n {
+			t.Fatalf("ScaleRuleBase(1, %d) produced %d lines", n, len(lines))
+		}
+		cfg := pf.Optimized()
+		w := programs.NewWorld(programs.WorldOpts{PF: &cfg})
+		installed, err := w.InstallRules(lines)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if installed != n {
+			t.Fatalf("n=%d: installed %d rules", n, installed)
+		}
+		if got := w.Engine.RuleCount(); got != n {
+			t.Fatalf("n=%d: engine reports %d rules", n, got)
+		}
+	}
+}
+
+func TestScaleRuleBaseDeterministic(t *testing.T) {
+	a := ScaleRuleBase(7, 500)
+	b := ScaleRuleBase(7, 500)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("line %d differs across runs with the same seed:\n%s\n%s", i, a[i], b[i])
+		}
+	}
+	if c := ScaleRuleBase(8, 500); c[0] == a[0] && c[1] == a[1] && c[2] == a[2] {
+		t.Fatal("different seeds produced identical openings")
+	}
+}

@@ -169,6 +169,127 @@ func SyntheticDeployment(seed uint64) *trace.Store {
 	return s
 }
 
+// ScaleSizes are the rule-base sizes the rule-scaling benchmark sweeps:
+// a small app profile, the paper's system-wide deployment (Table 5 reports
+// ~1,226 installed rules), and an order of magnitude beyond it.
+var ScaleSizes = []int{100, 1200, 10000}
+
+// scaleOps carries the op distribution of the generated generic rules,
+// weighted the way deployed rule bases skew: file opens and reads dominate,
+// sockets and metadata ops trail.
+var scaleOps = []struct {
+	name   string
+	weight int
+}{
+	{"FILE_OPEN", 22},
+	{"FILE_READ", 12},
+	{"FILE_WRITE", 10},
+	{"FILE_GETATTR", 8},
+	{"DIR_SEARCH", 8},
+	{"LNK_FILE_READ", 8},
+	{"FILE_CREATE", 5},
+	{"SOCKET_BIND", 5},
+	{"UNIX_STREAM_SOCKET_CONNECT", 5},
+	{"FILE_EXEC", 4},
+	{"FILE_UNLINK", 3},
+	{"SOCKET_SENDMSG", 3},
+	{"SOCKET_RECVMSG", 3},
+	{"FILE_SETATTR", 2},
+	{"PROCESS_SIGNAL_DELIVERY", 2},
+}
+
+// wildcardOps restricts subjectless (and subject-negated) rules to the ops
+// such rules carry in practice — integrity invariants like the paper's
+// symlink and signal rules — rather than the hot file-access ops. This is
+// what keeps the per-op wildcard buckets small: a rule base whose wildcard
+// rules all sat on FILE_OPEN would degrade every process equally no matter
+// how rules are indexed.
+var wildcardOps = []string{
+	"LNK_FILE_READ", "FILE_SETATTR", "SOCKET_BIND",
+	"UNIX_STREAM_SOCKET_CONNECT", "PROCESS_SIGNAL_DELIVERY", "FIFO_CREATE",
+}
+
+func pickWeighted(rng *xorshift64) string {
+	total := 0
+	for _, o := range scaleOps {
+		total += o.weight
+	}
+	n := rng.intn(total)
+	for _, o := range scaleOps {
+		if n < o.weight {
+			return o.name
+		}
+		n -= o.weight
+	}
+	return scaleOps[0].name
+}
+
+// ScaleRuleBase generates a deployment-scale rule base of n pftables lines
+// with a realistic subject/op distribution: mostly per-domain deny rules
+// (the subject-domain pool grows with n, as real deployments add rules
+// because they confine more programs), a slice of entrypoint-specific rules,
+// and a small wildcard/negated-subject tail. Deny objects are drawn from a
+// synthetic label namespace so the rules never fire against the benchmark
+// workload's files — the cost being measured is rule matching, not verdict
+// churn. Deterministic in seed.
+func ScaleRuleBase(seed uint64, n int) []string {
+	rng := &xorshift64{s: seed | 1}
+	// Subject domains: domain 0 is the benchmark identity (sshd_t), so a
+	// realistic share of rules lands in its dispatch buckets.
+	nDoms := n / 16
+	if nDoms < 8 {
+		nDoms = 8
+	}
+	dom := func(i int) string {
+		if i == 0 {
+			return "sshd_t"
+		}
+		return fmt.Sprintf("scl_dom%03d_t", i)
+	}
+	obj := func() string { return fmt.Sprintf("scl_obj%02d_t", rng.intn(24)) }
+
+	rules := make([]string, 0, n)
+	for i := 0; len(rules) < n; i++ {
+		switch r := rng.intn(100); {
+		case r < 15:
+			// Entrypoint-specific deny (what rule suggestion mass-produces);
+			// EptChains indexes these out of the generic traversal list.
+			rules = append(rules, fmt.Sprintf(
+				"pftables -A input -p /usr/bin/prog%03d -i 0x%x -s SYSHIGH -d {%s} -o FILE_OPEN -j DROP",
+				i%331, 0x2000+(i*0x40)%0xffff, obj()))
+		case r < 20:
+			// Wildcard subject: system-wide invariant on a non-hot op.
+			op := wildcardOps[rng.intn(len(wildcardOps))]
+			if rng.intn(3) == 0 {
+				rules = append(rules, fmt.Sprintf(
+					"pftables -A input -s ~{%s} -d {%s} -o %s -j DROP", dom(rng.intn(nDoms)), obj(), op))
+			} else {
+				rules = append(rules, fmt.Sprintf(
+					"pftables -A input -d {%s} -o %s -j DROP", obj(), op))
+			}
+		case r < 24:
+			// Audit rule: LOG and fall through.
+			rules = append(rules, fmt.Sprintf(
+				"pftables -A input -s {%s} -d {%s} -o %s -j LOG --prefix scale",
+				dom(rng.intn(nDoms)), obj(), pickWeighted(rng)))
+		default:
+			// Per-domain deny, the bulk of a deployed base. One or two ops,
+			// subject of one or two domains.
+			ops := pickWeighted(rng)
+			if rng.intn(3) == 0 {
+				ops += "," + pickWeighted(rng)
+			}
+			subj := dom(rng.intn(nDoms))
+			if rng.intn(5) == 0 {
+				subj += "|" + dom(rng.intn(nDoms))
+			}
+			rules = append(rules, fmt.Sprintf(
+				"pftables -A input -s {%s} -d {%s} -o %s -j DROP", subj, obj(), ops))
+		}
+	}
+	return rules
+}
+
 // Launch records one program invocation for the OS-distributor analysis
 // (paper Section 6.3.2): command line, environment, and whether the
 // package files were modified since installation.

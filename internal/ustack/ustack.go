@@ -24,6 +24,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // Errors reported by unwinders. All of them mean "context unavailable":
@@ -248,7 +249,19 @@ type Mapping struct {
 type AddressSpace struct {
 	mappings []Mapping
 	next     uint64
+	gen      uint64
 }
+
+// mapGen issues mapping generations. It is global and strictly monotonic so a
+// generation observed on one AddressSpace can never reappear on another: an
+// execve replaces a process's address space while the process (and any caches
+// keyed on the generation) survives, so a per-space counter restarting at
+// zero could alias a stale cache entry.
+var mapGen atomic.Uint64
+
+// Gen returns the space's mapping generation. It changes whenever the set of
+// mappings changes, so callers may cache derived state keyed on it.
+func (a *AddressSpace) Gen() uint64 { return a.gen }
 
 // mapAlign spaces mappings so distinct binaries never overlap; the
 // pseudo-random-looking bases stand in for ASLR. It is sized so real-world
@@ -259,7 +272,7 @@ const mapAlign = 0x1000000
 // deterministically but differ across load order, so tests exercise the
 // rebasing logic the way ASLR would.
 func NewAddressSpace(seed uint64) *AddressSpace {
-	return &AddressSpace{next: (seed%7 + 1) * mapAlign}
+	return &AddressSpace{next: (seed%7 + 1) * mapAlign, gen: mapGen.Add(1)}
 }
 
 // Map loads path at a fresh base and returns the Mapping.
@@ -270,6 +283,7 @@ func (a *AddressSpace) Map(path string, size uint64) Mapping {
 	m := Mapping{Base: a.next, Size: size, Path: path}
 	a.mappings = append(a.mappings, m)
 	a.next += mapAlign
+	a.gen = mapGen.Add(1)
 	return m
 }
 
