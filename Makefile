@@ -1,5 +1,8 @@
-# Developer / CI entry points. `make check` is the tier-1 gate plus the
-# race-enabled test suite; `make bench-smoke` is a fast perf sanity pass;
+# Developer / CI entry points. `make ci` is the tier-1 gate plus the
+# race-enabled test suite; `make lint` is the source gate (vet, gofmt,
+# the pflint hot-path lock-discipline linter); `make check` is the ruleset
+# gate (the pfcheck static analyzer over every shipped rule base);
+# `make bench-smoke` is a fast perf sanity pass;
 # `make bench-hotpath` refreshes BENCH_hotpath.json, `make bench-ipc`
 # refreshes BENCH_ipc.json, `make bench-obs` refreshes BENCH_obs.json
 # (observability overhead), and `make bench-rulescale` refreshes
@@ -8,12 +11,20 @@
 
 GO ?= go
 
-.PHONY: all vet build test test-race check bench-smoke bench-hotpath bench-ipc bench-obs bench-rulescale bench-rulescale-smoke
+.PHONY: all vet gofmt-check pflint lint build test test-race ci check bench-smoke bench-hotpath bench-ipc bench-obs bench-rulescale bench-rulescale-smoke
 
-all: check
+all: lint ci check
 
 vet:
 	$(GO) vet ./...
+
+gofmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+pflint:
+	$(GO) run ./cmd/pflint
+
+lint: vet gofmt-check pflint
 
 build:
 	$(GO) build ./...
@@ -24,7 +35,17 @@ test:
 test-race:
 	$(GO) test -race ./...
 
-check: vet build test-race
+ci: vet build test-race
+
+# Ruleset gate: the pfcheck static analyzer must pass (no error-severity
+# findings) on every shipped example ruleset, the paper's Table 5 base, and
+# the synthetic scale bases the benchmarks use.
+check:
+	for f in examples/rules/*.pft; do $(GO) run ./cmd/pfctl -check -f $$f || exit 1; done
+	$(GO) run ./cmd/pfctl -check -standard
+	$(GO) run ./cmd/pfctl -check -scale 100
+	$(GO) run ./cmd/pfctl -check -scale 1200
+	$(GO) run ./cmd/pfctl -check -scale 10000
 
 # A quick pass over the hot-path benchmarks: single-thread latency
 # (Table 6 open/stat), ruleset-size flatness, multi-goroutine scaling with

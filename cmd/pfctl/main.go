@@ -12,6 +12,9 @@
 //	pfctl -f rules.pft        # compile and validate a rule file
 //	pfctl -standard           # print and validate the paper's Table 5 rules
 //	pfctl -e 'pftables ...'   # compile one rule from the command line
+//	pfctl -check -f rules.pft # static analysis only: shadowing, dead
+//	                          # chains, jump cycles, unknown symbols
+//	pfctl -check -scale 10000 # analyze a synthetic deployment-scale base
 //	pfctl -standard -L        # list chains with hits, traversals, verdicts
 //	pfctl -stats              # run the demo workload, dump metrics as JSON
 //	pfctl -stats-prom         # same, Prometheus text exposition format
@@ -27,13 +30,17 @@ import (
 	"net/http"
 	"os"
 	"strings"
+	"time"
 
 	"pfirewall/internal/audit"
 	"pfirewall/internal/kernel"
+	"pfirewall/internal/mac"
 	"pfirewall/internal/obs"
 	"pfirewall/internal/pf"
+	"pfirewall/internal/pfcheck"
 	"pfirewall/internal/pftables"
 	"pfirewall/internal/programs"
+	"pfirewall/internal/rulegen"
 	"pfirewall/internal/trace"
 )
 
@@ -59,6 +66,8 @@ func run(args []string, out io.Writer) error {
 	stats := fs.Bool("stats", false, "run the workload and print the metrics registry and denial summary as JSON")
 	statsProm := fs.Bool("stats-prom", false, "run the workload and print the metrics registry in Prometheus text format")
 	listen := fs.String("listen", "", "serve /metrics (Prometheus) and /vars (JSON) on this address after running the workload")
+	checkOnly := fs.Bool("check", false, "statically analyze the ruleset (shadowing, reachability, symbols) without installing it; exit non-zero on error findings")
+	scale := fs.Int("scale", 0, "with -check: analyze a deterministic synthetic rule base of this many rules")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -88,11 +97,20 @@ func run(args []string, out io.Writer) error {
 	}
 
 	var lines []string
+	srcName := "<input>"
 	switch {
+	case *scale > 0:
+		if !*checkOnly {
+			return fmt.Errorf("-scale requires -check")
+		}
+		lines = rulegen.ScaleRuleBase(1, *scale)
+		srcName = fmt.Sprintf("<scale-%d>", *scale)
 	case *standard:
 		lines = programs.StandardRules()
+		srcName = "<standard>"
 	case *expr != "":
 		lines = []string{*expr}
+		srcName = "<expr>"
 	case *file != "":
 		f, err := os.Open(*file)
 		if err != nil {
@@ -106,24 +124,47 @@ func run(args []string, out io.Writer) error {
 		if err := sc.Err(); err != nil {
 			return err
 		}
+		srcName = *file
 	case exporting:
 		// Pure stats runs default to the standard rule base so the
 		// workload has something to traverse.
 		lines = programs.StandardRules()
+		srcName = "<standard>"
 	default:
 		fs.Usage()
 		os.Exit(2)
 	}
 
+	// Known-label snapshot for symbol validation: taken before any parsing,
+	// because the SID table interns every label a rule mentions.
+	knownLabel := pfcheck.LabelSnapshot(w.Env.Policy)
+	sym := &pfcheck.Symbols{
+		KnownLabel: knownLabel,
+		KnownProgram: func(p string) bool {
+			_, ok := w.Env.LookupPath(p)
+			return ok
+		},
+		Entrypoints: programs.KnownEntrypoints(),
+	}
+	if *scale > 0 {
+		// The synthetic base draws labels and programs from its own
+		// namespace; only the semantic checks apply to it.
+		sym = &pfcheck.Symbols{KnownLabel: func(mac.Label) bool { return true }}
+	}
+
+	if *checkOnly {
+		return runCheck(out, w, srcName, lines, sym)
+	}
+
 	// In export mode the compiled-rule chatter would corrupt the JSON or
 	// Prometheus stream, so keep stdout for the exposition only.
 	installed := 0
-	for _, line := range lines {
+	for n, line := range lines {
 		line = strings.TrimSpace(line)
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
-		cmd, err := pftables.Install(w.Env, w.Engine, line)
+		cmd, err := pftables.InstallAt(w.Env, w.Engine, line, pf.Pos{File: srcName, Line: n + 1})
 		if err != nil {
 			return fmt.Errorf("%s\n  -> %w", line, err)
 		}
@@ -141,6 +182,17 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "# %d rules installed; chains: %s\n", installed, strings.Join(w.Engine.Chains(), ", "))
 	}
 
+	// Load-time analysis: in export mode the installed ruleset is analyzed
+	// and the finding tallies ride along with the other metrics, so a
+	// scraper can alert on rulesets that loaded with analyzer errors.
+	var checks *pfcheck.Summary
+	if exporting {
+		rep := pfcheck.AnalyzeEngine(w.Engine, sym)
+		rep.Export(reg)
+		s := rep.Summary()
+		checks = &s
+	}
+
 	if *workload {
 		runWorkload(w)
 	}
@@ -153,7 +205,7 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	if *stats {
-		if err := writeStats(out, reg, store); err != nil {
+		if err := writeStats(out, reg, store, checks); err != nil {
 			return err
 		}
 	}
@@ -211,14 +263,38 @@ func runWorkload(w *programs.World) {
 	}
 }
 
-// statsDoc is the -stats JSON document: the full metrics registry plus the
-// operator-facing denial summary (audit.TopN over the trace store).
+// runCheck is pfctl -check: run the static analyzer over the ruleset
+// source, print every finding compiler-style plus a summary line, and fail
+// (non-zero exit) exactly when an error-class finding exists. Timing goes
+// to stderr so stdout stays byte-deterministic.
+func runCheck(out io.Writer, w *programs.World, name string, lines []string, sym *pfcheck.Symbols) error {
+	start := time.Now()
+	rep := pfcheck.Analyze(w.Env, name, lines, sym)
+	elapsed := time.Since(start)
+	for _, f := range rep.Findings {
+		fmt.Fprintln(out, f.String())
+	}
+	s := rep.Summary()
+	fmt.Fprintf(out, "# pfcheck: %d rules, %d chains: %d errors, %d warnings, %d infos\n",
+		s.Rules, s.Chains, s.Errors, s.Warnings, s.Infos)
+	fmt.Fprintf(os.Stderr, "pfcheck: analyzed %s (%d rules) in %s\n",
+		name, s.Rules, elapsed.Round(time.Microsecond))
+	if rep.HasErrors() {
+		return fmt.Errorf("pfcheck: %d error finding(s)", s.Errors)
+	}
+	return nil
+}
+
+// statsDoc is the -stats JSON document: the full metrics registry, the
+// operator-facing denial summary (audit.TopN over the trace store), and the
+// load-time static-analysis tallies.
 type statsDoc struct {
 	Metrics json.RawMessage     `json:"metrics"`
 	Denials []audit.DenialGroup `json:"denials"`
+	Checks  *pfcheck.Summary    `json:"checks,omitempty"`
 }
 
-func writeStats(out io.Writer, reg *obs.Registry, store *trace.Store) error {
+func writeStats(out io.Writer, reg *obs.Registry, store *trace.Store, checks *pfcheck.Summary) error {
 	metrics, err := reg.MarshalJSON()
 	if err != nil {
 		return err
@@ -226,6 +302,7 @@ func writeStats(out io.Writer, reg *obs.Registry, store *trace.Store) error {
 	doc := statsDoc{
 		Metrics: metrics,
 		Denials: audit.TopN(audit.Denials(store), statsTopDenials),
+		Checks:  checks,
 	}
 	enc, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {

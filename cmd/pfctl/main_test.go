@@ -3,6 +3,8 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"reflect"
 	"strings"
 	"testing"
@@ -116,5 +118,84 @@ func TestStatsJSONRoundTrip(t *testing.T) {
 	top := denials[0].(map[string]any)
 	if op := top["Key"].(map[string]any)["Op"]; op != "LNK_FILE_READ" {
 		t.Errorf("top denial op = %v, want LNK_FILE_READ", op)
+	}
+
+	// The load-time analysis summary rides along: the standard base is
+	// clean, so every tally except the rule/chain counts is zero.
+	checks, ok := doc["checks"].(map[string]any)
+	if !ok {
+		t.Fatalf("checks section missing: %v", doc)
+	}
+	if checks["errors"].(float64) != 0 || checks["warnings"].(float64) != 0 {
+		t.Errorf("standard base should analyze clean, got %v", checks)
+	}
+	if checks["rules"].(float64) == 0 {
+		t.Errorf("checks should count analyzed rules, got %v", checks)
+	}
+}
+
+// TestCheckStandardClean pins that the shipped Table 5 rule base passes the
+// static analyzer with zero findings of any severity.
+func TestCheckStandardClean(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-check", "-standard"}, &buf); err != nil {
+		t.Fatalf("pfctl -check -standard: %v\n%s", err, buf.String())
+	}
+	const golden = "# pfcheck: 13 rules, 4 chains: 0 errors, 0 warnings, 0 infos\n"
+	if buf.String() != golden {
+		t.Errorf("-check -standard output drifted:\n--- got ---\n%s--- want ---\n%s", buf.String(), golden)
+	}
+}
+
+// TestCheckFileFindings runs -check over a rule file with one defect of
+// each headline class and checks the compiler-style finding lines and the
+// non-zero exit.
+func TestCheckFileFindings(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.pft")
+	src := strings.Join([]string{
+		"# exercise every analyzer layer",
+		"pftables -A input -s sshd_t -j ACCEPT",
+		"pftables -A input -s sshd_t -d shadow_t -j DROP",
+		"pftables -A input -o NOT_AN_OP -j DROP",
+		"pftables -A syscallbegin -o FILE_OPEN -j DROP",
+		"pftables -A input -s sshd_tt -o FILE_READ -j DROP",
+	}, "\n") + "\n"
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	err := run([]string{"-check", "-f", path}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "error finding") {
+		t.Fatalf("want error-findings failure, got err=%v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{
+		path + ":3: error: [shadowed]",
+		path + ":4:19: error: [parse]",
+		path + ":5: error: [never-matches]",
+		path + ":6: warning: [unknown-label]",
+		"3 errors, 1 warnings",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-check output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestCheckScaleDeterministic runs the analyzer twice over the same
+// synthetic base and demands byte-identical stdout.
+func TestCheckScaleDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := run([]string{"-check", "-scale", "600"}, &a); err != nil {
+		t.Fatalf("-check -scale: %v", err)
+	}
+	if err := run([]string{"-check", "-scale", "600"}, &b); err != nil {
+		t.Fatalf("-check -scale: %v", err)
+	}
+	if a.String() != b.String() {
+		t.Error("-check -scale output is not deterministic")
+	}
+	if !strings.Contains(a.String(), "# pfcheck: 600 rules") {
+		t.Errorf("summary line missing:\n%s", a.String())
 	}
 }

@@ -1,0 +1,170 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fixture writes a one-package source tree and returns its directory.
+func fixture(t *testing.T, src string) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "pf.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestLockOnHotPathFlagged(t *testing.T) {
+	dir := fixture(t, `package pf
+
+import "sync"
+
+type Engine struct{ mu sync.Mutex }
+
+func (e *Engine) Filter() { e.eval() }
+
+func (e *Engine) eval() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+}
+
+func (e *Engine) update() { // not reachable from Filter
+	e.mu.Lock()
+	defer e.mu.Unlock()
+}
+`)
+	var buf bytes.Buffer
+	n, err := runLint([]string{dir}, false, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("want 1 finding, got %d:\n%s", n, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "pf.go:10:") || !strings.Contains(out, "Filter -> eval") {
+		t.Errorf("finding should cite line 10 and the call chain:\n%s", out)
+	}
+	if strings.Contains(out, "update") {
+		t.Errorf("unreachable function must not be flagged:\n%s", out)
+	}
+}
+
+func TestAllowCommentSuppresses(t *testing.T) {
+	dir := fixture(t, `package pf
+
+import "sync"
+
+type Engine struct{ mu sync.Mutex }
+
+func (e *Engine) Filter() {
+	e.mu.Lock() //pflint:allow — audited
+	e.mu.Unlock()
+}
+`)
+	var buf bytes.Buffer
+	n, err := runLint([]string{dir}, false, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("allow comment should suppress, got %d findings:\n%s", n, buf.String())
+	}
+}
+
+func TestSnapshotMutationFlagged(t *testing.T) {
+	dir := fixture(t, `package pf
+
+import "sync/atomic"
+
+type ruleset struct {
+	chains map[string]int
+	gen    int
+}
+
+type Engine struct{ rs atomic.Pointer[ruleset] }
+
+func (e *Engine) Filter() {
+	rs := e.rs.Load()
+	rs.chains["input"] = 1 // mutates the published snapshot
+	rs.gen++
+	rs = e.rs.Load() // plain rebind: not a mutation
+	_ = rs
+}
+`)
+	var buf bytes.Buffer
+	n, err := runLint([]string{dir}, false, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("want 2 mutation findings, got %d:\n%s", n, buf.String())
+	}
+	if !strings.Contains(buf.String(), "copy-on-write") {
+		t.Errorf("mutation message missing:\n%s", buf.String())
+	}
+}
+
+func TestInterfaceFanOutIsReachable(t *testing.T) {
+	// A call through an interface method name reaches every declaration of
+	// that name — the sound over-approximation.
+	dir := fixture(t, `package pf
+
+import "sync"
+
+type Match interface{ Match() bool }
+
+type stateMatch struct{ mu sync.Mutex }
+
+func (m *stateMatch) Match() bool {
+	m.mu.Lock()
+	m.mu.Unlock()
+	return true
+}
+
+type Engine struct{ ms []Match }
+
+func (e *Engine) Filter() {
+	for _, m := range e.ms {
+		m.Match()
+	}
+}
+`)
+	var buf bytes.Buffer
+	n, err := runLint([]string{dir}, false, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("interface fan-out lock not flagged (%d findings):\n%s", n, buf.String())
+	}
+}
+
+func TestNoRootIsAnError(t *testing.T) {
+	dir := fixture(t, "package other\n\nfunc f() {}\n")
+	if _, err := runLint([]string{dir}, false, &bytes.Buffer{}); err == nil {
+		t.Fatal("want error when no Engine.Filter root exists")
+	}
+}
+
+// TestRealRepoClean pins the actual invariant: the repository's hot-path
+// closure has no unaudited locks or snapshot mutations.
+func TestRealRepoClean(t *testing.T) {
+	root := "../.."
+	dirs := make([]string, len(defaultDirs))
+	for i, d := range defaultDirs {
+		dirs[i] = filepath.Join(root, d)
+	}
+	var buf bytes.Buffer
+	n, err := runLint(dirs, false, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("hot path has %d lock-discipline findings:\n%s", n, buf.String())
+	}
+}

@@ -140,64 +140,83 @@ func ParsePerm(name string) (Perm, error) {
 	return 0, fmt.Errorf("mac: unknown permission %q", name)
 }
 
-// SIDTable interns labels to SIDs. It is safe for concurrent use.
-type SIDTable struct {
-	mu      sync.RWMutex
+// sidSnap is one immutable SID-table state, published whole so readers
+// never take a lock (denial logging renders labels on the mediation path;
+// pflint guards that path against mutexes).
+type sidSnap struct {
 	byLabel map[Label]SID
 	labels  []Label // index = SID; labels[0] is a placeholder
 }
 
-// NewSIDTable returns an empty SID table.
-func NewSIDTable() *SIDTable {
-	return &SIDTable{
-		byLabel: make(map[Label]SID),
-		labels:  []Label{""},
-	}
+// SIDTable interns labels to SIDs. It is safe for concurrent use: reads go
+// through an atomic snapshot, and only interning — a control-plane
+// operation (policy load, rule install) — serializes on a mutex.
+type SIDTable struct {
+	mu   sync.Mutex // serializes interning; readers never take it
+	snap atomic.Pointer[sidSnap]
 }
 
-// SID interns lbl, assigning a new SID on first use.
+// NewSIDTable returns an empty SID table.
+func NewSIDTable() *SIDTable {
+	t := &SIDTable{}
+	t.snap.Store(&sidSnap{
+		byLabel: make(map[Label]SID),
+		labels:  []Label{""},
+	})
+	return t
+}
+
+// SID interns lbl, assigning a new SID on first use. The hit path is
+// lock-free; a miss republishes a copy-on-write snapshot.
 func (t *SIDTable) SID(lbl Label) SID {
-	t.mu.RLock()
-	s, ok := t.byLabel[lbl]
-	t.mu.RUnlock()
-	if ok {
+	if s, ok := t.snap.Load().byLabel[lbl]; ok {
 		return s
 	}
-	t.mu.Lock()
+	t.mu.Lock() //pflint:allow — interning only happens at policy-load and rule-install time
 	defer t.mu.Unlock()
-	if s, ok = t.byLabel[lbl]; ok {
+	cur := t.snap.Load()
+	if s, ok := cur.byLabel[lbl]; ok {
 		return s
 	}
-	s = SID(len(t.labels))
-	t.labels = append(t.labels, lbl)
-	t.byLabel[lbl] = s
+	n := &sidSnap{
+		byLabel: make(map[Label]SID, len(cur.byLabel)+1),
+		labels:  append(append(make([]Label, 0, len(cur.labels)+1), cur.labels...), lbl),
+	}
+	for k, v := range cur.byLabel {
+		n.byLabel[k] = v
+	}
+	s := SID(len(cur.labels))
+	n.byLabel[lbl] = s
+	t.snap.Store(n)
 	return s
 }
 
 // Lookup returns the SID for lbl without interning. The second result
 // reports whether the label was known.
 func (t *SIDTable) Lookup(lbl Label) (SID, bool) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	s, ok := t.byLabel[lbl]
+	s, ok := t.snap.Load().byLabel[lbl]
 	return s, ok
 }
 
 // Label returns the label for s, or "" if s is unknown.
 func (t *SIDTable) Label(s SID) Label {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	if int(s) <= 0 || int(s) >= len(t.labels) {
+	labels := t.snap.Load().labels
+	if int(s) <= 0 || int(s) >= len(labels) {
 		return ""
 	}
-	return t.labels[s]
+	return labels[s]
+}
+
+// Labels returns a snapshot of every interned label in SID order. Callers
+// that must distinguish labels known before some event (e.g. rule parsing,
+// which interns whatever it sees) take the snapshot first.
+func (t *SIDTable) Labels() []Label {
+	return append([]Label(nil), t.snap.Load().labels[1:]...)
 }
 
 // Len reports the number of interned labels (excluding the invalid SID).
 func (t *SIDTable) Len() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return len(t.labels) - 1
+	return len(t.snap.Load().labels) - 1
 }
 
 // avKey is an access-vector key.
@@ -348,7 +367,7 @@ func (p *Policy) AdvEpoch() uint64 { return p.advEpoch.Load() }
 // the original shared-map design would have cached it into the freshly
 // invalidated cache, serving stale answers after a policy edit.
 func (p *Policy) memoizeAdv(snap *advSnapshot, obj SID, res, write bool) {
-	p.mu.Lock()
+	p.mu.Lock() //pflint:allow — adversary-cache miss path; hits are wait-free on the snapshot
 	defer p.mu.Unlock()
 	if p.advEpoch.Load() != snap.epoch {
 		return
@@ -377,7 +396,7 @@ func (p *Policy) memoizeAdv(snap *advSnapshot, obj SID, res, write bool) {
 // SYSHIGH (TCB) victim are all non-SYSHIGH subjects; adversaries of an
 // untrusted victim are all subjects with a different label.
 func (p *Policy) AdversariesOf(victim SID) []SID {
-	p.mu.RLock()
+	p.mu.RLock() //pflint:allow — only reached on adversary-cache misses (see AdversaryWritable)
 	defer p.mu.RUnlock()
 	var out []SID
 	victimTrusted := p.trusted[victim]
@@ -444,7 +463,7 @@ func (p *Policy) AdversaryReadable(victim, obj SID) bool {
 // perms on obj in any class.
 func (p *Policy) adversaryHasPerm(victim, obj SID, perms Perm) bool {
 	for _, adv := range p.AdversariesOf(victim) {
-		p.mu.RLock()
+		p.mu.RLock() //pflint:allow — only reached on adversary-cache misses (see AdversaryWritable)
 		found := false
 		for c := Class(1); c < classCount; c++ {
 			if p.allow[avKey{adv, obj, c}]&perms != 0 {

@@ -1,0 +1,509 @@
+package pf
+
+import (
+	"sort"
+
+	"pfirewall/internal/mac"
+)
+
+// Static ruleset analysis (DESIGN.md §8). The compiled dispatch index of
+// compile.go proves, per request, that the rules outside its buckets cannot
+// match. This file runs the same per-field reasoning in the other
+// direction: over all requests, at publish/analysis time, to prove that a
+// rule can never fire at all — because its match space is empty, because no
+// operation that reaches its chain is in its op mask, because its chain is
+// unreachable from any built-in chain, or because an earlier terminal rule
+// covers its entire match space (first-match shadowing).
+//
+// Every claim is an under-approximation of "dead": the analysis only
+// reports a rule unreachable when the per-field lattice PROVES coverage, so
+// a reported rule provably has Hits==0 for any request sequence (the
+// differential property test in compile_test.go enforces exactly this).
+// Rules it cannot prove dead are reported reachable, which may be
+// optimistic — completeness is not claimed, soundness is.
+
+// UnreachKind says why the analysis proved a rule can never fire.
+type UnreachKind uint8
+
+// Unreachability kinds.
+const (
+	// UnreachEmptySubject: a non-negated empty -s set matches no process.
+	UnreachEmptySubject UnreachKind = iota + 1
+	// UnreachEmptyObject: a non-negated empty -d set matches no resource.
+	UnreachEmptyObject
+	// UnreachOpContext: the rule's op mask is disjoint from every
+	// operation that can reach its chain (e.g. a FILE_OPEN rule in the
+	// syscallbegin chain, which only ever sees SYSCALL_BEGIN).
+	UnreachOpContext
+	// UnreachShadowed: an earlier terminal rule in the same chain covers
+	// the rule's entire match space, so first-match semantics never reach
+	// it.
+	UnreachShadowed
+	// UnreachDeadChain: the rule lives in a user chain no jump from a
+	// built-in chain can reach.
+	UnreachDeadChain
+)
+
+// String names the kind for findings.
+func (k UnreachKind) String() string {
+	switch k {
+	case UnreachEmptySubject:
+		return "empty-subject-set"
+	case UnreachEmptyObject:
+		return "empty-object-set"
+	case UnreachOpContext:
+		return "op-context"
+	case UnreachShadowed:
+		return "shadowed"
+	case UnreachDeadChain:
+		return "dead-chain"
+	}
+	return "unknown"
+}
+
+// Unreachable is one proven-dead rule.
+type Unreachable struct {
+	Chain string
+	Index int // position in the chain's Rules list
+	Rule  *Rule
+	Kind  UnreachKind
+	// By identifies the shadowing rule for UnreachShadowed (ByIndex is its
+	// position in the same chain); nil otherwise.
+	By      *Rule
+	ByIndex int
+	// SameVerdict reports that the shadower produces the identical outcome,
+	// making the rule redundant rather than conflicting.
+	SameVerdict bool
+}
+
+// RulesetAnalysis is the result of AnalyzeChains.
+type RulesetAnalysis struct {
+	// Unreachable lists proven-dead rules, ordered by (chain, index).
+	Unreachable []Unreachable
+	// DeadChains lists non-builtin chains unreachable from any built-in
+	// chain, sorted by name.
+	DeadChains []string
+	// Cycles lists jump cycles, each as the chain names along the cycle
+	// (a traversal entering one would loop forever).
+	Cycles [][]string
+	// OpContext maps each chain to the set of operations that can reach it
+	// (zero for unreachable chains). Built-in chains start from the
+	// engine's routing: syscallbegin sees only SYSCALL_BEGIN, the input and
+	// mangle/input chains everything else; user chains get the union over
+	// incoming jump edges of (source context ∩ jump rule ops).
+	OpContext map[string]OpSet
+}
+
+// allOps is the op-context universe: every representable operation.
+const allOps OpSet = 1<<opCount - 1
+
+// builtinOpContext is how Filter routes requests into built-in chains.
+var builtinOpContext = map[string]OpSet{
+	"input":        allOps &^ (1 << OpSyscallBegin),
+	"syscallbegin": 1 << OpSyscallBegin,
+	"mangle/input": allOps &^ (1 << OpSyscallBegin),
+}
+
+// Analyze runs the static reachability analysis over the engine's current
+// ruleset snapshot.
+func (e *Engine) Analyze() *RulesetAnalysis {
+	return AnalyzeChains(e.rs.Load().chains)
+}
+
+// AnalyzeChains analyzes a chain map (engine snapshot or one assembled from
+// parsed source) and returns every rule it can prove dead.
+func AnalyzeChains(chains map[string]*Chain) *RulesetAnalysis {
+	an := &RulesetAnalysis{OpContext: make(map[string]OpSet, len(chains))}
+
+	names := make([]string, 0, len(chains))
+	for n := range chains {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	// Jump graph: one edge per JUMP rule, carrying the rule's op mask.
+	// Every jump counts, even from rules themselves proven dead — an
+	// over-approximation of reachability keeps the dead-chain claim sound.
+	type edge struct {
+		ops OpSet
+		to  string
+	}
+	edges := make(map[string][]edge)
+	for _, name := range names {
+		for _, r := range chains[name].Rules {
+			if jt, ok := r.Target.(*JumpTarget); ok {
+				ops := r.Ops
+				if ops == 0 {
+					ops = allOps
+				}
+				edges[name] = append(edges[name], edge{ops: ops, to: jt.ChainName})
+			}
+		}
+	}
+
+	// Op-context fixpoint over the jump graph.
+	ctx := make(map[string]OpSet, len(chains))
+	for n, m := range builtinOpContext {
+		if _, ok := chains[n]; ok {
+			ctx[n] = m
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, from := range names {
+			fctx := ctx[from]
+			if fctx == 0 {
+				continue
+			}
+			for _, e := range edges[from] {
+				if _, ok := chains[e.to]; !ok {
+					continue
+				}
+				if c := ctx[e.to] | (fctx & e.ops); c != ctx[e.to] {
+					ctx[e.to] = c
+					changed = true
+				}
+			}
+		}
+	}
+	for _, n := range names {
+		an.OpContext[n] = ctx[n]
+	}
+
+	// Jump cycles (a traversal entering one would push frames forever).
+	const (
+		white = iota
+		grey
+		black
+	)
+	color := make(map[string]int, len(chains))
+	var stack []string
+	var visit func(string)
+	visit = func(n string) {
+		color[n] = grey
+		stack = append(stack, n)
+		for _, e := range edges[n] {
+			if _, ok := chains[e.to]; !ok {
+				continue
+			}
+			switch color[e.to] {
+			case white:
+				visit(e.to)
+			case grey:
+				// Slice the cycle out of the DFS stack.
+				for i := len(stack) - 1; i >= 0; i-- {
+					if stack[i] == e.to {
+						an.Cycles = append(an.Cycles, append([]string(nil), stack[i:]...))
+						break
+					}
+				}
+			}
+		}
+		stack = stack[:len(stack)-1]
+		color[n] = black
+	}
+	for _, n := range names {
+		if color[n] == white {
+			visit(n)
+		}
+	}
+
+	// Per-chain rule analysis.
+	for _, name := range names {
+		c := chains[name]
+		if ctx[name] == 0 {
+			if _, builtin := builtinOpContext[name]; !builtin {
+				an.DeadChains = append(an.DeadChains, name)
+				for i, r := range c.Rules {
+					an.Unreachable = append(an.Unreachable, Unreachable{
+						Chain: name, Index: i, Rule: r, Kind: UnreachDeadChain, ByIndex: -1,
+					})
+				}
+			}
+			continue
+		}
+		analyzeChainRules(an, name, c, ctx[name])
+	}
+	return an
+}
+
+// shadowCand is a terminal rule eligible to shadow later rules.
+type shadowCand struct {
+	idx      int
+	r        *Rule
+	isReturn bool
+	hasState bool
+}
+
+// analyzeChainRules finds never-matching and shadowed rules within one
+// reachable chain. The candidate search mirrors compile.go's dispatch
+// lattice: earlier terminal rules are bucketed by exact subject SID with a
+// wildcard lane for nil/negated subjects, so a rule only tests candidates
+// that could possibly cover it — O(matching-candidates) per rule on
+// realistic bases instead of O(n²) pair checks.
+func analyzeChainRules(an *RulesetAnalysis, name string, c *Chain, cctx OpSet) {
+	// Prefix counts of rules with state-mutating or control-transferring
+	// targets, for the STATE staleness guard (see coverageShadows).
+	mut := make([]int, len(c.Rules)+1)
+	for i, r := range c.Rules {
+		mut[i+1] = mut[i]
+		switch r.Target.(type) {
+		case *StateTarget, *JumpTarget:
+			mut[i+1]++
+		}
+	}
+	mutBetween := func(i, j int) bool { return mut[j]-mut[i+1] > 0 }
+
+	wild := []shadowCand{}
+	bySID := make(map[mac.SID][]shadowCand)
+
+	for j, r := range c.Rules {
+		// Never-matching rules first: they are dead regardless of order,
+		// and are excluded from the shadower candidate set.
+		if r.Subject != nil && !r.Subject.Negate && len(r.Subject.sids) == 0 {
+			an.Unreachable = append(an.Unreachable, Unreachable{Chain: name, Index: j, Rule: r, Kind: UnreachEmptySubject, ByIndex: -1})
+			continue
+		}
+		if r.Object != nil && !r.Object.Negate && len(r.Object.sids) == 0 {
+			an.Unreachable = append(an.Unreachable, Unreachable{Chain: name, Index: j, Rule: r, Kind: UnreachEmptyObject, ByIndex: -1})
+			continue
+		}
+		if r.Ops != 0 && r.Ops&cctx == 0 {
+			an.Unreachable = append(an.Unreachable, Unreachable{Chain: name, Index: j, Rule: r, Kind: UnreachOpContext, ByIndex: -1})
+			continue
+		}
+
+		// Candidate lanes: a shadower with an exact subject set must
+		// contain every subject SID this rule names, in particular its
+		// first one — so probing one member's bucket loses no candidates.
+		lanes := [2][]shadowCand{nil, wild}
+		if r.Subject != nil && !r.Subject.Negate {
+			lanes[0] = bySID[r.Subject.SIDs()[0]]
+		}
+		if a, ok := firstShadower(lanes, r, mutBetween, j); ok {
+			an.Unreachable = append(an.Unreachable, Unreachable{
+				Chain: name, Index: j, Rule: r, Kind: UnreachShadowed,
+				By: a.r, ByIndex: a.idx, SameVerdict: sameOutcome(a.r.Target, r.Target),
+			})
+			// Shadowed rules never fire, so they are not candidates; their
+			// own shadower already covers anything they would have covered.
+			continue
+		}
+
+		// A live terminal rule becomes a shadower candidate for the rules
+		// after it.
+		switch r.Target.(type) {
+		case *VerdictTarget, *ReturnTarget:
+			_, isReturn := r.Target.(*ReturnTarget)
+			cand := shadowCand{idx: j, r: r, isReturn: isReturn, hasState: hasStateMatch(r)}
+			if r.Subject != nil && !r.Subject.Negate {
+				for sid := range r.Subject.sids {
+					bySID[sid] = append(bySID[sid], cand)
+				}
+			} else {
+				wild = append(wild, cand)
+			}
+		}
+	}
+}
+
+// firstShadower order-merges the candidate lanes (both already sorted by
+// install index) and returns the earliest candidate whose claim survives
+// every soundness guard.
+func firstShadower(lanes [2][]shadowCand, r *Rule, mutBetween func(i, j int) bool, j int) (shadowCand, bool) {
+	x, y := lanes[0], lanes[1]
+	xi, yi := 0, 0
+	for xi < len(x) || yi < len(y) {
+		var a shadowCand
+		if yi >= len(y) || (xi < len(x) && x[xi].idx < y[yi].idx) {
+			a = x[xi]
+			xi++
+		} else {
+			a = y[yi]
+			yi++
+		}
+		if !coverageShadows(a, r, mutBetween, j) {
+			continue
+		}
+		return a, true
+	}
+	return shadowCand{}, false
+}
+
+// coverageShadows applies the full per-claim soundness checks for
+// "candidate a shadows rule r at index j".
+func coverageShadows(a shadowCand, r *Rule, mutBetween func(i, j int) bool, j int) bool {
+	// RETURN ends the current chain walk, but under EptChains the
+	// entrypoint-indexed rules of a built-in chain are scanned in a
+	// separate pass that a RETURN in the generic pass does not stop — so a
+	// RETURN shadower proves nothing about an entrypoint-bearing rule.
+	if a.isReturn && r.EntrySet {
+		return false
+	}
+	if !covers(a.r, r) {
+		return false
+	}
+	// STATE staleness guard: a STATE extension match in the shadower reads
+	// the live per-process dictionary, which a STATE target — or a jump
+	// into a chain holding one — between the two rules could flip between
+	// the shadower's evaluation and r's. Demand a mutation-free interval.
+	if a.hasState && mutBetween(a.idx, j) {
+		return false
+	}
+	return true
+}
+
+// covers reports whether every request that fully matches b at its position
+// in a traversal would also have fully matched a at a's earlier position in
+// the same traversal — per-field containment of match spaces.
+func covers(a, b *Rule) bool {
+	if !opsCover(a.Ops, b.Ops) {
+		return false
+	}
+	if !subjectCovers(a.Subject, b.Subject) {
+		return false
+	}
+	if !objectCovers(a.Object, b.Object) {
+		return false
+	}
+	if a.ResIDSet && (!b.ResIDSet || a.ResID != b.ResID) {
+		return false
+	}
+	if !entryCovers(a, b) {
+		return false
+	}
+	return matchesSubset(a.Matches, b.Matches)
+}
+
+// opsCover: the empty mask is the rule-language "any op"; a non-empty mask
+// covers exactly its bits, so it can never cover the universe.
+func opsCover(a, b OpSet) bool {
+	return a == 0 || (b != 0 && b&^a == 0)
+}
+
+// subjectCovers compares -s spaces; a nil set matches any subject.
+func subjectCovers(a, b *SIDSet) bool {
+	if a == nil {
+		return true
+	}
+	if b == nil {
+		// b is the universe; only a negated-empty set also matches it all.
+		return a.Negate && len(a.sids) == 0
+	}
+	return lanesCover(a, b)
+}
+
+// objectCovers compares -d spaces. Unlike subjects, a non-nil object set —
+// even a negated one — additionally requires the request to carry an
+// object at all, so it can never cover the nil set's space.
+func objectCovers(a, b *SIDSet) bool {
+	if a == nil {
+		return true
+	}
+	if b == nil {
+		return false
+	}
+	return lanesCover(a, b)
+}
+
+// lanesCover decides set containment across the exact and negated lanes.
+// The SID space is open (labels intern on demand), so a finite set can
+// never cover a negated (co-finite) one.
+func lanesCover(a, b *SIDSet) bool {
+	switch {
+	case !a.Negate && !b.Negate:
+		return subsetOf(b.sids, a.sids)
+	case !a.Negate && b.Negate:
+		return false
+	case a.Negate && !b.Negate:
+		return disjointFrom(b.sids, a.sids)
+	default: // both negated: ~A ⊇ ~B iff A ⊆ B
+		return subsetOf(a.sids, b.sids)
+	}
+}
+
+func subsetOf(inner, outer map[mac.SID]bool) bool {
+	if len(inner) > len(outer) {
+		return false
+	}
+	for s := range inner {
+		if !outer[s] {
+			return false
+		}
+	}
+	return true
+}
+
+func disjointFrom(xs, ys map[mac.SID]bool) bool {
+	for s := range xs {
+		if ys[s] {
+			return false
+		}
+	}
+	return true
+}
+
+// entryCovers compares the -p/-i space. A program-only rule matches by the
+// process's exec path; an entrypoint rule matches by a (program, offset)
+// stack frame — different predicates, so neither covers the other except
+// exactly.
+func entryCovers(a, b *Rule) bool {
+	switch {
+	case a.Program == "" && !a.EntrySet:
+		return true
+	case a.EntrySet:
+		return b.EntrySet && b.Program == a.Program && b.Entry == a.Entry
+	default: // program-only
+		return !b.EntrySet && b.Program == a.Program
+	}
+}
+
+// matchesSubset demands that every extension match of a appears verbatim in
+// b (multiset containment by module name and rendered arguments): then b's
+// full match implies each shared module matched, and — state staleness
+// aside, guarded separately — it would have matched identically at a.
+func matchesSubset(a, b []Match) bool {
+	if len(a) == 0 {
+		return true
+	}
+	if len(a) > len(b) {
+		return false
+	}
+	have := make(map[string]int, len(b))
+	for _, m := range b {
+		have[matchKey(m)]++
+	}
+	for _, m := range a {
+		k := matchKey(m)
+		if have[k] == 0 {
+			return false
+		}
+		have[k]--
+	}
+	return true
+}
+
+func matchKey(m Match) string { return m.ModName() + "\x00" + m.Args() }
+
+func hasStateMatch(r *Rule) bool {
+	for _, m := range r.Matches {
+		if _, ok := m.(*StateMatch); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// sameOutcome reports whether two terminal targets produce the identical
+// effect, downgrading a shadow from "conflicting" to "redundant".
+func sameOutcome(a, b Target) bool {
+	switch ta := a.(type) {
+	case *VerdictTarget:
+		tb, ok := b.(*VerdictTarget)
+		return ok && tb.V == ta.V
+	case *ReturnTarget:
+		_, ok := b.(*ReturnTarget)
+		return ok
+	}
+	return false
+}

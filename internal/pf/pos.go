@@ -1,0 +1,40 @@
+package pf
+
+import "fmt"
+
+// Pos locates a rule (or an error) in the rule source it was parsed from.
+// The zero Pos means "no source information" — rules built programmatically
+// carry it. Line and Col are 1-based; either may be zero when unknown.
+type Pos struct {
+	File string
+	Line int
+	Col  int
+}
+
+// IsSet reports whether the position carries any source information.
+func (p Pos) IsSet() bool { return p.File != "" || p.Line > 0 || p.Col > 0 }
+
+// String renders the position in the compiler-conventional file:line:col
+// form, omitting unknown components.
+func (p Pos) String() string {
+	file := p.File
+	if file == "" {
+		file = "<input>"
+	}
+	switch {
+	case p.Line > 0 && p.Col > 0:
+		return fmt.Sprintf("%s:%d:%d", file, p.Line, p.Col)
+	case p.Line > 0:
+		return fmt.Sprintf("%s:%d", file, p.Line)
+	case p.Col > 0:
+		return fmt.Sprintf("%s:col %d", file, p.Col)
+	default:
+		return file
+	}
+}
+
+// WithCol returns the position with its column replaced.
+func (p Pos) WithCol(col int) Pos {
+	p.Col = col
+	return p
+}

@@ -133,6 +133,11 @@ type Rule struct {
 	// Hits counts how many requests matched this rule (like iptables
 	// packet counters). Maintained atomically by the engine.
 	Hits atomic.Uint64
+
+	// Src locates the rule in the pftables source it was parsed from, so
+	// analyzer findings and listings can point at the offending line. Zero
+	// for rules built programmatically.
+	Src Pos
 }
 
 // needs aggregates the context demanded by the rule's matches and target.

@@ -1,0 +1,20 @@
+package pfcheck
+
+import "pfirewall/internal/obs"
+
+// Export publishes the report's finding tallies as the
+// pf_check_findings{severity="..."} counter family, so a fleet scraping
+// the observability endpoint can alert on rulesets that loaded with
+// analyzer errors. All three severities are always registered — a zero
+// series is the "analyzer ran and found nothing" signal, distinct from the
+// series being absent.
+func (r *Report) Export(reg *obs.Registry) {
+	for _, sev := range []Severity{SevError, SevWarning, SevInfo} {
+		c := reg.Counter("pf_check_findings",
+			"Static ruleset analyzer findings by severity.",
+			obs.L("severity", sev.String()))
+		if n := r.Count(sev); n > 0 {
+			c.Add(0, uint64(n))
+		}
+	}
+}

@@ -1,0 +1,492 @@
+// Package pfcheck is the pftables static analyzer: it parses a ruleset
+// without installing it, rebuilds the chain layout the engine would end up
+// with, and layers three kinds of semantic findings on top of the pf
+// package's reachability analysis (DESIGN.md §8):
+//
+//   - shadowing / unreachability: rules the per-field match-space lattice
+//     proves can never fire (first-match shadowing, empty sets, op-context
+//     mismatches, dead chains);
+//   - jump-graph defects: jumps to chains that cannot exist, jump cycles,
+//     user chains no built-in chain reaches;
+//   - symbol validation: labels, programs, and entrypoint offsets that are
+//     not known to the MAC policy or the program registry — a rule naming
+//     one parses fine and silently matches nothing, the worst failure mode
+//     for a protection system.
+//
+// Every finding carries a source position (file:line:col) and a severity.
+// Error-class findings are defects that change enforcement (conflicting
+// shadowed verdicts, rules that cannot match, installs that would fail);
+// warnings flag suspicious-but-harmless rules (redundant shadows, unknown
+// symbols, dead side effects); info notes the rest.
+package pfcheck
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"pfirewall/internal/mac"
+	"pfirewall/internal/pf"
+	"pfirewall/internal/pftables"
+)
+
+// Severity classifies a finding.
+type Severity uint8
+
+// Severities, in increasing order of badness.
+const (
+	SevInfo Severity = iota
+	SevWarning
+	SevError
+)
+
+// String names the severity the way findings print it.
+func (s Severity) String() string {
+	switch s {
+	case SevError:
+		return "error"
+	case SevWarning:
+		return "warning"
+	}
+	return "info"
+}
+
+// MarshalJSON renders the severity as its name.
+func (s Severity) MarshalJSON() ([]byte, error) {
+	return []byte(strconv.Quote(s.String())), nil
+}
+
+// Finding codes. Codes are stable identifiers tests and tooling match on;
+// messages are for humans.
+const (
+	CodeParse      = "parse"           // line does not parse
+	CodeInstall    = "install"         // line parses but installing it would fail
+	CodeShadowed   = "shadowed"        // earlier rule covers this one (conflicting or side-effecting)
+	CodeRedundant  = "redundant"       // earlier rule covers this one with the same outcome
+	CodeNeverMatch = "never-matches"   // match space empty or disjoint from chain's op context
+	CodeDeadChain  = "dead-chain"      // chain unreachable from any built-in chain
+	CodeJumpCycle  = "jump-cycle"      // chains jump in a loop
+	CodeEmptyJump  = "empty-chain"     // jump to a chain holding no rules
+	CodeUnknownLbl = "unknown-label"   // label not in the MAC policy
+	CodeUnknownPrg = "unknown-program" // -p path not in the system image
+	CodeUnknownEnt = "unknown-entry"   // -i offset not a named call site of -p
+)
+
+// Finding is one analyzer diagnostic.
+type Finding struct {
+	Sev  Severity `json:"severity"`
+	Code string   `json:"code"`
+	Pos  pf.Pos   `json:"pos"`
+	Msg  string   `json:"message"`
+}
+
+// String renders the finding compiler-style.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: [%s] %s", f.Pos, f.Sev, f.Code, f.Msg)
+}
+
+// Report is the result of one analysis run.
+type Report struct {
+	// File is the name findings cite (may be empty for engine analyses).
+	File string
+	// Rules and Chains count what was analyzed.
+	Rules  int
+	Chains int
+	// Findings, sorted by (line, col, severity desc, code, message).
+	Findings []Finding
+}
+
+func (r *Report) add(sev Severity, code string, pos pf.Pos, format string, args ...any) {
+	r.Findings = append(r.Findings, Finding{Sev: sev, Code: code, Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+// Count reports how many findings carry severity sev.
+func (r *Report) Count(sev Severity) int {
+	n := 0
+	for _, f := range r.Findings {
+		if f.Sev == sev {
+			n++
+		}
+	}
+	return n
+}
+
+// HasErrors reports whether any error-class finding exists; pfctl -check
+// exits non-zero exactly when it does.
+func (r *Report) HasErrors() bool { return r.Count(SevError) > 0 }
+
+// sortFindings fixes a deterministic order: source position first, then
+// severity (errors before warnings), then code and message as tiebreakers.
+func (r *Report) sortFindings() {
+	sort.SliceStable(r.Findings, func(i, j int) bool {
+		a, b := r.Findings[i], r.Findings[j]
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Col != b.Pos.Col {
+			return a.Pos.Col < b.Pos.Col
+		}
+		if a.Sev != b.Sev {
+			return a.Sev > b.Sev
+		}
+		if a.Code != b.Code {
+			return a.Code < b.Code
+		}
+		return a.Msg < b.Msg
+	})
+}
+
+// Summary is the compact form pfctl -stats embeds.
+type Summary struct {
+	Rules    int `json:"rules"`
+	Chains   int `json:"chains"`
+	Errors   int `json:"errors"`
+	Warnings int `json:"warnings"`
+	Infos    int `json:"infos"`
+}
+
+// Summary tallies the report.
+func (r *Report) Summary() Summary {
+	return Summary{
+		Rules:    r.Rules,
+		Chains:   r.Chains,
+		Errors:   r.Count(SevError),
+		Warnings: r.Count(SevWarning),
+		Infos:    r.Count(SevInfo),
+	}
+}
+
+// Symbols supplies the external name registries rules are validated
+// against. Nil predicates (and a nil Entrypoints map) skip that check.
+type Symbols struct {
+	// KnownLabel reports whether a MAC label existed before the ruleset
+	// interned anything. The SID table interns on demand, so this must be
+	// a snapshot taken before parsing — see LabelSnapshot.
+	KnownLabel func(mac.Label) bool
+	// KnownProgram reports whether a -p path exists in the system image.
+	KnownProgram func(path string) bool
+	// Entrypoints maps a program to its named call-site offsets (-i
+	// validation). Programs absent from the map are not checked.
+	Entrypoints map[string][]uint64
+}
+
+// LabelSnapshot captures the set of labels currently interned in pol's SID
+// table as a KnownLabel predicate. Take it before parsing: parseSIDSet
+// interns every label it sees, so a post-parse lookup can never tell a
+// policy label from a ruleset typo.
+func LabelSnapshot(pol *mac.Policy) func(mac.Label) bool {
+	known := make(map[mac.Label]bool)
+	for _, l := range pol.SIDs().Labels() {
+		known[l] = true
+	}
+	return func(l mac.Label) bool { return known[l] }
+}
+
+// engineBuiltins are the chains a fresh engine actually has. Note the
+// asymmetry with the pftables grammar: pftables accepts "output" as a
+// built-in chain name, but the engine never creates one (no resource
+// access is mediated on an output path), so installing into it fails.
+var engineBuiltins = map[string]bool{
+	"input": true, "syscallbegin": true, "mangle/input": true,
+}
+
+// chainModel mirrors one engine chain while the source is replayed.
+type chainModel struct {
+	declared bool // created by an explicit -N
+	rules    []*pf.Rule
+}
+
+// Analyze parses and analyzes a ruleset without touching an engine. The
+// lines are replayed against a model of the engine's chain layout with
+// Install's exact semantics (auto-created chains, mangle prefixing, -D by
+// rendering), then the assembled chains go through pf.AnalyzeChains and
+// every result is translated into a positioned finding.
+func Analyze(env *pftables.Env, file string, lines []string, sym *Symbols) *Report {
+	if sym == nil {
+		sym = &Symbols{}
+	}
+	known := sym.KnownLabel
+	if known == nil && env.Policy != nil {
+		known = LabelSnapshot(env.Policy)
+	}
+	rep := &Report{File: file}
+	tbl := env.Policy.SIDs()
+
+	model := map[string]*chainModel{}
+	for name := range engineBuiltins {
+		model[name] = &chainModel{}
+	}
+	ensure := func(name string) *chainModel {
+		if c, ok := model[name]; ok {
+			return c
+		}
+		c := &chainModel{}
+		model[name] = c
+		return c
+	}
+
+	for i, line := range lines {
+		pos := pf.Pos{File: file, Line: i + 1}
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		cmd, err := pftables.ParseAt(env, line, pos)
+		if err != nil {
+			var pe *pftables.Error
+			if errors.As(err, &pe) {
+				rep.add(SevError, CodeParse, pe.Pos, "%v", pe.Err)
+			} else {
+				rep.add(SevError, CodeParse, pos, "%v", err)
+			}
+			continue
+		}
+
+		if cmd.NewChainName != "" {
+			if _, exists := model[cmd.NewChainName]; exists {
+				rep.add(SevError, CodeInstall, pos, "chain %q already exists", cmd.NewChainName)
+				continue
+			}
+			model[cmd.NewChainName] = &chainModel{declared: true}
+			continue
+		}
+
+		chain := cmd.Chain
+		if cmd.Table == "mangle" {
+			chain = "mangle/" + chain
+		}
+		// The grammar's "output" chain has no engine counterpart: the
+		// pftables installer would skip auto-creation (it is nominally
+		// built-in) and the engine append would then fail.
+		if chain == "output" {
+			rep.add(SevError, CodeInstall, pos, "chain \"output\" exists in the grammar but not in the engine; installing this rule would fail")
+			continue
+		}
+		c := ensure(chain)
+		if jt, ok := cmd.Rule.Target.(*pf.JumpTarget); ok {
+			if jt.ChainName == "output" {
+				rep.add(SevError, CodeInstall, pos, "jump to chain \"output\", which the engine never creates")
+				continue
+			}
+			ensure(jt.ChainName)
+		}
+		switch cmd.Action {
+		case 'I':
+			c.rules = append([]*pf.Rule{cmd.Rule}, c.rules...)
+			rep.Rules++
+		case 'A':
+			c.rules = append(c.rules, cmd.Rule)
+			rep.Rules++
+		case 'D':
+			if !modelDelete(c, cmd.Rule, tbl) {
+				rep.add(SevError, CodeInstall, pos, "delete: no rule in chain %q matches", chain)
+			}
+			continue
+		}
+		symbolFindings(rep, cmd.Rule, sym, known, tbl)
+	}
+	rep.Chains = len(model)
+
+	chains := make(map[string]*pf.Chain, len(model))
+	for name, c := range model {
+		chains[name] = &pf.Chain{Name: name, Rules: c.rules}
+	}
+	analysisFindings(rep, pf.AnalyzeChains(chains), chains, file)
+
+	// Jumps into empty chains: the traversal is a no-op. When the target
+	// chain was never even declared, the name is almost certainly a typo
+	// that the installer's auto-creation silently absorbed.
+	for _, name := range sortedNames(model) {
+		for _, r := range model[name].rules {
+			jt, ok := r.Target.(*pf.JumpTarget)
+			if !ok {
+				continue
+			}
+			tgt := model[jt.ChainName]
+			if tgt == nil || len(tgt.rules) > 0 || engineBuiltins[jt.ChainName] {
+				continue
+			}
+			if tgt.declared {
+				rep.add(SevInfo, CodeEmptyJump, r.Src, "jump to declared chain %q, which holds no rules", jt.ChainName)
+			} else {
+				rep.add(SevWarning, CodeEmptyJump, r.Src, "jump to chain %q, which holds no rules and was never declared with -N — possible chain-name typo", jt.ChainName)
+			}
+		}
+	}
+
+	rep.sortFindings()
+	return rep
+}
+
+// AnalyzeEngine runs the semantic analysis over an engine's installed
+// ruleset (the load-time variant: rules carry positions when they were
+// installed through InstallAt). Source-only checks — parse errors, install
+// failures, empty-jump heuristics — do not apply here.
+func AnalyzeEngine(e *pf.Engine, sym *Symbols) *Report {
+	if sym == nil {
+		sym = &Symbols{}
+	}
+	rep := &Report{}
+	tbl := e.Policy().SIDs()
+	chains := make(map[string]*pf.Chain)
+	for _, name := range e.Chains() {
+		c, ok := e.Chain(name)
+		if !ok {
+			continue
+		}
+		chains[name] = c
+		rep.Rules += len(c.Rules)
+		for _, r := range c.Rules {
+			symbolFindings(rep, r, sym, sym.KnownLabel, tbl)
+		}
+	}
+	rep.Chains = len(chains)
+	analysisFindings(rep, pf.AnalyzeChains(chains), chains, "")
+	rep.sortFindings()
+	return rep
+}
+
+// modelDelete mirrors pftables.deleteRule: remove the first rule whose
+// rendering matches.
+func modelDelete(c *chainModel, want *pf.Rule, tbl *mac.SIDTable) bool {
+	ws := want.String(tbl)
+	for i, r := range c.rules {
+		if r.String(tbl) == ws {
+			c.rules = append(c.rules[:i:i], c.rules[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// analysisFindings translates a pf.RulesetAnalysis into findings.
+func analysisFindings(rep *Report, an *pf.RulesetAnalysis, chains map[string]*pf.Chain, file string) {
+	for _, u := range an.Unreachable {
+		pos := u.Rule.Src
+		switch u.Kind {
+		case pf.UnreachEmptySubject:
+			rep.add(SevError, CodeNeverMatch, pos, "rule can never match: its -s set is empty (no process carries a matching label)")
+		case pf.UnreachEmptyObject:
+			rep.add(SevError, CodeNeverMatch, pos, "rule can never match: its -d set is empty (no resource carries a matching label)")
+		case pf.UnreachOpContext:
+			rep.add(SevError, CodeNeverMatch, pos, "rule can never match: no operation that reaches chain %q satisfies its -o mask", u.Chain)
+		case pf.UnreachShadowed:
+			by := ruleRef(u.Chain, u.ByIndex, u.By)
+			switch {
+			case u.SameVerdict:
+				rep.add(SevWarning, CodeRedundant, pos, "redundant: %s already applies %s to every request this rule can match", by, targetName(u.Rule))
+			case isTerminal(u.Rule):
+				rep.add(SevError, CodeShadowed, pos, "unreachable: %s covers this rule's entire match space, so its %s verdict never applies", by, targetName(u.Rule))
+			default:
+				rep.add(SevWarning, CodeShadowed, pos, "dead side effect: %s covers this rule's entire match space, so its %s target never fires", by, targetName(u.Rule))
+			}
+		case pf.UnreachDeadChain:
+			// Reported once per chain below.
+		}
+	}
+	for _, name := range an.DeadChains {
+		c := chains[name]
+		pos := pf.Pos{File: file}
+		if len(c.Rules) > 0 {
+			pos = c.Rules[0].Src
+		}
+		sev, detail := SevWarning, fmt.Sprintf("its %d rules are dead", len(c.Rules))
+		if len(c.Rules) == 0 {
+			sev, detail = SevInfo, "it holds no rules"
+		}
+		rep.add(sev, CodeDeadChain, pos, "chain %q is unreachable from any built-in chain; %s", name, detail)
+	}
+	for _, cyc := range an.Cycles {
+		pos := pf.Pos{File: file}
+		// Cite the jump that closes the cycle (last chain back to first).
+		if from := chains[cyc[len(cyc)-1]]; from != nil {
+			for _, r := range from.Rules {
+				if jt, ok := r.Target.(*pf.JumpTarget); ok && jt.ChainName == cyc[0] && r.Src.IsSet() {
+					pos = r.Src
+					break
+				}
+			}
+		}
+		rep.add(SevError, CodeJumpCycle, pos, "jump cycle: %s -> %s", strings.Join(cyc, " -> "), cyc[0])
+	}
+}
+
+// symbolFindings validates one rule's labels, program, and entrypoint
+// against the registries.
+func symbolFindings(rep *Report, r *pf.Rule, sym *Symbols, known func(mac.Label) bool, tbl *mac.SIDTable) {
+	pos := r.Src
+	if known != nil {
+		for _, set := range []*pf.SIDSet{r.Subject, r.Object} {
+			if set == nil {
+				continue
+			}
+			for _, sid := range set.SIDs() {
+				if lbl := tbl.Label(sid); lbl != "" && !known(lbl) {
+					rep.add(SevWarning, CodeUnknownLbl, pos, "label %q is not defined by the MAC policy; the rule matches nothing until it is", lbl)
+				}
+			}
+		}
+	}
+	progKnown := true
+	if r.Program != "" && sym.KnownProgram != nil {
+		if progKnown = sym.KnownProgram(r.Program); !progKnown {
+			rep.add(SevWarning, CodeUnknownPrg, pos, "program %q does not exist in the system image", r.Program)
+		}
+	}
+	if r.EntrySet && progKnown && sym.Entrypoints != nil {
+		if offs, ok := sym.Entrypoints[r.Program]; ok && !containsOff(offs, r.Entry) {
+			rep.add(SevWarning, CodeUnknownEnt, pos, "%#x is not a named call site of %s (known: %s)", r.Entry, r.Program, offList(offs))
+		}
+	}
+}
+
+func containsOff(offs []uint64, off uint64) bool {
+	for _, o := range offs {
+		if o == off {
+			return true
+		}
+	}
+	return false
+}
+
+func offList(offs []uint64) string {
+	parts := make([]string, len(offs))
+	for i, o := range offs {
+		parts[i] = fmt.Sprintf("%#x", o)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// ruleRef names a shadowing rule for a message, preferring its source line.
+func ruleRef(chain string, idx int, r *pf.Rule) string {
+	if r != nil && r.Src.Line > 0 {
+		return fmt.Sprintf("the rule at line %d", r.Src.Line)
+	}
+	return fmt.Sprintf("rule #%d of chain %q", idx, chain)
+}
+
+func targetName(r *pf.Rule) string {
+	if r.Target == nil {
+		return "(none)"
+	}
+	return r.Target.TargetName()
+}
+
+func isTerminal(r *pf.Rule) bool {
+	switch r.Target.(type) {
+	case *pf.VerdictTarget, *pf.ReturnTarget:
+		return true
+	}
+	return false
+}
+
+func sortedNames(model map[string]*chainModel) []string {
+	names := make([]string, 0, len(model))
+	for n := range model {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -47,7 +47,28 @@ type Cmd struct {
 	Rule   *pf.Rule
 	// NewChainName is set for "-N chain" commands.
 	NewChainName string
+	// Pos is where the command came from (set by ParseAt / InstallAll).
+	Pos pf.Pos
 }
+
+// Error is a pftables parse or install error carrying the source position
+// of the offending line (and, for parse errors, the offending token's
+// column). Errors from Parse (no position supplied) report only a column.
+type Error struct {
+	Pos pf.Pos
+	Err error
+}
+
+// Error renders the position compiler-style ahead of the message.
+func (e *Error) Error() string {
+	if e.Pos.IsSet() {
+		return fmt.Sprintf("%s: %v", e.Pos, e.Err)
+	}
+	return e.Err.Error()
+}
+
+// Unwrap exposes the underlying error to errors.Is/As.
+func (e *Error) Unwrap() error { return e.Err }
 
 // KeyFor hashes a symbolic STATE key (e.g. 'sig') into the dictionary key
 // space; numeric keys are used directly by the parser.
@@ -57,26 +78,41 @@ func KeyFor(name string) uint64 {
 	return h.Sum64()
 }
 
+// token is one whitespace-delimited word plus the 1-based rune column of
+// its first character, so parse errors can point inside the line.
+type token struct {
+	text string
+	col  int
+}
+
 // tokenize splits a command line on whitespace, honoring single quotes.
-func tokenize(line string) ([]string, error) {
-	var toks []string
+func tokenize(line string) ([]token, error) {
+	var toks []token
 	var cur strings.Builder
 	inQuote := false
+	col, startCol := 0, 0
 	flush := func() {
 		if cur.Len() > 0 {
-			toks = append(toks, cur.String())
+			toks = append(toks, token{text: cur.String(), col: startCol})
 			cur.Reset()
 		}
 	}
 	for _, r := range line {
+		col++
 		switch {
 		case r == '\'':
 			inQuote = !inQuote
+			if cur.Len() == 0 {
+				startCol = col
+			}
 			// Preserve emptiness markers: quotes delimit a token even if empty.
 			cur.WriteRune(0)
 		case !inQuote && (r == ' ' || r == '\t'):
 			flush()
 		default:
+			if cur.Len() == 0 {
+				startCol = col
+			}
 			cur.WriteRune(r)
 		}
 	}
@@ -85,8 +121,8 @@ func tokenize(line string) ([]string, error) {
 	}
 	flush()
 	// Strip the NUL markers inserted for quotes.
-	for i, t := range toks {
-		toks[i] = strings.ReplaceAll(t, "\x00", "")
+	for i := range toks {
+		toks[i].text = strings.ReplaceAll(toks[i].text, "\x00", "")
 	}
 	return toks, nil
 }
@@ -99,49 +135,78 @@ var builtinChains = map[string]bool{
 // Parse parses one pftables command line into a Cmd. The rule is not yet
 // bound to an engine; use Compile/Install.
 func Parse(env *Env, line string) (*Cmd, error) {
+	return ParseAt(env, line, pf.Pos{})
+}
+
+// ParseAt is Parse with a source position: errors come back as *Error
+// pointing at the offending token, and the parsed rule carries pos in its
+// Src field so downstream findings can cite the source line.
+func ParseAt(env *Env, line string, pos pf.Pos) (*Cmd, error) {
+	cmd, errCol, err := parseLine(env, line)
+	if err != nil {
+		return nil, &Error{Pos: pos.WithCol(errCol), Err: err}
+	}
+	cmd.Pos = pos
+	if cmd.Rule != nil {
+		cmd.Rule.Src = pos
+	}
+	return cmd, nil
+}
+
+// parseLine does the parsing proper; errCol is the column of the token the
+// parser was positioned at when the error occurred (0 when unknown).
+func parseLine(env *Env, line string) (cmd *Cmd, errCol int, err error) {
 	line = strings.TrimSpace(line)
-	if i := strings.Index(line, "#"); i == 0 {
-		return nil, fmt.Errorf("pftables: comment line")
+	if strings.HasPrefix(line, "#") {
+		return nil, 0, fmt.Errorf("pftables: comment line")
 	}
 	toks, err := tokenize(line)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if len(toks) == 0 {
-		return nil, fmt.Errorf("pftables: empty command")
+		return nil, 0, fmt.Errorf("pftables: empty command")
 	}
-	if toks[0] == "pftables" {
+	if toks[0].text == "pftables" {
 		toks = toks[1:]
 	}
-	cmd := &Cmd{Table: "filter", Action: 'A', Chain: "input", Rule: &pf.Rule{}}
+	cmd = &Cmd{Table: "filter", Action: 'A', Chain: "input", Rule: &pf.Rule{}}
 	var matches []pf.Match
 
 	next := func(i int, opt string) (string, error) {
 		if i+1 >= len(toks) {
 			return "", fmt.Errorf("pftables: %s requires an argument", opt)
 		}
-		return toks[i+1], nil
+		return toks[i+1].text, nil
+	}
+	texts := func(from int) []string {
+		out := make([]string, 0, len(toks)-from)
+		for _, tk := range toks[from:] {
+			out = append(out, tk.text)
+		}
+		return out
 	}
 
 	i := 0
 	for i < len(toks) {
-		t := toks[i]
+		errCol = toks[i].col
+		t := toks[i].text
 		switch t {
 		case "-t":
 			v, err := next(i, t)
 			if err != nil {
-				return nil, err
+				return nil, errCol, err
 			}
 			if v != "filter" && v != "mangle" {
-				return nil, fmt.Errorf("pftables: unknown table %q", v)
+				return nil, errCol, fmt.Errorf("pftables: unknown table %q", v)
 			}
 			cmd.Table = v
 			i += 2
 		case "-I", "-A", "-D":
 			cmd.Action = t[1]
 			// Optional chain operand follows.
-			if i+1 < len(toks) && !strings.HasPrefix(toks[i+1], "-") {
-				cmd.Chain = normalizeChain(toks[i+1])
+			if i+1 < len(toks) && !strings.HasPrefix(toks[i+1].text, "-") {
+				cmd.Chain = normalizeChain(toks[i+1].text)
 				i += 2
 			} else {
 				i++
@@ -149,47 +214,47 @@ func Parse(env *Env, line string) (*Cmd, error) {
 		case "-N":
 			v, err := next(i, t)
 			if err != nil {
-				return nil, err
+				return nil, errCol, err
 			}
 			cmd.NewChainName = normalizeChain(v)
 			i += 2
 		case "-s":
 			v, err := next(i, t)
 			if err != nil {
-				return nil, err
+				return nil, errCol, err
 			}
 			set, err := parseSIDSet(env, v)
 			if err != nil {
-				return nil, err
+				return nil, errCol, err
 			}
 			cmd.Rule.Subject = set
 			i += 2
 		case "-d":
 			v, err := next(i, t)
 			if err != nil {
-				return nil, err
+				return nil, errCol, err
 			}
 			set, err := parseSIDSet(env, v)
 			if err != nil {
-				return nil, err
+				return nil, errCol, err
 			}
 			cmd.Rule.Object = set
 			i += 2
 		case "-p", "-b": // -b "binary" appears in template T2
 			v, err := next(i, t)
 			if err != nil {
-				return nil, err
+				return nil, errCol, err
 			}
 			cmd.Rule.Program = v
 			i += 2
 		case "-i":
 			v, err := next(i, t)
 			if err != nil {
-				return nil, err
+				return nil, errCol, err
 			}
 			off, err := parseUint(v)
 			if err != nil {
-				return nil, fmt.Errorf("pftables: bad entrypoint %q: %v", v, err)
+				return nil, errCol, fmt.Errorf("pftables: bad entrypoint %q: %v", v, err)
 			}
 			cmd.Rule.Entry = off
 			cmd.Rule.EntrySet = true
@@ -197,13 +262,13 @@ func Parse(env *Env, line string) (*Cmd, error) {
 		case "-o":
 			v, err := next(i, t)
 			if err != nil {
-				return nil, err
+				return nil, errCol, err
 			}
 			var ops pf.OpSet
 			for _, name := range strings.Split(v, ",") {
 				op, err := pf.ParseOp(name)
 				if err != nil {
-					return nil, err
+					return nil, errCol, err
 				}
 				ops |= pf.NewOpSet(op)
 				// Backward compatibility: fifo creation used to be mediated
@@ -218,11 +283,11 @@ func Parse(env *Env, line string) (*Cmd, error) {
 		case "--res-id":
 			v, err := next(i, t)
 			if err != nil {
-				return nil, err
+				return nil, errCol, err
 			}
 			id, err := parseUint(v)
 			if err != nil {
-				return nil, fmt.Errorf("pftables: bad --res-id %q", v)
+				return nil, errCol, fmt.Errorf("pftables: bad --res-id %q", v)
 			}
 			cmd.Rule.ResID = id
 			cmd.Rule.ResIDSet = true
@@ -230,14 +295,14 @@ func Parse(env *Env, line string) (*Cmd, error) {
 		case "-f":
 			v, err := next(i, t)
 			if err != nil {
-				return nil, err
+				return nil, errCol, err
 			}
 			if env.LookupPath == nil {
-				return nil, fmt.Errorf("pftables: -f unsupported without path lookup")
+				return nil, errCol, fmt.Errorf("pftables: -f unsupported without path lookup")
 			}
 			ino, ok := env.LookupPath(v)
 			if !ok {
-				return nil, fmt.Errorf("pftables: -f %s: no such file", v)
+				return nil, errCol, fmt.Errorf("pftables: -f %s: no such file", v)
 			}
 			cmd.Rule.ResID = ino
 			cmd.Rule.ResIDSet = true
@@ -245,34 +310,34 @@ func Parse(env *Env, line string) (*Cmd, error) {
 		case "-m":
 			name, err := next(i, t)
 			if err != nil {
-				return nil, err
+				return nil, errCol, err
 			}
-			m, n, err := parseMatch(env, name, toks[i+2:])
+			m, n, err := parseMatch(env, name, texts(i+2))
 			if err != nil {
-				return nil, err
+				return nil, errCol, err
 			}
 			matches = append(matches, m)
 			i += 2 + n
 		case "-j":
 			name, err := next(i, t)
 			if err != nil {
-				return nil, err
+				return nil, errCol, err
 			}
-			tg, n, err := parseTarget(env, name, toks[i+2:])
+			tg, n, err := parseTarget(env, name, texts(i+2))
 			if err != nil {
-				return nil, err
+				return nil, errCol, err
 			}
 			cmd.Rule.Target = tg
 			i += 2 + n
 		default:
-			return nil, fmt.Errorf("pftables: unexpected token %q", t)
+			return nil, errCol, fmt.Errorf("pftables: unexpected token %q", t)
 		}
 	}
 	cmd.Rule.Matches = matches
 	if cmd.NewChainName == "" && cmd.Rule.Target == nil {
-		return nil, fmt.Errorf("pftables: rule has no target (-j)")
+		return nil, 0, fmt.Errorf("pftables: rule has no target (-j)")
 	}
-	return cmd, nil
+	return cmd, 0, nil
 }
 
 // normalizeChain lowercases chain names and collapses the paper's
@@ -665,7 +730,13 @@ func parseTarget(env *Env, name string, toks []string) (pf.Target, int, error) {
 // Install parses line and installs the resulting rule into engine,
 // creating referenced user chains on demand. It returns the parsed Cmd.
 func Install(env *Env, engine *pf.Engine, line string) (*Cmd, error) {
-	cmd, err := Parse(env, line)
+	return InstallAt(env, engine, line, pf.Pos{})
+}
+
+// InstallAt is Install with a source position threaded through to the
+// installed rule and to any parse or install error.
+func InstallAt(env *Env, engine *pf.Engine, line string, pos pf.Pos) (*Cmd, error) {
+	cmd, err := ParseAt(env, line, pos)
 	if err != nil {
 		return nil, err
 	}
@@ -704,6 +775,9 @@ func Install(env *Env, engine *pf.Engine, line string) (*Cmd, error) {
 		err = fmt.Errorf("pftables: unknown action %q", cmd.Action)
 	}
 	if err != nil {
+		if pos.IsSet() {
+			return nil, &Error{Pos: pos, Err: err}
+		}
 		return nil, err
 	}
 	return cmd, nil
@@ -753,15 +827,16 @@ func Save(engine *pf.Engine) []string {
 }
 
 // InstallAll installs every non-empty, non-comment line, returning the
-// number of rules installed.
+// number of rules installed. Errors carry the 1-based line number of the
+// offending line.
 func InstallAll(env *Env, engine *pf.Engine, lines []string) (int, error) {
 	n := 0
-	for _, line := range lines {
+	for i, line := range lines {
 		line = strings.TrimSpace(line)
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
-		if _, err := Install(env, engine, line); err != nil {
+		if _, err := InstallAt(env, engine, line, pf.Pos{Line: i + 1}); err != nil {
 			return n, fmt.Errorf("%q: %w", line, err)
 		}
 		n++

@@ -311,12 +311,12 @@ func TestTokenizeQuotes(t *testing.T) {
 	}
 	found := false
 	for _, tok := range toks {
-		if tok == "my key" {
+		if tok.text == "my key" {
 			found = true
 		}
 	}
 	if !found {
-		t.Errorf("tokens = %q", toks)
+		t.Errorf("tokens = %+v", toks)
 	}
 	if _, err := tokenize(`--key 'unterminated`); err == nil {
 		t.Error("unterminated quote should fail")

@@ -67,6 +67,23 @@ const (
 	EntryInitCreat uint64 = 0x1137
 )
 
+// KnownEntrypoints is the program registry for static rule validation: every
+// named resource-access call site, keyed by the binary (or library) that
+// contains it. A ruleset's -p/-i pair naming an offset absent here is almost
+// certainly a typo — the rule would silently never match any unwound stack.
+func KnownEntrypoints() map[string][]uint64 {
+	return map[string][]uint64{
+		BinLdSo:    {EntryLdOpen},
+		BinPython:  {EntryPyImport},
+		BinLibDbus: {EntryDbusConnect},
+		BinPHP:     {EntryPHPInclude},
+		BinDbusD:   {EntryDbusBind, EntryDbusChmod, EntryDbusListen},
+		BinJava:    {EntryJavaConf},
+		BinApache:  {EntryApacheLink, EntryApacheServe, EntryApacheAuth},
+		BinBash:    {EntryInitCreat},
+	}
+}
+
 // World bundles one simulated system: kernel, policy, optional Process
 // Firewall, and the program models' shared configuration.
 type World struct {
