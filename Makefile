@@ -1,17 +1,21 @@
 # Developer / CI entry points. `make ci` is the tier-1 gate plus the
-# race-enabled test suite; `make lint` is the source gate (vet, gofmt,
-# the pflint hot-path lock-discipline linter); `make check` is the ruleset
-# gate (the pfcheck static analyzer over every shipped rule base);
-# `make bench-smoke` is a fast perf sanity pass;
-# `make bench-hotpath` refreshes BENCH_hotpath.json, `make bench-ipc`
+# race-enabled test suite; `make lint` is the source gate (vet, gofmt, the
+# pflint hot-path lock-discipline linter, and the pflint -alloc escape-
+# analysis gate that keeps the Filter closure free of unaudited heap
+# escapes); `make check` is the ruleset gate (the pfcheck static analyzer
+# over every shipped rule base); `make bench-smoke` is a fast perf sanity
+# pass; `make bench-hotpath` refreshes BENCH_hotpath.json, `make bench-ipc`
 # refreshes BENCH_ipc.json, `make bench-obs` refreshes BENCH_obs.json
-# (observability overhead), and `make bench-rulescale` refreshes
+# (observability overhead), `make bench-rulescale` refreshes
 # BENCH_rulescale.json (ns/op vs rule-base size, compiled dispatch vs
-# linear) so the perf trajectory is tracked across PRs.
+# linear), and `make bench-alloc` refreshes BENCH_alloc.json (allocs/op,
+# bytes/op and tail latency on the armed hot path; `bench-alloc-smoke` is
+# the CI variant that additionally fails if the open+close or stat rows
+# allocate at all) so the perf trajectory is tracked across PRs.
 
 GO ?= go
 
-.PHONY: all vet gofmt-check pflint lint build test test-race ci check bench-smoke bench-hotpath bench-ipc bench-obs bench-rulescale bench-rulescale-smoke
+.PHONY: all vet gofmt-check pflint pflint-alloc lint build test test-race ci check bench-smoke bench-hotpath bench-ipc bench-obs bench-rulescale bench-rulescale-smoke bench-alloc bench-alloc-smoke
 
 all: lint ci check
 
@@ -24,7 +28,10 @@ gofmt-check:
 pflint:
 	$(GO) run ./cmd/pflint
 
-lint: vet gofmt-check pflint
+pflint-alloc:
+	$(GO) run ./cmd/pflint -alloc
+
+lint: vet gofmt-check pflint pflint-alloc
 
 build:
 	$(GO) build ./...
@@ -72,3 +79,11 @@ bench-rulescale:
 # JSON artifact, so every PR still records the compiled-vs-linear curve.
 bench-rulescale-smoke:
 	$(GO) run ./cmd/pfbench -rulescale -iters 4000 -rulescale-max 1200 -rulescale-json BENCH_rulescale.json
+
+bench-alloc:
+	$(GO) run ./cmd/pfbench -alloc -iters 20000 -alloc-json BENCH_alloc.json
+
+# CI variant: fewer iterations, same artifact, plus the hard gate — the run
+# fails if the single-syscall file workloads allocate at all.
+bench-alloc-smoke:
+	$(GO) run ./cmd/pfbench -alloc -alloc-gate -iters 4000 -alloc-json BENCH_alloc.json

@@ -8,6 +8,7 @@
 //	pfbench -parallel  # multi-process hot-path scaling at 1/4/8 goroutines
 //	pfbench -ipc       # socket round-trip scaling across the three namespaces
 //	pfbench -rulescale # ns/op vs rule-base size, compiled dispatch vs linear
+//	pfbench -alloc     # allocs/op, bytes/op and tail latency on the hot path
 //	pfbench -all       # everything
 //
 // -iters and -requests trade precision for runtime. -json writes the
@@ -45,6 +46,8 @@ func main() {
 	ipc := flag.Bool("ipc", false, "run the socket round-trip scaling measurement")
 	obsRun := flag.Bool("obs", false, "run the observability-overhead comparison (metrics off vs on)")
 	ruleScale := flag.Bool("rulescale", false, "run the rule-base scaling comparison (compiled dispatch vs linear)")
+	allocRun := flag.Bool("alloc", false, "run the hot-path allocation profile (allocs/op, bytes/op, p99)")
+	allocGate := flag.Bool("alloc-gate", false, "with -alloc: fail if the open+close or stat workload allocates at all")
 	all := flag.Bool("all", false, "run everything")
 	iters := flag.Int("iters", 20000, "iterations per microbenchmark cell")
 	requests := flag.Int("requests", 300, "requests per client per web cell")
@@ -54,18 +57,19 @@ func main() {
 	ipcJSONPath := flag.String("ipc-json", "", "write -ipc results as JSON to this file")
 	obsJSONPath := flag.String("obs-json", "", "write -obs results as JSON to this file")
 	ruleScaleJSONPath := flag.String("rulescale-json", "", "write -rulescale results as JSON to this file")
+	allocJSONPath := flag.String("alloc-json", "", "write -alloc results as JSON to this file")
 	ruleScaleMax := flag.Int("rulescale-max", 0, "largest -rulescale rule-base size (0: all standard sizes)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	tracePath := flag.String("trace", "", "write a runtime execution trace to this file")
 	flag.Parse()
 
-	if !*t6 && !*t7 && !*f4 && !*f5 && !*par && !*ipc && !*obsRun && !*ruleScale && !*all {
+	if !*t6 && !*t7 && !*f4 && !*f5 && !*par && !*ipc && !*obsRun && !*ruleScale && !*allocRun && !*all {
 		flag.Usage()
 		return
 	}
 	if *all {
-		*t6, *t7, *f4, *f5, *par, *ipc, *obsRun, *ruleScale = true, true, true, true, true, true, true, true
+		*t6, *t7, *f4, *f5, *par, *ipc, *obsRun, *ruleScale, *allocRun = true, true, true, true, true, true, true, true, true
 	}
 
 	if *cpuprofile != "" {
@@ -157,6 +161,23 @@ func main() {
 		fmt.Println()
 		if *ruleScaleJSONPath != "" {
 			writeJSON(*ruleScaleJSONPath, rep)
+		}
+	}
+	if *allocRun {
+		fmt.Println("Hot-path allocation profile: per-op heap traffic and tail latency")
+		rep := lmbench.RunAlloc(*iters)
+		fmt.Print(lmbench.FormatAlloc(rep))
+		fmt.Println()
+		if *allocJSONPath != "" {
+			writeJSON(*allocJSONPath, rep)
+		}
+		if *allocGate {
+			for _, c := range rep.Cells {
+				if (c.Workload == "open+close" || c.Workload == "stat") && c.AllocsPerOp != 0 {
+					fatal("alloc gate:", fmt.Errorf("%s allocates %.3f/op on the armed hot path, want 0", c.Workload, c.AllocsPerOp))
+				}
+			}
+			fmt.Println("alloc gate: ok (open+close and stat allocation-free)")
 		}
 	}
 	if *obsRun {

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"go/token"
 	"os"
 	"path/filepath"
 	"strings"
@@ -166,5 +167,73 @@ func TestRealRepoClean(t *testing.T) {
 	}
 	if n != 0 {
 		t.Errorf("hot path has %d lock-discipline findings:\n%s", n, buf.String())
+	}
+}
+
+// TestEscapeLineParsing pins which compiler diagnostics the allocation lint
+// treats as heap traffic: only actual escapes, not parameter-leak notes or
+// "does not escape" confirmations.
+func TestEscapeLineParsing(t *testing.T) {
+	cases := []struct {
+		line string
+		want bool
+	}{
+		{"internal/pf/engine.go:12:9: &Request{...} escapes to heap", true},
+		{"internal/pf/engine.go:40:2: moved to heap: buf", true},
+		{"internal/pf/engine.go:12:9: req does not escape", false},
+		{"internal/pf/engine.go:12:9: leaking param: req", false},
+		{"# pfirewall/internal/pf", false},
+	}
+	for _, c := range cases {
+		if got := escapeLine.MatchString(c.line); got != c.want {
+			t.Errorf("escapeLine(%q) = %v, want %v", c.line, got, c.want)
+		}
+	}
+}
+
+// TestAllowFnDetected checks that a //pflint:allow-fn directive in a doc
+// comment marks the whole function audited (directive comments are hidden
+// from CommentGroup.Text, so the raw list must be scanned).
+func TestAllowFnDetected(t *testing.T) {
+	dir := fixture(t, `package pf
+
+// render builds debug text.
+//pflint:allow-fn — cold path
+func render() {}
+
+func eval() {}
+`)
+	fns, _, err := scan(token.NewFileSet(), []string{dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]bool{}
+	for _, f := range fns {
+		byName[f.name] = f.allowFn
+	}
+	if !byName["render"] {
+		t.Error("render: allow-fn directive not detected")
+	}
+	if byName["eval"] {
+		t.Error("eval: spuriously marked allowed")
+	}
+}
+
+// TestAllocRealRepoClean pins the tentpole invariant: the compiler finds no
+// unaudited heap escapes anywhere in the Filter closure, so the steady-state
+// mediation path performs zero allocations.
+func TestAllocRealRepoClean(t *testing.T) {
+	root := "../.."
+	dirs := make([]string, len(defaultDirs))
+	for i, d := range defaultDirs {
+		dirs[i] = filepath.Join(root, d)
+	}
+	var buf bytes.Buffer
+	n, err := runAllocLint(dirs, false, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("hot path has %d unaudited heap escapes:\n%s", n, buf.String())
 	}
 }

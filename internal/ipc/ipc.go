@@ -21,6 +21,7 @@ package ipc
 
 import (
 	"errors"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -113,6 +114,10 @@ type Meta struct {
 	Port uint16  // NSPort only
 	ID   uint64  // registry id; unique for the registry's lifetime
 	SID  mac.SID // MAC label of the rendezvous resource
+	// Display is the namespace-qualified printable name ("@name" for
+	// abstract, ":port" for ports, the path otherwise), precomputed at bind
+	// time so per-message mediation never formats strings.
+	Display string
 }
 
 // Listener is a bound socket endpoint. It is created by a bind, starts
@@ -403,8 +408,17 @@ func NewRegistry() *Registry {
 
 // newListener allocates a listener with a fresh, never-recycled id.
 func (r *Registry) newListener(ns NS, key string, port uint16, sid mac.SID, owner Cred) *Listener {
+	m := Meta{NS: ns, Key: key, Port: port, ID: r.nextID.Add(1), SID: sid}
+	switch ns {
+	case NSAbstract:
+		m.Display = "@" + key
+	case NSPort:
+		m.Display = ":" + strconv.Itoa(int(port))
+	default:
+		m.Display = key
+	}
 	return &Listener{
-		meta:  Meta{NS: ns, Key: key, Port: port, ID: r.nextID.Add(1), SID: sid},
+		meta:  m,
 		owner: owner,
 		stats: &r.Stats,
 	}

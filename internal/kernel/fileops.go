@@ -25,6 +25,7 @@ func (p *Proc) Open(path string, flags int, mode uint16) (int, error) {
 	if err := p.enterSyscall(NrOpen, uint64(flags)); err != nil {
 		return -1, err
 	}
+	defer p.exitSyscall()
 	opts := vfs.ResolveOpts{FollowFinal: flags&O_NOFOLLOW == 0, WantParent: flags&O_CREAT != 0}
 	res, err := p.resolve(NrOpen, path, opts)
 	if err != nil {
@@ -105,6 +106,7 @@ func (p *Proc) Close(fd int) error {
 	if err := p.enterSyscall(NrClose, uint64(fd)); err != nil {
 		return err
 	}
+	defer p.exitSyscall()
 	f, err := p.getFd(fd)
 	if err != nil {
 		return err
@@ -114,6 +116,7 @@ func (p *Proc) Close(fd int) error {
 		p.k.FS.DecOpen(f.Node)
 	}
 	f.closeEndpoints()
+	p.recycleFile(f)
 	return nil
 }
 
@@ -122,6 +125,7 @@ func (p *Proc) Read(fd, n int) ([]byte, error) {
 	if err := p.enterSyscall(NrRead, uint64(fd)); err != nil {
 		return nil, err
 	}
+	defer p.exitSyscall()
 	f, err := p.getFd(fd)
 	if err != nil {
 		return nil, err
@@ -131,12 +135,12 @@ func (p *Proc) Read(fd, n int) ([]byte, error) {
 		if f.Conn == nil {
 			return nil, vfs.ErrInval
 		}
-		if err := p.pfFilterRes(pf.OpSocketRecv, connResource(f.Conn), NrRead); err != nil {
+		if err := p.pfFilterConn(pf.OpSocketRecv, f.Conn, NrRead); err != nil {
 			return nil, err
 		}
 		return f.Conn.Recv(n)
 	}
-	if err := p.pfFilter(pf.OpFileRead, f.Node, f.Path, NrRead); err != nil {
+	if err := p.pfFilterRes(pf.OpFileRead, &f.res, NrRead); err != nil {
 		return nil, err
 	}
 	if f.Node.Type == vfs.TypeFifo {
@@ -173,6 +177,7 @@ func (p *Proc) Write(fd int, data []byte) (int, error) {
 	if err := p.enterSyscall(NrWrite, uint64(fd)); err != nil {
 		return 0, err
 	}
+	defer p.exitSyscall()
 	f, err := p.getFd(fd)
 	if err != nil {
 		return 0, err
@@ -182,12 +187,12 @@ func (p *Proc) Write(fd int, data []byte) (int, error) {
 		if f.Conn == nil {
 			return 0, vfs.ErrInval
 		}
-		if err := p.pfFilterRes(pf.OpSocketSend, connResource(f.Conn), NrWrite); err != nil {
+		if err := p.pfFilterConn(pf.OpSocketSend, f.Conn, NrWrite); err != nil {
 			return 0, err
 		}
 		return f.Conn.Send(data)
 	}
-	if err := p.pfFilter(pf.OpFileWrite, f.Node, f.Path, NrWrite); err != nil {
+	if err := p.pfFilterRes(pf.OpFileWrite, &f.res, NrWrite); err != nil {
 		return 0, err
 	}
 	if f.Node.Type == vfs.TypeFifo {
@@ -214,6 +219,7 @@ func (p *Proc) Stat(path string) (vfs.Stat, error) {
 	if err := p.enterSyscall(NrStat); err != nil {
 		return vfs.Stat{}, err
 	}
+	defer p.exitSyscall()
 	res, err := p.resolve(NrStat, path, vfs.ResolveOpts{FollowFinal: true})
 	if err != nil {
 		return vfs.Stat{}, err
@@ -229,6 +235,7 @@ func (p *Proc) Lstat(path string) (vfs.Stat, error) {
 	if err := p.enterSyscall(NrLstat); err != nil {
 		return vfs.Stat{}, err
 	}
+	defer p.exitSyscall()
 	res, err := p.resolve(NrLstat, path, vfs.ResolveOpts{})
 	if err != nil {
 		return vfs.Stat{}, err
@@ -244,6 +251,7 @@ func (p *Proc) Fstat(fd int) (vfs.Stat, error) {
 	if err := p.enterSyscall(NrFstat, uint64(fd)); err != nil {
 		return vfs.Stat{}, err
 	}
+	defer p.exitSyscall()
 	f, err := p.getFd(fd)
 	if err != nil {
 		return vfs.Stat{}, err
@@ -251,7 +259,7 @@ func (p *Proc) Fstat(fd int) (vfs.Stat, error) {
 	if f.Node == nil {
 		return vfs.Stat{}, vfs.ErrInval
 	}
-	if err := p.pfFilter(pf.OpFileGetattr, f.Node, f.Path, NrFstat); err != nil {
+	if err := p.pfFilterRes(pf.OpFileGetattr, &f.res, NrFstat); err != nil {
 		return vfs.Stat{}, err
 	}
 	return p.k.FS.StatOf(f.Node), nil
@@ -263,6 +271,7 @@ func (p *Proc) Access(path string, r, w, x bool) error {
 	if err := p.enterSyscall(NrAccess); err != nil {
 		return err
 	}
+	defer p.exitSyscall()
 	res, err := p.resolve(NrAccess, path, vfs.ResolveOpts{FollowFinal: true})
 	if err != nil {
 		return err
@@ -278,6 +287,7 @@ func (p *Proc) Unlink(path string) error {
 	if err := p.enterSyscall(NrUnlink); err != nil {
 		return err
 	}
+	defer p.exitSyscall()
 	res, err := p.resolve(NrUnlink, path, vfs.ResolveOpts{WantParent: true})
 	if err != nil {
 		return err
@@ -315,6 +325,7 @@ func (p *Proc) Mkdir(path string, mode uint16) error {
 	if err := p.enterSyscall(NrMkdir); err != nil {
 		return err
 	}
+	defer p.exitSyscall()
 	res, err := p.resolve(NrMkdir, path, vfs.ResolveOpts{WantParent: true})
 	if err != nil {
 		return err
@@ -339,6 +350,7 @@ func (p *Proc) Rmdir(path string) error {
 	if err := p.enterSyscall(NrRmdir); err != nil {
 		return err
 	}
+	defer p.exitSyscall()
 	res, err := p.resolve(NrRmdir, path, vfs.ResolveOpts{WantParent: true})
 	if err != nil {
 		return err
@@ -357,6 +369,7 @@ func (p *Proc) Symlink(target, path string) error {
 	if err := p.enterSyscall(NrSymlink); err != nil {
 		return err
 	}
+	defer p.exitSyscall()
 	res, err := p.resolve(NrSymlink, path, vfs.ResolveOpts{WantParent: true})
 	if err != nil {
 		return err
@@ -381,6 +394,7 @@ func (p *Proc) Link(oldpath, newpath string) error {
 	if err := p.enterSyscall(NrLink); err != nil {
 		return err
 	}
+	defer p.exitSyscall()
 	oldRes, err := p.resolve(NrLink, oldpath, vfs.ResolveOpts{})
 	if err != nil {
 		return err
@@ -406,6 +420,7 @@ func (p *Proc) Rename(oldpath, newpath string) error {
 	if err := p.enterSyscall(NrRename); err != nil {
 		return err
 	}
+	defer p.exitSyscall()
 	oldRes, err := p.resolve(NrRename, oldpath, vfs.ResolveOpts{WantParent: true})
 	if err != nil {
 		return err
@@ -431,6 +446,7 @@ func (p *Proc) Chmod(path string, mode uint16) error {
 	if err := p.enterSyscall(NrChmod); err != nil {
 		return err
 	}
+	defer p.exitSyscall()
 	res, err := p.resolve(NrChmod, path, vfs.ResolveOpts{FollowFinal: true})
 	if err != nil {
 		return err
@@ -443,6 +459,7 @@ func (p *Proc) Fchmod(fd int, mode uint16) error {
 	if err := p.enterSyscall(NrFchmod, uint64(fd)); err != nil {
 		return err
 	}
+	defer p.exitSyscall()
 	f, err := p.getFd(fd)
 	if err != nil {
 		return err
@@ -470,6 +487,7 @@ func (p *Proc) Chown(path string, uid, gid int) error {
 	if err := p.enterSyscall(NrChown); err != nil {
 		return err
 	}
+	defer p.exitSyscall()
 	if p.EUID != 0 {
 		return vfs.ErrPerm
 	}
@@ -490,6 +508,7 @@ func (p *Proc) Bind(path string, mode uint16) (int, error) {
 	if err := p.enterSyscall(NrBind); err != nil {
 		return -1, err
 	}
+	defer p.exitSyscall()
 	res, err := p.resolve(NrBind, path, vfs.ResolveOpts{WantParent: true})
 	if err != nil {
 		return -1, err
@@ -524,6 +543,7 @@ func (p *Proc) Connect(path string) (int, error) {
 	if err := p.enterSyscall(NrConnect); err != nil {
 		return -1, err
 	}
+	defer p.exitSyscall()
 	res, err := p.resolve(NrConnect, path, vfs.ResolveOpts{FollowFinal: true})
 	if err != nil {
 		return -1, err
@@ -548,14 +568,15 @@ func (p *Proc) Connect(path string) (int, error) {
 	// The PF sees the file identity (label, inode, path) plus the socket
 	// context: namespace and the listener owner's credentials — the peer
 	// this client will actually be talking to.
-	ipcRes := metaResource(lis.Meta(), mac.ClassSockFile)
-	ipcRes.sid = res.Node.SID
-	ipcRes.id = uint64(res.Node.Ino)
-	ipcRes.path = res.Path
-	ipcRes.owner = res.Node.UID
-	owner := lis.Owner()
-	ipcRes.peer = &owner
-	conn, err := p.connectListener(lis, ipcRes)
+	ms := p.curMed
+	ms.ipcRes.fromMeta(lis.Meta(), mac.ClassSockFile)
+	ms.ipcRes.sid = res.Node.SID
+	ms.ipcRes.id = uint64(res.Node.Ino)
+	ms.ipcRes.path = res.Path
+	ms.ipcRes.owner = res.Node.UID
+	ms.ipcRes.peer = lis.Owner()
+	ms.ipcRes.peerOK = true
+	conn, err := p.connectListener(lis, &ms.ipcRes)
 	if err != nil {
 		return -1, err
 	}
@@ -571,6 +592,7 @@ func (p *Proc) Mkfifo(path string, mode uint16) error {
 	if err := p.enterSyscall(NrMkfifo); err != nil {
 		return err
 	}
+	defer p.exitSyscall()
 	res, err := p.resolve(NrMkfifo, path, vfs.ResolveOpts{WantParent: true})
 	if err != nil {
 		return err
@@ -602,11 +624,12 @@ func (p *Proc) Mmap(fd int) error {
 	if err := p.enterSyscall(NrMmap, uint64(fd)); err != nil {
 		return err
 	}
+	defer p.exitSyscall()
 	f, err := p.getFd(fd)
 	if err != nil {
 		return err
 	}
-	if err := p.pfFilter(pf.OpFileMmap, f.Node, f.Path, NrMmap); err != nil {
+	if err := p.pfFilterRes(pf.OpFileMmap, &f.res, NrMmap); err != nil {
 		return err
 	}
 	if _, ok := p.as.FindByPath(f.Path); !ok {
@@ -620,11 +643,12 @@ func (p *Proc) Ftruncate(fd int) error {
 	if err := p.enterSyscall(NrFtruncate, uint64(fd)); err != nil {
 		return err
 	}
+	defer p.exitSyscall()
 	f, err := p.getFd(fd)
 	if err != nil {
 		return err
 	}
-	if err := p.pfFilter(pf.OpFileWrite, f.Node, f.Path, NrFtruncate); err != nil {
+	if err := p.pfFilterRes(pf.OpFileWrite, &f.res, NrFtruncate); err != nil {
 		return err
 	}
 	f.pos = 0
@@ -636,5 +660,6 @@ func (p *Proc) Getpid() (int, error) {
 	if err := p.enterSyscall(NrGetpid); err != nil {
 		return 0, err
 	}
+	defer p.exitSyscall()
 	return p.pid, nil
 }

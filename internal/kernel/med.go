@@ -1,0 +1,197 @@
+package kernel
+
+import (
+	"pfirewall/internal/ipc"
+	"pfirewall/internal/pf"
+	"pfirewall/internal/vfs"
+)
+
+// medState is the per-syscall mediation scratch: one Process Firewall batch
+// (the gauntlet snapshot amortized across every check the syscall performs),
+// plus preallocated request/resource/resolution storage so the mediation
+// path — path-walk per-component checks included — performs no heap
+// allocation in the steady state.
+//
+// Ownership model: a medState belongs to exactly one in-flight syscall on
+// its process. enterSyscall acquires one (pushing it on p.curMed, a LIFO —
+// signal-handler re-entry nests by pushing deeper), the syscall's deferred
+// exitSyscall releases it back to p.medFree. The paper's single-flow
+// invariant (a process mediates on its own flow) is what makes the
+// lock-free per-proc freelist sound.
+type medState struct {
+	p  *Proc
+	nr Syscall
+
+	b   pf.Batch
+	req pf.Request
+
+	// One scratch slot per resource shape the kernel mediates.
+	res      resource
+	ipcRes   ipcResource
+	sigRes   signalResource
+	sig      pf.SignalInfo
+	resolved vfs.Resolved
+
+	prev        *medState // enclosing syscall's scratch (signal re-entry)
+	batchActive bool
+}
+
+// Mediate implements vfs.Mediator: every object touched during path
+// resolution runs the DAC → MAC → PF gauntlet for the owning syscall.
+func (ms *medState) Mediate(a vfs.Access) error { return ms.p.mediate(ms.nr, a) }
+
+// acquireMed pops a scratch off the process freelist (or allocates on the
+// cold first use / deepest-ever nesting) and pushes it as the current one.
+func (p *Proc) acquireMed(nr Syscall) *medState {
+	var ms *medState
+	if n := len(p.medFree); n > 0 {
+		ms = p.medFree[n-1]
+		p.medFree[n-1] = nil
+		p.medFree = p.medFree[:n-1]
+	} else {
+		ms = &medState{}
+	}
+	ms.p = p
+	ms.nr = nr
+	ms.prev = p.curMed
+	p.curMed = ms
+	return ms
+}
+
+// exitSyscall finishes the current syscall's batch and recycles its scratch.
+// Deferred by every syscall entry point right after enterSyscall succeeds;
+// enterSyscall itself releases on its own denial path.
+func (p *Proc) exitSyscall() {
+	ms := p.curMed
+	if ms == nil {
+		return
+	}
+	p.curMed = ms.prev
+	if ms.batchActive {
+		ms.b.Finish()
+		ms.batchActive = false
+	}
+	// Drop references so recycled scratch does not pin inodes, conns, or
+	// processes. The resolved Trail keeps its backing array — that reuse is
+	// the point — but is truncated; ResolveInto resets it on entry anyway.
+	ms.p = nil
+	ms.nr = 0
+	ms.req.Reset()
+	ms.res = resource{}
+	ms.ipcRes = ipcResource{}
+	ms.sigRes = signalResource{}
+	ms.sig = pf.SignalInfo{}
+	ms.resolved.Node, ms.resolved.Parent = nil, nil
+	ms.resolved.Name, ms.resolved.Path = "", ""
+	ms.resolved.Trail = ms.resolved.Trail[:0]
+	ms.prev = nil
+	p.medFree = append(p.medFree, ms)
+}
+
+// pfFilter consults the Process Firewall about op on node. The per-op rule
+// mask is checked before any request is built: an op no installed rule can
+// match is a guaranteed default-accept, so the hot path skips straight past
+// the firewall (satellite fast path; verdict parity is tested).
+func (p *Proc) pfFilter(op pf.Op, node *vfs.Inode, path string, nr Syscall) error {
+	pfe := p.k.PF
+	if pfe == nil || !pfe.MayFilter(op) {
+		return nil
+	}
+	ms := p.curMed
+	if ms == nil || !ms.batchActive {
+		return p.pfFilterSlow(pfe, op, &resource{k: p.k, node: node, path: path}, nr)
+	}
+	ms.res = resource{k: p.k, node: node, path: path}
+	ms.req.Reset()
+	ms.req.Proc = p
+	ms.req.Op = op
+	ms.req.Obj = &ms.res
+	ms.req.SyscallNR = int(nr)
+	if ms.b.Filter(&ms.req) == pf.VerdictDrop {
+		return ErrPFDenied
+	}
+	return nil
+}
+
+// pfFilterRes consults the Process Firewall with a caller-built resource,
+// used where the resource is an IPC endpoint (usually one of the medState
+// scratch slots) rather than (only) an inode.
+func (p *Proc) pfFilterRes(op pf.Op, res pf.Resource, nr Syscall) error {
+	pfe := p.k.PF
+	if pfe == nil || !pfe.MayFilter(op) {
+		return nil
+	}
+	ms := p.curMed
+	if ms == nil || !ms.batchActive {
+		return p.pfFilterSlow(pfe, op, res, nr)
+	}
+	ms.req.Reset()
+	ms.req.Proc = p
+	ms.req.Op = op
+	ms.req.Obj = res
+	ms.req.SyscallNR = int(nr)
+	if ms.b.Filter(&ms.req) == pf.VerdictDrop {
+		return ErrPFDenied
+	}
+	return nil
+}
+
+// pfFilterConn mediates one message on a connected socket, filling the
+// scratch IPC resource from the connection's metadata and peer credential.
+func (p *Proc) pfFilterConn(op pf.Op, c *ipc.Conn, nr Syscall) error {
+	pfe := p.k.PF
+	if pfe == nil || !pfe.MayFilter(op) {
+		return nil
+	}
+	ms := p.curMed
+	if ms == nil || !ms.batchActive {
+		return p.pfFilterSlow(pfe, op, connResource(c), nr)
+	}
+	ms.ipcRes.fromConn(c)
+	ms.req.Reset()
+	ms.req.Proc = p
+	ms.req.Op = op
+	ms.req.Obj = &ms.ipcRes
+	ms.req.SyscallNR = int(nr)
+	if ms.b.Filter(&ms.req) == pf.VerdictDrop {
+		return ErrPFDenied
+	}
+	return nil
+}
+
+// pfFilterLis mediates against a rendezvous point (bind/listen/connect),
+// filling the scratch IPC resource from the listener's metadata and binder
+// credential.
+func (p *Proc) pfFilterLis(op pf.Op, l *ipc.Listener, nr Syscall) error {
+	pfe := p.k.PF
+	if pfe == nil || !pfe.MayFilter(op) {
+		return nil
+	}
+	ms := p.curMed
+	if ms == nil || !ms.batchActive {
+		r := &ipcResource{}
+		r.fromLis(l)
+		return p.pfFilterSlow(pfe, op, r, nr)
+	}
+	ms.ipcRes.fromLis(l)
+	ms.req.Reset()
+	ms.req.Proc = p
+	ms.req.Op = op
+	ms.req.Obj = &ms.ipcRes
+	ms.req.SyscallNR = int(nr)
+	if ms.b.Filter(&ms.req) == pf.VerdictDrop {
+		return ErrPFDenied
+	}
+	return nil
+}
+
+// pfFilterSlow is the one-shot fallback for the rare call without an active
+// syscall scratch (helpers invoked outside syscall dispatch). It allocates;
+// the hot paths never reach it.
+func (p *Proc) pfFilterSlow(pfe *pf.Engine, op pf.Op, res pf.Resource, nr Syscall) error {
+	req := pf.Request{Proc: p, Op: op, Obj: res, SyscallNR: int(nr)}
+	if pfe.Filter(&req) == pf.VerdictDrop {
+		return ErrPFDenied
+	}
+	return nil
+}

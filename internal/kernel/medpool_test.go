@@ -1,0 +1,125 @@
+package kernel
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"pfirewall/internal/pf"
+	"pfirewall/internal/pftables"
+	"pfirewall/internal/vfs"
+)
+
+// TestPooledScratchReuseStress hammers the pooled mediation scratch
+// (medState, pooled File handles, pooled EvalCtx) from many processes at
+// once, under -race in CI. Each goroutine drives its own process through
+// open/fstat/read/stat/close cycles against a private file with a
+// per-process byte, so any cross-request state bleed — a scratch recycled
+// into the wrong flow, a preresolved fd handle pointing at another
+// process's inode, a stale resolver path — surfaces as a wrong byte, a
+// wrong inode, or a detector report rather than passing silently.
+func TestPooledScratchReuseStress(t *testing.T) {
+	k := newWorld(t)
+	engine := pf.New(k.Policy, pf.Optimized())
+	// Real rules on the exercised ops so every cycle runs the full gauntlet
+	// through the pooled request rather than skipping via the op mask.
+	if _, err := pftables.InstallAll(pfEnv(k), engine, []string{
+		`pftables -o LNK_FILE_READ -d tmp_t -j DROP`,
+		`pftables -o FILE_OPEN -d shadow_t -s user_t -j DROP`,
+		`pftables -o FILE_READ -d shadow_t -s user_t -j DROP`,
+		`pftables -o FILE_GETATTR -d shadow_t -s user_t -j DROP`,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	k.AttachPF(engine)
+
+	const procs = 8
+	const iters = 400
+
+	type worker struct {
+		p    *Proc
+		path string
+		want byte
+		ino  vfs.Ino
+	}
+	workers := make([]worker, procs)
+	for i := range workers {
+		p := newRoot(k, "httpd_t", "/usr/bin/apache2")
+		path := fmt.Sprintf("/tmp/pool-%d", i)
+		fd, err := p.Open(path, O_CREAT|O_RDWR, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := byte('A' + i)
+		if _, err := p.Write(fd, []byte{b}); err != nil {
+			t.Fatal(err)
+		}
+		st, err := p.Fstat(fd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Close(fd); err != nil {
+			t.Fatal(err)
+		}
+		workers[i] = worker{p: p, path: path, want: b, ino: st.Ino}
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, procs)
+	for i := range workers {
+		wg.Add(1)
+		go func(w worker) {
+			defer wg.Done()
+			for n := 0; n < iters; n++ {
+				fd, err := w.p.Open(w.path, O_RDONLY, 0)
+				if err != nil {
+					errs <- fmt.Errorf("%s open: %w", w.path, err)
+					return
+				}
+				st, err := w.p.Fstat(fd)
+				if err != nil {
+					errs <- fmt.Errorf("%s fstat: %w", w.path, err)
+					return
+				}
+				if st.Ino != w.ino {
+					errs <- fmt.Errorf("%s: fstat ino %d, want %d — fd handle bled across processes", w.path, st.Ino, w.ino)
+					return
+				}
+				data, err := w.p.Read(fd, 1)
+				if err != nil {
+					errs <- fmt.Errorf("%s read: %w", w.path, err)
+					return
+				}
+				if len(data) != 1 || data[0] != w.want {
+					errs <- fmt.Errorf("%s: read %q, want %q — scratch state bled across requests", w.path, data, []byte{w.want})
+					return
+				}
+				if st2, err := w.p.Stat(w.path); err != nil {
+					errs <- fmt.Errorf("%s stat: %w", w.path, err)
+					return
+				} else if st2.Ino != w.ino {
+					errs <- fmt.Errorf("%s: stat ino %d, want %d — resolver scratch bled", w.path, st2.Ino, w.ino)
+					return
+				}
+				if err := w.p.Close(fd); err != nil {
+					errs <- fmt.Errorf("%s close: %w", w.path, err)
+					return
+				}
+			}
+		}(workers[i])
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// The firewall stayed live throughout: a ruled op must still drop.
+	user := newUser(k)
+	user.Symlink("/etc/shadow", "/tmp/pool-trap")
+	victim := newRoot(k, "sshd_t", "/usr/sbin/sshd")
+	if _, err := victim.Open("/tmp/pool-trap", O_RDONLY, 0); !errors.Is(err, ErrPFDenied) {
+		t.Errorf("symlink open after stress = %v, want ErrPFDenied", err)
+	}
+}

@@ -60,6 +60,8 @@ const (
 	NrAccept
 	NrSendmsg
 	NrRecvmsg
+	NrSendmmsg
+	NrRecvmmsg
 	nrCount
 )
 
@@ -74,6 +76,7 @@ var syscallNames = map[Syscall]string{
 	NrSigaction: "sigaction", NrSigprocmask: "sigprocmask",
 	NrSigreturn: "sigreturn", NrGetpid: "getpid", NrFtruncate: "ftruncate", NrChroot: "chroot", NrMkfifo: "mkfifo",
 	NrListen: "listen", NrAccept: "accept", NrSendmsg: "sendmsg", NrRecvmsg: "recvmsg",
+	NrSendmmsg: "sendmmsg", NrRecvmmsg: "recvmmsg",
 }
 
 // String returns the syscall name.

@@ -55,6 +55,15 @@ type Proc struct {
 
 	ps *pf.ProcState
 
+	// Mediation scratch: curMed is the in-flight syscall's medState (a LIFO
+	// via medState.prev — signal-handler re-entry nests), medFree the
+	// recycled pool, fileFree the open-file-description pool. All three ride
+	// the single-flow invariant: a process mediates on its own flow, so no
+	// locking is needed.
+	curMed   *medState
+	medFree  []*medState
+	fileFree *File
+
 	// Signal machinery.
 	handlers map[int]func(*Proc, int)
 	blocked  map[int]bool
@@ -75,6 +84,14 @@ type File struct {
 
 	Lis  *ipc.Listener
 	Conn *ipc.Conn
+
+	// res is the descriptor's preresolved PF resource handle, filled once at
+	// install time so fd-based syscalls (read/write/fstat/...) never rebuild
+	// identity from the inode on the hot path.
+	res resource
+
+	// freeNext links recycled descriptions on the owning process's pool.
+	freeNext *File
 }
 
 // ProcSpec parameterizes process creation.
@@ -156,6 +173,17 @@ func (p *Proc) AddrSpace() *ustack.AddressSpace { return p.as }
 
 // Interp implements pf.Process.
 func (p *Proc) Interp() (ustack.Lang, uint64) { return p.lang, p.interpHead }
+
+// StackGen implements pf.Process: a generation stamp covering every user
+// stack mutation (memory writes plus register-only changes). Paired with
+// AddrSpace().Gen() it keys the firewall's entrypoint-unwind cache. Nil
+// guards cover exited processes, whose stacks were recycled.
+func (p *Proc) StackGen() uint64 {
+	if p.mem == nil || p.stack == nil {
+		return 0
+	}
+	return p.mem.Gen() + p.stack.Gen()
+}
 
 // PFState implements pf.Process.
 func (p *Proc) PFState() *pf.ProcState { return p.ps }
@@ -242,7 +270,10 @@ func (p *Proc) InterpPop() error {
 // --- mediation -------------------------------------------------------------
 
 // enterSyscall performs per-syscall bookkeeping: counters, PF state
-// sequencing, the syscallbegin chain, and adversary interleave hooks.
+// sequencing, mediation-scratch acquisition, the syscallbegin chain, and
+// adversary interleave hooks. On success the caller owns the acquired
+// scratch and must `defer p.exitSyscall()`; on error the scratch has
+// already been released.
 func (p *Proc) enterSyscall(nr Syscall, args ...uint64) error {
 	if p.exited {
 		return ErrExited
@@ -252,10 +283,22 @@ func (p *Proc) enterSyscall(nr Syscall, args ...uint64) error {
 		ob.syscalls[nr].Add(p.pid, 1)
 	}
 	p.ps.BeginSyscall()
-	if p.k.PF != nil {
-		req := &pf.Request{Proc: p, Op: pf.OpSyscallBegin, SyscallNR: int(nr), SyscallArgs: args}
-		if p.k.PF.Filter(req) == pf.VerdictDrop {
-			return ErrPFDenied
+	ms := p.acquireMed(nr)
+	if pfe := p.k.PF; pfe != nil {
+		// One gauntlet setup (ruleset + observability snapshot) for the whole
+		// syscall; every subsequent check this syscall performs rides it.
+		pfe.StartBatch(&ms.b, p)
+		ms.batchActive = true
+		if pfe.MayFilter(pf.OpSyscallBegin) {
+			ms.req.Reset()
+			ms.req.Proc = p
+			ms.req.Op = pf.OpSyscallBegin
+			ms.req.SyscallNR = int(nr)
+			ms.req.SetArgs(args...)
+			if ms.b.Filter(&ms.req) == pf.VerdictDrop {
+				p.exitSyscall()
+				return ErrPFDenied
+			}
 		}
 	}
 	p.k.runPreHooks(p, nr)
@@ -287,7 +330,9 @@ func dacBits(a vfs.Access) (r, w, x bool) {
 
 // mediator returns the vfs.Mediator chaining DAC → MAC → PF for this
 // process, invoked on every object touched during path resolution
-// (the complete-mediation property of LSM the paper relies on).
+// (the complete-mediation property of LSM the paper relies on). Syscall
+// dispatch uses the medState scratch directly; this closure form remains
+// for helpers resolving outside a syscall.
 func (p *Proc) mediator(nr Syscall) vfs.Mediator {
 	return vfs.MediatorFunc(func(a vfs.Access) error {
 		return p.mediate(nr, a)
@@ -328,30 +373,30 @@ func (p *Proc) mediate1(nr Syscall, a vfs.Access) error {
 	return p.pfFilter(accessToOp(a), a.Node, a.Path, nr)
 }
 
-// pfFilter consults the Process Firewall about op on node.
-func (p *Proc) pfFilter(op pf.Op, node *vfs.Inode, path string, nr Syscall) error {
-	if p.k.PF == nil {
-		return nil
-	}
-	req := &pf.Request{
-		Proc:      p,
-		Op:        op,
-		Obj:       &resource{k: p.k, node: node, path: path},
-		SyscallNR: int(nr),
-	}
-	if p.k.PF.Filter(req) == pf.VerdictDrop {
-		return ErrPFDenied
-	}
-	return nil
-}
-
 // resolve performs a mediated path resolution relative to the cwd, inside
-// the process's root (chroot).
-func (p *Proc) resolve(nr Syscall, path string, opts vfs.ResolveOpts) (*vfs.Resolved, error) {
+// the process's root (chroot). The result is returned by value: its Trail
+// backing array belongs to the syscall's scratch and is reused by the next
+// resolution (syscalls that resolve twice — link, rename — must not read
+// the first result's Trail after the second resolve; kernel callers never
+// do, only Node/Parent/Name/Path).
+func (p *Proc) resolve(nr Syscall, path string, opts vfs.ResolveOpts) (vfs.Resolved, error) {
 	opts.CwdPath = p.cwdPath
 	opts.Root = p.root
 	opts.RootPath = p.rootPath
-	return p.k.FS.Resolve(p.cwd, path, opts, p.mediator(nr))
+	ms := p.curMed
+	if ms == nil {
+		// No in-flight syscall (helper path): one-shot resolution.
+		res, err := p.k.FS.Resolve(p.cwd, path, opts, p.mediator(nr))
+		if err != nil {
+			return vfs.Resolved{}, err
+		}
+		return *res, nil
+	}
+	ms.nr = nr
+	if err := p.k.FS.ResolveInto(&ms.resolved, p.cwd, path, opts, ms); err != nil {
+		return vfs.Resolved{}, err
+	}
+	return ms.resolved, nil
 }
 
 // getFd looks up an open descriptor.
@@ -363,30 +408,31 @@ func (p *Proc) getFd(fd int) (*File, error) {
 	return f, nil
 }
 
-// installFd allocates a descriptor for node. node may be nil for
-// inode-less endpoints (abstract/port sockets, connected pairs).
+// installFd allocates a descriptor for node, recycling a pooled File when
+// one is free (Close returns them). node may be nil for inode-less
+// endpoints (abstract/port sockets, connected pairs).
 func (p *Proc) installFd(node *vfs.Inode, path string) int {
 	fd := p.nextFd
 	p.nextFd++
-	p.fds[fd] = &File{Node: node, Path: path}
+	f := p.fileFree
+	if f != nil {
+		p.fileFree = f.freeNext
+	} else {
+		f = &File{}
+	}
+	*f = File{Node: node, Path: path, res: resource{k: p.k, node: node, path: path}}
+	p.fds[fd] = f
 	if node != nil {
 		p.k.FS.IncOpen(node)
 	}
 	return fd
 }
 
-// pfFilterRes consults the Process Firewall with a caller-built resource,
-// used by the socket layer where the resource is an IPC endpoint rather
-// than (only) an inode.
-func (p *Proc) pfFilterRes(op pf.Op, res pf.Resource, nr Syscall) error {
-	if p.k.PF == nil {
-		return nil
-	}
-	req := &pf.Request{Proc: p, Op: op, Obj: res, SyscallNR: int(nr)}
-	if p.k.PF.Filter(req) == pf.VerdictDrop {
-		return ErrPFDenied
-	}
-	return nil
+// recycleFile returns a closed descriptor's File to the pool. The caller
+// has already released endpoints and dropped it from the fd table.
+func (p *Proc) recycleFile(f *File) {
+	*f = File{freeNext: p.fileFree}
+	p.fileFree = f
 }
 
 // closeEndpoints releases any IPC endpoint attached to f: closing a bound

@@ -14,6 +14,7 @@ func (p *Proc) Fork() (*Proc, error) {
 	if err := p.enterSyscall(NrFork); err != nil {
 		return nil, err
 	}
+	defer p.exitSyscall()
 	k := p.k
 	k.mu.Lock()
 	pid := k.nextPid
@@ -45,7 +46,10 @@ func (p *Proc) Fork() (*Proc, error) {
 		child.Env[key] = v
 	}
 	for fd, f := range p.fds {
-		child.fds[fd] = &File{Node: f.Node, Path: f.Path, pos: f.pos}
+		child.fds[fd] = &File{
+			Node: f.Node, Path: f.Path, pos: f.pos,
+			res: resource{k: k, node: f.Node, path: f.Path},
+		}
 		k.FS.IncOpen(f.Node)
 	}
 	for _, m := range p.as.Mappings() {
@@ -67,6 +71,7 @@ func (p *Proc) Execve(path string, env map[string]string) error {
 	if err := p.enterSyscall(NrExecve); err != nil {
 		return err
 	}
+	defer p.exitSyscall()
 	res, err := p.resolve(NrExecve, path, vfs.ResolveOpts{FollowFinal: true})
 	if err != nil {
 		return err
@@ -108,7 +113,11 @@ func (p *Proc) Exit(code int) {
 	if p.exited {
 		return
 	}
-	p.enterSyscall(NrExit, uint64(code))
+	// No mediation follows exit's entry bookkeeping; release the syscall
+	// scratch immediately (enterSyscall released it itself on denial).
+	if err := p.enterSyscall(NrExit, uint64(code)); err == nil {
+		p.exitSyscall()
+	}
 	for fd, f := range p.fds {
 		if f.Node != nil {
 			p.k.FS.DecOpen(f.Node)
@@ -143,6 +152,7 @@ func (p *Proc) Sigaction(sig int, handler func(*Proc, int)) error {
 	if err := p.enterSyscall(NrSigaction, uint64(sig)); err != nil {
 		return err
 	}
+	defer p.exitSyscall()
 	if sig == SIGKILL || sig == SIGSTOP {
 		return vfs.ErrInval
 	}
@@ -159,6 +169,7 @@ func (p *Proc) Sigprocmask(sig int, block bool) error {
 	if err := p.enterSyscall(NrSigprocmask, uint64(sig)); err != nil {
 		return err
 	}
+	defer p.exitSyscall()
 	if block {
 		p.blocked[sig] = true
 	} else {
@@ -170,7 +181,11 @@ func (p *Proc) Sigprocmask(sig int, block bool) error {
 // Sigreturn is issued by the signal trampoline when a handler returns; the
 // PF syscallbegin chain observes it to clear in-handler state (rule R12).
 func (p *Proc) Sigreturn() error {
-	return p.enterSyscall(NrSigreturn)
+	if err := p.enterSyscall(NrSigreturn); err != nil {
+		return err
+	}
+	p.exitSyscall()
+	return nil
 }
 
 // Kill sends sig to the process with the given pid. Delivery — not the
@@ -181,6 +196,7 @@ func (p *Proc) Kill(pid, sig int) error {
 	if err := p.enterSyscall(NrKill, uint64(pid), uint64(sig)); err != nil {
 		return err
 	}
+	defer p.exitSyscall()
 	target, ok := p.k.Proc(pid)
 	if !ok || target.exited {
 		return ErrNoProc
@@ -203,18 +219,28 @@ func (k *Kernel) deliverSignal(target *Proc, sig int) error {
 		return nil
 	}
 	handler, hasHandler := target.handlers[sig]
-	if k.PF != nil {
-		req := &pf.Request{
-			Proc: target,
-			Op:   pf.OpSignalDeliver,
-			Obj:  &signalResource{sig: sig, target: target},
-			Sig: &pf.SignalInfo{
-				Signal:      sig,
-				HasHandler:  hasHandler,
-				Unblockable: sig == SIGKILL || sig == SIGSTOP,
-			},
+	if pfe := k.PF; pfe != nil && pfe.MayFilter(pf.OpSignalDeliver) {
+		// Delivery mediates in the *target's* context: borrow a scratch from
+		// the target's pool (pushed above any syscall it is presently inside
+		// — delivery is synchronous on this flow, so the LIFO holds) and
+		// release it before the handler runs its own syscalls.
+		ms := target.acquireMed(NrInvalid)
+		pfe.StartBatch(&ms.b, target)
+		ms.batchActive = true
+		ms.sigRes = signalResource{sig: sig, target: target}
+		ms.sig = pf.SignalInfo{
+			Signal:      sig,
+			HasHandler:  hasHandler,
+			Unblockable: sig == SIGKILL || sig == SIGSTOP,
 		}
-		if k.PF.Filter(req) == pf.VerdictDrop {
+		ms.req.Reset()
+		ms.req.Proc = target
+		ms.req.Op = pf.OpSignalDeliver
+		ms.req.Obj = &ms.sigRes
+		ms.req.Sig = &ms.sig
+		v := ms.b.Filter(&ms.req)
+		target.exitSyscall()
+		if v == pf.VerdictDrop {
 			return ErrPFDenied
 		}
 	}
@@ -245,6 +271,7 @@ func (p *Proc) Chroot(path string) error {
 	if err := p.enterSyscall(NrChroot); err != nil {
 		return err
 	}
+	defer p.exitSyscall()
 	if p.EUID != 0 {
 		return vfs.ErrPerm
 	}

@@ -25,7 +25,8 @@ type ipcResource struct {
 	ns     ipc.NS
 	port   uint16
 	portOK bool
-	peer   *ipc.Cred
+	peer   ipc.Cred // held by value so scratch reuse carries no pointer
+	peerOK bool
 }
 
 func (r *ipcResource) SID() mac.SID                    { return r.sid }
@@ -43,47 +44,47 @@ func (r *ipcResource) SockPort() (uint16, bool) { return r.port, r.portOK }
 
 // PeerCred implements pf.SockResource.
 func (r *ipcResource) PeerCred() (pid, uid, gid int, ok bool) {
-	if r.peer == nil {
+	if !r.peerOK {
 		return 0, 0, 0, false
 	}
 	return r.peer.PID, r.peer.UID, r.peer.GID, true
 }
 
-// metaResource builds the common identity fields from endpoint metadata.
-func metaResource(m ipc.Meta, class mac.Class) *ipcResource {
-	r := &ipcResource{sid: m.SID, id: m.ID, class: class, ns: m.NS}
-	switch m.NS {
-	case ipc.NSAbstract:
-		r.path = "@" + m.Key
-	case ipc.NSPort:
-		r.path = fmt.Sprintf(":%d", m.Port)
+// fromMeta fills the common identity fields from endpoint metadata,
+// overwriting all previous state. The display path was precomputed at bind
+// time, so filling a scratch resource performs no allocation.
+func (r *ipcResource) fromMeta(m ipc.Meta, class mac.Class) {
+	*r = ipcResource{sid: m.SID, id: m.ID, path: m.Display, class: class, ns: m.NS}
+	if m.NS == ipc.NSPort {
 		r.port = m.Port
 		r.portOK = true
-	default:
-		r.path = m.Key
 	}
-	return r
 }
 
-// lisResource describes a rendezvous point for bind/listen mediation. The
-// peer credential is the listener's own binder (what a later client will
-// observe).
-func lisResource(l *ipc.Listener) *ipcResource {
-	r := metaResource(l.Meta(), mac.ClassUnixStreamSocket)
-	owner := l.Owner()
-	r.owner = owner.UID
-	r.peer = &owner
-	return r
+// fromLis describes a rendezvous point for bind/listen/connect mediation.
+// The peer credential is the listener's binder (what a client will observe).
+func (r *ipcResource) fromLis(l *ipc.Listener) {
+	r.fromMeta(l.Meta(), mac.ClassUnixStreamSocket)
+	r.peer = l.Owner()
+	r.peerOK = true
+	r.owner = r.peer.UID
 }
 
-// connResource describes one end of a connected pair for accept/send/recv
+// fromConn describes one end of a connected pair for accept/send/recv
 // mediation; the peer credential is the remote end's, captured at connect
 // time (SO_PEERCRED).
+func (r *ipcResource) fromConn(c *ipc.Conn) {
+	r.fromMeta(c.Meta(), mac.ClassUnixStreamSocket)
+	r.peer = c.PeerCred()
+	r.peerOK = true
+	r.owner = r.peer.UID
+}
+
+// connResource is the allocating form of fromConn, for the rare mediation
+// outside an active syscall scratch.
 func connResource(c *ipc.Conn) *ipcResource {
-	r := metaResource(c.Meta(), mac.ClassUnixStreamSocket)
-	peer := c.PeerCred()
-	r.owner = peer.UID
-	r.peer = &peer
+	r := &ipcResource{}
+	r.fromConn(c)
 	return r
 }
 
@@ -97,11 +98,12 @@ func (p *Proc) BindAbstract(name string) (int, error) {
 	if err := p.enterSyscall(NrBind); err != nil {
 		return -1, err
 	}
+	defer p.exitSyscall()
 	l, err := p.k.IPC.BindAbstract(name, p.sid, p.cred())
 	if err != nil {
 		return -1, err
 	}
-	if err := p.pfFilterRes(pf.OpSocketBind, lisResource(l), NrBind); err != nil {
+	if err := p.pfFilterLis(pf.OpSocketBind, l, NrBind); err != nil {
 		l.Close()
 		return -1, err
 	}
@@ -117,11 +119,12 @@ func (p *Proc) BindPort(port uint16) (int, error) {
 	if err := p.enterSyscall(NrBind, uint64(port)); err != nil {
 		return -1, err
 	}
+	defer p.exitSyscall()
 	l, err := p.k.IPC.BindPort(port, p.sid, p.cred())
 	if err != nil {
 		return -1, err
 	}
-	if err := p.pfFilterRes(pf.OpSocketBind, lisResource(l), NrBind); err != nil {
+	if err := p.pfFilterLis(pf.OpSocketBind, l, NrBind); err != nil {
 		l.Close()
 		return -1, err
 	}
@@ -136,6 +139,7 @@ func (p *Proc) Listen(fd, backlog int) error {
 	if err := p.enterSyscall(NrListen, uint64(fd), uint64(backlog)); err != nil {
 		return err
 	}
+	defer p.exitSyscall()
 	f, err := p.getFd(fd)
 	if err != nil {
 		return err
@@ -143,7 +147,7 @@ func (p *Proc) Listen(fd, backlog int) error {
 	if f.Lis == nil {
 		return vfs.ErrInval
 	}
-	if err := p.pfFilterRes(pf.OpSocketListen, lisResource(f.Lis), NrListen); err != nil {
+	if err := p.pfFilterLis(pf.OpSocketListen, f.Lis, NrListen); err != nil {
 		return err
 	}
 	return f.Lis.Listen(backlog)
@@ -156,6 +160,7 @@ func (p *Proc) Accept(fd int) (int, error) {
 	if err := p.enterSyscall(NrAccept, uint64(fd)); err != nil {
 		return -1, err
 	}
+	defer p.exitSyscall()
 	f, err := p.getFd(fd)
 	if err != nil {
 		return -1, err
@@ -167,7 +172,7 @@ func (p *Proc) Accept(fd int) (int, error) {
 	if err != nil {
 		return -1, err
 	}
-	if err := p.pfFilterRes(pf.OpSocketAccept, connResource(conn), NrAccept); err != nil {
+	if err := p.pfFilterConn(pf.OpSocketAccept, conn, NrAccept); err != nil {
 		conn.Close()
 		return -1, err
 	}
@@ -179,7 +184,7 @@ func (p *Proc) Accept(fd int) (int, error) {
 // connectListener mediates and establishes a connection to l, returning
 // the client end. res carries the identity the PF should see (for
 // filesystem sockets, the socket inode's).
-func (p *Proc) connectListener(l *ipc.Listener, res *ipcResource) (*ipc.Conn, error) {
+func (p *Proc) connectListener(l *ipc.Listener, res pf.Resource) (*ipc.Conn, error) {
 	if err := p.pfFilterRes(pf.OpSocketConnect, res, NrConnect); err != nil {
 		return nil, err
 	}
@@ -191,11 +196,14 @@ func (p *Proc) ConnectAbstract(name string) (int, error) {
 	if err := p.enterSyscall(NrConnect); err != nil {
 		return -1, err
 	}
+	defer p.exitSyscall()
 	l, ok := p.k.IPC.LookupAbstract(name)
 	if !ok {
 		return -1, ErrConnRefused
 	}
-	conn, err := p.connectListener(l, lisResource(l))
+	ms := p.curMed
+	ms.ipcRes.fromLis(l)
+	conn, err := p.connectListener(l, &ms.ipcRes)
 	if err != nil {
 		return -1, err
 	}
@@ -209,11 +217,14 @@ func (p *Proc) ConnectPort(port uint16) (int, error) {
 	if err := p.enterSyscall(NrConnect, uint64(port)); err != nil {
 		return -1, err
 	}
+	defer p.exitSyscall()
 	l, ok := p.k.IPC.LookupPort(port)
 	if !ok {
 		return -1, ErrConnRefused
 	}
-	conn, err := p.connectListener(l, lisResource(l))
+	ms := p.curMed
+	ms.ipcRes.fromLis(l)
+	conn, err := p.connectListener(l, &ms.ipcRes)
 	if err != nil {
 		return -1, err
 	}
@@ -227,6 +238,7 @@ func (p *Proc) Send(fd int, data []byte) (int, error) {
 	if err := p.enterSyscall(NrSendmsg, uint64(fd), uint64(len(data))); err != nil {
 		return 0, err
 	}
+	defer p.exitSyscall()
 	f, err := p.getFd(fd)
 	if err != nil {
 		return 0, err
@@ -234,7 +246,7 @@ func (p *Proc) Send(fd int, data []byte) (int, error) {
 	if f.Conn == nil {
 		return 0, vfs.ErrInval
 	}
-	if err := p.pfFilterRes(pf.OpSocketSend, connResource(f.Conn), NrSendmsg); err != nil {
+	if err := p.pfFilterConn(pf.OpSocketSend, f.Conn, NrSendmsg); err != nil {
 		return 0, err
 	}
 	return f.Conn.Send(data)
@@ -246,6 +258,7 @@ func (p *Proc) Recv(fd, n int) ([]byte, error) {
 	if err := p.enterSyscall(NrRecvmsg, uint64(fd)); err != nil {
 		return nil, err
 	}
+	defer p.exitSyscall()
 	f, err := p.getFd(fd)
 	if err != nil {
 		return nil, err
@@ -253,10 +266,86 @@ func (p *Proc) Recv(fd, n int) ([]byte, error) {
 	if f.Conn == nil {
 		return nil, vfs.ErrInval
 	}
-	if err := p.pfFilterRes(pf.OpSocketRecv, connResource(f.Conn), NrRecvmsg); err != nil {
+	if err := p.pfFilterConn(pf.OpSocketRecv, f.Conn, NrRecvmsg); err != nil {
 		return nil, err
 	}
 	return f.Conn.Recv(n)
+}
+
+// Sendmmsg sends a burst of messages over the connected socket behind fd in
+// one syscall: one gauntlet setup (batch snapshot, scratch acquisition)
+// amortized over the per-message firewall checks. Messages are sent in
+// order; like sendmmsg(2), a failure after at least one successful send
+// reports the partial count instead of an error.
+func (p *Proc) Sendmmsg(fd int, msgs [][]byte) (int, error) {
+	if err := p.enterSyscall(NrSendmmsg, uint64(fd), uint64(len(msgs))); err != nil {
+		return 0, err
+	}
+	defer p.exitSyscall()
+	f, err := p.getFd(fd)
+	if err != nil {
+		return 0, err
+	}
+	if f.Conn == nil {
+		return 0, vfs.ErrInval
+	}
+	sent := 0
+	for _, m := range msgs {
+		if err := p.pfFilterConn(pf.OpSocketSend, f.Conn, NrSendmmsg); err != nil {
+			if sent > 0 {
+				return sent, nil
+			}
+			return 0, err
+		}
+		if _, err := f.Conn.Send(m); err != nil {
+			if sent > 0 {
+				return sent, nil
+			}
+			return 0, err
+		}
+		sent++
+	}
+	return sent, nil
+}
+
+// Recvmmsg receives up to max messages (each up to per bytes; per <= 0
+// drains the buffer) from the connected socket behind fd, mediating each
+// message under the single batch established at syscall entry. Returns the
+// messages received before the stream emptied or a check failed, mirroring
+// recvmmsg(2)'s partial-success contract.
+func (p *Proc) Recvmmsg(fd, max, per int) ([][]byte, error) {
+	if err := p.enterSyscall(NrRecvmmsg, uint64(fd), uint64(max)); err != nil {
+		return nil, err
+	}
+	defer p.exitSyscall()
+	f, err := p.getFd(fd)
+	if err != nil {
+		return nil, err
+	}
+	if f.Conn == nil {
+		return nil, vfs.ErrInval
+	}
+	var out [][]byte
+	for len(out) < max {
+		if err := p.pfFilterConn(pf.OpSocketRecv, f.Conn, NrRecvmmsg); err != nil {
+			if len(out) > 0 {
+				return out, nil
+			}
+			return nil, err
+		}
+		data, err := f.Conn.Recv(per)
+		if err != nil {
+			if len(out) > 0 {
+				return out, nil
+			}
+			return nil, err
+		}
+		if len(data) == 0 {
+			break
+		}
+		out = append(out, data)
+	}
+	return out, nil
 }
 
 // ErrWouldBlock and friends are re-exported so callers need not import the

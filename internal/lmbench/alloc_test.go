@@ -1,0 +1,51 @@
+package lmbench
+
+import (
+	"testing"
+
+	"pfirewall/internal/kernel"
+	"pfirewall/internal/pf"
+	"pfirewall/internal/programs"
+)
+
+// TestZeroAllocHotPath is the allocation regression tripwire: on a fully
+// armed world (Optimized engine, deployment-scale rule base) the mediated
+// open+close and stat paths must not allocate at all in steady state. Any
+// new heap traffic on these paths — a request built outside the pool, an
+// escape in the resolver, a formatted string in a context module — fails
+// this test before it ever shows up as a latency regression.
+func TestZeroAllocHotPath(t *testing.T) {
+	cfg := pf.Optimized()
+	w := programs.NewWorld(programs.WorldOpts{PF: &cfg})
+	if _, err := w.InstallRules(SyntheticRuleBase(FullRuleBaseSize)); err != nil {
+		t.Fatal(err)
+	}
+	p := benchProc(w)
+
+	bodies := []struct {
+		name string
+		body func()
+	}{
+		{"open+close", func() {
+			fd, err := p.Open("/etc/passwd", kernel.O_RDONLY, 0)
+			if err != nil {
+				panic(err)
+			}
+			p.Close(fd)
+		}},
+		{"stat", func() {
+			if _, err := p.Stat("/etc/passwd"); err != nil {
+				panic(err)
+			}
+		}},
+	}
+	for _, b := range bodies {
+		// Warm the scratch pools, the dcache, and the entrypoint cache.
+		for i := 0; i < 64; i++ {
+			b.body()
+		}
+		if avg := testing.AllocsPerRun(200, b.body); avg != 0 {
+			t.Errorf("%s: %.2f allocs/op on the armed hot path, want 0", b.name, avg)
+		}
+	}
+}

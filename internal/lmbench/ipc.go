@@ -25,6 +25,11 @@ type IPCCell struct {
 	Ops        int     `json:"ops"`
 	NsPerOp    float64 `json:"ns_per_op"`
 	OpsPerSec  float64 `json:"ops_per_sec"`
+	// Allocation rate over the measured interval (MemStats deltas). The
+	// data plane hands out received byte slices, so IPC cells are not
+	// zero-alloc; the number tracks the mediation overhead trend.
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
 }
 
 // IPCReport is the full IPC scaling run, annotated with the hardware
@@ -136,6 +141,7 @@ func RunIPC(itersPerGoroutine int, fanout []int) IPCReport {
 			}
 
 			var wg sync.WaitGroup
+			m0 := readMem()
 			start := time.Now()
 			for i := 0; i < g; i++ {
 				wg.Add(1)
@@ -148,14 +154,17 @@ func RunIPC(itersPerGoroutine int, fanout []int) IPCReport {
 			}
 			wg.Wait()
 			elapsed := time.Since(start)
+			m1 := readMemNow()
 
 			ops := g * itersPerGoroutine
 			rep.Cells = append(rep.Cells, IPCCell{
-				Namespace:  ns,
-				Goroutines: g,
-				Ops:        ops,
-				NsPerOp:    float64(elapsed.Nanoseconds()) / float64(ops),
-				OpsPerSec:  float64(ops) / elapsed.Seconds(),
+				Namespace:   ns,
+				Goroutines:  g,
+				Ops:         ops,
+				NsPerOp:     float64(elapsed.Nanoseconds()) / float64(ops),
+				OpsPerSec:   float64(ops) / elapsed.Seconds(),
+				AllocsPerOp: float64(m1.Mallocs-m0.Mallocs) / float64(ops),
+				BytesPerOp:  float64(m1.TotalAlloc-m0.TotalAlloc) / float64(ops),
 			})
 		}
 	}
@@ -165,8 +174,8 @@ func RunIPC(itersPerGoroutine int, fanout []int) IPCReport {
 // FormatIPC renders the IPC scaling run as a table with per-namespace
 // speedup relative to the single-goroutine cell.
 func FormatIPC(rep IPCReport) string {
-	out := fmt.Sprintf("%-10s %10s %12s %14s %9s\n",
-		"namespace", "goroutines", "ns/op", "ops/sec", "speedup")
+	out := fmt.Sprintf("%-10s %10s %12s %14s %9s %10s %10s\n",
+		"namespace", "goroutines", "ns/op", "ops/sec", "speedup", "allocs/op", "B/op")
 	base := map[string]float64{}
 	for _, c := range rep.Cells {
 		if c.Goroutines == 1 {
@@ -176,8 +185,8 @@ func FormatIPC(rep IPCReport) string {
 		if b := base[c.Namespace]; b > 0 {
 			speedup = c.OpsPerSec / b
 		}
-		out += fmt.Sprintf("%-10s %10d %12.0f %14.0f %8.2fx\n",
-			c.Namespace, c.Goroutines, c.NsPerOp, c.OpsPerSec, speedup)
+		out += fmt.Sprintf("%-10s %10d %12.0f %14.0f %8.2fx %10.2f %10.1f\n",
+			c.Namespace, c.Goroutines, c.NsPerOp, c.OpsPerSec, speedup, c.AllocsPerOp, c.BytesPerOp)
 	}
 	out += fmt.Sprintf("(NumCPU=%d GOMAXPROCS=%d — one op is a full connect/accept/send/recv/close round trip)\n",
 		rep.NumCPU, rep.GOMAXPROCS)

@@ -28,6 +28,11 @@ type ParallelCell struct {
 	Ops        int     `json:"ops"`
 	NsPerOp    float64 `json:"ns_per_op"`
 	OpsPerSec  float64 `json:"ops_per_sec"`
+	// Allocation rate over the measured interval, from runtime.MemStats
+	// deltas across all goroutines (the mediation path itself is designed
+	// to allocate nothing in the steady state).
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
 }
 
 // ParallelReport is the full scaling run, annotated with the hardware
@@ -90,6 +95,7 @@ func RunParallel(itersPerGoroutine int, fanout []int) ParallelReport {
 			}
 
 			var wg sync.WaitGroup
+			m0 := readMem()
 			start := time.Now()
 			for i := 0; i < g; i++ {
 				wg.Add(1)
@@ -102,14 +108,17 @@ func RunParallel(itersPerGoroutine int, fanout []int) ParallelReport {
 			}
 			wg.Wait()
 			elapsed := time.Since(start)
+			m1 := readMemNow()
 
 			ops := g * itersPerGoroutine
 			rep.Cells = append(rep.Cells, ParallelCell{
-				Workload:   wl.Name,
-				Goroutines: g,
-				Ops:        ops,
-				NsPerOp:    float64(elapsed.Nanoseconds()) / float64(ops),
-				OpsPerSec:  float64(ops) / elapsed.Seconds(),
+				Workload:    wl.Name,
+				Goroutines:  g,
+				Ops:         ops,
+				NsPerOp:     float64(elapsed.Nanoseconds()) / float64(ops),
+				OpsPerSec:   float64(ops) / elapsed.Seconds(),
+				AllocsPerOp: float64(m1.Mallocs-m0.Mallocs) / float64(ops),
+				BytesPerOp:  float64(m1.TotalAlloc-m0.TotalAlloc) / float64(ops),
 			})
 		}
 	}
@@ -119,8 +128,8 @@ func RunParallel(itersPerGoroutine int, fanout []int) ParallelReport {
 // FormatParallel renders the scaling run as a table with per-workload
 // speedup relative to the single-goroutine cell.
 func FormatParallel(rep ParallelReport) string {
-	out := fmt.Sprintf("%-12s %10s %12s %14s %9s\n",
-		"workload", "goroutines", "ns/op", "ops/sec", "speedup")
+	out := fmt.Sprintf("%-12s %10s %12s %14s %9s %10s %10s\n",
+		"workload", "goroutines", "ns/op", "ops/sec", "speedup", "allocs/op", "B/op")
 	base := map[string]float64{}
 	for _, c := range rep.Cells {
 		if c.Goroutines == 1 {
@@ -130,8 +139,8 @@ func FormatParallel(rep ParallelReport) string {
 		if b := base[c.Workload]; b > 0 {
 			speedup = c.OpsPerSec / b
 		}
-		out += fmt.Sprintf("%-12s %10d %12.0f %14.0f %8.2fx\n",
-			c.Workload, c.Goroutines, c.NsPerOp, c.OpsPerSec, speedup)
+		out += fmt.Sprintf("%-12s %10d %12.0f %14.0f %8.2fx %10.2f %10.1f\n",
+			c.Workload, c.Goroutines, c.NsPerOp, c.OpsPerSec, speedup, c.AllocsPerOp, c.BytesPerOp)
 	}
 	out += fmt.Sprintf("(NumCPU=%d GOMAXPROCS=%d — speedup is bounded by available cores)\n",
 		rep.NumCPU, rep.GOMAXPROCS)

@@ -25,6 +25,9 @@ type RuleScaleCell struct {
 	Rules   int     `json:"rules"`
 	Ops     int     `json:"ops"`
 	NsPerOp float64 `json:"ns_per_op"`
+	// Allocation rate over the measured interval (MemStats deltas).
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
 }
 
 // RuleScaleReport is the full sweep.
@@ -76,16 +79,20 @@ func RunRuleScale(iters int, sizes []int) RuleScaleReport {
 				body()
 			}
 			runtime.GC()
+			m0 := readMem()
 			start := time.Now()
 			for i := 0; i < iters; i++ {
 				body()
 			}
 			el := time.Since(start)
+			m1 := readMemNow()
 			rep.Cells = append(rep.Cells, RuleScaleCell{
-				Mode:    m.name,
-				Rules:   n,
-				Ops:     iters,
-				NsPerOp: float64(el.Nanoseconds()) / float64(iters),
+				Mode:        m.name,
+				Rules:       n,
+				Ops:         iters,
+				NsPerOp:     float64(el.Nanoseconds()) / float64(iters),
+				AllocsPerOp: float64(m1.Mallocs-m0.Mallocs) / float64(iters),
+				BytesPerOp:  float64(m1.TotalAlloc-m0.TotalAlloc) / float64(iters),
 			})
 		}
 	}
@@ -98,14 +105,14 @@ func FormatRuleScale(rep RuleScaleReport) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Rule-base scaling, %s (ns/op; NumCPU=%d GOMAXPROCS=%d)\n",
 		rep.Workload, rep.NumCPU, rep.GOMAXPROCS)
-	fmt.Fprintf(&b, "%-10s %10s %12s %8s\n", "mode", "rules", "ns/op", "vs min")
+	fmt.Fprintf(&b, "%-10s %10s %12s %8s %10s\n", "mode", "rules", "ns/op", "vs min", "allocs/op")
 	base := map[string]float64{}
 	for _, c := range rep.Cells {
 		if _, ok := base[c.Mode]; !ok {
 			base[c.Mode] = c.NsPerOp
 		}
-		fmt.Fprintf(&b, "%-10s %10d %12.1f %7.2fx\n",
-			c.Mode, c.Rules, c.NsPerOp, c.NsPerOp/base[c.Mode])
+		fmt.Fprintf(&b, "%-10s %10d %12.1f %7.2fx %10.2f\n",
+			c.Mode, c.Rules, c.NsPerOp, c.NsPerOp/base[c.Mode], c.AllocsPerOp)
 	}
 	return b.String()
 }

@@ -49,6 +49,8 @@ func (r *Ring) Cap() int { return len(r.slots) }
 
 // Record stores ev, evicting the oldest entry once the ring is full. The
 // event's Seq is assigned here (1-based).
+//
+//pflint:allow-fn — flight-recorder capture; runs only for sampled or dropped events, not on the accept path.
 func (r *Ring) Record(ev Event) {
 	seq := r.seq.Add(1)
 	ev.Seq = seq

@@ -23,6 +23,15 @@ type Process interface {
 	UserMemory() *ustack.Memory
 	// AddrSpace returns the executable mappings, used to rebase PCs.
 	AddrSpace() *ustack.AddressSpace
+	// StackGen returns a generation counter covering every mutation of the
+	// process's call-stack state: user-memory writes (which include
+	// interpreter frame pushes/pops and deliberate corruption) and
+	// register-only changes (call/ret/PC moves). It is strictly monotonic
+	// within one address-space lifetime; paired with AddrSpace().Gen() —
+	// which is globally unique across all address spaces — it keys the
+	// entrypoint-unwind cache so stacks are re-unwound only when they
+	// actually changed, not once per system call.
+	StackGen() uint64
 	// Interp describes the interpreter runtime, if any: the language and
 	// the user-memory address of its frame structure. Native binaries
 	// return (ustack.LangNative, 0).
@@ -92,6 +101,27 @@ type Request struct {
 
 	// Sig is non-nil for signal delivery requests.
 	Sig *SignalInfo
+
+	// argsBuf backs SyscallArgs for SetArgs callers, so forwarding a
+	// syscall's argument words into the request does not force the caller's
+	// variadic slice onto the heap.
+	argsBuf [8]uint64
+}
+
+// SetArgs copies args into the request's inline buffer and points
+// SyscallArgs at it. The copy means the caller's slice is never retained,
+// so a stack-allocated variadic argument list stays on the stack (retaining
+// it on any path would make the parameter leak and force every call site's
+// slice onto the heap). Like a register-passing syscall ABI the buffer
+// carries at most 8 words; the simulated syscalls use at most four.
+func (r *Request) SetArgs(args ...uint64) {
+	n := copy(r.argsBuf[:], args)
+	r.SyscallArgs = r.argsBuf[:n:n]
+}
+
+// Reset clears the request for reuse, preserving only the inline storage.
+func (r *Request) Reset() {
+	*r = Request{}
 }
 
 // CtxKind is a bit identifying one context field. The engine tracks which
@@ -238,6 +268,21 @@ type EvalCtx struct {
 	portOK bool
 }
 
+// reset prepares a (possibly recycled) context for one request. The whole
+// struct is overwritten: every collected field, counter, and the have mask
+// go back to zero, so no state can bleed from the previous request the
+// context served. The entries slice reference is dropped, not reused — a
+// cached unwind re-attaches from ProcState in O(1), and log consumers may
+// still be aliasing the old slice.
+func (c *EvalCtx) reset(req *Request, e *Engine, rs *ruleset) {
+	*c = EvalCtx{Req: req, engine: e, rs: rs}
+}
+
+// clear drops all references before the context returns to the free list.
+func (c *EvalCtx) clear() {
+	*c = EvalCtx{}
+}
+
 // Require ensures kinds have been collected, invoking context modules as
 // needed. With lazy retrieval disabled the engine pre-collects everything,
 // so Require becomes a no-op.
@@ -294,28 +339,39 @@ func (c *EvalCtx) collect(k CtxKind) {
 
 // collectEntrypoints unwinds the process stack (and interpreter frames) and
 // rebases PCs to (binary, offset) pairs. It consults the per-process cache
-// when the engine's caching optimization is on: the paper observes the call
-// stack is valid throughout a single system call while multiple resource
-// requests are made (Section 4.2).
+// when the engine's caching optimization is on. The cache is keyed on the
+// pair (StackGen, AddrSpace generation), which strictly generalizes the
+// paper's per-syscall validity observation (Section 4.2): the stack is
+// valid not just across the resource requests of one system call but
+// across entire program phases — any call, return, memory write, or mmap
+// invalidates the pair, and execve swaps in an address space whose globally
+// unique generation can never collide with the cached one.
 func (c *EvalCtx) collectEntrypoints() {
 	ps := c.Req.Proc.PFState()
-	if c.engine.cfg.CtxCache && ps.cacheValid && ps.cacheSeq == ps.SyscallSeq {
-		c.entries, c.entryErr = ps.cachedEntries, ps.cachedEntryErr
-		c.ctxCacheHits++
+	if c.engine.cfg.CtxCache {
+		sg := c.Req.Proc.StackGen()
+		mg := c.Req.Proc.AddrSpace().Gen()
+		if ps.cacheValid && ps.cacheStackGen == sg && ps.cacheMapGen == mg {
+			c.entries, c.entryErr = ps.cachedEntries, ps.cachedEntryErr
+			c.ctxCacheHits++
+			return
+		}
+		c.entries, c.entryErr = unwindEntrypoints(c.Req.Proc)
+		c.ctxCollections++
+		ps.cachedEntries, ps.cachedEntryErr = c.entries, c.entryErr
+		ps.cacheStackGen, ps.cacheMapGen = sg, mg
+		ps.cacheValid = true
 		return
 	}
 	c.entries, c.entryErr = unwindEntrypoints(c.Req.Proc)
 	c.ctxCollections++
-	if c.engine.cfg.CtxCache {
-		ps.cachedEntries, ps.cachedEntryErr = c.entries, c.entryErr
-		ps.cacheSeq = ps.SyscallSeq
-		ps.cacheValid = true
-	}
 }
 
 // unwindEntrypoints performs the actual stack walk. Failures are contained:
 // the returned flag marks the context unavailable and only costs the
 // (possibly malicious) process its own protection (paper Section 4.4).
+//
+//pflint:allow-fn — entrypoint-cache miss path, once per program phase (stack/exec generation); cached hits allocate nothing.
 func unwindEntrypoints(p Process) ([]Entrypoint, bool) {
 	pcs, err := ustack.UnwindBinary(p.UserMemory(), p.UserRegs(), ustack.MaxFrames)
 	if err != nil {

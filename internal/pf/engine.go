@@ -5,7 +5,6 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"pfirewall/internal/mac"
 	"pfirewall/internal/ustack"
@@ -110,6 +109,11 @@ type ruleset struct {
 	hasEptRules bool
 	allNeeds    CtxKind
 	totalRules  int
+	// opsPresent has bit op set when some installed rule could apply to
+	// op (a rule with an empty op set applies to every op). The kernel
+	// consults it through MayFilter to skip request construction entirely
+	// for operations no rule mediates.
+	opsPresent uint32
 	// compiled holds the per-chain dispatch indexes when Config.RuleIndex
 	// is set; nil otherwise. Rebuilt from scratch on every publish (see
 	// compile.go) so it is as immutable as the rest of the snapshot.
@@ -133,6 +137,7 @@ func (rs *ruleset) clone() *ruleset {
 		hasEptRules: rs.hasEptRules,
 		allNeeds:    rs.allNeeds,
 		totalRules:  rs.totalRules,
+		opsPresent:  rs.opsPresent,
 	}
 	for name, c := range rs.chains {
 		n.chains[name] = c.clone()
@@ -298,6 +303,7 @@ func (e *Engine) install(chain string, r *Rule, front bool) error {
 		}
 		rs.allNeeds |= r.needs()
 		rs.totalRules++
+		rs.opsPresent |= opsMaskOf(r)
 		indexed := false
 		if r.EntrySet {
 			rs.hasEptRules = true
@@ -368,9 +374,11 @@ func (e *Engine) Remove(chain string, match func(*Rule) bool) error {
 func (rs *ruleset) recomputeDerived() {
 	rs.allNeeds = 0
 	rs.hasEptRules = false
+	rs.opsPresent = 0
 	for _, c := range rs.chains {
 		for _, r := range c.Rules {
 			rs.allNeeds |= r.needs()
+			rs.opsPresent |= opsMaskOf(r)
 			if r.EntrySet {
 				rs.hasEptRules = true
 			}
@@ -398,8 +406,29 @@ func (e *Engine) Flush() error {
 		rs.hasEptRules = false
 		rs.allNeeds = 0
 		rs.totalRules = 0
+		rs.opsPresent = 0
 		return nil
 	})
+}
+
+// opsMaskOf returns the opsPresent contribution of one rule: its explicit
+// op set, or every operation when the rule omits -o. The union is taken
+// over every chain (not just the one dispatched for an op) because jumps
+// can route any built-in chain's traversal through user chains.
+func opsMaskOf(r *Rule) uint32 {
+	if r.Ops == 0 {
+		return ^uint32(0)
+	}
+	return uint32(r.Ops)
+}
+
+// MayFilter reports whether any installed rule could apply to op. A false
+// answer is a guarantee: Filter would return the default accept without
+// consulting any context, so the caller may skip building the request
+// entirely. The kernel uses this as its pre-mediation mask; rule updates
+// publish a new snapshot and naturally refresh the answer.
+func (e *Engine) MayFilter(op Op) bool {
+	return e.rs.Load().opsPresent&(1<<op) != 0
 }
 
 // RuleCount returns the total number of installed rules.
@@ -409,110 +438,15 @@ func (e *Engine) RuleCount() int { return e.rs.Load().totalRules }
 // This is the PF hook body of paper Figure 3: find the next rule, match it
 // against the packet, run its target, until a verdict or the default allow.
 // The read path takes no locks: the rule base is an immutable snapshot.
+// Filter is a one-request batch; multi-request gauntlets (pathname walks,
+// send/recv bursts) use StartBatch directly to amortize setup. The Batch
+// value stays on the caller's stack, so the whole steady-state path
+// allocates nothing.
 func (e *Engine) Filter(req *Request) Verdict {
-	rs := e.rs.Load()
-	pid := req.Proc.PID()
-
-	// Observability: when attached, count every request exactly, but take
-	// the two timestamps only on sampled requests — the timer calls, not
-	// the sharded counter adds, are what would bust the overhead budget.
-	// The sampling decision piggybacks on the request counter this shard
-	// is about to increment anyway (first request per shard samples, so
-	// short workloads still populate the histograms).
-	ob := e.obs.Load()
-	var t0 time.Time
-	sampled := false
-	if ob != nil && e.Stats.Requests.LoadKey(pid)&ob.sampleMask == 0 {
-		sampled = true
-		t0 = time.Now()
-	}
-
-	// Fast path: with no rules installed, every request takes the default
-	// allow without building evaluation context (the BASE configuration of
-	// Table 6 measures exactly this hook cost).
-	if rs.totalRules == 0 {
-		e.Stats.Requests.Add(pid, 1)
-		e.Stats.Accepts.Add(pid, 1)
-		if ob != nil {
-			ob.finish(pid, req, VerdictAccept, sampled, t0, "")
-		}
-		return VerdictAccept
-	}
-
-	ctx := &EvalCtx{Req: req, engine: e, rs: rs}
-	if !e.cfg.LazyCtx {
-		// Unoptimized mode gathers every context field any rule may need
-		// before matching begins (the "naive design" of Section 4.2).
-		ctx.Require(rs.allNeeds)
-	}
-
-	start := "input"
-	if req.Op == OpSyscallBegin {
-		start = "syscallbegin"
-	}
-
-	v, final := VerdictAccept, false
-	// The mangle table runs first for resource requests (it may mark state
-	// or log but can also issue verdicts, as in iptables).
-	if start == "input" {
-		if mangle := rs.chains["mangle/input"]; mangle != nil && len(mangle.Rules) > 0 {
-			if act := e.runChain(ctx, rs, mangle, false); act.Final {
-				v, final = act.Verdict, true
-			}
-		}
-	}
-	if !final {
-		if act := e.runChain(ctx, rs, rs.chains[start], e.cfg.EptChains); act.Final {
-			v, final = act.Verdict, true
-		}
-	}
-
-	// Entrypoint-specific chains: only rules whose entrypoint appears on
-	// the current stack are considered (Section 4.3). If none of the
-	// process's mapped binaries (or interpreter) can appear in the index,
-	// the stack is not even unwound.
-	if !final && e.cfg.EptChains && rs.hasEptRules && mayMatchEpt(rs, req.Proc) {
-		eps, _ := ctx.Entrypoints()
-	scan:
-		for _, ep := range eps {
-			for _, r := range rs.eptIndex[entryKey{start, ep.Path, ep.Off}] {
-				act := e.evalRule(ctx, r)
-				if !act.Final && act.Jump != "" {
-					if c, ok := rs.chains[act.Jump]; ok {
-						act = e.traverse(ctx, rs, c, false)
-					}
-				}
-				if act.Final {
-					v = act.Verdict
-					break scan
-				}
-			}
-		}
-	}
-
-	if v == VerdictDrop && e.LogDenials {
-		e.emitLog(ctx, "denied", VerdictDrop)
-	}
-
-	// Flush batched statistics in one round of sharded atomics per request.
-	e.Stats.Requests.Add(pid, 1)
-	if v == VerdictDrop {
-		e.Stats.Drops.Add(pid, 1)
-	} else {
-		e.Stats.Accepts.Add(pid, 1)
-	}
-	if ctx.rulesEvaluated > 0 {
-		e.Stats.RulesEvaluated.Add(pid, ctx.rulesEvaluated)
-	}
-	if ctx.ctxCollections > 0 {
-		e.Stats.CtxCollections.Add(pid, ctx.ctxCollections)
-	}
-	if ctx.ctxCacheHits > 0 {
-		e.Stats.CtxCacheHits.Add(pid, ctx.ctxCacheHits)
-	}
-	if ob != nil {
-		ob.finish(pid, req, v, sampled, t0, start)
-	}
+	var b Batch
+	e.StartBatch(&b, req.Proc)
+	v := b.Filter(req)
+	b.Finish()
 	return v
 }
 

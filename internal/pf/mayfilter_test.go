@@ -1,0 +1,97 @@
+package pf
+
+import (
+	"testing"
+
+	"pfirewall/internal/mac"
+)
+
+// TestMayFilterSkipParity pins the contract the kernel's pre-mediation
+// fast path depends on: whenever MayFilter(op) reports false, running the
+// full gauntlet for a request with that op MUST yield the default accept —
+// so skipping the request construction entirely is invisible to policy.
+// The parity sweep covers every op against a mixed rule base.
+func TestMayFilterSkipParity(t *testing.T) {
+	pol := testPolicy()
+	e := New(pol, Optimized())
+	proc := newFakeProc(1, sid(pol, "httpd_t"), "/usr/bin/apache2")
+	tmp := sid(pol, "tmp_t")
+
+	// An object that satisfies every non-op predicate of the rules below,
+	// so only the op distinguishes skip from drop.
+	obj := &fakeRes{sid: tmp, id: 3, class: mac.ClassLnkFile}
+
+	parity := func(when string) {
+		t.Helper()
+		for op := Op(0); op < opCount; op++ {
+			if e.MayFilter(op) {
+				continue
+			}
+			if v := e.Filter(&Request{Proc: proc, Op: op, Obj: obj}); v != VerdictAccept {
+				t.Errorf("%s: MayFilter(%v)=false but Filter=%v — skip would change the verdict", when, op, v)
+			}
+		}
+	}
+
+	// Empty base: nothing may filter, everything accepts.
+	for op := Op(0); op < opCount; op++ {
+		if e.MayFilter(op) {
+			t.Fatalf("empty base: MayFilter(%v)=true", op)
+		}
+	}
+	parity("empty base")
+
+	// One op-specific drop rule: only that op may filter, and it really drops.
+	if err := e.Append("input", &Rule{
+		Object: NewSIDSet(false, tmp),
+		Ops:    NewOpSet(OpLnkFileRead),
+		Target: Drop(),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !e.MayFilter(OpLnkFileRead) {
+		t.Error("rule on LNK_FILE_READ installed but MayFilter=false")
+	}
+	if e.MayFilter(OpFileOpen) {
+		t.Error("no FILE_OPEN rule installed but MayFilter=true")
+	}
+	if v := e.Filter(&Request{Proc: proc, Op: OpLnkFileRead, Obj: obj}); v != VerdictDrop {
+		t.Errorf("ruled op must still DROP through the full gauntlet, got %v", v)
+	}
+	parity("single op rule")
+
+	// A rule with no -o applies to every operation: the mask must saturate
+	// (a skip anywhere could change its verdict).
+	wild := &Rule{Subject: NewSIDSet(false, sid(pol, "user_t")), Target: Drop()}
+	if err := e.Append("input", wild); err != nil {
+		t.Fatal(err)
+	}
+	for op := Op(0); op < opCount; op++ {
+		if !e.MayFilter(op) {
+			t.Fatalf("wildcard-op rule installed but MayFilter(%v)=false", op)
+		}
+	}
+
+	// Removing the wildcard rule must recompute the mask from what remains.
+	if err := e.Remove("input", func(r *Rule) bool { return r == wild }); err != nil {
+		t.Fatal(err)
+	}
+	if e.MayFilter(OpFileOpen) {
+		t.Error("mask not recomputed after Remove: FILE_OPEN still claimed")
+	}
+	if !e.MayFilter(OpLnkFileRead) {
+		t.Error("mask over-shrunk after Remove: LNK_FILE_READ rule still installed")
+	}
+	parity("after remove")
+
+	// Flush drops everything; the mask must go dark and parity still hold.
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for op := Op(0); op < opCount; op++ {
+		if e.MayFilter(op) {
+			t.Fatalf("flushed base: MayFilter(%v)=true", op)
+		}
+	}
+	parity("after flush")
+}

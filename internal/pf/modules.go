@@ -40,6 +40,8 @@ func (m *StateMatch) Match(ctx *EvalCtx) bool {
 }
 
 // Args implements Match.
+//
+//pflint:allow-fn — rule-text rendering for listings and logs; never on the accept path.
 func (m *StateMatch) Args() string {
 	op := "--cmp"
 	val := fmt.Sprintf("%d", m.Cmp.Lit)
@@ -83,6 +85,8 @@ func (m *CompareMatch) Match(ctx *EvalCtx) bool {
 }
 
 // Args implements Match.
+//
+//pflint:allow-fn — rule-text rendering for listings and logs; never on the accept path.
 func (m *CompareMatch) Args() string {
 	name := func(v Value) string {
 		if v.Ref == RefLiteral {
@@ -144,6 +148,8 @@ func (m *SyscallArgsMatch) Match(ctx *EvalCtx) bool {
 }
 
 // Args implements Match.
+//
+//pflint:allow-fn — rule-text rendering for listings and logs; never on the accept path.
 func (m *SyscallArgsMatch) Args() string {
 	return fmt.Sprintf("--arg %d --equal %d", m.Arg, m.Equal)
 }
@@ -178,6 +184,8 @@ func (m *AdvAccessMatch) Match(ctx *EvalCtx) bool {
 }
 
 // Args implements Match.
+//
+//pflint:allow-fn — rule-text rendering for listings and logs; never on the accept path.
 func (m *AdvAccessMatch) Args() string {
 	kind := "--read"
 	if m.Write {
@@ -221,6 +229,8 @@ func (m *PeerCredMatch) Match(ctx *EvalCtx) bool {
 }
 
 // Args implements Match.
+//
+//pflint:allow-fn — rule-text rendering for listings and logs; never on the accept path.
 func (m *PeerCredMatch) Args() string {
 	val := fmt.Sprintf("%d", m.UID.Lit)
 	if m.UID.Ref != RefLiteral {
@@ -253,6 +263,8 @@ func (m *SockNSMatch) Match(ctx *EvalCtx) bool {
 }
 
 // Args implements Match.
+//
+//pflint:allow-fn — rule-text rendering for listings and logs; never on the accept path.
 func (m *SockNSMatch) Args() string { return fmt.Sprintf("--ns %s", m.NS) }
 
 // PortMatch tests the port of a port-namespace socket against an inclusive
@@ -274,6 +286,8 @@ func (m *PortMatch) Match(ctx *EvalCtx) bool {
 }
 
 // Args implements Match.
+//
+//pflint:allow-fn — rule-text rendering for listings and logs; never on the accept path.
 func (m *PortMatch) Args() string { return fmt.Sprintf("--min %d --max %d", m.Min, m.Max) }
 
 // --- Target modules ----------------------------------------------------
@@ -359,6 +373,8 @@ func (t *StateTarget) Fire(ctx *EvalCtx) Action {
 }
 
 // Args implements Target.
+//
+//pflint:allow-fn — rule-text rendering for listings and logs; never on the accept path.
 func (t *StateTarget) Args() string {
 	val := fmt.Sprintf("%d", t.Val.Lit)
 	if t.Val.Ref != RefLiteral {
@@ -386,6 +402,8 @@ func (t *LogTarget) Fire(ctx *EvalCtx) Action {
 }
 
 // Args implements Target.
+//
+//pflint:allow-fn — rule-text rendering for listings and logs; never on the accept path.
 func (t *LogTarget) Args() string {
 	if t.Prefix == "" {
 		return ""

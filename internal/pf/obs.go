@@ -142,6 +142,8 @@ func (ob *engineObs) finish(pid int, req *Request, v Verdict, sampled bool, t0 t
 }
 
 // record appends one flight-recorder event.
+//
+//pflint:allow-fn — metrics-layer recording, active only when an observability sink is attached.
 func (ob *engineObs) record(ring *obs.Ring, pid int, req *Request, v Verdict, chain string) {
 	ev := obs.Event{
 		TimeUnixNano: time.Now().UnixNano(),

@@ -85,6 +85,8 @@ var opAliases = map[string]Op{
 }
 
 // String returns the rule-language name of the operation.
+//
+//pflint:allow-fn — diagnostic rendering, reached only from log/flight-record emission.
 func (o Op) String() string {
 	if s, ok := opNames[o]; ok {
 		return s

@@ -39,6 +39,7 @@ func (p *fakeProc) UserRegs() ustack.Regs           { return p.stack.Regs }
 func (p *fakeProc) UserMemory() *ustack.Memory      { return p.mem }
 func (p *fakeProc) AddrSpace() *ustack.AddressSpace { return p.as }
 func (p *fakeProc) Interp() (ustack.Lang, uint64)   { return p.lang, p.head }
+func (p *fakeProc) StackGen() uint64                { return p.mem.Gen() + p.stack.Gen() }
 func (p *fakeProc) PFState() *ProcState             { return p.ps }
 
 type fakeRes struct {
@@ -478,7 +479,12 @@ func TestContextCacheWithinSyscall(t *testing.T) {
 	}
 }
 
-func TestContextCacheInvalidatedAcrossSyscalls(t *testing.T) {
+// TestContextCacheAcrossSyscalls pins the generation-keyed cache contract:
+// the entrypoint unwind is keyed on the (stack, address-space) generation
+// pair, not the syscall sequence. An unchanged stack keeps the cache warm
+// across any number of syscalls (one collection per program phase); any
+// stack mutation — a new call frame here — forces a fresh unwind.
+func TestContextCacheAcrossSyscalls(t *testing.T) {
 	pol := testPolicy()
 	e := New(pol, Config{CtxCache: true, LazyCtx: true})
 	e.Append("input", entryRule(pol, Drop()))
@@ -489,8 +495,16 @@ func TestContextCacheInvalidatedAcrossSyscalls(t *testing.T) {
 		proc.ps.BeginSyscall()
 		e.Filter(&Request{Proc: proc, Op: OpFileOpen, Obj: obj})
 	}
-	if got := e.Stats.CtxCollections.Load(); got != 3 {
-		t.Errorf("collections = %d, want 3 (one per syscall)", got)
+	if got := e.Stats.CtxCollections.Load(); got != 1 {
+		t.Errorf("collections = %d, want 1 (stack unchanged across syscalls)", got)
+	}
+	if err := proc.stack.Call(0x9999); err != nil {
+		t.Fatal(err)
+	}
+	proc.ps.BeginSyscall()
+	e.Filter(&Request{Proc: proc, Op: OpFileOpen, Obj: obj})
+	if got := e.Stats.CtxCollections.Load(); got != 2 {
+		t.Errorf("collections = %d, want 2 after a stack mutation", got)
 	}
 }
 

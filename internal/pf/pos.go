@@ -16,6 +16,8 @@ func (p Pos) IsSet() bool { return p.File != "" || p.Line > 0 || p.Col > 0 }
 
 // String renders the position in the compiler-conventional file:line:col
 // form, omitting unknown components.
+//
+//pflint:allow-fn — diagnostic rendering, reached only from log/flight-record emission.
 func (p Pos) String() string {
 	file := p.File
 	if file == "" {

@@ -40,6 +40,8 @@ func (ss *SIDSet) Contains(s mac.SID) bool {
 }
 
 // SIDs returns the member SIDs in ascending order.
+//
+//pflint:allow-fn — diagnostic rendering, reached only from log/flight-record emission.
 func (ss *SIDSet) SIDs() []mac.SID {
 	out := make([]mac.SID, 0, len(ss.sids))
 	for s := range ss.sids {
@@ -50,6 +52,8 @@ func (ss *SIDSet) SIDs() []mac.SID {
 }
 
 // String renders the set in rule-language syntax using tbl for names.
+//
+//pflint:allow-fn — diagnostic rendering, reached only from log/flight-record emission.
 func (ss *SIDSet) String(tbl *mac.SIDTable) string {
 	if ss == nil {
 		return "any"
@@ -201,6 +205,8 @@ func (r *Rule) matchesDefaults(ctx *EvalCtx) bool {
 }
 
 // String renders the rule approximately in pftables syntax.
+//
+//pflint:allow-fn — renders the full pftables rule text for -L listings and log lines; never on the accept path.
 func (r *Rule) String(tbl *mac.SIDTable) string {
 	var b strings.Builder
 	if r.Program != "" {

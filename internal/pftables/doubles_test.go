@@ -35,6 +35,7 @@ func (p *testProc) UserRegs() ustack.Regs           { return p.stack.Regs }
 func (p *testProc) UserMemory() *ustack.Memory      { return p.mem }
 func (p *testProc) AddrSpace() *ustack.AddressSpace { return p.as }
 func (p *testProc) Interp() (ustack.Lang, uint64)   { return ustack.LangNative, 0 }
+func (p *testProc) StackGen() uint64                { return p.mem.Gen() + p.stack.Gen() }
 func (p *testProc) PFState() *pf.ProcState          { return p.ps }
 
 // testRes is a minimal pf.Resource.

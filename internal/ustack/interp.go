@@ -17,6 +17,8 @@ const (
 )
 
 // String names the language.
+//
+//pflint:allow-fn — diagnostic rendering, reached only from log/flight-record emission.
 func (l Lang) String() string {
 	switch l {
 	case LangNative:
@@ -182,6 +184,8 @@ func (st *InterpState) Pop() error {
 // returning frames innermost-first. It applies the same sanitization rules
 // as UnwindBinary: bounds-checked reads, cycle detection, and a MaxFrames
 // cap. Errors mean the context is unavailable, never a kernel fault.
+//
+//pflint:allow-fn — interpreter unwind on entrypoint-cache miss, once per program phase.
 func UnwindInterp(lang Lang, mem *Memory, headAddr uint64) ([]InterpFrame, error) {
 	switch lang {
 	case LangPython:
@@ -195,6 +199,7 @@ func UnwindInterp(lang Lang, mem *Memory, headAddr uint64) ([]InterpFrame, error
 	}
 }
 
+//pflint:allow-fn — interpreter unwind on entrypoint-cache miss, once per program phase.
 func unwindPython(mem *Memory, headAddr uint64) ([]InterpFrame, error) {
 	count, err := mem.Read(headAddr)
 	if err != nil {
@@ -226,6 +231,8 @@ func unwindPython(mem *Memory, headAddr uint64) ([]InterpFrame, error) {
 
 // unwindLinked walks a linked frame list whose record fields sit at the
 // given offsets relative to the record address.
+//
+//pflint:allow-fn — interpreter unwind on entrypoint-cache miss, once per program phase.
 func unwindLinked(mem *Memory, headAddr uint64, scriptOff, lineOff, nextOff uint64) ([]InterpFrame, error) {
 	head, err := mem.Read(headAddr)
 	if err != nil {

@@ -44,7 +44,14 @@ const MaxFrames = 64
 // the NULL terminator for frame chains.
 type Memory struct {
 	words []uint64
+	gen   uint64
 }
+
+// Gen returns the memory's mutation generation. It changes on every Write,
+// so callers may cache state derived from memory contents (e.g. entrypoint
+// unwinds) keyed on it; any store — including one that corrupts a frame
+// chain — invalidates the cache.
+func (m *Memory) Gen() uint64 { return m.gen }
 
 // NewMemory allocates user memory of n words, reusing recycled address
 // spaces of the same size when available (process exit returns them via
@@ -75,6 +82,8 @@ func (m *Memory) Recycle() {
 func (m *Memory) Size() uint64 { return uint64(len(m.words)) }
 
 // Read performs a bounds-checked load; the copy_from_user analogue.
+//
+//pflint:allow-fn — unwinder memory access on entrypoint-cache miss, once per program phase.
 func (m *Memory) Read(addr uint64) (uint64, error) {
 	if addr == 0 || addr >= uint64(len(m.words)) {
 		return 0, fmt.Errorf("%w: %#x", ErrBadAddress, addr)
@@ -90,6 +99,7 @@ func (m *Memory) Write(addr, val uint64) error {
 		return fmt.Errorf("%w: %#x", ErrBadAddress, addr)
 	}
 	m.words[addr] = val
+	m.gen++
 	return nil
 }
 
@@ -112,6 +122,8 @@ const maxStringLen = 4096
 
 // ReadString loads a length-prefixed string written by WriteString,
 // validating the length against memory bounds.
+//
+//pflint:allow-fn — unwinder memory access on entrypoint-cache miss, once per program phase.
 func (m *Memory) ReadString(addr uint64) (string, error) {
 	n, err := m.Read(addr)
 	if err != nil {
@@ -147,7 +159,13 @@ type Stack struct {
 	Regs Regs
 	base uint64 // lowest address of the stack region
 	sp   uint64 // next free word (grows upward in this simulation)
+	gen  uint64
 }
+
+// Gen returns the stack's mutation generation. It changes on every Call,
+// Ret and SetPC — the register-only mutations Memory.Gen cannot see (Ret
+// and SetPC restore Regs without touching memory).
+func (s *Stack) Gen() uint64 { return s.gen }
 
 // NewStack carves a stack out of mem starting at base.
 func NewStack(mem *Memory, base uint64) *Stack {
@@ -167,6 +185,7 @@ func (s *Stack) Call(callsitePC uint64) error {
 	}
 	s.sp += 2
 	s.Regs.FP = fp
+	s.gen++
 	return nil
 }
 
@@ -184,12 +203,22 @@ func (s *Stack) Ret() error {
 	s.Regs.FP = savedFP
 	s.Regs.PC = retPC
 	s.sp = fp
+	s.gen++
 	return nil
 }
 
 // SetPC records the PC of the instruction about to execute (e.g. the
 // syscall instruction's call site).
-func (s *Stack) SetPC(pc uint64) { s.Regs.PC = pc }
+func (s *Stack) SetPC(pc uint64) {
+	if s.Regs.PC == pc {
+		// Re-arming the same syscall site is not a state change; skipping
+		// the bump keeps generation-keyed caches warm across loops that
+		// set their call site every iteration.
+		return
+	}
+	s.Regs.PC = pc
+	s.gen++
+}
 
 // Depth returns the current number of live frames.
 func (s *Stack) Depth() int { return int((s.sp - s.base) / 2) }
@@ -198,6 +227,8 @@ func (s *Stack) Depth() int { return int((s.sp - s.base) / 2) }
 // innermost (regs.PC) outward. It stops cleanly at the NULL frame pointer.
 // Corrupt chains produce an error; the caller treats the context as
 // unavailable. max caps the walk (use MaxFrames).
+//
+//pflint:allow-fn — native unwind on entrypoint-cache miss, once per program phase.
 func UnwindBinary(mem *Memory, regs Regs, max int) ([]uint64, error) {
 	if max <= 0 {
 		max = MaxFrames

@@ -376,12 +376,68 @@ type Resolved struct {
 // paths, and adversaries on other goroutines may mutate bindings between
 // steps, which is precisely the TOCTTOU surface.
 func (fs *FS) Resolve(cwd *Inode, path string, opts ResolveOpts, m Mediator) (*Resolved, error) {
+	res := &Resolved{}
+	if err := fs.ResolveInto(res, cwd, path, opts, m); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// ResolveInto is Resolve writing into a caller-owned result, the
+// allocation-free entry the kernel's mediation scratch uses. res is fully
+// reset; its Trail backing array is reused across calls, so a caller that
+// retains Trail entries must copy them before the next resolution. On the
+// common shape — absolute path, no chroot, no "." / ".." / duplicate
+// slashes, no symlinks — every intermediate Path string is a substring of
+// path and the walk performs no allocation at all in the steady state.
+func (fs *FS) ResolveInto(res *Resolved, cwd *Inode, path string, opts ResolveOpts, m Mediator) error {
 	fs.Resolutions.Add(1)
 	if m == nil {
 		m = NopMediator
 	}
 	depth := 0
-	return fs.resolve(cwd, path, opts, m, &depth)
+	res.Node, res.Parent, res.Name, res.Path = nil, nil, "", ""
+	res.Trail = res.Trail[:0]
+	return fs.resolveInto(res, cwd, path, opts, m, &depth)
+}
+
+// nextComp returns the half-open byte range [s, e) of the next path
+// component at or after pos, skipping slashes, empty components, and ".".
+// ok is false when no component remains. Index-based scanning replaces
+// strings.Split so resolution does not allocate a component slice.
+func nextComp(path string, pos int) (s, e int, ok bool) {
+	for {
+		for pos < len(path) && path[pos] == '/' {
+			pos++
+		}
+		if pos >= len(path) {
+			return 0, 0, false
+		}
+		s = pos
+		for pos < len(path) && path[pos] != '/' {
+			pos++
+		}
+		e = pos
+		if e-s == 1 && path[s] == '.' {
+			continue
+		}
+		return s, e, true
+	}
+}
+
+// countComponents counts the components nextComp would yield, for the
+// up-front ErrNameTooLong check (kept before any mediation fires, matching
+// the historical behavior of the split-based walk).
+func countComponents(path string) int {
+	n := 0
+	for pos := 0; ; {
+		_, e, ok := nextComp(path, pos)
+		if !ok {
+			return n
+		}
+		n++
+		pos = e
+	}
 }
 
 // child looks up one directory entry, serving from the dentry cache when a
@@ -423,7 +479,11 @@ func (fs *FS) child(dir *Inode, name string) *Inode {
 	return n
 }
 
-func (fs *FS) resolve(cwd *Inode, path string, opts ResolveOpts, m Mediator, depth *int) (*Resolved, error) {
+// resolveInto walks path into the shared res. Recursive symlink resolution
+// passes the same res down, so the Trail accumulates across hops naturally
+// (the old copy-and-prepend is unnecessary) and no per-hop Resolved is
+// allocated.
+func (fs *FS) resolveInto(res *Resolved, cwd *Inode, path string, opts ResolveOpts, m Mediator, depth *int) error {
 	root := fs.root
 	rootPath := ""
 	if opts.Root != nil {
@@ -443,14 +503,13 @@ func (fs *FS) resolve(cwd *Inode, path string, opts ResolveOpts, m Mediator, dep
 			curPath = "."
 		}
 	}
-	comps := split(path)
-	if len(comps) > maxPathComponents {
-		return nil, ErrNameTooLong
+	if countComponents(path) > maxPathComponents {
+		return ErrNameTooLong
 	}
-	res := &Resolved{}
-	if len(comps) == 0 {
+	s, e, ok := nextComp(path, 0)
+	if !ok {
 		if opts.WantParent {
-			return nil, ErrInval
+			return ErrInval
 		}
 		rp := curPath
 		if rp == "" {
@@ -459,16 +518,23 @@ func (fs *FS) resolve(cwd *Inode, path string, opts ResolveOpts, m Mediator, dep
 		a := Access{Node: cur, Path: rp, Class: mac.ClassDir, Want: mac.PermSearch}
 		res.Trail = append(res.Trail, a)
 		if err := m.Mediate(a); err != nil {
-			return nil, err
+			return err
 		}
 		res.Node, res.Parent, res.Path = cur, cur, rp
-		return res, nil
+		return nil
 	}
 
-	for i, comp := range comps {
+	// On the simple shape — absolute path, no chroot, each component
+	// directly following the previous one's slash (no "//", ".", "..") —
+	// the child path for the component ending at e is path[:e] verbatim,
+	// so intermediate paths are substrings instead of joinPath allocations.
+	simple := opts.Root == nil && strings.HasPrefix(path, "/")
+	prevEnd := 0
+	for ok {
+		comp := path[s:e]
 		fs.Components.Add(1)
 		if !cur.IsDir() {
-			return nil, ErrNotDir
+			return ErrNotDir
 		}
 		// Mediate the directory search step.
 		dirPath := curPath
@@ -478,10 +544,11 @@ func (fs *FS) resolve(cwd *Inode, path string, opts ResolveOpts, m Mediator, dep
 		a := Access{Node: cur, Path: dirPath, Class: mac.ClassDir, Want: mac.PermSearch}
 		res.Trail = append(res.Trail, a)
 		if err := m.Mediate(a); err != nil {
-			return nil, err
+			return err
 		}
 
-		final := i == len(comps)-1
+		ns, ne, more := nextComp(path, e)
+		final := !more
 		var next *Inode
 		if comp == ".." {
 			// Parent tracking: directories do not store parent pointers in
@@ -496,32 +563,42 @@ func (fs *FS) resolve(cwd *Inode, path string, opts ResolveOpts, m Mediator, dep
 		} else {
 			next = fs.child(cur, comp)
 		}
-		childPath := joinPath(curPath, comp)
+		// The contiguity check s == prevEnd+1 also rejects skipped "." or
+		// empty components, which would make path[:e] unclean.
+		simple = simple && s == prevEnd+1 && comp != ".."
+		var childPath string
+		if simple {
+			childPath = path[:e]
+		} else {
+			childPath = joinPath(curPath, comp)
+		}
 
 		if next == nil {
 			if final && opts.WantParent {
 				res.Parent, res.Name, res.Path = cur, comp, childPath
-				return res, nil
+				return nil
 			}
-			return nil, ErrNotExist
+			return ErrNotExist
 		}
 
 		// Symbolic link handling.
 		if next.IsSymlink() && (!final || opts.FollowFinal) {
 			*depth++
 			if *depth > maxSymlinkDepth {
-				return nil, ErrLoop
+				return ErrLoop
 			}
 			la := Access{Node: next, Path: childPath, Class: mac.ClassLnkFile, Want: mac.PermRead}
 			res.Trail = append(res.Trail, la)
 			if err := m.Mediate(la); err != nil {
-				return nil, err
+				return err
 			}
-			// Resolve the link target, then continue with remaining comps.
-			rest := strings.Join(comps[i+1:], "/")
+			// Resolve the link target, then continue with the remaining
+			// suffix of path (path[e] is '/' whenever more components
+			// follow, so the concatenation stays a clean join; nextComp
+			// re-skips any "." or "//" in the suffix).
 			target := next.Target
-			if rest != "" {
-				target = target + "/" + rest
+			if more {
+				target = target + path[e:]
 			}
 			start := cur
 			if strings.HasPrefix(next.Target, "/") {
@@ -532,26 +609,23 @@ func (fs *FS) resolve(cwd *Inode, path string, opts ResolveOpts, m Mediator, dep
 			// the link target path itself for labeling/paths.
 			subOpts := opts
 			subOpts.CwdPath = curPath
-			sub, err := fs.resolve(start, target, subOpts, m, depth)
-			if err != nil {
-				return nil, err
-			}
-			sub.Trail = append(res.Trail, sub.Trail...)
-			return sub, nil
+			return fs.resolveInto(res, start, target, subOpts, m, depth)
 		}
 
 		if final {
 			if opts.WantParent {
 				res.Parent, res.Name, res.Path, res.Node = cur, comp, childPath, next
-				return res, nil
+				return nil
 			}
 			res.Node, res.Parent, res.Name, res.Path = next, cur, comp, childPath
-			return res, nil
+			return nil
 		}
 		cur = next
 		curPath = childPath
+		prevEnd = e
+		s, e, ok = ns, ne, more
 	}
-	return nil, ErrNotExist // unreachable
+	return ErrNotExist // unreachable
 }
 
 // parentOf finds the directory containing dir by scanning from the
