@@ -12,10 +12,15 @@
 # bytes/op and tail latency on the armed hot path; `bench-alloc-smoke` is
 # the CI variant that additionally fails if the open+close or stat rows
 # allocate at all) so the perf trajectory is tracked across PRs.
+# `make bench-worldscale` refreshes BENCH_worldscale.json — the worldgen +
+# fleet stress bed (throughput and mediation latency percentiles vs world
+# size up to a million inodes and fleet size, under live process churn and
+# rule mutation); it takes minutes and is the perf-PR gate, while
+# `bench-worldscale-smoke` is the seconds-long CI cell on the tiny world.
 
 GO ?= go
 
-.PHONY: all vet gofmt-check pflint pflint-alloc lint build test test-race ci check bench-smoke bench-hotpath bench-ipc bench-obs bench-rulescale bench-rulescale-smoke bench-alloc bench-alloc-smoke
+.PHONY: all vet gofmt-check pflint pflint-alloc lint build test test-race ci check bench-smoke bench-hotpath bench-ipc bench-obs bench-rulescale bench-rulescale-smoke bench-alloc bench-alloc-smoke bench-worldscale bench-worldscale-smoke
 
 all: lint ci check
 
@@ -87,3 +92,15 @@ bench-alloc:
 # fails if the single-syscall file workloads allocate at all.
 bench-alloc-smoke:
 	$(GO) run ./cmd/pfbench -alloc -alloc-gate -iters 4000 -alloc-json BENCH_alloc.json
+
+# The full sweep: small/medium/large worlds (the large preset crosses a
+# million inodes) × 4/8-instance fleets, 2s of churned traffic per cell.
+# Run this on performance PRs; it is the standing regression bed.
+bench-worldscale:
+	$(GO) run ./cmd/pfbench -worldscale -worldscale-secs 2 -worldscale-json BENCH_worldscale.json
+
+# CI variant: the tiny world and a small fleet for a fraction of a second
+# per cell — proves the bed runs (conservation, no unexpected verdicts)
+# without holding the pipeline for minutes.
+bench-worldscale-smoke:
+	$(GO) run ./cmd/pfbench -worldscale -worldscale-sizes tiny,small -worldscale-fleets 2 -worldscale-secs 0.3 -worldscale-json BENCH_worldscale_smoke.json

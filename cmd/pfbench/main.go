@@ -9,6 +9,7 @@
 //	pfbench -ipc       # socket round-trip scaling across the three namespaces
 //	pfbench -rulescale # ns/op vs rule-base size, compiled dispatch vs linear
 //	pfbench -alloc     # allocs/op, bytes/op and tail latency on the hot path
+//	pfbench -worldscale # fleet traffic vs world size (worldgen + fleet stress bed)
 //	pfbench -all       # everything
 //
 // -iters and -requests trade precision for runtime. -json writes the
@@ -20,6 +21,12 @@
 // metrics layer off vs on); -obs-json writes its report, e.g.
 // `pfbench -obs -obs-json BENCH_obs.json`. -cpuprofile, -memprofile and
 // -trace capture pprof/runtime-trace artifacts of whatever ran.
+//
+// -worldscale sweeps the standing stress bed: deployment-scale worlds
+// (up to a million inodes) under a supervised daemon fleet with live
+// process churn and concurrent rule mutation. -worldscale-json writes
+// BENCH_worldscale.json; -worldscale-sizes/-fleets/-secs/-seed shape the
+// sweep.
 package main
 
 import (
@@ -30,6 +37,8 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"runtime/trace"
+	"strconv"
+	"strings"
 
 	"pfirewall/internal/lmbench"
 	"pfirewall/internal/rulegen"
@@ -48,6 +57,7 @@ func main() {
 	ruleScale := flag.Bool("rulescale", false, "run the rule-base scaling comparison (compiled dispatch vs linear)")
 	allocRun := flag.Bool("alloc", false, "run the hot-path allocation profile (allocs/op, bytes/op, p99)")
 	allocGate := flag.Bool("alloc-gate", false, "with -alloc: fail if the open+close or stat workload allocates at all")
+	worldScale := flag.Bool("worldscale", false, "run the fleet stress bed across world sizes and fleet sizes")
 	all := flag.Bool("all", false, "run everything")
 	iters := flag.Int("iters", 20000, "iterations per microbenchmark cell")
 	requests := flag.Int("requests", 300, "requests per client per web cell")
@@ -59,16 +69,23 @@ func main() {
 	ruleScaleJSONPath := flag.String("rulescale-json", "", "write -rulescale results as JSON to this file")
 	allocJSONPath := flag.String("alloc-json", "", "write -alloc results as JSON to this file")
 	ruleScaleMax := flag.Int("rulescale-max", 0, "largest -rulescale rule-base size (0: all standard sizes)")
+	worldScaleJSONPath := flag.String("worldscale-json", "", "write -worldscale results as JSON to this file")
+	worldScaleSizes := flag.String("worldscale-sizes", "", "comma-separated worldgen presets for -worldscale (default small,medium,large)")
+	worldScaleFleets := flag.String("worldscale-fleets", "", "comma-separated fleet sizes for -worldscale (default 4,8)")
+	worldScaleSecs := flag.Float64("worldscale-secs", 2, "traffic seconds per -worldscale cell")
+	worldScaleSeed := flag.Uint64("worldscale-seed", 1, "seed for -worldscale worlds and fleet schedules")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	tracePath := flag.String("trace", "", "write a runtime execution trace to this file")
 	flag.Parse()
 
-	if !*t6 && !*t7 && !*f4 && !*f5 && !*par && !*ipc && !*obsRun && !*ruleScale && !*allocRun && !*all {
+	if !*t6 && !*t7 && !*f4 && !*f5 && !*par && !*ipc && !*obsRun && !*ruleScale && !*allocRun && !*worldScale && !*all {
 		flag.Usage()
 		return
 	}
 	if *all {
+		// -worldscale stays opt-in: the full sweep builds million-inode
+		// worlds and holds each cell under traffic for -worldscale-secs.
 		*t6, *t7, *f4, *f5, *par, *ipc, *obsRun, *ruleScale, *allocRun = true, true, true, true, true, true, true, true, true
 	}
 
@@ -127,25 +144,16 @@ func main() {
 		fmt.Println()
 	}
 	if *par {
-		fmt.Println("Hot-path scaling: mediated syscalls across concurrent processes")
 		rep := lmbench.RunParallel(*iters, lmbench.ParallelFanout)
-		fmt.Print(lmbench.FormatParallel(rep))
-		fmt.Println()
-		if *jsonPath != "" {
-			writeJSON(*jsonPath, rep)
-		}
+		emit("Hot-path scaling: mediated syscalls across concurrent processes",
+			lmbench.FormatParallel(rep), *jsonPath, rep)
 	}
 	if *ipc {
-		fmt.Println("IPC scaling: socket round trips across concurrent daemon/client pairs")
 		rep := lmbench.RunIPC(*iters, lmbench.ParallelFanout)
-		fmt.Print(lmbench.FormatIPC(rep))
-		fmt.Println()
-		if *ipcJSONPath != "" {
-			writeJSON(*ipcJSONPath, rep)
-		}
+		emit("IPC scaling: socket round trips across concurrent daemon/client pairs",
+			lmbench.FormatIPC(rep), *ipcJSONPath, rep)
 	}
 	if *ruleScale {
-		fmt.Println("Rule-base scaling: compiled dispatch vs linear traversal")
 		sizes := rulegen.ScaleSizes
 		if *ruleScaleMax > 0 {
 			var trimmed []int
@@ -157,20 +165,13 @@ func main() {
 			sizes = trimmed
 		}
 		rep := lmbench.RunRuleScale(*iters, sizes)
-		fmt.Print(lmbench.FormatRuleScale(rep))
-		fmt.Println()
-		if *ruleScaleJSONPath != "" {
-			writeJSON(*ruleScaleJSONPath, rep)
-		}
+		emit("Rule-base scaling: compiled dispatch vs linear traversal",
+			lmbench.FormatRuleScale(rep), *ruleScaleJSONPath, rep)
 	}
 	if *allocRun {
-		fmt.Println("Hot-path allocation profile: per-op heap traffic and tail latency")
 		rep := lmbench.RunAlloc(*iters)
-		fmt.Print(lmbench.FormatAlloc(rep))
-		fmt.Println()
-		if *allocJSONPath != "" {
-			writeJSON(*allocJSONPath, rep)
-		}
+		emit("Hot-path allocation profile: per-op heap traffic and tail latency",
+			lmbench.FormatAlloc(rep), *allocJSONPath, rep)
 		if *allocGate {
 			for _, c := range rep.Cells {
 				if (c.Workload == "open+close" || c.Workload == "stat") && c.AllocsPerOp != 0 {
@@ -181,14 +182,53 @@ func main() {
 		}
 	}
 	if *obsRun {
-		fmt.Println("Observability overhead: hot paths with the metrics layer off vs on")
 		rep := lmbench.RunObsOverhead(*iters, *sampleEvery, lmbench.ParallelFanout)
-		fmt.Print(lmbench.FormatObsOverhead(rep))
-		fmt.Println()
-		if *obsJSONPath != "" {
-			writeJSON(*obsJSONPath, rep)
+		emit("Observability overhead: hot paths with the metrics layer off vs on",
+			lmbench.FormatObsOverhead(rep), *obsJSONPath, rep)
+	}
+	if *worldScale {
+		sizes := lmbench.WorldScaleSizes
+		if *worldScaleSizes != "" {
+			sizes = splitList(*worldScaleSizes)
+		}
+		fleets := lmbench.WorldScaleFleets
+		if *worldScaleFleets != "" {
+			fleets = nil
+			for _, s := range splitList(*worldScaleFleets) {
+				n, err := strconv.Atoi(s)
+				if err != nil || n < 1 {
+					fatal("worldscale-fleets:", fmt.Errorf("bad fleet size %q", s))
+				}
+				fleets = append(fleets, n)
+			}
+		}
+		rep := lmbench.RunWorldScale(sizes, fleets, *worldScaleSecs, *worldScaleSeed)
+		emit("World scaling: fleet traffic under churn vs world size and fleet size",
+			lmbench.FormatWorldScale(rep), *worldScaleJSONPath, rep)
+	}
+}
+
+// emit prints one benchmark section — header, formatted table, blank
+// separator — and writes the report as JSON when a path was given. Every
+// bench funnels through here so the console and JSON shapes stay uniform.
+func emit(header, text, jsonPath string, rep any) {
+	fmt.Println(header)
+	fmt.Print(text)
+	fmt.Println()
+	if jsonPath != "" {
+		writeJSON(jsonPath, rep)
+	}
+}
+
+// splitList splits a comma-separated flag value, dropping empty items.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
 		}
 	}
+	return out
 }
 
 func fatal(prefix string, err error) {

@@ -19,6 +19,16 @@
 //	pfctl -stats              # run the demo workload, dump metrics as JSON
 //	pfctl -stats-prom         # same, Prometheus text exposition format
 //	pfctl -listen :9090       # serve /metrics and /vars over HTTP
+//
+// -world swaps the canned demo for the deployment-scale stress bed: it
+// builds a seeded worldgen world (tiny/small/medium/large) and drives a
+// supervised daemon fleet against it with live process churn, rule
+// mutation, and adversary noise, then prints the fleet report. -fleet,
+// -duration and -seed shape the run; combined with -stats/-listen the
+// fleet traffic populates the exported metrics instead:
+//
+//	pfctl -world small -fleet 8 -duration 5s   # interactive stress run
+//	pfctl -world tiny -stats                   # fleet-fed metrics dump
 package main
 
 import (
@@ -33,6 +43,7 @@ import (
 	"time"
 
 	"pfirewall/internal/audit"
+	"pfirewall/internal/fleet"
 	"pfirewall/internal/kernel"
 	"pfirewall/internal/mac"
 	"pfirewall/internal/obs"
@@ -42,6 +53,7 @@ import (
 	"pfirewall/internal/programs"
 	"pfirewall/internal/rulegen"
 	"pfirewall/internal/trace"
+	"pfirewall/internal/worldgen"
 )
 
 func main() {
@@ -68,12 +80,16 @@ func run(args []string, out io.Writer) error {
 	listen := fs.String("listen", "", "serve /metrics (Prometheus) and /vars (JSON) on this address after running the workload")
 	checkOnly := fs.Bool("check", false, "statically analyze the ruleset (shadowing, reachability, symbols) without installing it; exit non-zero on error findings")
 	scale := fs.Int("scale", 0, "with -check: analyze a deterministic synthetic rule base of this many rules")
+	world := fs.String("world", "", "run the fleet stress bed against this worldgen preset (tiny/small/medium/large) instead of the canned demo")
+	fleetSize := fs.Int("fleet", 4, "with -world: number of fleet instances")
+	duration := fs.Duration("duration", 2*time.Second, "with -world: how long the fleet serves traffic")
+	seed := fs.Uint64("seed", 1, "with -world: seed for the world tree and fleet schedule")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	exporting := *stats || *statsProm || *listen != ""
-	if exporting {
+	if exporting || *world != "" {
 		*workload = true
 	}
 
@@ -87,7 +103,20 @@ func run(args []string, out io.Writer) error {
 		wopts.Obs = reg
 		wopts.ObsEvery = 1
 	}
-	w := programs.NewWorld(wopts)
+	var w *programs.World
+	var gw *worldgen.World
+	if *world != "" {
+		spec, ok := worldgen.SpecByName(*world)
+		if !ok {
+			return fmt.Errorf("unknown world preset %q (want tiny/small/medium/large)", *world)
+		}
+		spec.Seed = *seed
+		wopts.MACEnforcing = true
+		gw = worldgen.Build(spec, wopts)
+		w = gw.World
+	} else {
+		w = programs.NewWorld(wopts)
+	}
 
 	var store *trace.Store
 	if exporting {
@@ -99,6 +128,10 @@ func run(args []string, out io.Writer) error {
 	var lines []string
 	srcName := "<input>"
 	switch {
+	case *world != "":
+		// worldgen.Build installed the world's own rule base (standard
+		// rules + per-tenant guards + scale filler) during construction.
+		srcName = "<worldgen>"
 	case *scale > 0:
 		if !*checkOnly {
 			return fmt.Errorf("-scale requires -check")
@@ -179,7 +212,12 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "[%s/%s] %s\n", cmd.Table, cmd.Chain, cmd.Rule.String(w.K.Policy.SIDs()))
 	}
 	if !exporting {
-		fmt.Fprintf(out, "# %d rules installed; chains: %s\n", installed, strings.Join(w.Engine.Chains(), ", "))
+		if gw != nil {
+			fmt.Fprintf(out, "# world %s: %d inodes, %d users, %d labels, %d rules (built in %.0fms)\n",
+				gw.Spec.Name, gw.Stats.Inodes, gw.Stats.Users, gw.Stats.Labels, gw.Stats.Rules, gw.Stats.BuildMs)
+		} else {
+			fmt.Fprintf(out, "# %d rules installed; chains: %s\n", installed, strings.Join(w.Engine.Chains(), ", "))
+		}
 	}
 
 	// Load-time analysis: in export mode the installed ruleset is analyzed
@@ -194,7 +232,11 @@ func run(args []string, out io.Writer) error {
 	}
 
 	if *workload {
-		runWorkload(w)
+		if gw != nil {
+			runFleet(out, gw, *fleetSize, *duration, *seed, exporting)
+		} else {
+			runWorkload(w)
+		}
 	}
 	if *list {
 		listRules(w.Engine, out)
@@ -260,6 +302,25 @@ func runWorkload(w *programs.World) {
 	if fd, err := sshd.Open("/tmp/trap", kernel.O_RDONLY, 0); err == nil {
 		// Only reached when the installed rules lack a link-walk guard.
 		sshd.Close(fd)
+	}
+}
+
+// runFleet is pfctl -world: the deployment-scale stress bed. A supervised
+// mixed fleet (apache, sshd, dbus, php personas) serves traffic against
+// the worldgen tree for the given duration with process churn, rule
+// mutation, and adversary filesystem noise all live. In export mode the
+// report is suppressed — the traffic exists to feed the metrics registry,
+// and stdout must stay a clean JSON/Prometheus stream.
+func runFleet(out io.Writer, gw *worldgen.World, instances int, d time.Duration, seed uint64, exporting bool) {
+	fl := fleet.New(gw, fleet.Config{
+		Seed:      seed,
+		Instances: instances,
+		Duration:  d,
+		RuleChurn: true, ProcChurn: true, AdversaryChurn: true,
+	})
+	rep := fl.Run()
+	if !exporting {
+		fmt.Fprint(out, fleet.Format(rep))
 	}
 }
 

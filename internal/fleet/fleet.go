@@ -1,0 +1,360 @@
+// Package fleet keeps a mixed population of simulated daemons —
+// Apache workers, mod_php interpreters, sshd session spawners, D-Bus
+// daemons with their clients — serving traffic against a worldgen world
+// for a configurable duration, under a process-manager discipline:
+// supervised start/stop/restart with readiness, per-instance bounded
+// logs, a seeded crash/restart schedule (live process churn), plus
+// concurrent rule-base mutation and filesystem adversary noise underneath.
+// It is the standing stress bed for the mediation stack: throughput and
+// latency percentiles come out of it, and so does the "no lost verdicts"
+// conservation check (every request the engine saw was either accepted or
+// dropped, across all churn).
+package fleet
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pfirewall/internal/kernel"
+	"pfirewall/internal/pf"
+	"pfirewall/internal/pftables"
+	"pfirewall/internal/programs"
+	"pfirewall/internal/worldgen"
+)
+
+// xorshift64 is the repo's deterministic PRNG (one copy per stream so
+// streams never interleave).
+type xorshift64 struct{ s uint64 }
+
+func (x *xorshift64) next() uint64 {
+	x.s ^= x.s << 13
+	x.s ^= x.s >> 7
+	x.s ^= x.s << 17
+	return x.s
+}
+
+func (x *xorshift64) intn(n int) int { return int(x.next() % uint64(n)) }
+
+// Config shapes one fleet run.
+type Config struct {
+	// Seed drives instance traffic, the churn schedule, and the mutator
+	// streams. Same seed + same shape = same plan (see ScheduleHash).
+	Seed uint64 `json:"seed"`
+	// Instances is the fleet size; kinds rotate apache/sshd/dbus/php.
+	Instances int `json:"instances"`
+	// Duration is how long instances serve traffic.
+	Duration time.Duration `json:"-"`
+
+	// RuleChurn runs the concurrent rule mutator: waves of tagged inert
+	// rules installed and removed, with periodic full Flush + reinstall of
+	// the world's rule base.
+	RuleChurn bool `json:"rule_churn"`
+	// ProcChurn executes the seeded crash/restart schedule.
+	ProcChurn bool `json:"proc_churn"`
+	// AdversaryChurn runs a tenant-user process mutating shared /tmp
+	// (create/unlink/symlink flips — dcache invalidation load).
+	AdversaryChurn bool `json:"adversary_churn"`
+
+	// ChurnActions sizes the process-churn schedule (default: one slot
+	// per instance).
+	ChurnActions int `json:"churn_actions"`
+	// SampleCap bounds each instance's latency ring (default 8192).
+	SampleCap int `json:"sample_cap"`
+}
+
+// Fleet is one supervised run against a world.
+type Fleet struct {
+	W   *worldgen.World
+	Cfg Config
+
+	instances []*Instance
+	schedule  []ChurnAction
+
+	// ruleEpoch is even when the rule base is quiescent and odd while the
+	// mutator is mid-change; instances assert guard verdicts strictly only
+	// across stable even windows.
+	ruleEpoch     atomic.Uint64
+	ruleMutations atomic.Uint64
+	advOps        atomic.Uint64
+	dropsSend     atomic.Uint64 // schedule actions dropped on full queues
+
+	stopCh  chan struct{}
+	helpers sync.WaitGroup
+	t0      time.Time
+	started bool
+	elapsed time.Duration
+}
+
+// New plans a fleet over a built world. The world must carry an attached
+// PF engine when RuleChurn is set.
+func New(w *worldgen.World, cfg Config) *Fleet {
+	if cfg.Instances < 1 {
+		cfg.Instances = 4
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = time.Second
+	}
+	if cfg.SampleCap <= 0 {
+		cfg.SampleCap = 8192
+	}
+	if cfg.ChurnActions <= 0 {
+		cfg.ChurnActions = cfg.Instances
+	}
+	fl := &Fleet{W: w, Cfg: cfg, stopCh: make(chan struct{})}
+	for i := 0; i < cfg.Instances; i++ {
+		fl.instances = append(fl.instances, newInstance(fl, i))
+	}
+	if cfg.ProcChurn {
+		fl.schedule = BuildSchedule(cfg.Seed, cfg.Instances, cfg.ChurnActions)
+	}
+	return fl
+}
+
+// Instances lists the fleet's members.
+func (fl *Fleet) Instances() []*Instance { return fl.instances }
+
+// Instance returns the named member.
+func (fl *Fleet) Instance(name string) *Instance {
+	for _, in := range fl.instances {
+		if in.name == name {
+			return in
+		}
+	}
+	return nil
+}
+
+// epochStable runs f and reports whether the rule base was quiescent for
+// its whole extent (epoch even and unchanged).
+func (fl *Fleet) epochStable(f func()) bool {
+	e0 := fl.ruleEpoch.Load()
+	f()
+	return fl.ruleEpoch.Load() == e0 && e0&1 == 0
+}
+
+// Start launches the instance goroutines and the churn helpers. The run
+// ends at the configured duration; Wait collects it.
+func (fl *Fleet) Start() {
+	if fl.started {
+		panic("fleet: Start called twice")
+	}
+	fl.started = true
+	fl.t0 = time.Now()
+	deadline := fl.t0.Add(fl.Cfg.Duration)
+	for _, in := range fl.instances {
+		go in.run(deadline)
+	}
+	if fl.Cfg.ProcChurn {
+		fl.helpers.Add(1)
+		go fl.supervise()
+	}
+	if fl.Cfg.RuleChurn && fl.W.Engine != nil {
+		fl.helpers.Add(1)
+		go fl.ruleChurn()
+	}
+	if fl.Cfg.AdversaryChurn {
+		fl.helpers.Add(1)
+		go fl.adversary()
+	}
+}
+
+// Await blocks until the named instance reaches state (or timeout).
+func (fl *Fleet) Await(name string, s State, timeout time.Duration) bool {
+	in := fl.Instance(name)
+	if in == nil {
+		return false
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		if in.State() == s {
+			return true
+		}
+		if !time.Now().Before(deadline) {
+			return false
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+// Stop asks the named instance to stop gracefully.
+func (fl *Fleet) Stop(name string) bool {
+	in := fl.Instance(name)
+	return in != nil && in.send(cmdStop)
+}
+
+// Restart asks the named instance to recycle (or revive, if crashed).
+func (fl *Fleet) Restart(name string) bool {
+	in := fl.Instance(name)
+	return in != nil && in.send(cmdRestart)
+}
+
+// Crash kills the named instance's processes abruptly.
+func (fl *Fleet) Crash(name string) bool {
+	in := fl.Instance(name)
+	return in != nil && in.send(cmdCrash)
+}
+
+// Wait blocks until every instance stopped (at the deadline or earlier),
+// shuts the churn helpers down, and assembles the report.
+func (fl *Fleet) Wait() Report {
+	for _, in := range fl.instances {
+		<-in.done
+	}
+	fl.elapsed = time.Since(fl.t0)
+	close(fl.stopCh)
+	fl.helpers.Wait()
+	return fl.report()
+}
+
+// Run is Start + Wait.
+func (fl *Fleet) Run() Report {
+	fl.Start()
+	return fl.Wait()
+}
+
+// supervise executes the precomputed churn schedule against the clock.
+func (fl *Fleet) supervise() {
+	defer fl.helpers.Done()
+	for _, a := range fl.schedule {
+		at := fl.t0.Add(time.Duration(a.At * float64(fl.Cfg.Duration)))
+		wait := time.Until(at)
+		if wait > 0 {
+			t := time.NewTimer(wait)
+			select {
+			case <-fl.stopCh:
+				t.Stop()
+				return
+			case <-t.C:
+			}
+		}
+		in := fl.instances[a.Instance]
+		var ok bool
+		switch a.Verb {
+		case VerbCrash:
+			ok = in.send(cmdCrash)
+		case VerbRestart:
+			ok = in.send(cmdRestart)
+		}
+		if !ok {
+			fl.dropsSend.Add(1)
+		}
+	}
+}
+
+// churnTag marks mutator-installed rules so removal can match exactly the
+// rules this goroutine owns, via each rule's recorded source position.
+const churnTag = "<fleet-churn>"
+
+// churnWave is how many tagged rules one install wave adds.
+const churnWave = 16
+
+// ruleChurn is the concurrent rule mutator: install a wave of tagged
+// rules, remove them again, and every few cycles flush the whole engine
+// and reinstall the world's rule base from scratch — the harshest
+// realistic update pattern (policy reload) racing live traffic. The
+// epoch is odd for the full extent of every mutation.
+func (fl *Fleet) ruleChurn() {
+	defer fl.helpers.Done()
+	eng := fl.W.Engine
+	env := fl.W.Env
+	base := worldgen.Rules(fl.W.Spec)
+	rng := xorshift64{s: fl.Cfg.Seed ^ 0xda3e39cb94b95bdb | 1}
+	cycle := 0
+	for {
+		select {
+		case <-fl.stopCh:
+			return
+		default:
+		}
+		fl.ruleEpoch.Add(1) // odd: mutation window opens
+		if cycle%8 == 7 {
+			// Full policy reload under fire.
+			if err := eng.Flush(); err != nil {
+				panic(fmt.Sprintf("fleet: flush: %v", err))
+			}
+			if _, err := pftables.InstallAll(env, eng, base); err != nil {
+				panic(fmt.Sprintf("fleet: reinstall: %v", err))
+			}
+		} else {
+			// Wave of tagged inert rules (a dead entrypoint of an unrelated
+			// binary, so live traffic verdicts are unaffected), then remove
+			// exactly those by tag.
+			for i := 0; i < churnWave; i++ {
+				line := fmt.Sprintf("pftables -p %s -i 0x%x -d {tmp_t} -o FILE_UNLINK -j DROP",
+					programs.BinBash, 0xdead00+rng.intn(256))
+				if _, err := pftables.InstallAt(env, eng, line, pf.Pos{File: churnTag, Line: i}); err != nil {
+					panic(fmt.Sprintf("fleet: churn install: %v", err))
+				}
+			}
+			// Remove deletes one matching rule per call; drain every chain
+			// of the tagged wave (a miss just means that chain is clean).
+			removed := 0
+			for _, chain := range eng.Chains() {
+				for eng.Remove(chain, func(r *pf.Rule) bool { return r.Src.File == churnTag }) == nil {
+					removed++
+				}
+			}
+			if removed != churnWave {
+				panic(fmt.Sprintf("fleet: churn removed %d of %d tagged rules", removed, churnWave))
+			}
+		}
+		fl.ruleEpoch.Add(1) // even: quiescent again
+		fl.ruleMutations.Add(1)
+		cycle++
+		// Pace mutations so traffic sees long stable windows between them.
+		t := time.NewTimer(2 * time.Millisecond)
+		select {
+		case <-fl.stopCh:
+			t.Stop()
+			return
+		case <-t.C:
+		}
+	}
+}
+
+// adversary is the filesystem noise generator: a tenant user process
+// creating, unlinking, and re-pointing symlinks in shared /tmp — every
+// mutation bumps the directory's dentry generation, so concurrent
+// path walks constantly revalidate against a moving namespace.
+func (fl *Fleet) adversary() {
+	defer fl.helpers.Done()
+	rng := xorshift64{s: fl.Cfg.Seed ^ 0x94d049bb133111eb | 1}
+	spec := fl.W.Spec
+	adv := fl.W.NewTenantUser(rng.intn(maxInt(spec.Tenants, 1)), 0)
+	defer adv.Exit(0)
+	slot := 0
+	for {
+		select {
+		case <-fl.stopCh:
+			return
+		default:
+		}
+		name := fmt.Sprintf("/tmp/churn-%d", slot%8)
+		switch rng.intn(3) {
+		case 0:
+			if fd, err := adv.Open(name, kernel.O_WRONLY|kernel.O_CREAT, 0o644); err == nil {
+				adv.Close(fd)
+			}
+		case 1:
+			adv.Unlink(name)
+		default:
+			// Flip: point the lure somewhere else (classic TOCTTOU bait).
+			adv.Unlink(name)
+			target := "/etc/passwd"
+			if rng.intn(2) == 0 {
+				target = worldgen.HomeFilePath(rng.intn(maxInt(spec.Tenants, 1)), 0, 0)
+			}
+			adv.Symlink(target, name)
+		}
+		fl.advOps.Add(1)
+		slot++
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,165 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+
+	"pfirewall/internal/pf"
+	"pfirewall/internal/programs"
+	"pfirewall/internal/worldgen"
+)
+
+func testWorld(t *testing.T) *worldgen.World {
+	t.Helper()
+	cfg := pf.Optimized()
+	return worldgen.Build(worldgen.Tiny, programs.WorldOpts{PF: &cfg, MACEnforcing: true})
+}
+
+// TestScheduleDeterminism is the fleet half of the determinism satellite:
+// same seed and shape → identical plans; different seed → different plan.
+func TestScheduleDeterminism(t *testing.T) {
+	w := testWorld(t)
+	cfg := Config{Seed: 7, Instances: 6, Duration: time.Second, ProcChurn: true}
+	a, b := New(w, cfg), New(w, cfg)
+	if ha, hb := a.ScheduleHash(), b.ScheduleHash(); ha != hb {
+		t.Fatalf("same config, different schedules: %x vs %x", ha, hb)
+	}
+	cfg.Seed = 8
+	c := New(w, cfg)
+	if a.ScheduleHash() == c.ScheduleHash() {
+		t.Fatalf("different seeds produced identical schedules")
+	}
+	if len(a.schedule) == 0 {
+		t.Fatalf("ProcChurn planned an empty schedule")
+	}
+}
+
+// TestFleetServes runs a short full-featured fleet and checks the basic
+// outcome shape: every kind served traffic, guards denied, verdicts were
+// conserved, and all instances ended stopped.
+func TestFleetServes(t *testing.T) {
+	w := testWorld(t)
+	fl := New(w, Config{
+		Seed: 42, Instances: 4, Duration: 400 * time.Millisecond,
+		RuleChurn: true, ProcChurn: true, AdversaryChurn: true,
+	})
+	rep := fl.Run()
+
+	if len(rep.Kinds) != 4 {
+		t.Fatalf("expected all 4 kinds active, got %+v", rep.Kinds)
+	}
+	for _, k := range rep.Kinds {
+		if k.Ops == 0 {
+			t.Errorf("kind %s served no traffic", k.Kind)
+		}
+	}
+	if rep.ExpectedDenies == 0 {
+		t.Errorf("no guard probes were denied")
+	}
+	if rep.UnexpectedAllows != 0 {
+		t.Errorf("%d guard probes allowed in stable windows", rep.UnexpectedAllows)
+	}
+	if rep.UnexpectedErrors != 0 {
+		t.Errorf("%d unexpected traffic errors", rep.UnexpectedErrors)
+		for _, in := range fl.Instances() {
+			for _, e := range in.Events() {
+				t.Log(e)
+			}
+		}
+	}
+	if rep.RuleMutations == 0 {
+		t.Errorf("rule mutator never ran")
+	}
+	if rep.AdversaryOps == 0 {
+		t.Errorf("adversary never ran")
+	}
+	if !rep.VerdictsConserved {
+		t.Errorf("verdicts not conserved: %d requests vs %d accepts + %d drops",
+			rep.Requests, rep.Accepts, rep.Drops)
+	}
+	for _, in := range fl.Instances() {
+		if in.State() != StateStopped {
+			t.Errorf("%s ended in state %s", in.Name(), in.State())
+		}
+	}
+}
+
+// TestLifecycleCommands exercises the supervisor verbs directly: crash an
+// instance, await the crashed state, revive it, await readiness, stop it.
+func TestLifecycleCommands(t *testing.T) {
+	w := testWorld(t)
+	fl := New(w, Config{Seed: 3, Instances: 2, Duration: 5 * time.Second})
+	fl.Start()
+	name := fl.Instances()[0].Name()
+	if !fl.Await(name, StateReady, 2*time.Second) {
+		t.Fatalf("%s never became ready", name)
+	}
+	if !fl.Crash(name) {
+		t.Fatalf("crash command not delivered")
+	}
+	if !fl.Await(name, StateCrashed, 2*time.Second) {
+		t.Fatalf("%s never crashed", name)
+	}
+	if !fl.Restart(name) {
+		t.Fatalf("restart command not delivered")
+	}
+	if !fl.Await(name, StateReady, 2*time.Second) {
+		t.Fatalf("%s never revived", name)
+	}
+	for _, in := range fl.Instances() {
+		fl.Stop(in.Name())
+	}
+	rep := fl.Wait()
+	if rep.Crashes != 1 || rep.Restarts != 1 {
+		t.Errorf("crashes=%d restarts=%d, want 1/1", rep.Crashes, rep.Restarts)
+	}
+	in := fl.Instance(name)
+	if len(in.Events()) == 0 {
+		t.Errorf("no lifecycle events logged")
+	}
+}
+
+// TestChurnStress is the ≥5s -race churn satellite: a full fleet with
+// live process churn (spawn/exec/exit plus scheduled crash/restart),
+// rule Install/Remove/Flush racing traffic, and dcache-invalidating
+// adversary noise — asserting no panic, no lost verdicts, and no guard
+// misfires in stable windows. Extends the PR 6 pooled-scratch stress to
+// whole-daemon lifecycles. Shortened under -short.
+func TestChurnStress(t *testing.T) {
+	dur := 5 * time.Second
+	if testing.Short() {
+		dur = 500 * time.Millisecond
+	}
+	cfg := pf.Optimized()
+	w := worldgen.Build(worldgen.Tiny, programs.WorldOpts{PF: &cfg, MACEnforcing: true})
+	fl := New(w, Config{
+		Seed: 1337, Instances: 8, Duration: dur,
+		RuleChurn: true, ProcChurn: true, AdversaryChurn: true,
+		ChurnActions: 24,
+	})
+	rep := fl.Run()
+
+	if !rep.VerdictsConserved {
+		t.Fatalf("lost verdicts: %d requests vs %d accepts + %d drops",
+			rep.Requests, rep.Accepts, rep.Drops)
+	}
+	if rep.UnexpectedAllows != 0 {
+		t.Fatalf("%d guard probes allowed in stable windows", rep.UnexpectedAllows)
+	}
+	if rep.UnexpectedErrors != 0 {
+		t.Errorf("%d unexpected traffic errors", rep.UnexpectedErrors)
+		for _, in := range fl.Instances() {
+			for _, e := range in.Events() {
+				t.Log(e)
+			}
+		}
+	}
+	if rep.Crashes == 0 && !testing.Short() {
+		t.Errorf("stress ran with no crashes — schedule never fired?")
+	}
+	if rep.RuleMutations < 8 {
+		t.Errorf("only %d rule mutations over %v", rep.RuleMutations, dur)
+	}
+	t.Logf("stress: %d ops, %d crashes, %d restarts, %d rule mutations, %d adversary ops, %d denies",
+		rep.Ops, rep.Crashes, rep.Restarts, rep.RuleMutations, rep.AdversaryOps, rep.ExpectedDenies)
+}

@@ -1,0 +1,564 @@
+// instance.go is the per-instance supervisor loop. Every instance runs
+// exactly one goroutine, and that goroutine owns every kernel.Proc the
+// instance spawns — the kernel's mediation scratch is single-flow per
+// process, so procs never migrate across goroutines. The supervisor talks
+// to instances only through the command channel and the atomic state word.
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"pfirewall/internal/kernel"
+	"pfirewall/internal/programs"
+	"pfirewall/internal/worldgen"
+)
+
+// Kind selects an instance's persona.
+type Kind string
+
+const (
+	KindApache Kind = "apache"
+	KindPHP    Kind = "php"
+	KindSshd   Kind = "sshd"
+	KindDbus   Kind = "dbus"
+)
+
+// kindRotation assigns kinds to instance indices round-robin.
+var kindRotation = []Kind{KindApache, KindSshd, KindDbus, KindPHP}
+
+// State is an instance's lifecycle state, readable lock-free.
+type State int32
+
+const (
+	StateNew State = iota
+	StateStarting
+	StateReady
+	StateStopping
+	StateStopped
+	StateCrashed
+)
+
+func (s State) String() string {
+	switch s {
+	case StateNew:
+		return "new"
+	case StateStarting:
+		return "starting"
+	case StateReady:
+		return "ready"
+	case StateStopping:
+		return "stopping"
+	case StateStopped:
+		return "stopped"
+	case StateCrashed:
+		return "crashed"
+	}
+	return "?"
+}
+
+// command is a supervisor → instance intervention.
+type command int
+
+const (
+	cmdStop command = iota
+	cmdCrash
+	cmdRestart
+)
+
+// instStats is owned by the instance goroutine; read only after done.
+type instStats struct {
+	ops      int64
+	restarts int64
+	crashes  int64
+
+	expectedDenies   int64
+	unexpectedAllows int64
+	unexpectedErrors int64
+
+	samples []int64 // per-op latency ring, ns
+	nextSam int
+	wrapped bool
+}
+
+// Instance is one supervised daemon (plus its clients) in the fleet.
+type Instance struct {
+	fl   *Fleet
+	name string
+	kind Kind
+	idx  int
+	seed uint64
+
+	rng   xorshift64
+	state atomic.Int32
+	cmds  chan command
+	done  chan struct{}
+
+	incarnation int // bumped per (re)start; keys per-incarnation names
+
+	stats instStats
+
+	// events is a bounded ring of lifecycle/log lines.
+	events    [64]string
+	eventN    int
+	eventSeen int
+}
+
+func newInstance(fl *Fleet, idx int) *Instance {
+	kind := kindRotation[idx%len(kindRotation)]
+	seed := fl.Cfg.Seed*0x9e3779b97f4a7c15 + uint64(idx)*0xbf58476d1ce4e5b9
+	in := &Instance{
+		fl:   fl,
+		name: fmt.Sprintf("%s-%02d", kind, idx),
+		kind: kind,
+		idx:  idx,
+		seed: seed,
+		rng:  xorshift64{s: seed | 1},
+		cmds: make(chan command, 8),
+		done: make(chan struct{}),
+	}
+	in.stats.samples = make([]int64, 0, fl.Cfg.SampleCap)
+	return in
+}
+
+// Name returns the instance's stable name (kind-index).
+func (in *Instance) Name() string { return in.name }
+
+// Kind returns the instance's persona.
+func (in *Instance) Kind() Kind { return in.kind }
+
+// State returns the current lifecycle state, lock-free.
+func (in *Instance) State() State { return State(in.state.Load()) }
+
+func (in *Instance) setState(s State) { in.state.Store(int32(s)) }
+
+// send delivers a command without blocking; a full queue drops the
+// command (the supervisor retries crashed instances via the schedule).
+func (in *Instance) send(c command) bool {
+	select {
+	case in.cmds <- c:
+		return true
+	default:
+		return false
+	}
+}
+
+// event appends a line to the bounded per-instance log.
+func (in *Instance) event(format string, args ...any) {
+	in.events[in.eventN%len(in.events)] = fmt.Sprintf("[%s] ", in.name) + fmt.Sprintf(format, args...)
+	in.eventN++
+	in.eventSeen++
+}
+
+// Events returns the retained log lines, oldest first. Call only when the
+// instance is stopped (the ring is goroutine-local while running).
+func (in *Instance) Events() []string {
+	n := in.eventN
+	if n > len(in.events) {
+		n = len(in.events)
+	}
+	out := make([]string, 0, n)
+	start := in.eventN - n
+	for i := start; i < in.eventN; i++ {
+		out = append(out, in.events[i%len(in.events)])
+	}
+	return out
+}
+
+// recordLatency stores one op latency in the bounded ring.
+func (in *Instance) recordLatency(ns int64) {
+	st := &in.stats
+	if len(st.samples) < cap(st.samples) {
+		st.samples = append(st.samples, ns)
+		return
+	}
+	st.samples[st.nextSam] = ns
+	st.nextSam = (st.nextSam + 1) % len(st.samples)
+	st.wrapped = true
+}
+
+// session is one incarnation's live processes and traffic driver.
+type session interface {
+	// op performs one traffic operation. Errors are unexpected: every
+	// driver routes expected denials through Instance.expectDeny.
+	op() error
+	// teardown exits the session's processes (graceful or after crash).
+	teardown()
+}
+
+// run is the instance goroutine: a supervised start/serve/recover loop
+// until deadline or cmdStop.
+func (in *Instance) run(deadline time.Time) {
+	defer close(in.done)
+	for {
+		in.setState(StateStarting)
+		sess, err := in.start()
+		if err != nil {
+			in.event("start failed: %v", err)
+			in.stats.unexpectedErrors++
+			in.setState(StateCrashed)
+			if !in.awaitRestart(deadline) {
+				in.setState(StateStopped)
+				return
+			}
+			in.stats.restarts++
+			continue
+		}
+		in.event("ready (incarnation %d)", in.incarnation)
+		in.setState(StateReady)
+
+		switch in.serve(sess, deadline) {
+		case cmdStop:
+			in.setState(StateStopping)
+			sess.teardown()
+			in.event("stopped after %d ops", in.stats.ops)
+			in.setState(StateStopped)
+			return
+		case cmdCrash:
+			sess.teardown() // abrupt: processes exit without drain
+			in.stats.crashes++
+			in.event("crashed")
+			in.setState(StateCrashed)
+			if !in.awaitRestart(deadline) {
+				in.setState(StateStopped)
+				return
+			}
+			in.stats.restarts++
+		case cmdRestart:
+			in.setState(StateStopping)
+			sess.teardown()
+			in.stats.restarts++
+			in.event("recycling")
+		}
+	}
+}
+
+// serve drives traffic until a command or the deadline; the deadline
+// reads as a stop.
+func (in *Instance) serve(sess session, deadline time.Time) command {
+	for {
+		select {
+		case c := <-in.cmds:
+			return c
+		default:
+		}
+		if !time.Now().Before(deadline) {
+			return cmdStop
+		}
+		t0 := time.Now()
+		var err error
+		stable := in.fl.epochStable(func() { err = sess.op() })
+		in.recordLatency(time.Since(t0).Nanoseconds())
+		in.stats.ops++
+		if err != nil && stable {
+			in.stats.unexpectedErrors++
+			in.event("op error: %v", err)
+		}
+	}
+}
+
+// awaitRestart blocks in StateCrashed until a restart (true) or stop /
+// deadline (false).
+func (in *Instance) awaitRestart(deadline time.Time) bool {
+	for {
+		wait := time.Until(deadline)
+		if wait <= 0 {
+			return false
+		}
+		t := time.NewTimer(wait)
+		select {
+		case c := <-in.cmds:
+			t.Stop()
+			switch c {
+			case cmdRestart:
+				return true
+			case cmdStop:
+				return false
+			}
+			// A crash while crashed is a no-op; keep waiting.
+		case <-t.C:
+			return false
+		}
+	}
+}
+
+// start builds the session for the instance's kind.
+func (in *Instance) start() (session, error) {
+	in.incarnation++
+	switch in.kind {
+	case KindApache:
+		return in.startApache()
+	case KindPHP:
+		return in.startPHP()
+	case KindSshd:
+		return in.startSshd()
+	case KindDbus:
+		return in.startDbus()
+	}
+	return nil, fmt.Errorf("fleet: unknown kind %q", in.kind)
+}
+
+// expectDeny runs a probe whose correct outcome is a PF denial. The
+// verdict is asserted strictly only when the rule epoch is even (no
+// mutation in flight) and unchanged across the probe — during rule churn
+// windows (install/remove/flush-reinstall) the guard may legitimately be
+// absent, and the probe only counts.
+func (in *Instance) expectDeny(probe func() error) {
+	var err error
+	stable := in.fl.epochStable(func() { err = probe() })
+	switch {
+	case errors.Is(err, kernel.ErrPFDenied):
+		in.stats.expectedDenies++
+	case err == nil:
+		if stable {
+			in.stats.unexpectedAllows++
+			in.event("guard probe was allowed")
+		}
+	default:
+		if stable {
+			in.stats.unexpectedErrors++
+			in.event("guard probe failed oddly: %v", err)
+		}
+	}
+}
+
+// tenantURL turns a worldgen absolute path into a URL path under the
+// fleet's Apache DocumentRoot (the tenant root).
+func tenantURL(path string) string {
+	return strings.TrimPrefix(path, worldgen.TenantRoot)
+}
+
+// ---- apache ----
+
+type apacheSession struct {
+	in    *Instance
+	ap    *programs.Apache
+	httpd *kernel.Proc
+}
+
+func (in *Instance) startApache() (session, error) {
+	ap := programs.NewApache(in.fl.W.World)
+	ap.DocRoot = worldgen.TenantRoot
+	s := &apacheSession{in: in, ap: ap, httpd: ap.Spawn()}
+	// Readiness: the instance is Ready only once it actually serves.
+	if _, err := ap.Serve(s.httpd, tenantURL(worldgen.WebFilePath(0, 0, 0))); err != nil {
+		s.teardown()
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *apacheSession) op() error {
+	in := s.in
+	spec := in.fl.W.Spec
+	t := in.rng.intn(spec.Tenants)
+	u := in.rng.intn(spec.UsersPerTenant)
+	switch in.rng.intn(16) {
+	case 0:
+		// Authentication entrypoint: /etc/shadow is legitimate here.
+		_, err := s.ap.Authenticate(s.httpd, "root")
+		return err
+	case 1:
+		// Guard probe: serving tenant home content is admitted by DAC and
+		// MAC but must die on the per-tenant PF guard.
+		home := tenantURL(worldgen.HomeFilePath(t, u, in.rng.intn(spec.HomeFilesPerUser+1)))
+		in.expectDeny(func() error {
+			_, err := s.ap.Serve(s.httpd, home)
+			return err
+		})
+		return nil
+	case 2:
+		// Deep-path page on the nearest deep user.
+		if spec.DeepEvery > 0 && spec.WebDepth > 0 {
+			u -= u % spec.DeepEvery
+			_, err := s.ap.Serve(s.httpd, tenantURL(spec.DeepFilePath(t, u)))
+			return err
+		}
+		fallthrough
+	case 3:
+		// Owner-matched symlink hop through current -> public_html.
+		_, err := s.ap.Serve(s.httpd, fmt.Sprintf("/t%02d/u%04d/current/index.html", t, u))
+		return err
+	default:
+		_, err := s.ap.Serve(s.httpd, tenantURL(worldgen.WebFilePath(t, u, in.rng.intn(spec.WebFilesPerUser+1))))
+		return err
+	}
+}
+
+func (s *apacheSession) teardown() { s.httpd.Exit(0) }
+
+// ---- php ----
+
+type phpSession struct {
+	in  *Instance
+	php *programs.PHP
+	p   *kernel.Proc
+}
+
+func (in *Instance) startPHP() (session, error) {
+	php := programs.NewPHP(in.fl.W.World)
+	s := &phpSession{in: in, php: php, p: php.Spawn()}
+	if err := s.p.InterpPush("/var/www/scripts/index.php", 1); err != nil {
+		s.teardown()
+		return nil, err
+	}
+	if _, err := php.Include(s.p, "/var/www/scripts/gcalendar.php"); err != nil {
+		s.teardown()
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *phpSession) op() error {
+	in := s.in
+	switch in.rng.intn(8) {
+	case 0:
+		// Inclusion probe: rule R4 confines the include entrypoint to
+		// properly labeled script content; a tenant web file must be
+		// dropped there even though MAC lets httpd_t read it.
+		spec := in.fl.W.Spec
+		t := in.rng.intn(spec.Tenants)
+		u := in.rng.intn(spec.UsersPerTenant)
+		in.expectDeny(func() error {
+			_, err := s.php.Include(s.p, worldgen.WebFilePath(t, u, 0))
+			return err
+		})
+		return nil
+	case 1:
+		_, err := s.php.Include(s.p, "/var/www/scripts/index.php")
+		return err
+	default:
+		_, err := s.php.Include(s.p, "/var/www/scripts/gcalendar.php")
+		return err
+	}
+}
+
+func (s *phpSession) teardown() { s.p.Exit(0) }
+
+// ---- sshd ----
+
+type sshdSession struct {
+	in   *Instance
+	sshd *kernel.Proc
+}
+
+func (in *Instance) startSshd() (session, error) {
+	daemon := programs.NewSshd(in.fl.W.World)
+	p := daemon.Spawn()
+	for f := 0; f < 8; f++ {
+		if err := p.PushFrame(programs.BinSshd, uint64(0x100+f*0x10)); err != nil {
+			p.Exit(1)
+			return nil, err
+		}
+	}
+	s := &sshdSession{in: in, sshd: p}
+	if err := s.op(); err != nil { // readiness: one full session
+		s.teardown()
+		return nil, err
+	}
+	return s, nil
+}
+
+// op is one login session: fork, exec a shell, touch the password
+// database, exit — the fleet's built-in process churn, one short-lived
+// process per operation.
+func (s *sshdSession) op() error {
+	if err := s.sshd.SyscallSite(programs.BinSshd, 0x300); err != nil {
+		return err
+	}
+	child, err := s.sshd.Fork()
+	if err != nil {
+		return err
+	}
+	if err := child.Execve(programs.BinSh, map[string]string{"SHELL": programs.BinSh}); err != nil {
+		child.Exit(127)
+		return err
+	}
+	if err := child.SyscallSite(programs.BinSh, 0x500); err != nil {
+		child.Exit(1)
+		return err
+	}
+	fd, err := child.Open("/etc/passwd", kernel.O_RDONLY, 0)
+	if err != nil {
+		child.Exit(1)
+		return err
+	}
+	child.Close(fd)
+	child.Exit(0)
+	return nil
+}
+
+func (s *sshdSession) teardown() { s.sshd.Exit(0) }
+
+// ---- dbus ----
+
+type dbusSession struct {
+	in     *Instance
+	daemon *programs.DbusDaemon
+	dproc  *kernel.Proc
+	lib    *programs.LibDbus
+	cproc  *kernel.Proc
+}
+
+func (in *Instance) startDbus() (session, error) {
+	w := in.fl.W.World
+	d := programs.NewDbusDaemon(w)
+	// Per-incarnation socket path: daemon death leaves a dangling socket
+	// inode behind (squattable, connection-refused), exactly like an
+	// unlinked-on-crash real bus; the revived daemon binds a fresh name.
+	d.SocketPath = fmt.Sprintf("/var/run/dbus/bus-%02d-%d", in.idx, in.incarnation)
+	dproc := d.Spawn()
+	if err := d.Start(dproc); err != nil {
+		dproc.Exit(1)
+		return nil, err
+	}
+	cproc := w.NewProc(kernel.ProcSpec{
+		UID: 0, GID: 0, Label: "init_t", Exec: programs.BinSh,
+		Env: map[string]string{"DBUS_SYSTEM_BUS_ADDRESS": d.SocketPath},
+	})
+	s := &dbusSession{in: in, daemon: d, dproc: dproc, lib: programs.NewLibDbus(w), cproc: cproc}
+	if err := s.op(); err != nil { // readiness: one round trip
+		s.teardown()
+		return nil, err
+	}
+	return s, nil
+}
+
+var dbusCall = []byte("METHOD_CALL org.freedesktop.DBus.Hello\n")
+var dbusReply = []byte("METHOD_RETURN :1.42\n")
+
+// op is one bus round trip over the mediated data plane: connect, accept,
+// method call, reply, close.
+func (s *dbusSession) op() error {
+	cfd, err := s.lib.Connect(s.cproc)
+	if err != nil {
+		return err
+	}
+	defer s.cproc.Close(cfd)
+	afd, err := s.daemon.AcceptOne(s.dproc)
+	if err != nil {
+		return err
+	}
+	defer s.dproc.Close(afd)
+	if _, err := s.cproc.Send(cfd, dbusCall); err != nil {
+		return err
+	}
+	if _, err := s.dproc.Recv(afd, 0); err != nil {
+		return err
+	}
+	if _, err := s.dproc.Send(afd, dbusReply); err != nil {
+		return err
+	}
+	if _, err := s.cproc.Recv(cfd, 0); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (s *dbusSession) teardown() {
+	s.cproc.Exit(0)
+	s.dproc.Exit(0)
+}

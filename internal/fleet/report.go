@@ -1,0 +1,132 @@
+// report.go assembles the end-of-run report: throughput, latency
+// percentiles from the per-instance sample rings, churn accounting, and
+// the verdict-conservation check.
+package fleet
+
+import (
+	"fmt"
+	"sort"
+)
+
+// KindStats aggregates one persona's instances.
+type KindStats struct {
+	Kind     string `json:"kind"`
+	Count    int    `json:"count"`
+	Ops      int64  `json:"ops"`
+	Restarts int64  `json:"restarts"`
+	Crashes  int64  `json:"crashes"`
+}
+
+// Report is one fleet run's outcome.
+type Report struct {
+	World     string  `json:"world"`
+	Seed      uint64  `json:"seed"`
+	Instances int     `json:"instances"`
+	Seconds   float64 `json:"seconds"`
+
+	Ops       int64   `json:"ops"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	P50Ns     float64 `json:"p50_ns"`
+	P99Ns     float64 `json:"p99_ns"`
+	P999Ns    float64 `json:"p999_ns"`
+
+	Restarts      int64  `json:"restarts"`
+	Crashes       int64  `json:"crashes"`
+	RuleMutations uint64 `json:"rule_mutations"`
+	AdversaryOps  uint64 `json:"adversary_ops"`
+
+	ExpectedDenies   int64 `json:"expected_denies"`
+	UnexpectedAllows int64 `json:"unexpected_allows"`
+	UnexpectedErrors int64 `json:"unexpected_errors"`
+
+	// Verdict conservation: every request the engine received resolved to
+	// exactly one verdict, across all rule/process churn. Zeros when no
+	// engine is attached.
+	Requests          uint64 `json:"requests"`
+	Accepts           uint64 `json:"accepts"`
+	Drops             uint64 `json:"drops"`
+	VerdictsConserved bool   `json:"verdicts_conserved"`
+
+	Kinds []KindStats `json:"kinds"`
+}
+
+// percentile reads the q-quantile from sorted samples (nearest-rank).
+func percentile(sorted []int64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return float64(sorted[i])
+}
+
+// report collects the run; callers hold no instance goroutines (Wait has
+// joined them all).
+func (fl *Fleet) report() Report {
+	rep := Report{
+		World:         fl.W.Spec.Name,
+		Seed:          fl.Cfg.Seed,
+		Instances:     fl.Cfg.Instances,
+		Seconds:       fl.elapsed.Seconds(),
+		RuleMutations: fl.ruleMutations.Load(),
+		AdversaryOps:  fl.advOps.Load(),
+	}
+	var all []int64
+	byKind := map[Kind]*KindStats{}
+	for _, in := range fl.instances {
+		st := &in.stats
+		rep.Ops += st.ops
+		rep.Restarts += st.restarts
+		rep.Crashes += st.crashes
+		rep.ExpectedDenies += st.expectedDenies
+		rep.UnexpectedAllows += st.unexpectedAllows
+		rep.UnexpectedErrors += st.unexpectedErrors
+		all = append(all, st.samples...)
+		ks := byKind[in.kind]
+		if ks == nil {
+			ks = &KindStats{Kind: string(in.kind)}
+			byKind[in.kind] = ks
+		}
+		ks.Count++
+		ks.Ops += st.ops
+		ks.Restarts += st.restarts
+		ks.Crashes += st.crashes
+	}
+	if rep.Seconds > 0 {
+		rep.OpsPerSec = float64(rep.Ops) / rep.Seconds
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	rep.P50Ns = percentile(all, 0.50)
+	rep.P99Ns = percentile(all, 0.99)
+	rep.P999Ns = percentile(all, 0.999)
+	for _, k := range kindRotation {
+		if ks := byKind[k]; ks != nil {
+			rep.Kinds = append(rep.Kinds, *ks)
+		}
+	}
+	if eng := fl.W.Engine; eng != nil {
+		rep.Requests = eng.Stats.Requests.Load()
+		rep.Accepts = eng.Stats.Accepts.Load()
+		rep.Drops = eng.Stats.Drops.Load()
+		rep.VerdictsConserved = rep.Requests == rep.Accepts+rep.Drops
+	}
+	return rep
+}
+
+// Format renders the report as a compact text block for pfctl.
+func Format(rep Report) string {
+	out := fmt.Sprintf("fleet: world=%s instances=%d seed=%d ran %.2fs\n",
+		rep.World, rep.Instances, rep.Seed, rep.Seconds)
+	out += fmt.Sprintf("  traffic: %d ops (%.0f ops/sec)  latency p50=%.0fns p99=%.0fns p99.9=%.0fns\n",
+		rep.Ops, rep.OpsPerSec, rep.P50Ns, rep.P99Ns, rep.P999Ns)
+	out += fmt.Sprintf("  churn:   %d crashes, %d restarts, %d rule mutations, %d adversary ops\n",
+		rep.Crashes, rep.Restarts, rep.RuleMutations, rep.AdversaryOps)
+	out += fmt.Sprintf("  guards:  %d expected denies, %d unexpected allows, %d unexpected errors\n",
+		rep.ExpectedDenies, rep.UnexpectedAllows, rep.UnexpectedErrors)
+	out += fmt.Sprintf("  engine:  %d requests = %d accepts + %d drops (conserved=%v)\n",
+		rep.Requests, rep.Accepts, rep.Drops, rep.VerdictsConserved)
+	for _, k := range rep.Kinds {
+		out += fmt.Sprintf("  %-7s x%d: %d ops, %d crashes, %d restarts\n",
+			k.Kind, k.Count, k.Ops, k.Crashes, k.Restarts)
+	}
+	return out
+}

@@ -1,0 +1,71 @@
+// schedule.go precomputes the fleet's process-churn timeline. All churn —
+// which instance crashes, when, and when it is revived — is derived from
+// the seed before the fleet starts, so two runs with the same seed and
+// fleet shape execute identical schedules (the determinism satellite's
+// golden test hashes this). Only the interleaving with traffic is left to
+// the scheduler, as it is on a real machine.
+package fleet
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// ChurnVerb is one lifecycle intervention.
+type ChurnVerb string
+
+const (
+	// VerbCrash kills the instance's processes abruptly (no graceful
+	// teardown), leaving it in StateCrashed until a restart arrives.
+	VerbCrash ChurnVerb = "crash"
+	// VerbRestart revives a crashed instance or gracefully recycles a
+	// running one: old processes exit, fresh ones spawn and re-ready.
+	VerbRestart ChurnVerb = "restart"
+)
+
+// ChurnAction schedules one intervention at a fraction of the run.
+type ChurnAction struct {
+	At       float64   `json:"at"` // fraction of the configured duration, [0,1)
+	Instance int       `json:"instance"`
+	Verb     ChurnVerb `json:"verb"`
+}
+
+// BuildSchedule derives the churn timeline: count crash/restart pairs
+// spread over the middle of the run, each crash revived shortly after, on
+// instances picked by the seeded PRNG. Sorted by At (construction order
+// already is).
+func BuildSchedule(seed uint64, instances, count int) []ChurnAction {
+	if instances < 1 || count < 1 {
+		return nil
+	}
+	rng := xorshift64{s: seed*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d | 1}
+	var sched []ChurnAction
+	for i := 0; i < count; i++ {
+		// Spread pairs across [0.10, 0.80) so every crash's restart lands
+		// well before the deadline.
+		base := 0.10 + 0.70*float64(i)/float64(count)
+		inst := rng.intn(instances)
+		if rng.intn(4) == 0 {
+			// A quarter of the slots are graceful recycles.
+			sched = append(sched, ChurnAction{At: base, Instance: inst, Verb: VerbRestart})
+			continue
+		}
+		sched = append(sched, ChurnAction{At: base, Instance: inst, Verb: VerbCrash})
+		sched = append(sched, ChurnAction{At: base + 0.05, Instance: inst, Verb: VerbRestart})
+	}
+	return sched
+}
+
+// ScheduleHash fingerprints a fleet's full deterministic plan: the kind
+// assignment, each instance's traffic seed, and the churn timeline. Equal
+// seeds and shapes must hash equal.
+func (fl *Fleet) ScheduleHash() uint64 {
+	h := fnv.New64a()
+	for _, in := range fl.instances {
+		fmt.Fprintf(h, "%s %s %x\n", in.name, in.kind, in.seed)
+	}
+	for _, a := range fl.schedule {
+		fmt.Fprintf(h, "%.4f %d %s\n", a.At, a.Instance, a.Verb)
+	}
+	return h.Sum64()
+}

@@ -54,10 +54,9 @@ type AllocCell struct {
 
 // AllocReport is the full allocation-profile run.
 type AllocReport struct {
-	NumCPU     int         `json:"num_cpu"`
-	GOMAXPROCS int         `json:"gomaxprocs"`
-	Rules      int         `json:"rules"`
-	Cells      []AllocCell `json:"cells"`
+	BenchEnv
+	Rules int         `json:"rules"`
+	Cells []AllocCell `json:"cells"`
 }
 
 // allocWorkloads are the profiled bodies. The first four exercise the
@@ -124,9 +123,8 @@ func RunAlloc(iters int) AllocReport {
 		iters = 100
 	}
 	rep := AllocReport{
-		NumCPU:     runtime.NumCPU(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Rules:      FullRuleBaseSize,
+		BenchEnv: Env(),
+		Rules:    FullRuleBaseSize,
 	}
 	for _, wl := range allocWorkloads {
 		cfg := pf.Optimized()

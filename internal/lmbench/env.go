@@ -1,0 +1,19 @@
+// env.go is the shared benchmark-environment stamp. Every BENCH_*.json
+// report embeds BenchEnv (untagged, so its fields flatten into the outer
+// JSON object and the emitted schema is unchanged) instead of hand-rolling
+// the same NumCPU/GOMAXPROCS pair per report type.
+package lmbench
+
+import "runtime"
+
+// BenchEnv annotates a report with the hardware parallelism actually
+// available, so results are interpretable across machines.
+type BenchEnv struct {
+	NumCPU     int `json:"num_cpu"`
+	GOMAXPROCS int `json:"gomaxprocs"`
+}
+
+// Env snapshots the current environment.
+func Env() BenchEnv {
+	return BenchEnv{NumCPU: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
+}

@@ -8,7 +8,6 @@ package lmbench
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 	"time"
 
@@ -32,12 +31,10 @@ type IPCCell struct {
 	BytesPerOp  float64 `json:"bytes_per_op"`
 }
 
-// IPCReport is the full IPC scaling run, annotated with the hardware
-// parallelism actually available so results are interpretable.
+// IPCReport is the full IPC scaling run.
 type IPCReport struct {
-	NumCPU     int       `json:"num_cpu"`
-	GOMAXPROCS int       `json:"gomaxprocs"`
-	Cells      []IPCCell `json:"cells"`
+	BenchEnv
+	Cells []IPCCell `json:"cells"`
 }
 
 // ipcNamespaces are the three rendezvous spaces: filesystem sockets walk
@@ -126,7 +123,7 @@ func RunIPC(itersPerGoroutine int, fanout []int) IPCReport {
 	if itersPerGoroutine < 1 {
 		itersPerGoroutine = 1
 	}
-	rep := IPCReport{NumCPU: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	rep := IPCReport{BenchEnv: Env()}
 	for _, ns := range ipcNamespaces {
 		for _, g := range fanout {
 			cfg := pf.Optimized()

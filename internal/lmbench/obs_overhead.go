@@ -8,7 +8,6 @@ package lmbench
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 	"time"
 
@@ -33,8 +32,7 @@ type ObsCell struct {
 
 // ObsReport is the full overhead run; BENCH_obs.json is this shape.
 type ObsReport struct {
-	NumCPU      int       `json:"num_cpu"`
-	GOMAXPROCS  int       `json:"gomaxprocs"`
+	BenchEnv
 	SampleEvery int       `json:"sample_every"`
 	Cells       []ObsCell `json:"cells"`
 }
@@ -64,7 +62,7 @@ func RunObsOverhead(itersPerGoroutine, sampleEvery int, fanout []int) ObsReport 
 	if sampleEvery <= 0 {
 		sampleEvery = DefaultObsSampleEvery
 	}
-	rep := ObsReport{NumCPU: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0), SampleEvery: sampleEvery}
+	rep := ObsReport{BenchEnv: Env(), SampleEvery: sampleEvery}
 	workloads := []struct {
 		name string
 		run  func(w *programs.World, g, iters int) (int, float64)

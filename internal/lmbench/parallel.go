@@ -9,7 +9,6 @@ package lmbench
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 	"time"
 
@@ -35,12 +34,10 @@ type ParallelCell struct {
 	BytesPerOp  float64 `json:"bytes_per_op"`
 }
 
-// ParallelReport is the full scaling run, annotated with the hardware
-// parallelism actually available so results are interpretable.
+// ParallelReport is the full scaling run.
 type ParallelReport struct {
-	NumCPU     int            `json:"num_cpu"`
-	GOMAXPROCS int            `json:"gomaxprocs"`
-	Cells      []ParallelCell `json:"cells"`
+	BenchEnv
+	Cells []ParallelCell `json:"cells"`
 }
 
 // parallelProc builds one benchmark process with the standard deep stack.
@@ -80,7 +77,7 @@ func RunParallel(itersPerGoroutine int, fanout []int) ParallelReport {
 	if itersPerGoroutine < 1 {
 		itersPerGoroutine = 1
 	}
-	rep := ParallelReport{NumCPU: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	rep := ParallelReport{BenchEnv: Env()}
 	for _, wl := range parallelWorkloads {
 		for _, g := range fanout {
 			cfg := pf.Optimized()

@@ -32,10 +32,9 @@ type RuleScaleCell struct {
 
 // RuleScaleReport is the full sweep.
 type RuleScaleReport struct {
-	NumCPU     int             `json:"num_cpu"`
-	GOMAXPROCS int             `json:"gomaxprocs"`
-	Workload   string          `json:"workload"`
-	Cells      []RuleScaleCell `json:"cells"`
+	BenchEnv
+	Workload string          `json:"workload"`
+	Cells    []RuleScaleCell `json:"cells"`
 }
 
 // ruleScaleModes maps report mode names to engine configs. Both sides carry
@@ -56,9 +55,8 @@ func RunRuleScale(iters int, sizes []int) RuleScaleReport {
 		iters = 1
 	}
 	rep := RuleScaleReport{
-		NumCPU:     runtime.NumCPU(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Workload:   "open+close",
+		BenchEnv: Env(),
+		Workload: "open+close",
 	}
 	for _, m := range ruleScaleModes {
 		for _, n := range sizes {

@@ -1,0 +1,143 @@
+// worldscale.go sweeps the fleet stress bed across world sizes and fleet
+// sizes: for each (world, fleet) cell a deployment-scale world is built
+// from scratch (fresh engine, fresh counters), a mixed daemon fleet
+// serves traffic against it for a fixed wall-clock budget with live
+// process churn, concurrent rule mutation, and adversary filesystem
+// noise, and the cell records throughput, mediation-path latency
+// percentiles, and the churn/conservation accounting. BENCH_worldscale.json
+// is this report; every later performance PR runs against it.
+package lmbench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"pfirewall/internal/fleet"
+	"pfirewall/internal/pf"
+	"pfirewall/internal/programs"
+	"pfirewall/internal/worldgen"
+)
+
+// WorldScaleFleets is the default fleet-size grid.
+var WorldScaleFleets = []int{4, 8}
+
+// WorldScaleSizes is the default world grid: the top size crosses a
+// million inodes.
+var WorldScaleSizes = []string{"small", "medium", "large"}
+
+// WorldScaleCell is one (world size, fleet size) run.
+type WorldScaleCell struct {
+	World   string  `json:"world"`
+	Inodes  int     `json:"inodes"`
+	Users   int     `json:"users"`
+	Labels  int     `json:"labels"`
+	Rules   int     `json:"rules"`
+	BuildMs float64 `json:"build_ms"`
+
+	FleetSize int     `json:"fleet_size"`
+	Seconds   float64 `json:"seconds"`
+	Ops       int64   `json:"ops"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	P50Ns     float64 `json:"p50_ns"`
+	P99Ns     float64 `json:"p99_ns"`
+	P999Ns    float64 `json:"p999_ns"`
+
+	Crashes       int64  `json:"crashes"`
+	Restarts      int64  `json:"restarts"`
+	RuleMutations uint64 `json:"rule_mutations"`
+	AdversaryOps  uint64 `json:"adversary_ops"`
+
+	ExpectedDenies    int64 `json:"expected_denies"`
+	UnexpectedAllows  int64 `json:"unexpected_allows"`
+	UnexpectedErrors  int64 `json:"unexpected_errors"`
+	VerdictsConserved bool  `json:"verdicts_conserved"`
+}
+
+// WorldScaleReport is the full sweep; BENCH_worldscale.json is this shape.
+type WorldScaleReport struct {
+	BenchEnv
+	Seed        uint64           `json:"seed"`
+	SecsPerCell float64          `json:"secs_per_cell"`
+	Cells       []WorldScaleCell `json:"cells"`
+}
+
+// RunWorldScale runs the sweep. sizes name worldgen presets, fleets are
+// instance counts, secsPerCell is the per-cell traffic budget, and seed
+// drives both world generation and fleet schedules.
+func RunWorldScale(sizes []string, fleets []int, secsPerCell float64, seed uint64) WorldScaleReport {
+	if secsPerCell <= 0 {
+		secsPerCell = 2
+	}
+	rep := WorldScaleReport{BenchEnv: Env(), Seed: seed, SecsPerCell: secsPerCell}
+	for _, name := range sizes {
+		spec, ok := worldgen.SpecByName(name)
+		if !ok {
+			panic(fmt.Sprintf("worldscale: unknown world size %q", name))
+		}
+		spec.Seed = seed
+		for _, f := range fleets {
+			// Fresh world per cell: the engine's verdict counters start at
+			// zero, so conservation and throughput are cell-local.
+			cfg := pf.Optimized()
+			w := worldgen.Build(spec, programs.WorldOpts{PF: &cfg, MACEnforcing: true})
+			fl := fleet.New(w, fleet.Config{
+				Seed:      seed,
+				Instances: f,
+				Duration:  time.Duration(secsPerCell * float64(time.Second)),
+				RuleChurn: true, ProcChurn: true, AdversaryChurn: true,
+			})
+			r := fl.Run()
+			rep.Cells = append(rep.Cells, WorldScaleCell{
+				World:   spec.Name,
+				Inodes:  w.Stats.Inodes,
+				Users:   w.Stats.Users,
+				Labels:  w.Stats.Labels,
+				Rules:   w.Stats.Rules,
+				BuildMs: w.Stats.BuildMs,
+
+				FleetSize: f,
+				Seconds:   r.Seconds,
+				Ops:       r.Ops,
+				OpsPerSec: r.OpsPerSec,
+				P50Ns:     r.P50Ns,
+				P99Ns:     r.P99Ns,
+				P999Ns:    r.P999Ns,
+
+				Crashes:       r.Crashes,
+				Restarts:      r.Restarts,
+				RuleMutations: r.RuleMutations,
+				AdversaryOps:  r.AdversaryOps,
+
+				ExpectedDenies:    r.ExpectedDenies,
+				UnexpectedAllows:  r.UnexpectedAllows,
+				UnexpectedErrors:  r.UnexpectedErrors,
+				VerdictsConserved: r.VerdictsConserved,
+			})
+		}
+	}
+	return rep
+}
+
+// FormatWorldScale renders the sweep as a table.
+func FormatWorldScale(rep WorldScaleReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %9s %6s %6s %9s %12s %10s %10s %10s %8s %6s\n",
+		"world", "inodes", "rules", "fleet", "ops", "ops/sec", "p50 ns", "p99 ns", "p99.9 ns", "denies", "churn")
+	for _, c := range rep.Cells {
+		churn := fmt.Sprintf("%d/%d", c.Crashes, c.Restarts)
+		fmt.Fprintf(&b, "%-8s %9d %6d %6d %9d %12.0f %10.0f %10.0f %10.0f %8d %6s",
+			c.World, c.Inodes, c.Rules, c.FleetSize, c.Ops, c.OpsPerSec,
+			c.P50Ns, c.P99Ns, c.P999Ns, c.ExpectedDenies, churn)
+		if !c.VerdictsConserved {
+			fmt.Fprintf(&b, "  VERDICTS-LOST")
+		}
+		if c.UnexpectedAllows != 0 || c.UnexpectedErrors != 0 {
+			fmt.Fprintf(&b, "  UNEXPECTED(a=%d e=%d)", c.UnexpectedAllows, c.UnexpectedErrors)
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+	fmt.Fprintf(&b, "(NumCPU=%d GOMAXPROCS=%d; one op is a full persona operation — page serve, include, login session, bus round trip — under live rule/process churn; churn is crashes/restarts)\n",
+		rep.NumCPU, rep.GOMAXPROCS)
+	return b.String()
+}

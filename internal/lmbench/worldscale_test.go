@@ -1,0 +1,64 @@
+package lmbench
+
+import (
+	"testing"
+
+	"pfirewall/internal/kernel"
+	"pfirewall/internal/pf"
+	"pfirewall/internal/programs"
+	"pfirewall/internal/worldgen"
+)
+
+// TestZeroAllocWorldscale re-runs the allocation tripwire on a worldgen
+// world rather than the hand-built bench world: a bigger SID table, MAC
+// enforcement on (so every component crosses the DAC→MAC→PF gauntlet),
+// per-tenant guard rules installed, and paths several directories deeper
+// than /etc/passwd. The steady-state invariant is the same — the mediated
+// open+close and stat paths must not allocate at all.
+func TestZeroAllocWorldscale(t *testing.T) {
+	spec := worldgen.Small
+	cfg := pf.Optimized()
+	w := worldgen.Build(spec, programs.WorldOpts{PF: &cfg, MACEnforcing: true})
+
+	// A tenant user reading its own web tree: DAC owner match, MAC tenant
+	// grants, and the full ruleset dispatch all on the path.
+	p := w.NewTenantUser(0, 0)
+	shallow := worldgen.WebFilePath(0, 0, 0)
+	deep := spec.DeepFilePath(0, 0) // user 0 always gets the deep chain
+
+	bodies := []struct {
+		name string
+		path string
+		body func(path string)
+	}{
+		{"open+close shallow", shallow, func(path string) {
+			fd, err := p.Open(path, kernel.O_RDONLY, 0)
+			if err != nil {
+				panic(err)
+			}
+			p.Close(fd)
+		}},
+		{"open+close deep", deep, func(path string) {
+			fd, err := p.Open(path, kernel.O_RDONLY, 0)
+			if err != nil {
+				panic(err)
+			}
+			p.Close(fd)
+		}},
+		{"stat deep", deep, func(path string) {
+			if _, err := p.Stat(path); err != nil {
+				panic(err)
+			}
+		}},
+	}
+	for _, b := range bodies {
+		body := func() { b.body(b.path) }
+		// Warm the scratch pools, the dcache, and the entrypoint cache.
+		for i := 0; i < 64; i++ {
+			body()
+		}
+		if avg := testing.AllocsPerRun(200, body); avg != 0 {
+			t.Errorf("%s (%s): %.2f allocs/op on the worldgen hot path, want 0", b.name, b.path, avg)
+		}
+	}
+}

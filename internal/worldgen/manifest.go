@@ -1,0 +1,53 @@
+// manifest.go fingerprints a built world. The manifest is a deterministic
+// depth-first walk of the whole tree in sorted entry order, hashing every
+// attribute generation controls (path, type, ownership, mode, size, label
+// name, symlink target) — but not inode numbers or generations, which
+// depend on allocation order details the spec doesn't promise. Two builds
+// from the same Spec must produce the same hash; the golden test pins
+// this.
+package worldgen
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+
+	"pfirewall/internal/vfs"
+)
+
+// ManifestHash walks the world's filesystem and returns the FNV-1a hash of
+// its manifest.
+func (w *World) ManifestHash() uint64 {
+	h := fnv.New64a()
+	w.writeManifest(h)
+	return h.Sum64()
+}
+
+// WriteManifest streams the human-readable manifest (one line per inode)
+// to out — the thing ManifestHash hashes, exposed for debugging diverging
+// worlds.
+func (w *World) WriteManifest(out io.Writer) {
+	w.writeManifest(out)
+}
+
+func (w *World) writeManifest(out io.Writer) {
+	fs := w.K.FS
+	sids := w.K.Policy.SIDs()
+	var walk func(dir *vfs.Inode, path string)
+	walk = func(dir *vfs.Inode, path string) {
+		for _, name := range fs.List(dir) {
+			n, ok := fs.Lookup(dir, name)
+			if !ok {
+				continue
+			}
+			full := path + "/" + name
+			st := fs.StatOf(n)
+			fmt.Fprintf(out, "%s t=%d uid=%d gid=%d mode=%o size=%d label=%s target=%s\n",
+				full, st.Type, st.UID, st.GID, st.Mode, st.Size, sids.Label(st.SID), n.Target)
+			if n.IsDir() {
+				walk(n, full)
+			}
+		}
+	}
+	walk(fs.Root(), "")
+}

@@ -1,0 +1,498 @@
+// Package worldgen scales the simulated world from the hand-built image of
+// internal/programs to deployment size: multi-tenant home directories,
+// per-user web roots, a contended shared /tmp, and device/proc trees —
+// millions of inodes, all labeled, with a MAC policy and a rule base sized
+// to match. The paper evaluates the Process Firewall on real multi-process
+// systems (Apache/PHP, sshd, dbus); worldgen is the standing stress bed
+// that lets the reproduction's benchmarks drive the same mediation stack at
+// "millions of users" scale instead of extrapolating from a toy tree.
+//
+// Generation is strictly deterministic: every decision comes from an
+// embedded xorshift PRNG seeded by Spec.Seed, iteration is always in index
+// order (never over maps), and the resulting tree can be fingerprinted with
+// Manifest so two builds from the same spec are provably identical.
+package worldgen
+
+import (
+	"fmt"
+	"time"
+
+	"pfirewall/internal/kernel"
+	"pfirewall/internal/mac"
+	"pfirewall/internal/programs"
+	"pfirewall/internal/rulegen"
+	"pfirewall/internal/vfs"
+)
+
+// TenantRoot is where tenant trees live.
+const TenantRoot = "/srv/tenants"
+
+// Spec parameterizes one generated world. The preset specs (Tiny, Small,
+// Medium, Large) are the sizes the worldscale benchmark sweeps; custom
+// specs are fine anywhere a preset is accepted.
+type Spec struct {
+	Name string `json:"name"`
+	// Seed drives every generation decision. Two builds with equal Spec
+	// (including Seed) produce byte-identical world trees.
+	Seed uint64 `json:"seed"`
+
+	// Tenants × UsersPerTenant is the user population.
+	Tenants        int `json:"tenants"`
+	UsersPerTenant int `json:"users_per_tenant"`
+
+	// WebFilesPerUser sizes each user's public_html asset set (index.html
+	// is always present on top of these).
+	WebFilesPerUser int `json:"web_files_per_user"`
+	// HomeFilesPerUser sizes each user's home directory (plus .profile).
+	HomeFilesPerUser int `json:"home_files_per_user"`
+
+	// WebDepth nests a d1/d2/.../page.html chain under the web root of
+	// every DeepEvery-th user, so a slice of traffic walks deep paths.
+	WebDepth  int `json:"web_depth"`
+	DeepEvery int `json:"deep_every"`
+
+	// TmpFiles seeds the shared sticky /tmp with pre-existing contention.
+	TmpFiles int `json:"tmp_files"`
+
+	// Rules sizes the installed rule base: the paper's Table 5 rules, one
+	// home-directory guard per tenant, and rulegen.ScaleRuleBase filler up
+	// to this total.
+	Rules int `json:"rules"`
+}
+
+// Presets. Inode totals include the base programs world (~70 inodes) plus
+// the device and proc trees; see EstimatedInodes for the exact arithmetic.
+var (
+	// Tiny builds in microseconds; CI smoke tests and golden tests use it.
+	Tiny = Spec{Name: "tiny", Seed: 1, Tenants: 2, UsersPerTenant: 4,
+		WebFilesPerUser: 6, HomeFilesPerUser: 2, WebDepth: 3, DeepEvery: 2,
+		TmpFiles: 8, Rules: 60}
+	// Small is a single-rack deployment: ~10k inodes.
+	Small = Spec{Name: "small", Seed: 1, Tenants: 8, UsersPerTenant: 25,
+		WebFilesPerUser: 30, HomeFilesPerUser: 6, WebDepth: 4, DeepEvery: 8,
+		TmpFiles: 64, Rules: 300}
+	// Medium is a mid-size fleet: ~115k inodes.
+	Medium = Spec{Name: "medium", Seed: 1, Tenants: 24, UsersPerTenant: 60,
+		WebFilesPerUser: 66, HomeFilesPerUser: 8, WebDepth: 5, DeepEvery: 8,
+		TmpFiles: 256, Rules: 1200}
+	// Large crosses a million inodes: 64 tenants × 170 users.
+	Large = Spec{Name: "large", Seed: 1, Tenants: 64, UsersPerTenant: 170,
+		WebFilesPerUser: 80, HomeFilesPerUser: 8, WebDepth: 6, DeepEvery: 8,
+		TmpFiles: 512, Rules: 3000}
+)
+
+// Presets lists the built-in sizes in ascending order.
+func Presets() []Spec { return []Spec{Tiny, Small, Medium, Large} }
+
+// SpecByName returns the preset with the given name.
+func SpecByName(name string) (Spec, bool) {
+	for _, s := range Presets() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// perUserInodes is the exact inode count one user's subtree contributes:
+// three directories (uNNNN, public_html, home), index.html, the web
+// assets, .profile, the home files, and the "current" symlink.
+func (s Spec) perUserInodes() int {
+	return 3 + 1 + s.WebFilesPerUser + 1 + s.HomeFilesPerUser + 1
+}
+
+// EstimatedInodes predicts the number of inodes Build adds to the base
+// world (tenant trees, /tmp seed, device and proc trees). BuildTest asserts
+// this arithmetic exactly matches what Build creates.
+func (s Spec) EstimatedInodes() int {
+	n := 2 // /srv, /srv/tenants
+	users := s.Tenants * s.UsersPerTenant
+	n += s.Tenants // tenant directories
+	n += users * s.perUserInodes()
+	if s.DeepEvery > 0 && s.WebDepth > 0 {
+		deepUsers := 0
+		for u := 0; u < s.UsersPerTenant; u++ {
+			if u%s.DeepEvery == 0 {
+				deepUsers++
+			}
+		}
+		n += s.Tenants * deepUsers * (s.WebDepth + 1) // chain dirs + page.html
+	}
+	n += s.TmpFiles
+	n += len(devNodes) + 1  // /dev + device nodes
+	n += 3 + len(procFiles) // /proc, /proc/sys, /proc/sys/kernel + files
+	return n
+}
+
+// EstimatedUsers returns the simulated user population.
+func (s Spec) EstimatedUsers() int { return s.Tenants * s.UsersPerTenant }
+
+// BuildStats records what Build actually created.
+type BuildStats struct {
+	Inodes   int           `json:"inodes"` // created by worldgen, beyond the base image
+	Users    int           `json:"users"`
+	Labels   int           `json:"labels"` // SID-table size after build
+	Rules    int           `json:"rules"`  // installed rule count (0 when PF detached)
+	Duration time.Duration `json:"-"`
+	BuildMs  float64       `json:"build_ms"`
+}
+
+// World is a generated deployment-scale world.
+type World struct {
+	*programs.World
+	Spec  Spec
+	Stats BuildStats
+}
+
+// xorshift64 is the same tiny deterministic PRNG rulegen embeds; worldgen
+// carries its own copy so the two generators' streams stay independent.
+type xorshift64 struct{ s uint64 }
+
+func (x *xorshift64) next() uint64 {
+	x.s ^= x.s << 13
+	x.s ^= x.s >> 7
+	x.s ^= x.s << 17
+	return x.s
+}
+
+func (x *xorshift64) intn(n int) int { return int(x.next() % uint64(n)) }
+
+// Tenant label names. The label space is bounded by tenants (not users) so
+// the SID table grows into the hundreds, not the tens of thousands: per
+// tenant a web-content label, a home label, and an untrusted user-subject
+// label.
+func webLabel(t int) mac.Label  { return mac.Label(fmt.Sprintf("tenant%02d_web_t", t)) }
+func homeLabel(t int) mac.Label { return mac.Label(fmt.Sprintf("tenant%02d_home_t", t)) }
+func userLabel(t int) mac.Label { return mac.Label(fmt.Sprintf("tenant%02d_user_t", t)) }
+
+// UserUID returns the uid of tenant t's user u.
+func UserUID(t, u int) int { return 10000 + t*1000 + u }
+
+// TenantDir returns the tenant's directory path.
+func TenantDir(t int) string { return fmt.Sprintf("%s/t%02d", TenantRoot, t) }
+
+// UserDir returns the user's directory path.
+func UserDir(t, u int) string { return fmt.Sprintf("%s/u%04d", TenantDir(t), u) }
+
+// WebFilePath reconstructs the path of one generated web asset without
+// consulting the filesystem, so traffic drivers can address a
+// million-inode tree without holding a million path strings: i selects
+// index.html (i == 0) or asset a%03d.html (1 ≤ i ≤ WebFilesPerUser).
+func WebFilePath(t, u, i int) string {
+	if i == 0 {
+		return UserDir(t, u) + "/public_html/index.html"
+	}
+	return fmt.Sprintf("%s/public_html/a%03d.html", UserDir(t, u), i-1)
+}
+
+// HomeFilePath reconstructs the path of one generated home file: i selects
+// .profile (i == 0) or f%02d.dat (1 ≤ i ≤ HomeFilesPerUser).
+func HomeFilePath(t, u, i int) string {
+	if i == 0 {
+		return UserDir(t, u) + "/home/.profile"
+	}
+	return fmt.Sprintf("%s/home/f%02d.dat", UserDir(t, u), i-1)
+}
+
+// DeepFilePath reconstructs the deep page path for a deep user (u %
+// DeepEvery == 0), the d1/d2/.../page.html chain.
+func (s Spec) DeepFilePath(t, u int) string {
+	p := UserDir(t, u) + "/public_html"
+	for d := 1; d <= s.WebDepth; d++ {
+		p += fmt.Sprintf("/d%d", d)
+	}
+	return p + "/page.html"
+}
+
+// devNodes is the static device tree (inode-bearing; /dev/log is a socket).
+var devNodes = []struct {
+	name string
+	typ  vfs.FileType
+	mode uint16
+}{
+	{"null", vfs.TypeRegular, 0o666},
+	{"zero", vfs.TypeRegular, 0o666},
+	{"full", vfs.TypeRegular, 0o666},
+	{"urandom", vfs.TypeRegular, 0o666},
+	{"random", vfs.TypeRegular, 0o666},
+	{"tty", vfs.TypeRegular, 0o666},
+	{"log", vfs.TypeSocket, 0o666},
+	{"shm", vfs.TypeDir, 0o1777},
+}
+
+// procFiles is the static proc tree under /proc and /proc/sys/kernel.
+var procFiles = []struct {
+	path    string
+	content string
+}{
+	{"/proc/meminfo", "MemTotal: 16331648 kB"},
+	{"/proc/loadavg", "0.42 0.37 0.30 2/512 4242"},
+	{"/proc/sys/kernel/ostype", "Linux"},
+	{"/proc/sys/kernel/osrelease", "3.2.0-pf"},
+	{"/proc/sys/kernel/pid_max", "32768"},
+}
+
+// Build generates the world: the standard base image plus the scaled
+// tenant population, labeled and (when opts.PF is set) ruled. The
+// firewall, MAC mode, and observability attachment all pass through opts
+// unchanged.
+func Build(spec Spec, opts programs.WorldOpts) *World {
+	start := time.Now()
+	w := &World{World: programs.NewWorld(opts), Spec: spec}
+	g := &builder{w: w, rng: xorshift64{s: spec.Seed | 1}}
+
+	g.policy()
+	g.contexts()
+	g.devProc()
+	g.tmp()
+	g.tenants()
+
+	if w.Engine != nil {
+		rules := Rules(spec)
+		n, err := w.InstallRules(rules)
+		if err != nil {
+			panic(fmt.Sprintf("worldgen: rule install: %v", err))
+		}
+		w.Stats.Rules = n
+	}
+
+	w.Stats.Users = spec.EstimatedUsers()
+	w.Stats.Labels = w.K.Policy.SIDs().Len()
+	w.Stats.Duration = time.Since(start)
+	w.Stats.BuildMs = float64(w.Stats.Duration.Microseconds()) / 1000
+	return w
+}
+
+// builder carries build state.
+type builder struct {
+	w   *World
+	rng xorshift64
+}
+
+// created counts one worldgen-created inode.
+func (g *builder) created() { g.w.Stats.Inodes++ }
+
+// mkdir creates one directory with an explicit label, counting it.
+func (g *builder) mkdir(parent *vfs.Inode, name, full string, uid, gid int, mode uint16, lbl mac.Label) *vfs.Inode {
+	n, err := g.w.K.FS.CreateAt(parent, name, full, vfs.CreateOpts{
+		UID: uid, GID: gid, Mode: mode, Type: vfs.TypeDir, Label: lbl,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("worldgen: mkdir %s: %v", full, err))
+	}
+	g.created()
+	return n
+}
+
+// mkfile creates one regular file with an explicit label, counting it.
+func (g *builder) mkfile(parent *vfs.Inode, name, full string, uid, gid int, mode uint16, lbl mac.Label, content string) *vfs.Inode {
+	n, err := g.w.K.FS.CreateAt(parent, name, full, vfs.CreateOpts{
+		UID: uid, GID: gid, Mode: mode, Label: lbl,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("worldgen: create %s: %v", full, err))
+	}
+	if content != "" {
+		g.w.K.FS.WriteFile(n, []byte(content))
+	}
+	g.created()
+	return n
+}
+
+// policy extends the base MAC policy with the tenant label space: each
+// tenant's untrusted user subject can write its own home and web tree
+// (the adversary accessibility the firewall consumes), and the web server
+// can read every tenant's web content but has no MAC grant on homes.
+func (g *builder) policy() {
+	pol := g.w.K.Policy
+	spec := g.w.Spec
+	pol.Allow("httpd_t", "tenant_root_t", mac.ClassDir, mac.PermSearch|mac.PermRead)
+	// The base policy grants httpd_t file read/execute on user scripts but
+	// no search on the script directory itself; the fleet's mod_php
+	// traffic walks into it under enforcement.
+	pol.Allow("httpd_t", "httpd_user_script_exec_t", mac.ClassDir, mac.PermSearch)
+	for t := 0; t < spec.Tenants; t++ {
+		web, home, usr := webLabel(t), homeLabel(t), userLabel(t)
+		pol.Allow(usr, home, mac.ClassFile, mac.PermRead|mac.PermWrite|mac.PermCreate|mac.PermUnlink)
+		pol.Allow(usr, home, mac.ClassDir, mac.PermSearch|mac.PermAddName|mac.PermRemoveName)
+		pol.Allow(usr, home, mac.ClassLnkFile, mac.PermRead|mac.PermCreate)
+		pol.Allow(usr, web, mac.ClassFile, mac.PermRead|mac.PermWrite|mac.PermCreate)
+		pol.Allow(usr, web, mac.ClassDir, mac.PermSearch|mac.PermAddName)
+		pol.Allow(usr, web, mac.ClassLnkFile, mac.PermRead|mac.PermCreate)
+		pol.Allow(usr, "tmp_t", mac.ClassFile, mac.PermRead|mac.PermWrite|mac.PermCreate|mac.PermUnlink)
+		pol.Allow(usr, "tmp_t", mac.ClassDir, mac.PermSearch|mac.PermAddName|mac.PermRemoveName)
+		pol.Allow(usr, "tmp_t", mac.ClassLnkFile, mac.PermRead|mac.PermCreate)
+		// Traversal of the shared prefix (/, /srv, /srv/tenants) and read
+		// access to public system files, mirroring base user_t.
+		for _, obj := range []mac.Label{"default_t", "tenant_root_t", "etc_t", "lib_t", "usr_t", "bin_t"} {
+			pol.Allow(usr, obj, mac.ClassFile, mac.PermRead)
+			pol.Allow(usr, obj, mac.ClassDir, mac.PermSearch)
+		}
+		pol.Allow("httpd_t", web, mac.ClassFile, mac.PermRead)
+		pol.Allow("httpd_t", web, mac.ClassDir, mac.PermSearch|mac.PermRead)
+		pol.Allow("httpd_t", web, mac.ClassLnkFile, mac.PermRead)
+		pol.Allow("httpd_t", home, mac.ClassFile, mac.PermRead)
+		pol.Allow("httpd_t", home, mac.ClassDir, mac.PermSearch)
+	}
+}
+
+// contexts registers per-tenant file contexts so files created at runtime
+// under a tenant tree inherit the tenant's web label, and the device/proc
+// prefixes label correctly.
+func (g *builder) contexts() {
+	fc := g.w.K.Contexts
+	for t := 0; t < g.w.Spec.Tenants; t++ {
+		fc.Add(TenantDir(t), webLabel(t))
+	}
+	fc.Add("/dev", "device_t")
+	fc.Add("/proc", "proc_t")
+	fc.Add(TenantRoot, "tenant_root_t")
+}
+
+// devProc builds the static /dev and /proc trees.
+func (g *builder) devProc() {
+	fs := g.w.K.FS
+	dev := g.mkdir(fs.Root(), "dev", "/dev", 0, 0, 0o755, "device_t")
+	for _, d := range devNodes {
+		_, err := fs.CreateAt(dev, d.name, "/dev/"+d.name, vfs.CreateOpts{
+			Mode: d.mode, Type: d.typ, Label: "device_t",
+		})
+		if err != nil {
+			panic(fmt.Sprintf("worldgen: /dev/%s: %v", d.name, err))
+		}
+		g.created()
+	}
+	proc := g.mkdir(fs.Root(), "proc", "/proc", 0, 0, 0o555, "proc_t")
+	sys := g.mkdir(proc, "sys", "/proc/sys", 0, 0, 0o555, "proc_t")
+	g.mkdir(sys, "kernel", "/proc/sys/kernel", 0, 0, 0o555, "proc_t")
+	for _, pfile := range procFiles {
+		dir := fs.MustPath(parentOf(pfile.path))
+		g.mkfile(dir, baseOf(pfile.path), pfile.path, 0, 0, 0o444, "proc_t", pfile.content)
+	}
+}
+
+// tmp seeds the shared sticky /tmp with pre-existing files owned by a
+// deterministic spread of tenant users — the contention surface.
+func (g *builder) tmp() {
+	fs := g.w.K.FS
+	tmp := fs.MustPath("/tmp")
+	spec := g.w.Spec
+	for i := 0; i < spec.TmpFiles; i++ {
+		t := g.rng.intn(maxInt(spec.Tenants, 1))
+		u := g.rng.intn(maxInt(spec.UsersPerTenant, 1))
+		name := fmt.Sprintf("seed-%04d", i)
+		g.mkfile(tmp, name, "/tmp/"+name, UserUID(t, u), UserUID(t, u), 0o644, "tmp_t", "")
+	}
+}
+
+// tenants builds the tenant population in strict index order.
+func (g *builder) tenants() {
+	fs := g.w.K.FS
+	spec := g.w.Spec
+	srv := g.mkdir(fs.Root(), "srv", "/srv", 0, 0, 0o755, "tenant_root_t")
+	troot := g.mkdir(srv, "tenants", TenantRoot, 0, 0, 0o755, "tenant_root_t")
+
+	for t := 0; t < spec.Tenants; t++ {
+		web, home := webLabel(t), homeLabel(t)
+		tdir := g.mkdir(troot, fmt.Sprintf("t%02d", t), TenantDir(t), 0, 0, 0o755, web)
+		for u := 0; u < spec.UsersPerTenant; u++ {
+			uid := UserUID(t, u)
+			udirPath := UserDir(t, u)
+			udir := g.mkdir(tdir, fmt.Sprintf("u%04d", u), udirPath, uid, uid, 0o755, web)
+
+			// public_html: index + assets, world-readable for the server.
+			wdir := g.mkdir(udir, "public_html", udirPath+"/public_html", uid, uid, 0o755, web)
+			g.mkfile(wdir, "index.html", udirPath+"/public_html/index.html",
+				uid, uid, 0o644, web, fmt.Sprintf("<html>t%02d/u%04d</html>", t, u))
+			for i := 0; i < spec.WebFilesPerUser; i++ {
+				name := fmt.Sprintf("a%03d.html", i)
+				g.mkfile(wdir, name, udirPath+"/public_html/"+name, uid, uid, 0o644, web, "")
+			}
+
+			// home: .profile + data files; world-readable files under a
+			// 0711 directory, so DAC admits the traversal and the PF's
+			// tenant guard is the layer that actually protects them.
+			hdir := g.mkdir(udir, "home", udirPath+"/home", uid, uid, 0o711, home)
+			g.mkfile(hdir, ".profile", udirPath+"/home/.profile", uid, uid, 0o644, home, "export PS1=$")
+			for i := 0; i < spec.HomeFilesPerUser; i++ {
+				name := fmt.Sprintf("f%02d.dat", i)
+				g.mkfile(hdir, name, udirPath+"/home/"+name, uid, uid, 0o644, home, "")
+			}
+
+			// current -> public_html, owner-consistent so the system-wide
+			// symlink rule stays quiet on legitimate traffic.
+			_, err := fs.CreateAt(udir, "current", udirPath+"/current", vfs.CreateOpts{
+				UID: uid, GID: uid, Mode: 0o777, Type: vfs.TypeSymlink,
+				Target: udirPath + "/public_html", Label: web,
+			})
+			if err != nil {
+				panic(fmt.Sprintf("worldgen: symlink %s/current: %v", udirPath, err))
+			}
+			g.created()
+
+			// Deep chain for every DeepEvery-th user.
+			if spec.DeepEvery > 0 && spec.WebDepth > 0 && u%spec.DeepEvery == 0 {
+				cur := wdir
+				curPath := udirPath + "/public_html"
+				for d := 1; d <= spec.WebDepth; d++ {
+					name := fmt.Sprintf("d%d", d)
+					curPath += "/" + name
+					cur = g.mkdir(cur, name, curPath, uid, uid, 0o755, web)
+				}
+				g.mkfile(cur, "page.html", curPath+"/page.html", uid, uid, 0o644, web, "deep")
+			}
+		}
+	}
+}
+
+// Rules builds the spec's rule base: the paper's Table 5 set, one
+// home-directory guard per tenant (the web server's serve entrypoint must
+// never open tenant home content, however it was reached), and
+// rulegen.ScaleRuleBase filler up to Spec.Rules total — the per-size rule
+// base the dispatch index is exercised against.
+func Rules(spec Spec) []string {
+	rules := programs.StandardRules()
+	for t := 0; t < spec.Tenants; t++ {
+		rules = append(rules, fmt.Sprintf(
+			"pftables -p %s -i 0x%x -d {%s} -o FILE_OPEN -j DROP",
+			programs.BinApache, programs.EntryApacheServe, homeLabel(t)))
+	}
+	if n := spec.Rules - len(rules); n > 0 {
+		rules = append(rules, rulegen.ScaleRuleBase(spec.Seed, n)...)
+	}
+	return rules
+}
+
+// NewTenantUser starts an untrusted process for tenant t's user u, the
+// adversary population of the generated world.
+func (w *World) NewTenantUser(t, u int) *kernel.Proc {
+	return w.K.NewProc(kernel.ProcSpec{
+		UID: UserUID(t, u), GID: UserUID(t, u), Label: userLabel(t),
+		Exec: programs.BinSh, Cwd: UserDir(t, u),
+	})
+}
+
+func parentOf(path string) string {
+	for i := len(path) - 1; i > 0; i-- {
+		if path[i] == '/' {
+			return path[:i]
+		}
+	}
+	return "/"
+}
+
+func baseOf(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[i+1:]
+		}
+	}
+	return path
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
