@@ -12,6 +12,10 @@
 # bytes/op and tail latency on the armed hot path; `bench-alloc-smoke` is
 # the CI variant that additionally fails if the open+close or stat rows
 # allocate at all) so the perf trajectory is tracked across PRs.
+# `make bench-trace` refreshes the decision-provenance half of
+# BENCH_obs.json (tracing disabled vs sampled spans) and enforces the ≤10%
+# sampled-tracing budget; `bench-trace-smoke` is the CI variant, which also
+# runs the zero-alloc tracing tripwires.
 # `make bench-worldscale` refreshes BENCH_worldscale.json — the worldgen +
 # fleet stress bed (throughput and mediation latency percentiles vs world
 # size up to a million inodes and fleet size, under live process churn and
@@ -20,7 +24,7 @@
 
 GO ?= go
 
-.PHONY: all vet gofmt-check pflint pflint-alloc lint build test test-race ci check bench-smoke bench-hotpath bench-ipc bench-obs bench-rulescale bench-rulescale-smoke bench-alloc bench-alloc-smoke bench-worldscale bench-worldscale-smoke
+.PHONY: all vet gofmt-check pflint pflint-alloc lint build test test-race ci check bench-smoke bench-hotpath bench-ipc bench-obs bench-rulescale bench-rulescale-smoke bench-alloc bench-alloc-smoke bench-trace bench-trace-smoke bench-worldscale bench-worldscale-smoke
 
 all: lint ci check
 
@@ -76,6 +80,20 @@ bench-ipc:
 
 bench-obs:
 	$(GO) run ./cmd/pfbench -obs -iters 20000 -obs-json BENCH_obs.json
+
+# Decision-provenance overhead: the metrics off/on cells plus the tracing
+# off/sampled cells in one BENCH_obs.json, with the sampled-tracing budget
+# enforced (≤10% on the open path at the default period).
+bench-trace:
+	$(GO) run ./cmd/pfbench -obs -tracing -tracing-gate -iters 20000 -obs-json BENCH_obs.json
+
+# CI variant: fewer iterations, the same combined artifact and gate, plus
+# the allocation tripwires — tracing disabled must stay at 0 allocs/op on
+# the armed open path, and even TraceEvery=1 span capture must not touch
+# the heap.
+bench-trace-smoke:
+	$(GO) test -run 'TestZeroAllocTracingDisabled|TestSampledTracingAllocBounded' ./internal/lmbench/
+	$(GO) run ./cmd/pfbench -obs -tracing -tracing-gate -iters 8000 -obs-json BENCH_obs.json
 
 bench-rulescale:
 	$(GO) run ./cmd/pfbench -rulescale -iters 50000 -rulescale-json BENCH_rulescale.json

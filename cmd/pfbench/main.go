@@ -19,8 +19,12 @@
 //
 // -obs runs the observability-overhead comparison (hot paths with the
 // metrics layer off vs on); -obs-json writes its report, e.g.
-// `pfbench -obs -obs-json BENCH_obs.json`. -cpuprofile, -memprofile and
-// -trace capture pprof/runtime-trace artifacts of whatever ran.
+// `pfbench -obs -obs-json BENCH_obs.json`. -tracing adds the
+// decision-provenance comparison (metrics-on world with tracing disabled
+// vs sampling one syscall in -trace-every) to the same report, and
+// -tracing-gate fails the run if sampled tracing costs more than 10% on
+// the open path. -cpuprofile, -memprofile and -trace capture
+// pprof/runtime-trace artifacts of whatever ran.
 //
 // -worldscale sweeps the standing stress bed: deployment-scale worlds
 // (up to a million inodes) under a supervised daemon fleet with live
@@ -54,6 +58,9 @@ func main() {
 	par := flag.Bool("parallel", false, "run the multi-process hot-path scaling measurement")
 	ipc := flag.Bool("ipc", false, "run the socket round-trip scaling measurement")
 	obsRun := flag.Bool("obs", false, "run the observability-overhead comparison (metrics off vs on)")
+	tracingRun := flag.Bool("tracing", false, "run the decision-provenance overhead comparison (tracing off vs sampled)")
+	tracingGate := flag.Bool("tracing-gate", false, "with -tracing: fail if sampled tracing exceeds 10% overhead on the open path")
+	traceEvery := flag.Int("trace-every", 0, "span sampling period for -tracing (0: the default)")
 	ruleScale := flag.Bool("rulescale", false, "run the rule-base scaling comparison (compiled dispatch vs linear)")
 	allocRun := flag.Bool("alloc", false, "run the hot-path allocation profile (allocs/op, bytes/op, p99)")
 	allocGate := flag.Bool("alloc-gate", false, "with -alloc: fail if the open+close or stat workload allocates at all")
@@ -79,14 +86,14 @@ func main() {
 	tracePath := flag.String("trace", "", "write a runtime execution trace to this file")
 	flag.Parse()
 
-	if !*t6 && !*t7 && !*f4 && !*f5 && !*par && !*ipc && !*obsRun && !*ruleScale && !*allocRun && !*worldScale && !*all {
+	if !*t6 && !*t7 && !*f4 && !*f5 && !*par && !*ipc && !*obsRun && !*tracingRun && !*ruleScale && !*allocRun && !*worldScale && !*all {
 		flag.Usage()
 		return
 	}
 	if *all {
 		// -worldscale stays opt-in: the full sweep builds million-inode
 		// worlds and holds each cell under traffic for -worldscale-secs.
-		*t6, *t7, *f4, *f5, *par, *ipc, *obsRun, *ruleScale, *allocRun = true, true, true, true, true, true, true, true, true
+		*t6, *t7, *f4, *f5, *par, *ipc, *obsRun, *tracingRun, *ruleScale, *allocRun = true, true, true, true, true, true, true, true, true, true
 	}
 
 	if *cpuprofile != "" {
@@ -181,10 +188,43 @@ func main() {
 			fmt.Println("alloc gate: ok (open+close and stat allocation-free)")
 		}
 	}
-	if *obsRun {
-		rep := lmbench.RunObsOverhead(*iters, *sampleEvery, lmbench.ParallelFanout)
-		emit("Observability overhead: hot paths with the metrics layer off vs on",
-			lmbench.FormatObsOverhead(rep), *obsJSONPath, rep)
+	if *obsRun || *tracingRun {
+		// Both comparisons share the BENCH_obs.json artifact: the metrics
+		// off/on cells and the tracing off/sampled cells land in one report
+		// so the observability cost story stays in one place.
+		var rep lmbench.ObsReport
+		var text string
+		if *obsRun {
+			rep = lmbench.RunObsOverhead(*iters, *sampleEvery, lmbench.ParallelFanout)
+			text += lmbench.FormatObsOverhead(rep)
+		}
+		if *tracingRun {
+			trep := lmbench.RunTraceOverhead(*iters, *sampleEvery, *traceEvery, lmbench.ParallelFanout)
+			if !*obsRun {
+				rep = trep
+			} else {
+				rep.TraceEvery, rep.TraceCells = trep.TraceEvery, trep.TraceCells
+			}
+			text += lmbench.FormatTraceOverhead(trep)
+		}
+		emit("Observability overhead: metrics off vs on; provenance tracing off vs sampled",
+			text, *obsJSONPath, rep)
+		if *tracingGate {
+			// The gate reads the single-goroutine file cell: it isolates
+			// per-request span cost, where the fan-out cells on a small CI
+			// box mostly measure scheduler interference. It judges the best
+			// *paired* round — off and on run back-to-back each round, so
+			// interference (a throttled cgroup, a stray daemon) inflates
+			// both sides of a pair and cancels in the ratio; only a cost
+			// present in every round fails the gate.
+			for _, c := range rep.TraceCells {
+				if c.Workload == "open+stat+close" && c.Goroutines == 1 && c.BestRoundPct > 10 {
+					fatal("tracing gate:", fmt.Errorf(
+						"sampled tracing costs %.1f%% on the open path in every round, budget 10%%", c.BestRoundPct))
+				}
+			}
+			fmt.Println("tracing gate: ok (sampled spans within 10% on the open path)")
+		}
 	}
 	if *worldScale {
 		sizes := lmbench.WorldScaleSizes

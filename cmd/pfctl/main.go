@@ -34,11 +34,13 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
@@ -84,12 +86,16 @@ func run(args []string, out io.Writer) error {
 	fleetSize := fs.Int("fleet", 4, "with -world: number of fleet instances")
 	duration := fs.Duration("duration", 2*time.Second, "with -world: how long the fleet serves traffic")
 	seed := fs.Uint64("seed", 1, "with -world: seed for the world tree and fleet schedule")
+	traceFlag := fs.Bool("trace", false, "tail sampled decision-provenance spans from the running workload over the in-simulation span stream")
+	topFlag := fs.Bool("top", false, "live fleet-wide span aggregation per tenant/persona/op (implies the workload; best with -world)")
+	traceEvery := fs.Int("trace-every", 1, "with -trace/-top: sample one syscall in N for span generation")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	exporting := *stats || *statsProm || *listen != ""
-	if exporting || *world != "" {
+	tracing := *traceFlag || *topFlag
+	if exporting || tracing || *world != "" {
 		*workload = true
 	}
 
@@ -102,6 +108,9 @@ func run(args []string, out io.Writer) error {
 		reg = obs.New()
 		wopts.Obs = reg
 		wopts.ObsEvery = 1
+	}
+	if tracing {
+		wopts.TraceEvery = *traceEvery
 	}
 	var w *programs.World
 	var gw *worldgen.World
@@ -158,9 +167,9 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		srcName = *file
-	case exporting:
-		// Pure stats runs default to the standard rule base so the
-		// workload has something to traverse.
+	case exporting || tracing:
+		// Pure stats and trace runs default to the standard rule base so
+		// the workload has something to traverse.
 		lines = programs.StandardRules()
 		srcName = "<standard>"
 	default:
@@ -232,9 +241,14 @@ func run(args []string, out io.Writer) error {
 	}
 
 	if *workload {
-		if gw != nil {
+		switch {
+		case tracing:
+			if err := runTraced(out, w, gw, *fleetSize, *duration, *seed, *topFlag, exporting); err != nil {
+				return err
+			}
+		case gw != nil:
 			runFleet(out, gw, *fleetSize, *duration, *seed, exporting)
-		} else {
+		default:
 			runWorkload(w)
 		}
 	}
@@ -324,6 +338,197 @@ func runFleet(out io.Writer, gw *worldgen.World, instances int, d time.Duration,
 	}
 }
 
+// runTraced is pfctl -trace / -top: start the in-simulation span stream
+// (server and tailing client are processes inside the world, talking over
+// the mediated abstract-socket transport), run the workload or fleet in
+// the background, and consume the stream live — printing each span
+// (-trace) or aggregating a fleet-wide per-tenant/persona/op view (-top).
+func runTraced(out io.Writer, w *programs.World, gw *worldgen.World, instances int, d time.Duration, seed uint64, top, exporting bool) error {
+	srv, err := trace.ServeSpans(w.K, "")
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	cl, err := trace.DialSpans(w.K, "")
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	// Give the relay a moment to admit the client: spans published before
+	// the connection is accepted are not replayed to it.
+	for i := 0; i < 100 && w.K.Tracer().Subscribers() == 0; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(10 * time.Millisecond)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if gw != nil {
+			runFleet(io.Discard, gw, instances, d, seed, true)
+		} else {
+			runWorkload(w)
+		}
+	}()
+
+	agg := newTopAgg()
+	start := time.Now()
+	lastFrame := start
+	finished := false
+	for {
+		sp, err := cl.Next(50 * time.Millisecond)
+		switch {
+		case err == nil:
+			if top {
+				agg.add(&sp)
+			} else {
+				fmt.Fprintln(out, formatSpan(&sp))
+			}
+		case errors.Is(err, trace.ErrStreamTimeout):
+			if finished {
+				// Workload done and the stream has gone quiet: drained.
+				if top {
+					agg.render(out, w, time.Since(start))
+				}
+				return nil
+			}
+		default:
+			return err
+		}
+		if top && time.Since(lastFrame) >= time.Second {
+			agg.render(out, w, time.Since(start))
+			lastFrame = time.Now()
+		}
+		select {
+		case <-done:
+			finished = true
+		default:
+		}
+	}
+}
+
+// formatSpan renders one provenance span as a human-readable -trace line:
+// identity, decision, the deciding rule's source position, and the
+// per-layer latency split.
+func formatSpan(sp *obs.Span) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "#%d pid=%d %s %s %s", sp.Seq, sp.PID, sp.Subject, sp.Syscall, sp.Op)
+	if sp.Path != "" {
+		fmt.Fprintf(&b, " %s", sp.Path)
+	}
+	fmt.Fprintf(&b, " -> %s", sp.Verdict)
+	if src := sp.RuleSrc(); src != "" {
+		fmt.Fprintf(&b, " rule=%s(%s)", src, sp.RuleTarget)
+	}
+	fmt.Fprintf(&b, " kernel=%s check=%s gauntlet=%s total=%s",
+		time.Duration(sp.KernelNs), time.Duration(sp.CheckNs),
+		time.Duration(sp.GauntletNs), time.Duration(sp.TotalNs))
+	if names := sp.Flags.Names(); len(names) > 0 {
+		fmt.Fprintf(&b, " [%s]", strings.Join(names, ","))
+	}
+	return b.String()
+}
+
+// topKey is one -top aggregation bucket.
+type topKey struct {
+	Tenant  string
+	Persona string
+	Op      string
+}
+
+// topRow accumulates spans for one key; latency quantiles reuse the obs
+// histogram bucketing so -top and -stats agree on the estimate.
+type topRow struct {
+	count uint64
+	drops uint64
+	hist  obs.HistSnapshot
+}
+
+type topAgg struct {
+	rows map[topKey]*topRow
+}
+
+func newTopAgg() *topAgg { return &topAgg{rows: map[topKey]*topRow{}} }
+
+// tenantOf maps an object path to its worldgen tenant (the component
+// under /srv/tenants), or "-" for shared infrastructure.
+func tenantOf(path string) string {
+	prefix := worldgen.TenantRoot + "/"
+	if !strings.HasPrefix(path, prefix) {
+		return "-"
+	}
+	rest := path[len(prefix):]
+	if i := strings.IndexByte(rest, '/'); i >= 0 {
+		rest = rest[:i]
+	}
+	if rest == "" {
+		return "-"
+	}
+	return rest
+}
+
+func (a *topAgg) add(sp *obs.Span) {
+	k := topKey{Tenant: tenantOf(sp.Path), Persona: sp.Subject, Op: sp.Op}
+	r := a.rows[k]
+	if r == nil {
+		r = &topRow{}
+		a.rows[k] = r
+	}
+	r.count++
+	if sp.Verdict == "DROP" {
+		r.drops++
+	}
+	r.hist.Count++
+	r.hist.Sum += sp.TotalNs
+	r.hist.Buckets[obs.BucketIndex(sp.TotalNs)]++
+}
+
+// topRows caps one -top frame.
+const topRows = 24
+
+// render prints one -top frame: header with stream health, then the
+// busiest tenant/persona/op buckets with deny counts and latency
+// quantiles.
+func (a *topAgg) render(out io.Writer, w *programs.World, elapsed time.Duration) {
+	t := w.K.Tracer()
+	keys := make([]topKey, 0, len(a.rows))
+	var total uint64
+	for k, r := range a.rows {
+		keys = append(keys, k)
+		total += r.count
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		ri, rj := a.rows[keys[i]], a.rows[keys[j]]
+		if ri.count != rj.count {
+			return ri.count > rj.count
+		}
+		if keys[i].Tenant != keys[j].Tenant {
+			return keys[i].Tenant < keys[j].Tenant
+		}
+		if keys[i].Persona != keys[j].Persona {
+			return keys[i].Persona < keys[j].Persona
+		}
+		return keys[i].Op < keys[j].Op
+	})
+	fmt.Fprintf(out, "pfctl top — %d spans streamed, %d published, %d subscriber drops, elapsed %s\n",
+		total, t.Total(), t.Dropped(), elapsed.Round(time.Millisecond))
+	fmt.Fprintf(out, "%-12s %-18s %-20s %8s %6s %10s %10s\n",
+		"TENANT", "PERSONA", "OP", "SPANS", "DENY", "P50", "P99")
+	shown := keys
+	if len(shown) > topRows {
+		shown = shown[:topRows]
+	}
+	for _, k := range shown {
+		r := a.rows[k]
+		fmt.Fprintf(out, "%-12s %-18s %-20s %8d %6d %10s %10s\n",
+			k.Tenant, k.Persona, k.Op, r.count, r.drops,
+			time.Duration(r.hist.Quantile(0.50)), time.Duration(r.hist.Quantile(0.99)))
+	}
+	if len(keys) > len(shown) {
+		fmt.Fprintf(out, "… %d more buckets\n", len(keys)-len(shown))
+	}
+}
+
 // runCheck is pfctl -check: run the static analyzer over the ruleset
 // source, print every finding compiler-style plus a summary line, and fail
 // (non-zero exit) exactly when an error-class finding exists. Timing goes
@@ -347,12 +552,42 @@ func runCheck(out io.Writer, w *programs.World, name string, lines []string, sym
 }
 
 // statsDoc is the -stats JSON document: the full metrics registry, the
-// operator-facing denial summary (audit.TopN over the trace store), and the
-// load-time static-analysis tallies.
+// per-op latency quantile summary derived from the gauntlet histograms,
+// the operator-facing denial summary (audit.TopN over the trace store),
+// and the load-time static-analysis tallies.
 type statsDoc struct {
 	Metrics json.RawMessage     `json:"metrics"`
+	Latency []opLatency         `json:"latency,omitempty"`
 	Denials []audit.DenialGroup `json:"denials"`
 	Checks  *pfcheck.Summary    `json:"checks,omitempty"`
+}
+
+// opLatency is one operation's sampled gauntlet-latency summary. The
+// quantiles are bucket upper bounds (power-of-two nanoseconds), the same
+// estimate the histograms themselves export.
+type opLatency struct {
+	Op    string `json:"op"`
+	Count uint64 `json:"count"`
+	P50Ns uint64 `json:"p50_ns"`
+	P99Ns uint64 `json:"p99_ns"`
+}
+
+// latencySummary derives the per-op p50/p99 table from the engine's
+// already-registered pf_gauntlet_latency_ns series.
+func latencySummary(reg *obs.Registry) []opLatency {
+	var out []opLatency
+	for key, hs := range reg.HistogramSnapshots("pf_gauntlet_latency_ns") {
+		if hs.Count == 0 {
+			continue
+		}
+		op := strings.TrimPrefix(key, "op=")
+		out = append(out, opLatency{
+			Op: op, Count: hs.Count,
+			P50Ns: hs.Quantile(0.50), P99Ns: hs.Quantile(0.99),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Op < out[j].Op })
+	return out
 }
 
 func writeStats(out io.Writer, reg *obs.Registry, store *trace.Store, checks *pfcheck.Summary) error {
@@ -362,6 +597,7 @@ func writeStats(out io.Writer, reg *obs.Registry, store *trace.Store, checks *pf
 	}
 	doc := statsDoc{
 		Metrics: metrics,
+		Latency: latencySummary(reg),
 		Denials: audit.TopN(audit.Denials(store), statsTopDenials),
 		Checks:  checks,
 	}

@@ -201,3 +201,103 @@ func TestCheckScaleDeterministic(t *testing.T) {
 		t.Errorf("summary line missing:\n%s", a.String())
 	}
 }
+
+// TestStatsLatencySection checks the -stats per-op latency summary
+// derived from the gauntlet histograms: present, sorted by op, and
+// carrying the deterministic workload's counts.
+func TestStatsLatencySection(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-stats"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Latency []struct {
+			Op    string `json:"op"`
+			Count uint64 `json:"count"`
+			P50Ns uint64 `json:"p50_ns"`
+			P99Ns uint64 `json:"p99_ns"`
+		} `json:"latency"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Latency) == 0 {
+		t.Fatal("-stats has no latency section")
+	}
+	byOp := map[string]uint64{}
+	for i, l := range doc.Latency {
+		if l.P50Ns == 0 || l.P99Ns < l.P50Ns {
+			t.Errorf("%s: implausible quantiles p50=%d p99=%d", l.Op, l.P50Ns, l.P99Ns)
+		}
+		if i > 0 && doc.Latency[i-1].Op >= l.Op {
+			t.Errorf("latency section not sorted by op: %q >= %q", doc.Latency[i-1].Op, l.Op)
+		}
+		byOp[l.Op] = l.Count
+	}
+	if byOp["FILE_OPEN"] != 8 {
+		t.Errorf("FILE_OPEN latency count = %d, want 8", byOp["FILE_OPEN"])
+	}
+	if byOp["LNK_FILE_READ"] != 1 {
+		t.Errorf("LNK_FILE_READ latency count = %d, want 1", byOp["LNK_FILE_READ"])
+	}
+}
+
+// TestTraceStreamsSpans runs the canned workload under -trace and checks
+// the streamed span lines: accepted opens with per-layer latency, and the
+// link-walk denial naming the deciding rule's source position.
+func TestTraceStreamsSpans(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-trace"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"FILE_OPEN /etc/passwd -> ACCEPT",
+		"LNK_FILE_READ /tmp/trap -> DROP rule=<standard>:13(DROP)",
+		"kernel=", "check=", "gauntlet=", "total=",
+		"[batch", "dcache_hit",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-trace output missing %q:\n%s", want, out)
+		}
+	}
+	// Every span line carries the full latency split.
+	spans := 0
+	for _, line := range strings.Split(out, "\n") {
+		if len(line) < 2 || line[0] != '#' || line[1] < '0' || line[1] > '9' {
+			continue // rule chatter and comments, not span lines
+		}
+		spans++
+		for _, part := range []string{" kernel=", " check=", " gauntlet=", " total="} {
+			if !strings.Contains(line, part) {
+				t.Errorf("span line missing %q: %s", part, line)
+			}
+		}
+	}
+	if spans < 50 {
+		t.Errorf("only %d span lines streamed, want the workload's full trace", spans)
+	}
+}
+
+// TestTopRendersFleetView runs a short traced fleet under -top and checks
+// the aggregated frame: header with stream health and per
+// tenant/persona/op rows with quantiles.
+func TestTopRendersFleetView(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-world", "tiny", "-fleet", "2", "-duration", "300ms", "-top", "-trace-every", "4"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "pfctl top — ") {
+		t.Fatalf("-top frame header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "TENANT") || !strings.Contains(out, "PERSONA") || !strings.Contains(out, "P99") {
+		t.Errorf("-top column header missing:\n%s", out)
+	}
+	// The tiny fleet always walks directories; at 1-in-4 sampling the
+	// busiest buckets must include persona'd DIR_SEARCH rows.
+	if !strings.Contains(out, "DIR_SEARCH") {
+		t.Errorf("-top shows no DIR_SEARCH bucket:\n%s", out)
+	}
+}

@@ -2,6 +2,7 @@ package kernel
 
 import (
 	"pfirewall/internal/ipc"
+	"pfirewall/internal/obs"
 	"pfirewall/internal/pf"
 	"pfirewall/internal/vfs"
 )
@@ -34,6 +35,21 @@ type medState struct {
 
 	prev        *medState // enclosing syscall's scratch (signal re-entry)
 	batchActive bool
+
+	// Decision-provenance tracing scratch. tracer is non-nil exactly when
+	// this syscall was trace-sampled at entry; the span record is embedded
+	// by value, so arming, filling, and publishing (a value copy into the
+	// tracer ring) allocate nothing. With tracing disabled every filter
+	// site pays one nil check.
+	tracer     *obs.Tracer
+	span       obs.Span
+	spanT0     int64  // syscall entry stamp (obs.MonoNow)
+	medT0      int64  // current mediation's entry stamp (zero outside a vfs wrapper)
+	gT0        int64  // current request's gauntlet-entry stamp
+	syscallSeq uint64 // kernel-wide syscall ordinal (groups batch members)
+	spanIdx    uint32 // requests spanned so far in this syscall
+	dcHits     uint32 // resolved.DcacheHits already attributed to spans
+	dcMisses   uint32
 }
 
 // Mediate implements vfs.Mediator: every object touched during path
@@ -84,8 +100,75 @@ func (p *Proc) exitSyscall() {
 	ms.resolved.Node, ms.resolved.Parent = nil, nil
 	ms.resolved.Name, ms.resolved.Path = "", ""
 	ms.resolved.Trail = ms.resolved.Trail[:0]
+	ms.resolved.DcacheHits, ms.resolved.DcacheMisses = 0, 0
 	ms.prev = nil
+	ms.tracer = nil
+	ms.span = obs.Span{}
+	ms.spanT0, ms.medT0, ms.gT0 = 0, 0, 0
+	ms.syscallSeq, ms.spanIdx = 0, 0
+	ms.dcHits, ms.dcMisses = 0, 0
 	p.medFree = append(p.medFree, ms)
+}
+
+// beginSpan fills the provenance header for the request about to enter the
+// gauntlet and arms ms.req.Span so the engine annotates it in place. Every
+// string stored is interned or pre-existing; no allocation occurs. Called
+// only when ms.tracer != nil.
+func (ms *medState) beginSpan(op pf.Op, path string) {
+	now := obs.MonoNow()
+	sp := &ms.span
+	*sp = obs.Span{}
+	sp.PID = ms.p.pid
+	sp.SyscallSeq = ms.syscallSeq
+	sp.BatchIndex = ms.spanIdx
+	if ms.spanIdx > 0 {
+		sp.Flags |= obs.SpanBatch
+	}
+	sp.Syscall = ms.nr.String()
+	sp.Op = op.String()
+	sp.Path = path
+	sp.Subject = ms.p.subject
+	sp.KernelNs = uint64(now - ms.spanT0)
+	if ms.medT0 != 0 {
+		// The request came through the vfs mediation wrapper: DAC and MAC
+		// ran between medT0 and now. Consume the stamp so a mediation whose
+		// op the firewall skips (MayFilter false) cannot leak its stamp
+		// into a later request's split.
+		sp.CheckNs = uint64(now - ms.medT0)
+		sp.KernelNs = uint64(ms.medT0 - ms.spanT0)
+		ms.medT0 = 0
+	}
+	// Dentry-cache lookups performed since the previous span are the ones
+	// that located this request's object; attribute them here and advance
+	// the consumed-counter watermark.
+	if ms.resolved.DcacheHits > ms.dcHits {
+		sp.Flags |= obs.SpanDcacheHit
+	}
+	if ms.resolved.DcacheMisses > ms.dcMisses {
+		sp.Flags |= obs.SpanDcacheMiss
+	}
+	ms.dcHits, ms.dcMisses = ms.resolved.DcacheHits, ms.resolved.DcacheMisses
+	ms.gT0 = now
+	ms.req.Span = sp
+}
+
+// endSpan stamps verdict and latency totals, disarms the request, and
+// publishes the span (a value copy into the tracer ring and any
+// subscriber buffers).
+func (ms *medState) endSpan(v pf.Verdict) {
+	sp := &ms.span
+	now := obs.MonoNow()
+	sp.Verdict = v.String()
+	// One end stamp covers both latency fields: the gauntlet ran the whole
+	// beginSpan→endSpan bracket (the engine stamps no clocks of its own),
+	// and the total adds the DAC+MAC prelude beginSpan measured (zero when
+	// the request had no vfs wrapper).
+	sp.GauntletNs = uint64(now - ms.gT0)
+	sp.TotalNs = sp.CheckNs + sp.GauntletNs
+	sp.TimeUnixNano = obs.WallNano(now)
+	ms.spanIdx++
+	ms.req.Span = nil
+	ms.tracer.Publish(sp)
 }
 
 // pfFilter consults the Process Firewall about op on node. The per-op rule
@@ -107,7 +190,14 @@ func (p *Proc) pfFilter(op pf.Op, node *vfs.Inode, path string, nr Syscall) erro
 	ms.req.Op = op
 	ms.req.Obj = &ms.res
 	ms.req.SyscallNR = int(nr)
-	if ms.b.Filter(&ms.req) == pf.VerdictDrop {
+	if ms.tracer != nil {
+		ms.beginSpan(op, path)
+	}
+	v := ms.b.Filter(&ms.req)
+	if ms.tracer != nil {
+		ms.endSpan(v)
+	}
+	if v == pf.VerdictDrop {
 		return ErrPFDenied
 	}
 	return nil
@@ -130,7 +220,14 @@ func (p *Proc) pfFilterRes(op pf.Op, res pf.Resource, nr Syscall) error {
 	ms.req.Op = op
 	ms.req.Obj = res
 	ms.req.SyscallNR = int(nr)
-	if ms.b.Filter(&ms.req) == pf.VerdictDrop {
+	if ms.tracer != nil {
+		ms.beginSpan(op, res.Path())
+	}
+	v := ms.b.Filter(&ms.req)
+	if ms.tracer != nil {
+		ms.endSpan(v)
+	}
+	if v == pf.VerdictDrop {
 		return ErrPFDenied
 	}
 	return nil
@@ -153,7 +250,14 @@ func (p *Proc) pfFilterConn(op pf.Op, c *ipc.Conn, nr Syscall) error {
 	ms.req.Op = op
 	ms.req.Obj = &ms.ipcRes
 	ms.req.SyscallNR = int(nr)
-	if ms.b.Filter(&ms.req) == pf.VerdictDrop {
+	if ms.tracer != nil {
+		ms.beginSpan(op, ms.ipcRes.Path())
+	}
+	v := ms.b.Filter(&ms.req)
+	if ms.tracer != nil {
+		ms.endSpan(v)
+	}
+	if v == pf.VerdictDrop {
 		return ErrPFDenied
 	}
 	return nil
@@ -179,7 +283,14 @@ func (p *Proc) pfFilterLis(op pf.Op, l *ipc.Listener, nr Syscall) error {
 	ms.req.Op = op
 	ms.req.Obj = &ms.ipcRes
 	ms.req.SyscallNR = int(nr)
-	if ms.b.Filter(&ms.req) == pf.VerdictDrop {
+	if ms.tracer != nil {
+		ms.beginSpan(op, ms.ipcRes.Path())
+	}
+	v := ms.b.Filter(&ms.req)
+	if ms.tracer != nil {
+		ms.endSpan(v)
+	}
+	if v == pf.VerdictDrop {
 		return ErrPFDenied
 	}
 	return nil

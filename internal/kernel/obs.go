@@ -17,6 +17,13 @@ type kernelObs struct {
 	// that read-modify-write instead of adding one.
 	sampleMask uint64
 	medLatency *obs.Histogram
+
+	// tracer, when non-nil, receives decision-provenance spans from
+	// syscalls selected by traceMask against SyscallCount (the same
+	// piggybacked sampling as the latency histogram). Nil means tracing is
+	// disabled and every syscall pays exactly one nil check.
+	tracer    *obs.Tracer
+	traceMask uint64
 }
 
 // ObsConfig configures kernel-level observability; SampleEvery, RingSize,
@@ -30,6 +37,12 @@ type ObsConfig struct {
 	RingSize int
 	// RecordAccepts mirrors pf.ObsConfig.RecordAccepts.
 	RecordAccepts bool
+	// TraceEvery samples one syscall in TraceEvery for decision-provenance
+	// tracing (every request the sampled syscall mediates carries a span).
+	// 0 disables tracing entirely; 1 traces every syscall.
+	TraceEvery int
+	// TraceRing is the span flight-recorder capacity (default 256).
+	TraceRing int
 }
 
 // AttachObs registers the whole mediation stack's metric series on reg:
@@ -45,6 +58,18 @@ func (k *Kernel) AttachObs(reg *obs.Registry, cfg ObsConfig) {
 		sampleMask: obs.SampleMask(cfg.SampleEvery),
 		medLatency: reg.Histogram("kernel_mediation_latency_ns",
 			"Sampled latency of one object-access mediation (DAC, MAC, PF), in nanoseconds."),
+	}
+	if cfg.TraceEvery > 0 {
+		ob.tracer = reg.Tracer("pf_spans", obs.TraceConfig{RingSize: cfg.TraceRing})
+		ob.traceMask = obs.SampleMask(cfg.TraceEvery)
+		reg.CounterFunc("trace_spans_total",
+			"Decision-provenance spans published.", ob.tracer.Total)
+		reg.CounterFunc("trace_span_drops_total",
+			"Spans dropped on full subscriber buffers.", ob.tracer.Dropped)
+		reg.GaugeFunc("trace_subscribers",
+			"Live span-stream subscriptions.", func() uint64 {
+				return uint64(ob.tracer.Subscribers())
+			})
 	}
 	for nr := Syscall(1); nr < nrCount; nr++ {
 		ob.syscalls[nr] = reg.Counter("kernel_syscalls_total",
@@ -88,4 +113,13 @@ func (k *Kernel) AttachObs(reg *obs.Registry, cfg ObsConfig) {
 			RecordAccepts: cfg.RecordAccepts,
 		})
 	}
+}
+
+// Tracer returns the attached decision-provenance tracer, or nil when
+// observability is not attached or tracing is disabled.
+func (k *Kernel) Tracer() *obs.Tracer {
+	if ob := k.obs.Load(); ob != nil {
+		return ob.tracer
+	}
+	return nil
 }

@@ -2,10 +2,10 @@ package kernel
 
 import (
 	"fmt"
-	"time"
 
 	"pfirewall/internal/ipc"
 	"pfirewall/internal/mac"
+	"pfirewall/internal/obs"
 	"pfirewall/internal/pf"
 	"pfirewall/internal/ustack"
 	"pfirewall/internal/vfs"
@@ -30,10 +30,12 @@ type Proc struct {
 	k   *Kernel
 	pid int
 
-	// Credentials.
+	// Credentials. subject caches the label string for the sid so the
+	// trace-span path never pays the SID-table lookup per span.
 	UID, GID   int
 	EUID, EGID int
 	sid        mac.SID
+	subject    string
 
 	exec     string
 	cwd      *vfs.Inode
@@ -117,6 +119,7 @@ func (k *Kernel) NewProc(spec ProcSpec) *Proc {
 		pid: pid,
 		UID: spec.UID, GID: spec.GID, EUID: spec.UID, EGID: spec.GID,
 		sid:      k.Policy.SIDs().SID(spec.Label),
+		subject:  string(spec.Label),
 		exec:     spec.Exec,
 		Env:      map[string]string{},
 		fds:      make(map[int]*File),
@@ -195,7 +198,10 @@ func (p *Proc) Kernel() *Kernel { return p.k }
 func (p *Proc) Label() mac.Label { return p.k.Policy.SIDs().Label(p.sid) }
 
 // SetLabel relabels the process (domain transition).
-func (p *Proc) SetLabel(l mac.Label) { p.sid = p.k.Policy.SIDs().SID(l) }
+func (p *Proc) SetLabel(l mac.Label) {
+	p.sid = p.k.Policy.SIDs().SID(l)
+	p.subject = string(l)
+}
 
 // Cwd returns the current working directory inode.
 func (p *Proc) Cwd() *vfs.Inode { return p.cwd }
@@ -278,12 +284,21 @@ func (p *Proc) enterSyscall(nr Syscall, args ...uint64) error {
 	if p.exited {
 		return ErrExited
 	}
-	p.k.SyscallCount.Add(1)
-	if ob := p.k.obs.Load(); ob != nil && nr > 0 && nr < nrCount {
+	n := p.k.SyscallCount.Add(1)
+	ob := p.k.obs.Load()
+	if ob != nil && nr > 0 && nr < nrCount {
 		ob.syscalls[nr].Add(p.pid, 1)
 	}
 	p.ps.BeginSyscall()
 	ms := p.acquireMed(nr)
+	if ob != nil && ob.tracer != nil && n&ob.traceMask == 0 {
+		// Trace-sampled syscall: every request it mediates will carry a
+		// provenance span. The sampling decision rides the syscall counter
+		// this entry incremented anyway, mirroring the latency sampler.
+		ms.tracer = ob.tracer
+		ms.spanT0 = obs.MonoNow()
+		ms.syscallSeq = n
+	}
 	if pfe := p.k.PF; pfe != nil {
 		// One gauntlet setup (ruleset + observability snapshot) for the whole
 		// syscall; every subsequent check this syscall performs rides it.
@@ -295,7 +310,14 @@ func (p *Proc) enterSyscall(nr Syscall, args ...uint64) error {
 			ms.req.Op = pf.OpSyscallBegin
 			ms.req.SyscallNR = int(nr)
 			ms.req.SetArgs(args...)
-			if ms.b.Filter(&ms.req) == pf.VerdictDrop {
+			if ms.tracer != nil {
+				ms.beginSpan(pf.OpSyscallBegin, "")
+			}
+			v := ms.b.Filter(&ms.req)
+			if ms.tracer != nil {
+				ms.endSpan(v)
+			}
+			if v == pf.VerdictDrop {
 				p.exitSyscall()
 				return ErrPFDenied
 			}
@@ -347,12 +369,17 @@ func (p *Proc) mediator(nr Syscall) vfs.Mediator {
 func (p *Proc) mediate(nr Syscall, a vfs.Access) error {
 	n := p.k.MediationCount.Add(1)
 	ob := p.k.obs.Load()
+	if ms := p.curMed; ms != nil && ms.tracer != nil {
+		// Trace-sampled syscall: stamp this mediation's start so the span
+		// can split DAC+MAC time from gauntlet time.
+		ms.medT0 = obs.MonoNow()
+	}
 	if ob == nil || n&ob.sampleMask != 0 {
 		return p.mediate1(nr, a)
 	}
-	t0 := time.Now()
+	t0 := obs.MonoNow()
 	err := p.mediate1(nr, a)
-	ob.medLatency.Observe(p.pid, uint64(time.Since(t0)))
+	ob.medLatency.Observe(p.pid, uint64(obs.MonoNow()-t0))
 	return err
 }
 

@@ -27,6 +27,7 @@ func (p *Proc) Fork() (*Proc, error) {
 		pid: pid,
 		UID: p.UID, GID: p.GID, EUID: p.EUID, EGID: p.EGID,
 		sid:      p.sid,
+		subject:  p.subject,
 		exec:     p.exec,
 		cwd:      p.cwd,
 		cwdPath:  p.cwdPath,

@@ -1,0 +1,266 @@
+package kernel
+
+import (
+	"errors"
+	"testing"
+
+	"pfirewall/internal/obs"
+	"pfirewall/internal/pf"
+	"pfirewall/internal/pftables"
+)
+
+// traceWorld attaches an optimized engine with a positioned DROP rule on
+// tmp_t opens plus a DIR_SEARCH ACCEPT (so path-walk mediations produce
+// spans too), and turns tracing on for every syscall.
+func traceWorld(t *testing.T, traceEvery int) (*Kernel, *obs.Registry) {
+	t.Helper()
+	k := newWorld(t)
+	engine := pf.New(k.Policy, pf.Optimized())
+	if _, err := pftables.InstallAt(pfEnv(k), engine,
+		`pftables -o FILE_OPEN -d tmp_t -s user_t -j DROP`,
+		pf.Pos{File: "trap.pft", Line: 7, Col: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pftables.InstallAt(pfEnv(k), engine,
+		`pftables -o DIR_SEARCH -j ACCEPT`,
+		pf.Pos{File: "trap.pft", Line: 9, Col: 1}); err != nil {
+		t.Fatal(err)
+	}
+	k.AttachPF(engine)
+	reg := obs.New()
+	k.AttachObs(reg, ObsConfig{SampleEvery: 1, TraceEvery: traceEvery})
+	return k, reg
+}
+
+func TestTraceSpanProvenance(t *testing.T) {
+	k, _ := traceWorld(t, 1)
+	p := newUser(k)
+
+	// Seed the file as root (httpd_t is not matched by the DROP rule), then
+	// have the user trip it.
+	root := newRoot(k, "httpd_t", "/usr/bin/apache2")
+	fd, err := root.Open("/tmp/trap", O_CREAT|O_RDWR, 0o666)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = root.Close(fd)
+
+	tr := k.Tracer()
+	if tr == nil {
+		t.Fatal("tracer not attached")
+	}
+	before := tr.Total()
+	if _, err := p.Open("/tmp/trap", O_RDONLY, 0); !errors.Is(err, ErrPFDenied) {
+		t.Fatalf("user open /tmp/trap: %v, want ErrPFDenied", err)
+	}
+	if tr.Total() <= before {
+		t.Fatal("no spans published for traced syscall")
+	}
+
+	spans := tr.Snapshot()
+	var drop *obs.Span
+	var walks []obs.Span
+	for i := range spans {
+		sp := spans[i]
+		if sp.PID != p.PID() {
+			continue
+		}
+		switch {
+		case sp.Op == "FILE_OPEN" && sp.Path == "/tmp/trap" && sp.Verdict == "DROP":
+			drop = &spans[i]
+		case sp.Op == "DIR_SEARCH":
+			walks = append(walks, sp)
+		}
+	}
+	if drop == nil {
+		t.Fatalf("no DROP span for /tmp/trap in snapshot: %+v", spans)
+	}
+
+	// Deciding-rule provenance: the positioned DROP rule.
+	if drop.Flags&obs.SpanRuleDecided == 0 {
+		t.Error("DROP span missing SpanRuleDecided")
+	}
+	if drop.RuleFile != "trap.pft" || drop.RuleLine != 7 {
+		t.Errorf("rule src = %s:%d, want trap.pft:7", drop.RuleFile, drop.RuleLine)
+	}
+	if got := drop.RuleSrc(); got != "trap.pft:7:1" {
+		t.Errorf("RuleSrc() = %q, want trap.pft:7:1", got)
+	}
+	if drop.RuleTarget != "DROP" {
+		t.Errorf("rule target = %q, want DROP", drop.RuleTarget)
+	}
+	if drop.RulesEvaluated == 0 {
+		t.Error("DROP span records zero rules evaluated")
+	}
+
+	// Chain path: every request enters through the input chain.
+	chains := drop.Chains()
+	if len(chains) == 0 || chains[0] != "input" {
+		t.Errorf("chain path = %v, want to start at input", chains)
+	}
+
+	// Identity and batching.
+	if drop.Subject != "user_t" {
+		t.Errorf("subject = %q, want user_t", drop.Subject)
+	}
+	if drop.Syscall != "open" {
+		t.Errorf("syscall = %q, want open", drop.Syscall)
+	}
+	if len(walks) == 0 {
+		t.Fatal("no DIR_SEARCH spans from the path walk")
+	}
+	if drop.Flags&obs.SpanBatch == 0 {
+		t.Error("final open span should be marked batch (path walk spanned first)")
+	}
+	if drop.BatchIndex == 0 {
+		t.Error("final open span should not be batch index 0")
+	}
+	for _, w := range walks {
+		if w.SyscallSeq != drop.SyscallSeq {
+			t.Errorf("walk span syscall_seq %d != open span %d", w.SyscallSeq, drop.SyscallSeq)
+		}
+		if w.Verdict != "ACCEPT" {
+			t.Errorf("walk verdict = %q, want ACCEPT", w.Verdict)
+		}
+	}
+
+	// Latency split: the gauntlet ran, and totals include it.
+	if drop.GauntletNs == 0 {
+		t.Error("gauntlet latency not measured")
+	}
+	if drop.TotalNs < drop.GauntletNs {
+		t.Errorf("total %dns < gauntlet %dns", drop.TotalNs, drop.GauntletNs)
+	}
+	if drop.TimeUnixNano == 0 {
+		t.Error("span missing timestamp")
+	}
+
+	// Dentry-cache provenance: the walk that located /tmp/trap missed or
+	// hit the dcache; either way the bits must be attributed somewhere in
+	// this syscall's spans.
+	var sawDc bool
+	for _, sp := range append(walks, *drop) {
+		if sp.Flags&(obs.SpanDcacheHit|obs.SpanDcacheMiss) != 0 {
+			sawDc = true
+		}
+	}
+	if !sawDc {
+		t.Error("no span carries dcache attribution bits")
+	}
+
+	// A repeat open walks a warm dcache: some span must now record a hit.
+	if _, err := p.Open("/tmp/trap", O_RDONLY, 0); !errors.Is(err, ErrPFDenied) {
+		t.Fatalf("repeat open: %v, want ErrPFDenied", err)
+	}
+	var warmHit bool
+	for _, sp := range tr.Snapshot() {
+		if sp.PID == p.PID() && sp.Flags&obs.SpanDcacheHit != 0 {
+			warmHit = true
+		}
+	}
+	if !warmHit {
+		t.Error("warm re-walk produced no dcache-hit span")
+	}
+}
+
+func TestTraceAdvCacheBits(t *testing.T) {
+	k := newWorld(t)
+	engine := pf.New(k.Policy, pf.Optimized())
+	// An adversary-sensitive rule forces EvalCtx to consult the MAC
+	// adversary cache during collection.
+	if _, err := pftables.InstallAt(pfEnv(k), engine,
+		`pftables -o FILE_OPEN -m ADV_ACCESS --write --is true -j DROP`,
+		pf.Pos{File: "adv.pft", Line: 1, Col: 1}); err != nil {
+		t.Fatal(err)
+	}
+	k.AttachPF(engine)
+	reg := obs.New()
+	k.AttachObs(reg, ObsConfig{SampleEvery: 1, TraceEvery: 1})
+
+	root := newRoot(k, "httpd_t", "/usr/bin/apache2")
+	// First open computes adversary accessibility (miss), second is served
+	// from the snapshot (hit).
+	if _, err := root.Open("/etc/passwd", O_RDONLY, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := root.Open("/etc/passwd", O_RDONLY, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	var sawMiss, sawHit bool
+	for _, sp := range k.Tracer().Snapshot() {
+		if sp.Op != "FILE_OPEN" {
+			continue
+		}
+		if sp.Flags&obs.SpanAdvCacheMiss != 0 {
+			sawMiss = true
+		}
+		if sp.Flags&obs.SpanAdvCacheHit != 0 {
+			sawHit = true
+		}
+	}
+	if !sawMiss {
+		t.Error("no span recorded an adversary-cache miss")
+	}
+	if !sawHit {
+		t.Error("no span recorded an adversary-cache hit")
+	}
+}
+
+func TestTraceDisabledNoTracer(t *testing.T) {
+	k := newWorld(t)
+	reg := obs.New()
+	k.AttachObs(reg, ObsConfig{SampleEvery: 1}) // TraceEvery zero: disabled
+	if k.Tracer() != nil {
+		t.Fatal("tracer attached with TraceEvery=0")
+	}
+	p := newUser(k)
+	fd, err := p.Open("/tmp/f", O_CREAT|O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = p.Close(fd)
+}
+
+func TestTraceSampling(t *testing.T) {
+	k, _ := traceWorld(t, 4) // every 4th syscall
+	// Three syscalls per iteration so the power-of-two sample mask does
+	// not alias onto a single syscall kind in the loop.
+	p := newRoot(k, "httpd_t", "/usr/bin/apache2")
+	for i := 0; i < 64; i++ {
+		fd, err := p.Open("/etc/passwd", O_RDONLY, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.Fstat(fd); err != nil {
+			t.Fatal(err)
+		}
+		_ = p.Close(fd)
+	}
+	total := k.Tracer().Total()
+	if total == 0 {
+		t.Fatal("sampled tracing produced no spans")
+	}
+	// 192 syscalls at 1-in-4 sampling: a quarter of them span; each open
+	// spans several mediations, but far fewer publish than tracing
+	// everything would.
+	every1 := uint64(0)
+	{
+		k2, _ := traceWorld(t, 1)
+		p2 := newRoot(k2, "httpd_t", "/usr/bin/apache2")
+		for i := 0; i < 64; i++ {
+			fd, err := p2.Open("/etc/passwd", O_RDONLY, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := p2.Fstat(fd); err != nil {
+				t.Fatal(err)
+			}
+			_ = p2.Close(fd)
+		}
+		every1 = k2.Tracer().Total()
+	}
+	if total*2 >= every1 {
+		t.Errorf("1-in-4 sampling published %d spans, full tracing %d; want far fewer", total, every1)
+	}
+}

@@ -49,3 +49,48 @@ func TestZeroAllocHotPath(t *testing.T) {
 		}
 	}
 }
+
+// TestZeroAllocTracingDisabled pins the decision-provenance gate's cheap
+// side: with the metrics layer attached but TraceEvery zero, the span
+// machinery must cost nothing on the armed open+close path — the only
+// admissible residue is the single tracer-nil branch per filter site.
+func TestZeroAllocTracingDisabled(t *testing.T) {
+	w := traceWorld(true, DefaultObsSampleEvery, 0)
+	p := benchProc(w)
+	body := func() {
+		fd, err := p.Open("/etc/passwd", kernel.O_RDONLY, 0)
+		if err != nil {
+			panic(err)
+		}
+		p.Close(fd)
+	}
+	for i := 0; i < 64; i++ {
+		body()
+	}
+	if avg := testing.AllocsPerRun(200, body); avg != 0 {
+		t.Errorf("open+close with tracing disabled: %.2f allocs/op, want 0", avg)
+	}
+}
+
+// TestSampledTracingAllocBounded keeps the sampled side honest: with every
+// mediated syscall carrying a provenance span (TraceEvery 1, the most
+// expensive setting), steady-state span capture must stay allocation-free
+// — the span lives by value in the mediation scratch state and the flight
+// ring is preallocated.
+func TestSampledTracingAllocBounded(t *testing.T) {
+	w := traceWorld(true, DefaultObsSampleEvery, 1)
+	p := benchProc(w)
+	body := func() {
+		fd, err := p.Open("/etc/passwd", kernel.O_RDONLY, 0)
+		if err != nil {
+			panic(err)
+		}
+		p.Close(fd)
+	}
+	for i := 0; i < 64; i++ {
+		body()
+	}
+	if avg := testing.AllocsPerRun(200, body); avg != 0 {
+		t.Errorf("open+close with TraceEvery=1: %.2f allocs/op, want 0", avg)
+	}
+}

@@ -8,9 +8,11 @@ package lmbench
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
+	"pfirewall/internal/kernel"
 	"pfirewall/internal/obs"
 	"pfirewall/internal/pf"
 	"pfirewall/internal/programs"
@@ -20,31 +22,55 @@ import (
 // given — the same default kernel.AttachObs applies.
 const DefaultObsSampleEvery = 16
 
-// ObsCell is one (workload, fan-out) off/on comparison.
+// DefaultTraceEvery is the provenance-span sampling period the trace
+// overhead comparison uses when none is given: one syscall in sixteen
+// (the same period as latency sampling) carries a full provenance span
+// through the gauntlet, which keeps the open path inside the 10% budget.
+const DefaultTraceEvery = 16
+
+// ObsCell is one (workload, fan-out) off/on comparison. OverheadPct
+// compares each side's best round (the least-interfered run of each);
+// BestRoundPct is the minimum overhead across *paired* rounds — each
+// round's off and on runs are adjacent in time, so interference that hits
+// both cancels in the ratio, making it the robust statistic for gating on
+// loaded or throttled machines.
 type ObsCell struct {
-	Workload    string  `json:"workload"`
-	Goroutines  int     `json:"goroutines"`
-	Ops         int     `json:"ops"`
-	OffNsPerOp  float64 `json:"off_ns_per_op"`
-	OnNsPerOp   float64 `json:"on_ns_per_op"`
-	OverheadPct float64 `json:"overhead_pct"`
+	Workload     string  `json:"workload"`
+	Goroutines   int     `json:"goroutines"`
+	Ops          int     `json:"ops"`
+	OffNsPerOp   float64 `json:"off_ns_per_op"`
+	OnNsPerOp    float64 `json:"on_ns_per_op"`
+	OverheadPct  float64 `json:"overhead_pct"`
+	BestRoundPct float64 `json:"best_round_overhead_pct"`
 }
 
-// ObsReport is the full overhead run; BENCH_obs.json is this shape.
+// ObsReport is the full overhead run; BENCH_obs.json is this shape. The
+// trace fields are present when the decision-provenance comparison ran:
+// there "off" is a metrics-attached world with tracing disabled and "on"
+// is the same world sampling one syscall in TraceEvery, so the cells
+// isolate what span capture costs on top of the metrics layer.
 type ObsReport struct {
 	BenchEnv
 	SampleEvery int       `json:"sample_every"`
-	Cells       []ObsCell `json:"cells"`
+	Cells       []ObsCell `json:"cells,omitempty"`
+	TraceEvery  int       `json:"trace_every,omitempty"`
+	TraceCells  []ObsCell `json:"trace_cells,omitempty"`
 }
 
 // obsWorld builds the benchmark world (EPTSPC configuration,
 // deployment-scale rule base), optionally with the metrics layer attached.
 func obsWorld(withObs bool, sampleEvery int) *programs.World {
+	return traceWorld(withObs, sampleEvery, 0)
+}
+
+// traceWorld is obsWorld plus an optional provenance-span sampling period.
+func traceWorld(withObs bool, sampleEvery, traceEvery int) *programs.World {
 	cfg := pf.Optimized()
 	wopts := programs.WorldOpts{PF: &cfg}
 	if withObs {
 		wopts.Obs = obs.New()
 		wopts.ObsEvery = sampleEvery
+		wopts.TraceEvery = traceEvery
 	}
 	w := programs.NewWorld(wopts)
 	if _, err := w.InstallRules(SyntheticRuleBase(FullRuleBaseSize)); err != nil {
@@ -63,41 +89,89 @@ func RunObsOverhead(itersPerGoroutine, sampleEvery int, fanout []int) ObsReport 
 		sampleEvery = DefaultObsSampleEvery
 	}
 	rep := ObsReport{BenchEnv: Env(), SampleEvery: sampleEvery}
-	workloads := []struct {
-		name string
-		run  func(w *programs.World, g, iters int) (int, float64)
-	}{
+	workloads := []obsWorkload{
 		{"open+close", runObsOpen},
 		{"ipc/abstract", runObsIPC},
 	}
+	rep.Cells = obsCompare(itersPerGoroutine, fanout, workloads,
+		func() *programs.World { return obsWorld(false, sampleEvery) },
+		func() *programs.World { return obsWorld(true, sampleEvery) })
+	return rep
+}
+
+// RunTraceOverhead runs the decision-provenance comparison: both sides
+// carry the metrics layer, the "on" side additionally samples one syscall
+// in traceEvery into a full provenance span. traceEvery <= 0 selects the
+// default period.
+func RunTraceOverhead(itersPerGoroutine, sampleEvery, traceEvery int, fanout []int) ObsReport {
+	if itersPerGoroutine < 1 {
+		itersPerGoroutine = 1
+	}
+	if sampleEvery <= 0 {
+		sampleEvery = DefaultObsSampleEvery
+	}
+	if traceEvery <= 0 {
+		traceEvery = DefaultTraceEvery
+	}
+	rep := ObsReport{BenchEnv: Env(), SampleEvery: sampleEvery, TraceEvery: traceEvery}
+	// The file workload here is a three-syscall loop, coprime with the
+	// power-of-two sampling mask: a two-syscall open+close loop pins the
+	// sampled slot to whichever syscall the counter phase happens to
+	// select (all opens, or all unmediated closes), making the measured
+	// span rate bimodal across runs. Three slots rotate through every
+	// residue, so the rate — and the overhead — is phase-independent.
+	workloads := []obsWorkload{
+		{"open+stat+close", runTraceOpen},
+		{"ipc/abstract", runObsIPC},
+	}
+	rep.TraceCells = obsCompare(itersPerGoroutine, fanout, workloads,
+		func() *programs.World { return traceWorld(true, sampleEvery, 0) },
+		func() *programs.World { return traceWorld(true, sampleEvery, traceEvery) })
+	return rep
+}
+
+// obsWorkload is one named hot-path body the off/on comparison times.
+type obsWorkload struct {
+	name string
+	run  func(w *programs.World, g, iters int) (int, float64)
+}
+
+// obsCompare times every (workload, fan-out) cell on fresh worlds from
+// offWorld and onWorld and reports the relative slowdown.
+func obsCompare(itersPerGoroutine int, fanout []int, workloads []obsWorkload, offWorld, onWorld func() *programs.World) []ObsCell {
 	// Each cell is the best of obsRounds fresh-world runs, with off and on
 	// rounds interleaved so slow drift (GC pressure, thermal, scheduler)
 	// hits both sides equally; the minimum is the least-interfered run.
 	const obsRounds = 5
+	var cells []ObsCell
 	for _, wl := range workloads {
 		for _, g := range fanout {
-			opsOff, off, on := 0, 0.0, 0.0
+			opsOff, off, on, bestPct := 0, 0.0, 0.0, 0.0
 			for r := 0; r < obsRounds; r++ {
-				ops, offR := wl.run(obsWorld(false, sampleEvery), g, itersPerGoroutine)
-				_, onR := wl.run(obsWorld(true, sampleEvery), g, itersPerGoroutine)
+				ops, offR := wl.run(offWorld(), g, itersPerGoroutine)
+				_, onR := wl.run(onWorld(), g, itersPerGoroutine)
 				if r == 0 || offR < off {
 					opsOff, off = ops, offR
 				}
 				if r == 0 || onR < on {
 					on = onR
 				}
+				if pct := (onR - offR) / offR * 100; r == 0 || pct < bestPct {
+					bestPct = pct
+				}
 			}
-			rep.Cells = append(rep.Cells, ObsCell{
-				Workload:    wl.name,
-				Goroutines:  g,
-				Ops:         opsOff,
-				OffNsPerOp:  off,
-				OnNsPerOp:   on,
-				OverheadPct: (on - off) / off * 100,
+			cells = append(cells, ObsCell{
+				Workload:     wl.name,
+				Goroutines:   g,
+				Ops:          opsOff,
+				OffNsPerOp:   off,
+				OnNsPerOp:    on,
+				OverheadPct:  (on - off) / off * 100,
+				BestRoundPct: bestPct,
 			})
 		}
 	}
-	return rep
+	return cells
 }
 
 // runObsOpen times the mediated open+close pair, mirroring RunParallel.
@@ -107,6 +181,26 @@ func runObsOpen(w *programs.World, g, itersPerGoroutine int) (int, float64) {
 		p := parallelProc(w)
 		wl.Body(p) // warm per-process context caches
 		return func() { wl.Body(p) }
+	})
+}
+
+// runTraceOpen times the mediated open+stat+close triple the tracing
+// comparison uses (see RunTraceOverhead for why three syscalls).
+func runTraceOpen(w *programs.World, g, itersPerGoroutine int) (int, float64) {
+	body := func(p *kernel.Proc) {
+		fd, err := p.Open("/etc/passwd", kernel.O_RDONLY, 0)
+		if err != nil {
+			panic(err)
+		}
+		if _, err := p.Stat("/etc/passwd"); err != nil {
+			panic(err)
+		}
+		p.Close(fd)
+	}
+	return obsTimed(g, itersPerGoroutine, func(i int) func() {
+		p := parallelProc(w)
+		body(p) // warm per-process context caches
+		return func() { body(p) }
 	})
 }
 
@@ -126,6 +220,10 @@ func obsTimed(g, itersPerGoroutine int, build func(i int) func()) (int, float64)
 	for i := range bodies {
 		bodies[i] = build(i)
 	}
+	// Collect the construction garbage (a fresh world per round installs a
+	// deployment-scale ruleset) before the timer starts, so the collector
+	// does not fire inside one side's window and skew the comparison.
+	runtime.GC()
 	var wg sync.WaitGroup
 	start := time.Now()
 	for i := 0; i < g; i++ {
@@ -153,5 +251,19 @@ func FormatObsOverhead(rep ObsReport) string {
 	}
 	out += fmt.Sprintf("(NumCPU=%d GOMAXPROCS=%d sample_every=%d — counters are exact, latency is sampled)\n",
 		rep.NumCPU, rep.GOMAXPROCS, rep.SampleEvery)
+	return out
+}
+
+// FormatTraceOverhead renders the tracing-disabled vs tracing-sampled
+// comparison as a table.
+func FormatTraceOverhead(rep ObsReport) string {
+	out := fmt.Sprintf("%-15s %10s %13s %13s %9s %11s\n",
+		"workload", "goroutines", "no-trace ns", "trace ns", "overhead", "best-round")
+	for _, c := range rep.TraceCells {
+		out += fmt.Sprintf("%-15s %10d %13.0f %13.0f %8.1f%% %10.1f%%\n",
+			c.Workload, c.Goroutines, c.OffNsPerOp, c.OnNsPerOp, c.OverheadPct, c.BestRoundPct)
+	}
+	out += fmt.Sprintf("(NumCPU=%d GOMAXPROCS=%d trace_every=%d — both sides carry metrics; on adds provenance spans)\n",
+		rep.NumCPU, rep.GOMAXPROCS, rep.TraceEvery)
 	return out
 }

@@ -436,37 +436,51 @@ const advWritePerms = PermWrite | PermAppend | PermCreate | PermAddName | PermSe
 // on the PF hot path, and the case where the adversary set is
 // victim-independent — the answer is memoized in the wait-free snapshot.
 func (p *Policy) AdversaryWritable(victim, obj SID) bool {
+	w, _ := p.AdversaryWritableHit(victim, obj)
+	return w
+}
+
+// AdversaryWritableHit is AdversaryWritable additionally reporting whether
+// the answer came from the wait-free snapshot (hit) or required the miss
+// computation — provenance the tracing layer records per request.
+func (p *Policy) AdversaryWritableHit(victim, obj SID) (writable, hit bool) {
 	snap := p.adv.Load()
 	if !snap.trusted[victim] {
 		p.AdvCacheMisses.Add(int(obj), 1)
-		return p.adversaryHasPerm(victim, obj, advWritePerms)
+		return p.adversaryHasPerm(victim, obj, advWritePerms), false
 	}
 	if v, ok := snap.write[obj]; ok {
 		p.AdvCacheHits.Add(int(obj), 1)
-		return v
+		return v, true
 	}
 	p.AdvCacheMisses.Add(int(obj), 1)
 	res := p.adversaryHasPerm(victim, obj, advWritePerms)
 	p.memoizeAdv(snap, obj, res, true)
-	return res
+	return res, false
 }
 
 // AdversaryReadable reports whether any adversary of victim can read objects
 // labeled obj (secrecy attack surface). Memoized like AdversaryWritable.
 func (p *Policy) AdversaryReadable(victim, obj SID) bool {
+	r, _ := p.AdversaryReadableHit(victim, obj)
+	return r
+}
+
+// AdversaryReadableHit is AdversaryReadable with cache-hit provenance.
+func (p *Policy) AdversaryReadableHit(victim, obj SID) (readable, hit bool) {
 	snap := p.adv.Load()
 	if !snap.trusted[victim] {
 		p.AdvCacheMisses.Add(int(obj), 1)
-		return p.adversaryHasPerm(victim, obj, PermRead)
+		return p.adversaryHasPerm(victim, obj, PermRead), false
 	}
 	if v, ok := snap.read[obj]; ok {
 		p.AdvCacheHits.Add(int(obj), 1)
-		return v
+		return v, true
 	}
 	p.AdvCacheMisses.Add(int(obj), 1)
 	res := p.adversaryHasPerm(victim, obj, PermRead)
 	p.memoizeAdv(snap, obj, res, false)
-	return res
+	return res, false
 }
 
 // adversaryHasPerm reports whether some adversary of victim holds any of

@@ -71,6 +71,15 @@ type JSONRing struct {
 	Events []Event `json:"events"`
 }
 
+// JSONSpans is the JSON shape of one provenance tracer: its totals plus
+// the flight ring's recent spans, oldest first.
+type JSONSpans struct {
+	Total       uint64 `json:"total"`
+	Dropped     uint64 `json:"dropped"`
+	Subscribers int    `json:"subscribers"`
+	Recent      []Span `json:"recent"`
+}
+
 // JSONSnapshot is the full expvar-style JSON document. Scalar series of
 // the same family collapse into a labels->value map, so the document both
 // round-trips through encoding/json and stays human-scannable.
@@ -79,6 +88,7 @@ type JSONSnapshot struct {
 	Gauges     map[string]map[string]uint64        `json:"gauges,omitempty"`
 	Histograms map[string]map[string]JSONHistogram `json:"histograms,omitempty"`
 	Rings      map[string]JSONRing                 `json:"rings,omitempty"`
+	Spans      map[string]JSONSpans                `json:"spans,omitempty"`
 }
 
 // JSON materializes the snapshot document.
@@ -140,6 +150,19 @@ func (r *Registry) JSON() JSONSnapshot {
 			evs = []Event{}
 		}
 		doc.Rings[ring.name] = JSONRing{Cap: ring.Cap(), Total: ring.Total(), Events: evs}
+	}
+	for _, t := range snap.tracers {
+		if doc.Spans == nil {
+			doc.Spans = map[string]JSONSpans{}
+		}
+		sps := t.Snapshot()
+		if sps == nil {
+			sps = []Span{}
+		}
+		doc.Spans[t.name] = JSONSpans{
+			Total: t.Total(), Dropped: t.Dropped(),
+			Subscribers: t.Subscribers(), Recent: sps,
+		}
 	}
 	return doc
 }

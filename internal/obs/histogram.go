@@ -75,6 +75,32 @@ type HistSnapshot struct {
 	Buckets [NumBuckets]uint64 // per-bucket (non-cumulative) counts
 }
 
+// Quantile estimates the q-th quantile (0 < q <= 1) in nanoseconds: the
+// upper bound of the bucket where the cumulative count crosses q·Count.
+// With power-of-two bounds the estimate is within 2× of the true value
+// except in the +Inf bucket, which reports the largest finite bound.
+// Returns 0 for an empty snapshot.
+func (s HistSnapshot) Quantile(q float64) uint64 {
+	if s.Count == 0 {
+		return 0
+	}
+	target := uint64(q * float64(s.Count))
+	if target < 1 {
+		target = 1
+	}
+	var cum uint64
+	for b := 0; b < NumBuckets; b++ {
+		cum += s.Buckets[b]
+		if cum >= target {
+			if b >= NumBuckets-1 {
+				return 1 << uint(NumBuckets-2)
+			}
+			return 1 << uint(b)
+		}
+	}
+	return 1 << uint(NumBuckets-2)
+}
+
 // Snapshot sums all shards.
 func (h *Histogram) Snapshot() HistSnapshot {
 	var s HistSnapshot

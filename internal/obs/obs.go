@@ -136,27 +136,39 @@ func seriesKey(name string, labels []Label) string {
 type snapshot struct {
 	metrics []*metric // sorted by (name, labelString)
 	rings   []*Ring   // sorted by name
+	tracers []*Tracer // sorted by name
 }
 
 // Registry owns the process-wide metric set. Registration is serialized;
 // the hot path and the exporters are lock-free.
 type Registry struct {
-	mu    sync.Mutex
-	byKey map[string]*metric
-	rings map[string]*Ring
-	snap  atomic.Pointer[snapshot]
+	mu       sync.Mutex
+	byKey    map[string]*metric
+	byFamily map[string]kind // metric family name -> kind, for mixed-kind rejection
+	rings    map[string]*Ring
+	tracers  map[string]*Tracer
+	snap     atomic.Pointer[snapshot]
 }
 
 // New returns an empty registry.
 func New() *Registry {
-	r := &Registry{byKey: make(map[string]*metric), rings: make(map[string]*Ring)}
+	r := &Registry{
+		byKey:    make(map[string]*metric),
+		byFamily: make(map[string]kind),
+		rings:    make(map[string]*Ring),
+		tracers:  make(map[string]*Tracer),
+	}
 	r.snap.Store(&snapshot{})
 	return r
 }
 
 // register inserts m (or returns the existing series with the same name
-// and labels — registration is idempotent so re-attaching a subsystem is
-// harmless). Kind mismatches are programmer errors and panic.
+// and labels — registration is deterministic and idempotent: the first
+// registration of a series wins and every duplicate resolves to it, so
+// re-attaching a subsystem is harmless and export output never depends on
+// attach order). Kind mismatches — whether on the exact series or between
+// series sharing a family name, which would emit contradictory Prometheus
+// TYPE lines — are programmer errors and panic.
 func (r *Registry) register(m *metric) *metric {
 	key := seriesKey(m.name, m.labels)
 	r.mu.Lock()
@@ -167,6 +179,10 @@ func (r *Registry) register(m *metric) *metric {
 		}
 		return old
 	}
+	if fk, ok := r.byFamily[m.name]; ok && fk != m.kind {
+		panic(fmt.Sprintf("obs: metric family %s mixes kinds (%s and %s)", m.name, fk.promType(), m.kind.promType()))
+	}
+	r.byFamily[m.name] = m.kind
 	r.byKey[key] = m
 	r.publishLocked()
 	return m
@@ -189,7 +205,12 @@ func (r *Registry) publishLocked() {
 		rs = append(rs, ring)
 	}
 	sort.Slice(rs, func(i, j int) bool { return rs[i].name < rs[j].name })
-	r.snap.Store(&snapshot{metrics: ms, rings: rs})
+	ts := make([]*Tracer, 0, len(r.tracers))
+	for _, t := range r.tracers {
+		ts = append(ts, t)
+	}
+	sort.Slice(ts, func(i, j int) bool { return ts[i].name < ts[j].name })
+	r.snap.Store(&snapshot{metrics: ms, rings: rs, tracers: ts})
 }
 
 // Counter registers (or finds) a sharded counter series.
@@ -216,6 +237,20 @@ func (r *Registry) Histogram(name, help string, labels ...Label) *Histogram {
 	return m.hist
 }
 
+// HistogramSnapshots reads every histogram series of one family, keyed by
+// the series' expvar-style label string ("op=FILE_OPEN"; "" when
+// unlabeled). Front-ends use it to derive quantile summaries from the
+// already-exported histograms instead of keeping separate state.
+func (r *Registry) HistogramSnapshots(family string) map[string]HistSnapshot {
+	out := map[string]HistSnapshot{}
+	for _, m := range r.snap.Load().metrics {
+		if m.kind == kindHistogram && m.name == family {
+			out[m.jsonKey()] = m.hist.Snapshot()
+		}
+	}
+	return out
+}
+
 // Ring registers (or finds) a named flight-recorder ring.
 func (r *Registry) Ring(name string, cap int) *Ring {
 	r.mu.Lock()
@@ -227,4 +262,18 @@ func (r *Registry) Ring(name string, cap int) *Ring {
 	r.rings[name] = ring
 	r.publishLocked()
 	return ring
+}
+
+// Tracer registers (or finds) a named provenance-span tracer, attaching
+// its flight ring to the registry's JSON export.
+func (r *Registry) Tracer(name string, cfg TraceConfig) *Tracer {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if old, ok := r.tracers[name]; ok {
+		return old
+	}
+	t := NewTracer(name, cfg)
+	r.tracers[name] = t
+	r.publishLocked()
+	return t
 }

@@ -1,6 +1,8 @@
 package pf
 
-import "time"
+import (
+	"pfirewall/internal/obs"
+)
 
 // Batch amortizes mediation-gauntlet setup — ruleset and observability
 // snapshot loads, per-process state lookup, evaluation-context acquisition —
@@ -61,12 +63,20 @@ func (b *Batch) Filter(req *Request) Verdict {
 	// is about to increment anyway (first request per shard samples, so
 	// short workloads still populate the histograms).
 	ob := b.ob
-	var t0 time.Time
+	var t0 int64
 	sampled := false
 	if ob != nil && e.Stats.Requests.LoadKey(pid)&ob.sampleMask == 0 {
 		sampled = true
-		t0 = time.Now()
+		t0 = obs.MonoNow()
 	}
+
+	// Provenance: a trace-sampled request carries a kernel-armed span the
+	// gauntlet annotates in place — chain path, deciding rule, cache bits,
+	// rules evaluated. sp is nil on virtually every request; each fill
+	// point below is one predictable branch. Latency is the one thing not
+	// stamped here: the span's publisher already brackets the gauntlet
+	// call, so paying more clock reads inside it would only double-measure.
+	sp := req.Span
 
 	// Fast path: with no rules installed, every request takes the default
 	// allow without building evaluation context (the BASE configuration of
@@ -74,6 +84,9 @@ func (b *Batch) Filter(req *Request) Verdict {
 	if rs.totalRules == 0 {
 		e.Stats.Requests.Add(pid, 1)
 		e.Stats.Accepts.Add(pid, 1)
+		if sp != nil {
+			sp.Flags |= obs.SpanEmptyRuleset
+		}
 		if ob != nil {
 			ob.finish(pid, req, VerdictAccept, sampled, t0, "")
 		}
@@ -108,12 +121,18 @@ func (b *Batch) Filter(req *Request) Verdict {
 	// or log but can also issue verdicts, as in iptables).
 	if start == "input" {
 		if mangle := rs.chains["mangle/input"]; mangle != nil && len(mangle.Rules) > 0 {
+			if sp != nil {
+				sp.PushChain("mangle/input")
+			}
 			if act := e.runChain(ctx, rs, mangle, false); act.Final {
 				v, final = act.Verdict, true
 			}
 		}
 	}
 	if !final {
+		if sp != nil {
+			sp.PushChain(start)
+		}
 		if act := e.runChain(ctx, rs, rs.chains[start], e.cfg.EptChains); act.Final {
 			v, final = act.Verdict, true
 		}
@@ -161,6 +180,15 @@ func (b *Batch) Filter(req *Request) Verdict {
 	}
 	if ctx.ctxCacheHits > 0 {
 		e.Stats.CtxCacheHits.Add(pid, ctx.ctxCacheHits)
+	}
+	if sp != nil {
+		sp.RulesEvaluated = uint32(ctx.rulesEvaluated)
+		if ctx.ctxCacheHits > 0 {
+			sp.Flags |= obs.SpanEptCacheHit
+		}
+		if ctx.ctxCollections > 0 {
+			sp.Flags |= obs.SpanEptUnwound
+		}
 	}
 	if ob != nil {
 		ob.finish(pid, req, v, sampled, t0, start)

@@ -2,6 +2,7 @@ package pf
 
 import (
 	"pfirewall/internal/mac"
+	"pfirewall/internal/obs"
 	"pfirewall/internal/ustack"
 )
 
@@ -101,6 +102,13 @@ type Request struct {
 
 	// Sig is non-nil for signal delivery requests.
 	Sig *SignalInfo
+
+	// Span, when non-nil, is the provenance record this request fills as it
+	// moves through the gauntlet: chain path, deciding rule, cache bits,
+	// rules evaluated. The kernel arms it on trace-sampled syscalls; nil
+	// (the overwhelmingly common case) costs one predictable branch per
+	// fill point and no allocation.
+	Span *obs.Span
 
 	// argsBuf backs SyscallArgs for SetArgs callers, so forwarding a
 	// syscall's argument words into the request does not force the caller's
@@ -306,11 +314,15 @@ func (c *EvalCtx) collect(k CtxKind) {
 		c.collectEntrypoints()
 	case CtxAdvWrite:
 		if c.Req.Obj != nil {
-			c.advWrite = c.engine.policy.AdversaryWritable(c.Req.Proc.SubjectSID(), c.Req.Obj.SID())
+			var hit bool
+			c.advWrite, hit = c.engine.policy.AdversaryWritableHit(c.Req.Proc.SubjectSID(), c.Req.Obj.SID())
+			c.noteAdvCache(hit)
 		}
 	case CtxAdvRead:
 		if c.Req.Obj != nil {
-			c.advRead = c.engine.policy.AdversaryReadable(c.Req.Proc.SubjectSID(), c.Req.Obj.SID())
+			var hit bool
+			c.advRead, hit = c.engine.policy.AdversaryReadableHit(c.Req.Proc.SubjectSID(), c.Req.Obj.SID())
+			c.noteAdvCache(hit)
 		}
 	case CtxDACOwner:
 		if c.Req.Obj != nil {
@@ -334,6 +346,18 @@ func (c *EvalCtx) collect(k CtxKind) {
 		}
 	case CtxSignal, CtxSyscall:
 		// Present directly on the Request; nothing to gather.
+	}
+}
+
+// noteAdvCache records adversary-cache provenance on the request's span,
+// when one is armed. Lock- and allocation-free.
+func (c *EvalCtx) noteAdvCache(hit bool) {
+	if sp := c.Req.Span; sp != nil {
+		if hit {
+			sp.Flags |= obs.SpanAdvCacheHit
+		} else {
+			sp.Flags |= obs.SpanAdvCacheMiss
+		}
 	}
 }
 

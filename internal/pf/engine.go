@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"pfirewall/internal/mac"
+	"pfirewall/internal/obs"
 	"pfirewall/internal/ustack"
 )
 
@@ -546,6 +547,9 @@ func (e *Engine) traverseFrom(ctx *EvalCtx, rs *ruleset, start *Chain, from int,
 				if c.Traversals != nil {
 					c.Traversals.Add(pid, 1)
 				}
+				if sp := ctx.Req.Span; sp != nil {
+					sp.PushChain(c.Name)
+				}
 			}
 		}
 	}
@@ -566,7 +570,17 @@ func (e *Engine) evalRule(ctx *EvalCtx, r *Rule) Action {
 	}
 	r.Hits.Add(1)
 	ctx.Require(r.Target.Needs())
-	return r.Target.Fire(ctx)
+	act := r.Target.Fire(ctx)
+	if act.Final {
+		if sp := ctx.Req.Span; sp != nil {
+			sp.Flags |= obs.SpanRuleDecided
+			sp.RuleFile = r.Src.File
+			sp.RuleLine = r.Src.Line
+			sp.RuleCol = r.Src.Col
+			sp.RuleTarget = r.Target.TargetName()
+		}
+	}
+	return act
 }
 
 // emitLog sends a record to the engine's logger.

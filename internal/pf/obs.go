@@ -1,8 +1,6 @@
 package pf
 
 import (
-	"time"
-
 	"pfirewall/internal/obs"
 )
 
@@ -117,7 +115,7 @@ func (e *Engine) registerChainObs(name string) {
 // finish flushes one request's obs series. t0 is meaningful only when
 // sampled is true; chain is the start chain ("" on the empty-ruleset fast
 // path).
-func (ob *engineObs) finish(pid int, req *Request, v Verdict, sampled bool, t0 time.Time, chain string) {
+func (ob *engineObs) finish(pid int, req *Request, v Verdict, sampled bool, t0 int64, chain string) {
 	op := req.Op
 	if op >= opCount {
 		op = OpInvalid
@@ -131,7 +129,7 @@ func (ob *engineObs) finish(pid int, req *Request, v Verdict, sampled bool, t0 t
 	}
 	if sampled {
 		if h := ob.latency[op]; h != nil {
-			h.Observe(pid, uint64(time.Since(t0)))
+			h.Observe(pid, uint64(obs.MonoNow()-t0))
 		}
 	}
 	if v == VerdictDrop {
@@ -146,7 +144,7 @@ func (ob *engineObs) finish(pid int, req *Request, v Verdict, sampled bool, t0 t
 //pflint:allow-fn — metrics-layer recording, active only when an observability sink is attached.
 func (ob *engineObs) record(ring *obs.Ring, pid int, req *Request, v Verdict, chain string) {
 	ev := obs.Event{
-		TimeUnixNano: time.Now().UnixNano(),
+		TimeUnixNano: obs.WallNano(obs.MonoNow()),
 		PID:          pid,
 		Op:           req.Op.String(),
 		Verdict:      v.String(),

@@ -830,13 +830,20 @@ func Save(engine *pf.Engine) []string {
 // number of rules installed. Errors carry the 1-based line number of the
 // offending line.
 func InstallAll(env *Env, engine *pf.Engine, lines []string) (int, error) {
+	return InstallAllFrom(env, engine, "", lines)
+}
+
+// InstallAllFrom is InstallAll with a source name: each rule's recorded
+// position carries src as its file, so provenance spans and analyzer
+// findings can name where a generated rule base came from.
+func InstallAllFrom(env *Env, engine *pf.Engine, src string, lines []string) (int, error) {
 	n := 0
 	for i, line := range lines {
 		line = strings.TrimSpace(line)
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
-		if _, err := InstallAt(env, engine, line, pf.Pos{Line: i + 1}); err != nil {
+		if _, err := InstallAt(env, engine, line, pf.Pos{File: src, Line: i + 1}); err != nil {
 			return n, fmt.Errorf("%q: %w", line, err)
 		}
 		n++

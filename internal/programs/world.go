@@ -180,6 +180,11 @@ type WorldOpts struct {
 	// 1 samples every request — what pfctl uses so short deterministic
 	// workloads populate the histograms).
 	ObsEvery int
+	// TraceEvery enables decision-provenance tracing, sampling one syscall
+	// in TraceEvery (0 disables; requires Obs).
+	TraceEvery int
+	// TraceRing overrides the span flight-recorder capacity (default 256).
+	TraceRing int
 }
 
 // NewWorld builds the standard simulated system.
@@ -203,7 +208,11 @@ func NewWorld(opts WorldOpts) *World {
 		k.AttachPF(w.Engine)
 	}
 	if opts.Obs != nil {
-		k.AttachObs(opts.Obs, kernel.ObsConfig{SampleEvery: opts.ObsEvery})
+		k.AttachObs(opts.Obs, kernel.ObsConfig{
+			SampleEvery: opts.ObsEvery,
+			TraceEvery:  opts.TraceEvery,
+			TraceRing:   opts.TraceRing,
+		})
 	}
 	w.populate(opts)
 	return w

@@ -362,6 +362,13 @@ type Resolved struct {
 	// Trail lists every inode mediated during resolution, in order; tests
 	// use it to assert complete mediation.
 	Trail []Access
+
+	// DcacheHits / DcacheMisses count this resolution's component lookups
+	// by outcome. They are plain fields on the caller-owned result — unlike
+	// the FS-wide atomics they cannot be perturbed by other processes, so
+	// the kernel's tracing layer reads exact per-request deltas from them.
+	DcacheHits   uint32
+	DcacheMisses uint32
 }
 
 // Resolve walks path starting at cwd (or the root for absolute paths),
@@ -398,6 +405,7 @@ func (fs *FS) ResolveInto(res *Resolved, cwd *Inode, path string, opts ResolveOp
 	depth := 0
 	res.Node, res.Parent, res.Name, res.Path = nil, nil, "", ""
 	res.Trail = res.Trail[:0]
+	res.DcacheHits, res.DcacheMisses = 0, 0
 	return fs.resolveInto(res, cwd, path, opts, m, &depth)
 }
 
@@ -452,7 +460,12 @@ func countComponents(path string) int {
 // pre-lookup read, so no mutation of this directory has even started
 // committing in between. The cache accelerates resolution only — every
 // component still fires its Mediator hook, preserving complete mediation.
-func (fs *FS) child(dir *Inode, name string) *Inode {
+//
+// The second result reports whether the lookup was a cache hit; resolveInto
+// accumulates it per resolution so the tracing layer can attribute dentry-
+// cache provenance to individual requests without reading the global
+// (cross-process) counters.
+func (fs *FS) child(dir *Inode, name string) (*Inode, bool) {
 	g := dir.dgen.Load()
 	m := fs.dcache.Load()
 	key := dentryKey{dir: dir, name: name}
@@ -460,7 +473,7 @@ func (fs *FS) child(dir *Inode, name string) *Inode {
 		d := v.(*dentry)
 		if d.gen == g {
 			fs.DcacheHits.Add(1)
-			return d.node
+			return d.node, true
 		}
 	}
 	fs.DcacheMisses.Add(1)
@@ -473,10 +486,10 @@ func (fs *FS) child(dir *Inode, name string) *Inode {
 		// the unreachable old map, which merely loses that one entry.
 		fs.dsize.Store(0)
 		fs.dcache.Store(new(sync.Map))
-		return n
+		return n, false
 	}
 	m.Store(key, &dentry{node: n, gen: g})
-	return n
+	return n, false
 }
 
 // resolveInto walks path into the shared res. Recursive symlink resolution
@@ -561,7 +574,13 @@ func (fs *FS) resolveInto(res *Resolved, cwd *Inode, path string, opts ResolveOp
 				next = fs.parentOf(cur)
 			}
 		} else {
-			next = fs.child(cur, comp)
+			var hit bool
+			next, hit = fs.child(cur, comp)
+			if hit {
+				res.DcacheHits++
+			} else {
+				res.DcacheMisses++
+			}
 		}
 		// The contiguity check s == prevEnd+1 also rejects skipped "." or
 		// empty components, which would make path[:e] unclean.

@@ -19,6 +19,7 @@ import (
 
 	"pfirewall/internal/kernel"
 	"pfirewall/internal/mac"
+	"pfirewall/internal/pftables"
 	"pfirewall/internal/programs"
 	"pfirewall/internal/rulegen"
 	"pfirewall/internal/vfs"
@@ -249,7 +250,9 @@ func Build(spec Spec, opts programs.WorldOpts) *World {
 
 	if w.Engine != nil {
 		rules := Rules(spec)
-		n, err := w.InstallRules(rules)
+		// Named install: provenance spans from fleet runs attribute their
+		// deciding rule to "worldgen.pft:<line>" instead of a bare line.
+		n, err := pftables.InstallAllFrom(w.Env, w.Engine, "worldgen.pft", rules)
 		if err != nil {
 			panic(fmt.Sprintf("worldgen: rule install: %v", err))
 		}
