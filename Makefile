@@ -21,10 +21,14 @@
 # size up to a million inodes and fleet size, under live process churn and
 # rule mutation); it takes minutes and is the perf-PR gate, while
 # `bench-worldscale-smoke` is the seconds-long CI cell on the tiny world.
+# `make bench-policy` refreshes BENCH_policy.json — the policy control
+# plane (incremental vs full publish latency up to 10k rules, fleet
+# propagation, open-path p99 disturbance while churning) with the hitless
+# gates enforced; `bench-policy-smoke` is the trimmed CI variant.
 
 GO ?= go
 
-.PHONY: all vet gofmt-check pflint pflint-alloc lint build test test-race ci check bench-smoke bench-hotpath bench-ipc bench-obs bench-rulescale bench-rulescale-smoke bench-alloc bench-alloc-smoke bench-trace bench-trace-smoke bench-worldscale bench-worldscale-smoke
+.PHONY: all vet gofmt-check pflint pflint-alloc lint build test test-race ci check bench-smoke bench-hotpath bench-ipc bench-obs bench-rulescale bench-rulescale-smoke bench-alloc bench-alloc-smoke bench-trace bench-trace-smoke bench-worldscale bench-worldscale-smoke bench-policy bench-policy-smoke
 
 all: lint ci check
 
@@ -122,3 +126,17 @@ bench-worldscale:
 # without holding the pipeline for minutes.
 bench-worldscale-smoke:
 	$(GO) run ./cmd/pfbench -worldscale -worldscale-sizes tiny,small -worldscale-fleets 2 -worldscale-secs 0.3 -worldscale-json BENCH_worldscale_smoke.json
+
+# Policy control plane: publish latency full-vs-incremental at
+# 100/1200/10000 rules, canary propagation across a policyd fleet, and
+# open-path p99 while updates stream in. The gate requires a >=10x
+# incremental win at 10k rules, zero stale verdicts after any completed
+# publish, verdict conservation, and <=10% best-round p99 disturbance.
+bench-policy:
+	$(GO) run ./cmd/pfbench -policy -policy-gate -iters 20000 -policy-json BENCH_policy.json
+
+# CI variant: the 10k cells dropped and fewer publishes/opens per cell,
+# with the same artifact shape and the same hitless gates (the speedup bar
+# scales down with the trimmed base).
+bench-policy-smoke:
+	$(GO) run ./cmd/pfbench -policy -policy-gate -iters 6000 -policy-publishes 120 -policy-max 1200 -policy-json BENCH_policy_smoke.json

@@ -8,6 +8,7 @@
 //	pfbench -parallel  # multi-process hot-path scaling at 1/4/8 goroutines
 //	pfbench -ipc       # socket round-trip scaling across the three namespaces
 //	pfbench -rulescale # ns/op vs rule-base size, compiled dispatch vs linear
+//	pfbench -policy    # control-plane publish latency, propagation, disturbance
 //	pfbench -alloc     # allocs/op, bytes/op and tail latency on the hot path
 //	pfbench -worldscale # fleet traffic vs world size (worldgen + fleet stress bed)
 //	pfbench -all       # everything
@@ -62,6 +63,11 @@ func main() {
 	tracingGate := flag.Bool("tracing-gate", false, "with -tracing: fail if sampled tracing exceeds 10% overhead on the open path")
 	traceEvery := flag.Int("trace-every", 0, "span sampling period for -tracing (0: the default)")
 	ruleScale := flag.Bool("rulescale", false, "run the rule-base scaling comparison (compiled dispatch vs linear)")
+	policyRun := flag.Bool("policy", false, "run the policy control-plane measurement (publish latency, propagation, open-path disturbance)")
+	policyGate := flag.Bool("policy-gate", false, "with -policy: fail on slow incremental publish, stale verdicts, or >10% open-path p99 disturbance")
+	policyJSONPath := flag.String("policy-json", "", "write -policy results as JSON to this file")
+	policyPublishes := flag.Int("policy-publishes", 400, "publishes per -policy latency cell")
+	policyMax := flag.Int("policy-max", 0, "largest -policy rule-base size (0: all standard sizes)")
 	allocRun := flag.Bool("alloc", false, "run the hot-path allocation profile (allocs/op, bytes/op, p99)")
 	allocGate := flag.Bool("alloc-gate", false, "with -alloc: fail if the open+close or stat workload allocates at all")
 	worldScale := flag.Bool("worldscale", false, "run the fleet stress bed across world sizes and fleet sizes")
@@ -86,14 +92,14 @@ func main() {
 	tracePath := flag.String("trace", "", "write a runtime execution trace to this file")
 	flag.Parse()
 
-	if !*t6 && !*t7 && !*f4 && !*f5 && !*par && !*ipc && !*obsRun && !*tracingRun && !*ruleScale && !*allocRun && !*worldScale && !*all {
+	if !*t6 && !*t7 && !*f4 && !*f5 && !*par && !*ipc && !*obsRun && !*tracingRun && !*ruleScale && !*policyRun && !*allocRun && !*worldScale && !*all {
 		flag.Usage()
 		return
 	}
 	if *all {
 		// -worldscale stays opt-in: the full sweep builds million-inode
 		// worlds and holds each cell under traffic for -worldscale-secs.
-		*t6, *t7, *f4, *f5, *par, *ipc, *obsRun, *tracingRun, *ruleScale, *allocRun = true, true, true, true, true, true, true, true, true, true
+		*t6, *t7, *f4, *f5, *par, *ipc, *obsRun, *tracingRun, *ruleScale, *policyRun, *allocRun = true, true, true, true, true, true, true, true, true, true, true
 	}
 
 	if *cpuprofile != "" {
@@ -174,6 +180,54 @@ func main() {
 		rep := lmbench.RunRuleScale(*iters, sizes)
 		emit("Rule-base scaling: compiled dispatch vs linear traversal",
 			lmbench.FormatRuleScale(rep), *ruleScaleJSONPath, rep)
+	}
+	if *policyRun {
+		sizes := lmbench.PolicyChurnSizes
+		if *policyMax > 0 {
+			var trimmed []int
+			for _, n := range sizes {
+				if n <= *policyMax {
+					trimmed = append(trimmed, n)
+				}
+			}
+			sizes = trimmed
+		}
+		rep := lmbench.RunPolicyChurn(*policyPublishes, *iters, sizes)
+		emit("Policy control plane: hitless publish latency, fleet propagation, open-path disturbance",
+			lmbench.FormatPolicyChurn(rep), *policyJSONPath, rep)
+		if *policyGate {
+			// The speedup gate reads the largest swept size: at deployment
+			// scale (>=10k rules) incremental publish must beat the full
+			// rebuild by 10x; a trimmed smoke sweep still has to show a
+			// clear win. The hitless gates are absolute: no probe may see
+			// a stale verdict after its publish round-trip, every request
+			// must resolve to a verdict, and the open path's best-round
+			// p99 may not degrade more than 10% while churning.
+			maxSize := rep.MaxPublishSize()
+			need := 10.0
+			if maxSize < 10000 {
+				need = 1.5
+			}
+			if s := rep.SpeedupAt(maxSize); s < need {
+				fatal("policy gate:", fmt.Errorf(
+					"incremental publish only %.1fx faster than full rebuild at %d rules, want >=%.1fx", s, maxSize, need))
+			}
+			if rep.Propagation.Lost != 0 {
+				fatal("policy gate:", fmt.Errorf(
+					"%d probes saw a stale verdict after a completed publish", rep.Propagation.Lost))
+			}
+			if !rep.Disturbance.VerdictsConserved {
+				fatal("policy gate:", fmt.Errorf(
+					"verdicts not conserved under churn: %d requests vs %d accepts + %d drops",
+					rep.Disturbance.Requests, rep.Disturbance.Accepts, rep.Disturbance.Drops))
+			}
+			if rep.Disturbance.BestRoundPct > 10 {
+				fatal("policy gate:", fmt.Errorf(
+					"open-path p99 degrades %.1f%% in every churning round, budget 10%%", rep.Disturbance.BestRoundPct))
+			}
+			fmt.Printf("policy gate: ok (%.0fx at %d rules, 0 stale verdicts, conserved, best-round disturbance %+.1f%%)\n",
+				rep.SpeedupAt(maxSize), maxSize, rep.Disturbance.BestRoundPct)
+		}
 	}
 	if *allocRun {
 		rep := lmbench.RunAlloc(*iters)

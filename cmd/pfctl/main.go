@@ -23,9 +23,14 @@
 // -world swaps the canned demo for the deployment-scale stress bed: it
 // builds a seeded worldgen world (tiny/small/medium/large) and drives a
 // supervised daemon fleet against it with live process churn, rule
-// mutation, and adversary noise, then prints the fleet report. -fleet,
-// -duration and -seed shape the run; combined with -stats/-listen the
-// fleet traffic populates the exported metrics instead:
+// mutation, and adversary noise, then prints the fleet report. The
+// fleet's rule churn flows through an in-world policyd control plane
+// (internal/policyd: streamed pftables batches over abstract sockets,
+// pfcheck-gated, versioned hitless publishes with rollback), so the
+// report's "policy:" line shows publish/delta/rollback/veto counts.
+// -fleet, -duration and -seed shape the run; combined with
+// -stats/-listen the fleet traffic populates the exported metrics
+// instead:
 //
 //	pfctl -world small -fleet 8 -duration 5s   # interactive stress run
 //	pfctl -world tiny -stats                   # fleet-fed metrics dump

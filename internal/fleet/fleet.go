@@ -18,8 +18,7 @@ import (
 	"time"
 
 	"pfirewall/internal/kernel"
-	"pfirewall/internal/pf"
-	"pfirewall/internal/pftables"
+	"pfirewall/internal/policyd"
 	"pfirewall/internal/programs"
 	"pfirewall/internal/worldgen"
 )
@@ -77,6 +76,7 @@ type Fleet struct {
 	// across stable even windows.
 	ruleEpoch     atomic.Uint64
 	ruleMutations atomic.Uint64
+	policyVetoes  atomic.Uint64 // gate vetoes the mutator overrode
 	advOps        atomic.Uint64
 	dropsSend     atomic.Uint64 // schedule actions dropped on full queues
 
@@ -249,16 +249,40 @@ const churnTag = "<fleet-churn>"
 // churnWave is how many tagged rules one install wave adds.
 const churnWave = 16
 
-// ruleChurn is the concurrent rule mutator: install a wave of tagged
-// rules, remove them again, and every few cycles flush the whole engine
-// and reinstall the world's rule base from scratch — the harshest
-// realistic update pattern (policy reload) racing live traffic. The
-// epoch is odd for the full extent of every mutation.
+// policySocket is the fleet's control-plane rendezvous: the churn mutator
+// streams every rule-base change through a policyd daemon instead of
+// touching the engine directly, so the stress bed exercises the same
+// gated, transactional update path operators use.
+const policySocket = "pfpolicy-fleet"
+
+// ruleChurn is the concurrent rule mutator, rerouted through the policy
+// control plane: install a wave of tagged rules as one gated apply, drain
+// them by tag (or roll the whole wave back) as another, and every few
+// cycles stream a full reload — -F plus the complete base as ONE
+// transaction, so traffic races an atomic pointer flip instead of the
+// empty-ruleset window a bare Flush+reinstall would expose. The epoch is
+// odd for the full extent of every mutation.
 func (fl *Fleet) ruleChurn() {
 	defer fl.helpers.Done()
 	eng := fl.W.Engine
-	env := fl.W.Env
 	base := worldgen.Rules(fl.W.Spec)
+	srv, err := policyd.Serve(fl.W.K, fl.W.Env, eng, policySocket, nil)
+	if err != nil {
+		panic(fmt.Sprintf("fleet: policyd serve: %v", err))
+	}
+	defer srv.Close()
+	cl, err := policyd.Dial(fl.W.K, policySocket)
+	if err != nil {
+		panic(fmt.Sprintf("fleet: policyd dial: %v", err))
+	}
+	defer cl.Close()
+	apply := func(src string, lines []string, noCheck bool) policyd.Response {
+		resp, err := cl.Do(policyd.Request{Op: "apply", Src: src, Lines: lines, NoCheck: noCheck}, 0)
+		if err != nil {
+			panic(fmt.Sprintf("fleet: policy apply: %v", err))
+		}
+		return resp
+	}
 	rng := xorshift64{s: fl.Cfg.Seed ^ 0xda3e39cb94b95bdb | 1}
 	cycle := 0
 	for {
@@ -269,34 +293,49 @@ func (fl *Fleet) ruleChurn() {
 		}
 		fl.ruleEpoch.Add(1) // odd: mutation window opens
 		if cycle%8 == 7 {
-			// Full policy reload under fire.
-			if err := eng.Flush(); err != nil {
-				panic(fmt.Sprintf("fleet: flush: %v", err))
-			}
-			if _, err := pftables.InstallAll(env, eng, base); err != nil {
-				panic(fmt.Sprintf("fleet: reinstall: %v", err))
+			// Full policy reload under fire, as one atomic hitless batch.
+			resp := apply("worldgen.pft", append([]string{"pftables -F"}, base...), false)
+			if !resp.OK {
+				panic(fmt.Sprintf("fleet: reload rejected: %s %v", resp.Err, resp.Findings))
 			}
 		} else {
 			// Wave of tagged inert rules (a dead entrypoint of an unrelated
-			// binary, so live traffic verdicts are unaffected), then remove
-			// exactly those by tag.
+			// binary, so live traffic verdicts are unaffected), one batch.
+			before := eng.RuleCount()
+			lines := make([]string, 0, churnWave)
 			for i := 0; i < churnWave; i++ {
-				line := fmt.Sprintf("pftables -p %s -i 0x%x -d {tmp_t} -o FILE_UNLINK -j DROP",
-					programs.BinBash, 0xdead00+rng.intn(256))
-				if _, err := pftables.InstallAt(env, eng, line, pf.Pos{File: churnTag, Line: i}); err != nil {
-					panic(fmt.Sprintf("fleet: churn install: %v", err))
+				lines = append(lines, fmt.Sprintf("pftables -p %s -i 0x%x -d {tmp_t} -o FILE_UNLINK -j DROP",
+					programs.BinBash, 0xdead00+rng.intn(256)))
+			}
+			resp := apply(churnTag, lines, false)
+			if !resp.OK {
+				// A scaled base can legitimately shadow an inert wave rule,
+				// which the gate vetoes; override like an operator would,
+				// and count the veto.
+				fl.policyVetoes.Add(1)
+				if resp = apply(churnTag, lines, true); !resp.OK {
+					panic(fmt.Sprintf("fleet: churn install: %s", resp.Err))
 				}
 			}
-			// Remove deletes one matching rule per call; drain every chain
-			// of the tagged wave (a miss just means that chain is clean).
-			removed := 0
-			for _, chain := range eng.Chains() {
-				for eng.Remove(chain, func(r *pf.Rule) bool { return r.Src.File == churnTag }) == nil {
-					removed++
+			if resp.Rules != before+churnWave {
+				panic(fmt.Sprintf("fleet: churn wave landed %d rules, want %d", resp.Rules-before, churnWave))
+			}
+			if cycle%5 == 4 {
+				// Occasionally revert the wave by version instead of by tag.
+				rb, err := cl.Rollback(0)
+				if err != nil || !rb.OK {
+					panic(fmt.Sprintf("fleet: churn rollback: %v %s", err, rb.Err))
+				}
+				resp = rb
+			} else {
+				resp = apply("churn-drain.pft",
+					[]string{fmt.Sprintf("pftables -D input --tag %s", churnTag)}, false)
+				if !resp.OK {
+					panic(fmt.Sprintf("fleet: churn drain: %s", resp.Err))
 				}
 			}
-			if removed != churnWave {
-				panic(fmt.Sprintf("fleet: churn removed %d of %d tagged rules", removed, churnWave))
+			if resp.Rules != before {
+				panic(fmt.Sprintf("fleet: churn left %d rules, want %d", resp.Rules, before))
 			}
 		}
 		fl.ruleEpoch.Add(1) // even: quiescent again

@@ -70,6 +70,12 @@ func TestFleetServes(t *testing.T) {
 	if rep.RuleMutations == 0 {
 		t.Errorf("rule mutator never ran")
 	}
+	if rep.PolicyPublishes == 0 {
+		t.Errorf("rule churn published nothing through the control plane")
+	}
+	if rep.PolicyDeltaCompiles == 0 {
+		t.Errorf("no churn publish took the incremental compile path")
+	}
 	if rep.AdversaryOps == 0 {
 		t.Errorf("adversary never ran")
 	}

@@ -35,6 +35,14 @@ type Report struct {
 	RuleMutations uint64 `json:"rule_mutations"`
 	AdversaryOps  uint64 `json:"adversary_ops"`
 
+	// Policy control plane accounting (zeros when RuleChurn is off or no
+	// engine is attached): how the churn's streamed updates published.
+	PolicyPublishes     uint64 `json:"policy_publishes"`
+	PolicyDeltaCompiles uint64 `json:"policy_delta_compiles"`
+	PolicyFullCompiles  uint64 `json:"policy_full_compiles"`
+	PolicyRollbacks     uint64 `json:"policy_rollbacks"`
+	PolicyVetoes        uint64 `json:"policy_vetoes"`
+
 	ExpectedDenies   int64 `json:"expected_denies"`
 	UnexpectedAllows int64 `json:"unexpected_allows"`
 	UnexpectedErrors int64 `json:"unexpected_errors"`
@@ -108,6 +116,12 @@ func (fl *Fleet) report() Report {
 		rep.Accepts = eng.Stats.Accepts.Load()
 		rep.Drops = eng.Stats.Drops.Load()
 		rep.VerdictsConserved = rep.Requests == rep.Accepts+rep.Drops
+		ps := eng.PublishStats()
+		rep.PolicyPublishes = ps.Publishes
+		rep.PolicyDeltaCompiles = ps.DeltaCompiles
+		rep.PolicyFullCompiles = ps.FullCompiles
+		rep.PolicyRollbacks = ps.Rollbacks
+		rep.PolicyVetoes = fl.policyVetoes.Load()
 	}
 	return rep
 }
@@ -120,6 +134,11 @@ func Format(rep Report) string {
 		rep.Ops, rep.OpsPerSec, rep.P50Ns, rep.P99Ns, rep.P999Ns)
 	out += fmt.Sprintf("  churn:   %d crashes, %d restarts, %d rule mutations, %d adversary ops\n",
 		rep.Crashes, rep.Restarts, rep.RuleMutations, rep.AdversaryOps)
+	if rep.PolicyPublishes > 0 {
+		out += fmt.Sprintf("  policy:  %d publishes (%d incremental, %d full), %d rollbacks, %d vetoes overridden\n",
+			rep.PolicyPublishes, rep.PolicyDeltaCompiles, rep.PolicyFullCompiles,
+			rep.PolicyRollbacks, rep.PolicyVetoes)
+	}
 	out += fmt.Sprintf("  guards:  %d expected denies, %d unexpected allows, %d unexpected errors\n",
 		rep.ExpectedDenies, rep.UnexpectedAllows, rep.UnexpectedErrors)
 	out += fmt.Sprintf("  engine:  %d requests = %d accepts + %d drops (conserved=%v)\n",

@@ -1,0 +1,37 @@
+package lmbench
+
+import "testing"
+
+// TestPolicyChurnSmoke runs the whole control-plane measurement at tiny
+// parameters and checks the structural invariants the pfbench gate reads.
+func TestPolicyChurnSmoke(t *testing.T) {
+	rep := RunPolicyChurn(20, 200, []int{100, 400})
+	if len(rep.Publish) != 4 {
+		t.Fatalf("publish sweep has %d cells, want 4", len(rep.Publish))
+	}
+	for _, c := range rep.Publish {
+		if c.NsPerPublish <= 0 || c.Publishes == 0 {
+			t.Errorf("degenerate cell %+v", c)
+		}
+	}
+	if s := rep.SpeedupAt(rep.MaxPublishSize()); s <= 0 {
+		t.Errorf("no speedup computable at max size (got %f)", s)
+	}
+	if rep.Propagation.Lost != 0 {
+		t.Errorf("%d stale verdicts after synchronous publishes", rep.Propagation.Lost)
+	}
+	if rep.Propagation.MaxNs <= 0 {
+		t.Error("propagation measured nothing")
+	}
+	d := rep.Disturbance
+	if !d.VerdictsConserved {
+		t.Errorf("verdicts not conserved: %d != %d + %d", d.Requests, d.Accepts, d.Drops)
+	}
+	if d.Publishes == 0 || d.DeltaCompiles == 0 {
+		t.Errorf("churn side published nothing (%d publishes, %d delta)", d.Publishes, d.DeltaCompiles)
+	}
+	if d.QuietP99Ns <= 0 || d.ChurnP99Ns <= 0 {
+		t.Error("disturbance percentiles degenerate")
+	}
+	_ = FormatPolicyChurn(rep)
+}

@@ -1,13 +1,17 @@
 package pf
 
-import "pfirewall/internal/mac"
+import (
+	"sort"
 
-// Ruleset compilation (DESIGN.md §7). At publish time each built-in chain's
-// traversal list is compiled into a dispatch index bucketed by operation and
-// then by subject SID. A request consults only the buckets that can contain
-// rules matching its (op, subject) pair; every other rule is provably
-// non-matching and is never inspected, so per-request cost scales with the
-// number of possibly-matching rules instead of the total rule count.
+	"pfirewall/internal/mac"
+)
+
+// Ruleset compilation (DESIGN.md §7, §12). At publish time each built-in
+// chain's traversal list is compiled into a dispatch index bucketed by
+// operation and then by subject SID. A request consults only the buckets that
+// can contain rules matching its (op, subject) pair; every other rule is
+// provably non-matching and is never inspected, so per-request cost scales
+// with the number of possibly-matching rules instead of the total rule count.
 //
 // Soundness rests on two static facts about rule predicates:
 //
@@ -22,13 +26,28 @@ import "pfirewall/internal/mac"
 // Both are over-approximations: a candidate still runs the full predicate
 // (matchesDefaults + match modules), so false positives cost a comparison,
 // never a wrong verdict. First-match order is preserved by recording each
-// rule's install sequence number and merging the two candidate streams by
-// sequence at dispatch time.
+// rule's order key and merging the two candidate streams by key at dispatch
+// time.
+//
+// Publishes are incremental (DESIGN.md §12): a transaction records the rules
+// it added to or removed from each compiled chain, and patchRuleset clones
+// only the (op, SID) buckets those rules fan into, sharing every untouched
+// bucket slice with the previous snapshot. For order keys to survive such
+// surgery they cannot be positional indexes — inserting one rule would shift
+// every later rule's position and invalidate the shared buckets — so each
+// rule carries a stable gap-allocated ord (Rule.ord): full compiles number
+// rules ordGap apart, installs take ord±ordGap at the ends or the midpoint
+// between neighbors, and a midpoint collision (the gap is exhausted after
+// ~20 same-spot inserts) falls back to a full recompile that renumbers.
 
-// indexedRule is one compiled candidate: the rule plus its position in the
-// chain's traversal list, so merged bucket scans preserve install order.
+// ordGap is the spacing between order keys assigned by a full compile, and
+// the headroom for midpoint insertion between neighbors.
+const ordGap = int64(1) << 20
+
+// indexedRule is one compiled candidate: the rule plus its stable order key,
+// so merged bucket scans preserve install order.
 type indexedRule struct {
-	seq  int
+	ord  int64
 	ctrl bool
 	r    *Rule
 }
@@ -66,9 +85,15 @@ func isCtrlTarget(t Target) bool {
 // already run under linear traversal.
 var compiledChains = []string{"input", "syscallbegin", "mangle/input"}
 
-// compileRuleset builds the dispatch indexes for rs's built-in chains.
-// It runs under the engine's write lock on a not-yet-published snapshot;
-// once published the index is immutable like everything else in it.
+// compiledChain reports whether dispatch covers chain name.
+func compiledChain(name string) bool {
+	return name == "input" || name == "syscallbegin" || name == "mangle/input"
+}
+
+// compileRuleset builds the dispatch indexes for rs's built-in chains from
+// scratch, renumbering every rule's order key. It runs under the engine's
+// write lock on a not-yet-published snapshot; once published the index is
+// immutable like everything else in it.
 func compileRuleset(rs *ruleset, cfg Config) map[string]*chainIndex {
 	out := make(map[string]*chainIndex, len(compiledChains))
 	for _, name := range compiledChains {
@@ -84,41 +109,206 @@ func compileRuleset(rs *ruleset, cfg Config) map[string]*chainIndex {
 	return out
 }
 
-// compileChain fans each rule of c's traversal list into its op buckets.
+// compileChain fans each rule of c's traversal list into its op buckets,
+// assigning fresh gap-spaced order keys as it goes.
 func compileChain(c *Chain, skipEpt bool) *chainIndex {
 	ci := &chainIndex{chain: c, skipEpt: skipEpt}
 	for seq, r := range c.traversalRules(skipEpt) {
-		ir := indexedRule{seq: seq, ctrl: isCtrlTarget(r.Target), r: r}
-		exact := r.Subject != nil && !r.Subject.Negate
-		if exact && len(r.Subject.sids) == 0 {
-			// A non-negated empty subject set matches no request; the rule
-			// is unreachable and needs no buckets. (Linear traversal still
-			// evaluates it to the same non-match.)
+		r.ord = (int64(seq) + 1) * ordGap
+		ci.add(r)
+	}
+	return ci
+}
+
+// add fans one rule into the buckets its predicate can reach, appending in
+// bucket order (callers guarantee ascending ord).
+func (ci *chainIndex) add(r *Rule) {
+	ir := indexedRule{ord: r.ord, ctrl: isCtrlTarget(r.Target), r: r}
+	exact := r.Subject != nil && !r.Subject.Negate
+	if exact && len(r.Subject.sids) == 0 {
+		// A non-negated empty subject set matches no request; the rule
+		// is unreachable and needs no buckets. (Linear traversal still
+		// evaluates it to the same non-match.)
+		return
+	}
+	// Op(0) is OpInvalid; only an empty op mask — which matches every
+	// op, including a zero-valued one — lands in its bucket, keeping
+	// dispatch bit-for-bit with linear evaluation even for degenerate
+	// requests.
+	for op := Op(0); op < opCount; op++ {
+		if !r.Ops.Has(op) {
 			continue
 		}
-		// Op(0) is OpInvalid; only an empty op mask — which matches every
-		// op, including a zero-valued one — lands in its bucket, keeping
-		// dispatch bit-for-bit with linear evaluation even for degenerate
-		// requests.
+		b := ci.ops[op]
+		if b == nil {
+			b = &opBucket{bySID: make(map[mac.SID][]indexedRule)}
+			ci.ops[op] = b
+		}
+		if exact {
+			for sid := range r.Subject.sids {
+				b.bySID[sid] = append(b.bySID[sid], ir)
+			}
+		} else {
+			b.wild = append(b.wild, ir)
+		}
+	}
+}
+
+// --- incremental recompilation -----------------------------------------
+
+// patchRuleset derives rs's dispatch indexes from the previous snapshot's,
+// re-fanning only the rules in delta and sharing every untouched bucket with
+// prev. Returns nil when the delta cannot be applied consistently (the caller
+// then falls back to a full compile). Runs under the engine's write lock.
+func patchRuleset(prev map[string]*chainIndex, rs *ruleset, delta map[string][]ruleDelta, cfg Config) map[string]*chainIndex {
+	out := make(map[string]*chainIndex, len(compiledChains))
+	for _, name := range compiledChains {
+		c := rs.chains[name]
+		if c == nil {
+			continue
+		}
+		old := prev[name]
+		if old == nil {
+			return nil
+		}
+		ds := delta[name]
+		if len(ds) == 0 {
+			if old.chain == c {
+				// Chain untouched by the transaction: share the whole index.
+				out[name] = old
+			} else {
+				// Chain was copy-on-written (e.g. an indexed-out entrypoint
+				// rule changed) but its compiled traversal list did not:
+				// rebind the index to the new Chain value, sharing buckets.
+				ci := *old
+				ci.chain = c
+				out[name] = &ci
+			}
+			continue
+		}
+		ci := patchChain(old, c, ds)
+		if ci == nil {
+			return nil
+		}
+		out[name] = ci
+	}
+	return out
+}
+
+// patchChain applies one chain's deltas to a copy of its previous index.
+// Buckets are copy-on-write: the ops array is copied wholesale (it is small),
+// but each opBucket — and each bySID slice inside one — is only cloned the
+// first time a delta touches it; everything else stays shared with prev.
+// Returns nil on inconsistency (a removal that finds no bucket entry), which
+// signals the caller to full-compile instead.
+func patchChain(prev *chainIndex, c *Chain, ds []ruleDelta) *chainIndex {
+	ci := &chainIndex{chain: c, skipEpt: prev.skipEpt, ops: prev.ops}
+	var owned [opCount]bool
+	for _, d := range ds {
+		r := d.r
+		exact := r.Subject != nil && !r.Subject.Negate
+		if exact && len(r.Subject.sids) == 0 {
+			continue // bucketless either way; nothing to patch
+		}
+		ir := indexedRule{ord: r.ord, ctrl: isCtrlTarget(r.Target), r: r}
 		for op := Op(0); op < opCount; op++ {
 			if !r.Ops.Has(op) {
 				continue
 			}
 			b := ci.ops[op]
-			if b == nil {
+			if d.add && b == nil {
 				b = &opBucket{bySID: make(map[mac.SID][]indexedRule)}
 				ci.ops[op] = b
+				owned[op] = true
+			}
+			if b == nil {
+				return nil // removing from an op with no bucket: inconsistent
+			}
+			if !owned[op] {
+				b = b.cow()
+				ci.ops[op] = b
+				owned[op] = true
 			}
 			if exact {
 				for sid := range r.Subject.sids {
-					b.bySID[sid] = append(b.bySID[sid], ir)
+					if d.add {
+						b.bySID[sid] = insertOrd(b.bySID[sid], ir)
+					} else {
+						rules, ok := removeOrd(b.bySID[sid], r)
+						if !ok {
+							return nil
+						}
+						if len(rules) == 0 {
+							delete(b.bySID, sid)
+						} else {
+							b.bySID[sid] = rules
+						}
+					}
 				}
 			} else {
-				b.wild = append(b.wild, ir)
+				if d.add {
+					b.wild = insertOrd(b.wild, ir)
+				} else {
+					rules, ok := removeOrd(b.wild, r)
+					if !ok {
+						return nil
+					}
+					b.wild = rules
+				}
 			}
 		}
 	}
 	return ci
+}
+
+// cow returns a bucket whose bySID map can be mutated without touching the
+// original. The map is copied; the slices inside it (and wild) stay shared —
+// insertOrd/removeOrd always produce fresh slices, never write in place.
+func (b *opBucket) cow() *opBucket {
+	n := &opBucket{bySID: make(map[mac.SID][]indexedRule, len(b.bySID)), wild: b.wild}
+	for sid, rules := range b.bySID {
+		n.bySID[sid] = rules
+	}
+	return n
+}
+
+// insertOrd returns a fresh slice with ir spliced in at its ord position.
+// The input slice is shared with previous snapshots and is never written.
+func insertOrd(rules []indexedRule, ir indexedRule) []indexedRule {
+	i := sort.Search(len(rules), func(k int) bool { return rules[k].ord > ir.ord })
+	out := make([]indexedRule, 0, len(rules)+1)
+	out = append(out, rules[:i]...)
+	out = append(out, ir)
+	return append(out, rules[i:]...)
+}
+
+// removeOrd returns a fresh slice with r's entry removed, or ok=false when
+// no entry references r (the index disagrees with the delta).
+func removeOrd(rules []indexedRule, r *Rule) ([]indexedRule, bool) {
+	for i := range rules {
+		if rules[i].r != r {
+			continue
+		}
+		out := make([]indexedRule, 0, len(rules)-1)
+		out = append(out, rules[:i]...)
+		return append(out, rules[i+1:]...), true
+	}
+	return nil, false
+}
+
+// --- dispatch -----------------------------------------------------------
+
+// posOf locates r in the chain's traversal list for the control-flow
+// fallback. A miss (possible only if the index and chain disagree, which the
+// publish path prevents) restarts from 0 — correct, since every rule before
+// r is provably non-matching and re-evaluates to a no-op, just slower.
+func (ci *chainIndex) posOf(r *Rule) int {
+	for k, rr := range ci.chain.traversalRules(ci.skipEpt) {
+		if rr == r {
+			return k
+		}
+	}
+	return 0
 }
 
 // dispatch evaluates the chain through its compiled index: an
@@ -146,7 +336,7 @@ func (e *Engine) dispatch(ctx *EvalCtx, rs *ruleset, ci *chainIndex) Action {
 	i, j := 0, 0
 	for i < len(exact) || j < len(wild) {
 		var ir indexedRule
-		if j >= len(wild) || (i < len(exact) && exact[i].seq < wild[j].seq) {
+		if j >= len(wild) || (i < len(exact) && exact[i].ord < wild[j].ord) {
 			ir = exact[i]
 			i++
 		} else {
@@ -154,7 +344,7 @@ func (e *Engine) dispatch(ctx *EvalCtx, rs *ruleset, ci *chainIndex) Action {
 			j++
 		}
 		if ir.ctrl {
-			return e.traverseFrom(ctx, rs, ci.chain, ir.seq, ci.skipEpt, false)
+			return e.traverseFrom(ctx, rs, ci.chain, ci.posOf(ir.r), ci.skipEpt, false)
 		}
 		if act := e.evalRule(ctx, ir.r); act.Final {
 			return act

@@ -1,7 +1,6 @@
 package pf
 
 import (
-	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -34,6 +33,11 @@ type Config struct {
 	// total rule count. Goes beyond the paper's EPTSPC: entrypoint rules
 	// were already indexed; this indexes everything else.
 	RuleIndex bool
+	// FullRecompile forces every publish to rebuild the dispatch index from
+	// scratch instead of patching the previous snapshot's. Incremental
+	// publish is always verdict-identical (the differential tests prove it);
+	// this exists as the benchmark baseline and a diagnostic escape hatch.
+	FullRecompile bool
 }
 
 // Optimized returns the fully optimized configuration (the deployment mode).
@@ -116,41 +120,44 @@ type ruleset struct {
 	// for operations no rule mediates.
 	opsPresent uint32
 	// compiled holds the per-chain dispatch indexes when Config.RuleIndex
-	// is set; nil otherwise. Rebuilt from scratch on every publish (see
-	// compile.go) so it is as immutable as the rest of the snapshot.
+	// is set; nil otherwise. Derived incrementally from the previous
+	// snapshot's on publish (or rebuilt from scratch, see compile.go) and
+	// then as immutable as the rest of the snapshot.
 	compiled map[string]*chainIndex
 	// gen identifies this snapshot. Generations are globally unique (drawn
 	// from rulesetGen), so per-process caches keyed on gen can never alias
 	// a snapshot of a different engine.
 	gen uint64
+	// version is this snapshot's position in the engine's publish sequence,
+	// monotonic per engine. Unlike gen it is stable across rollback: rolling
+	// back re-exposes the old snapshot with its old version, so control-plane
+	// clients can tell exactly which ruleset is enforcing.
+	version uint64
 }
 
 // rulesetGen issues snapshot generations; see ruleset.gen.
 var rulesetGen atomic.Uint64
 
-// cloneRuleset deep-copies the container structure (rules are shared; their
-// hit counters are atomic).
+// clone returns a shallow copy for transactional copy-on-write updates:
+// the chains map is copied but the *Chain values, entrypoint-index slices,
+// and compiled buckets stay shared with rs until a Tx mutation owns them
+// (DESIGN.md §12). Cloning is therefore O(chains), not O(rules) — what keeps
+// a one-rule publish cheap at 10k rules.
 func (rs *ruleset) clone() *ruleset {
 	n := &ruleset{
 		chains:      make(map[string]*Chain, len(rs.chains)),
-		eptIndex:    make(map[entryKey][]*Rule, len(rs.eptIndex)),
-		eptPrograms: make(map[string]bool, len(rs.eptPrograms)),
+		eptIndex:    rs.eptIndex,
+		eptPrograms: rs.eptPrograms,
 		hasEptRules: rs.hasEptRules,
 		allNeeds:    rs.allNeeds,
 		totalRules:  rs.totalRules,
 		opsPresent:  rs.opsPresent,
 	}
 	for name, c := range rs.chains {
-		n.chains[name] = c.clone()
+		n.chains[name] = c
 	}
-	for k, v := range rs.eptIndex {
-		n.eptIndex[k] = append([]*Rule(nil), v...)
-	}
-	for k := range rs.eptPrograms {
-		n.eptPrograms[k] = true
-	}
-	// compiled is intentionally not copied: update() recompiles it after
-	// the mutation, and gen is reissued at publish time.
+	// compiled is intentionally not copied: publish derives it after the
+	// mutation, and gen/version are reissued at publish time.
 	return n
 }
 
@@ -164,6 +171,22 @@ type Engine struct {
 	// writeMu serializes rule-base writers; readers go through rs.
 	writeMu sync.Mutex
 	rs      atomic.Pointer[ruleset]
+
+	// Control-plane state, all under writeMu (see tx.go): versionCtr issues
+	// snapshot versions; history is the rollback ring of previously
+	// published snapshots; forceFull makes the next publish renumber order
+	// keys from scratch (set by Rollback, whose restored snapshot may
+	// predate a renumbering).
+	versionCtr uint64
+	history    []*ruleset
+	forceFull  bool
+
+	// Publish-path counters (PublishStats); written under writeMu, read
+	// lock-free by benchmarks and the control plane.
+	publishes     atomic.Uint64
+	fullCompiles  atomic.Uint64
+	deltaCompiles atomic.Uint64
+	rollbacks     atomic.Uint64
 
 	// Logger receives LOG-target records; nil discards them.
 	Logger func(LogRecord)
@@ -212,7 +235,9 @@ func New(policy *mac.Policy, cfg Config) *Engine {
 		eptIndex:    make(map[entryKey][]*Rule),
 		eptPrograms: make(map[string]bool),
 		gen:         rulesetGen.Add(1),
+		version:     1,
 	}
+	e.versionCtr = 1
 	if cfg.RuleIndex {
 		rs.compiled = compileRuleset(rs, cfg)
 	}
@@ -226,38 +251,9 @@ func (e *Engine) Policy() *mac.Policy { return e.policy }
 // Config returns the engine's optimization configuration.
 func (e *Engine) Config() Config { return e.cfg }
 
-// update applies fn to a copy of the current ruleset and publishes it. The
-// dispatch index is recompiled after fn succeeds, so a snapshot's compiled
-// form can never disagree with its rule lists, and a fresh generation is
-// issued so per-process caches keyed on the old snapshot self-invalidate.
-func (e *Engine) update(fn func(*ruleset) error) error {
-	e.writeMu.Lock()
-	defer e.writeMu.Unlock()
-	n := e.rs.Load().clone()
-	if err := fn(n); err != nil {
-		return err
-	}
-	n.gen = rulesetGen.Add(1)
-	if e.cfg.RuleIndex {
-		n.compiled = compileRuleset(n, e.cfg)
-	}
-	e.rs.Store(n)
-	return nil
-}
-
 // NewChain creates a user-defined chain.
 func (e *Engine) NewChain(name string) error {
-	err := e.update(func(rs *ruleset) error {
-		if _, ok := rs.chains[name]; ok {
-			return fmt.Errorf("pf: chain %q exists", name)
-		}
-		rs.chains[name] = newChain(name)
-		return nil
-	})
-	if err == nil {
-		e.registerChainObs(name)
-	}
-	return err
+	return e.Transaction(func(tx *Tx) error { return tx.NewChain(name) })
 }
 
 // Chain returns a chain snapshot by name. The returned chain is part of an
@@ -280,136 +276,24 @@ func (e *Engine) Chains() []string {
 
 // Append adds a rule at the end of chain (pftables -A semantics; the
 // paper's listings use -I, which prepends — see Insert).
-func (e *Engine) Append(chain string, r *Rule) error { return e.install(chain, r, false) }
+func (e *Engine) Append(chain string, r *Rule) error {
+	return e.Transaction(func(tx *Tx) error { return tx.Append(chain, r) })
+}
 
 // Insert adds a rule at the head of chain (pftables -I).
-func (e *Engine) Insert(chain string, r *Rule) error { return e.install(chain, r, true) }
-
-func (e *Engine) install(chain string, r *Rule, front bool) error {
-	if r.Target == nil {
-		return fmt.Errorf("pf: rule without target")
-	}
-	if r.EntrySet && r.Program == "" {
-		return fmt.Errorf("pf: entrypoint match requires a program (-p with -i)")
-	}
-	return e.update(func(rs *ruleset) error {
-		c, ok := rs.chains[chain]
-		if !ok {
-			return fmt.Errorf("pf: no such chain %q", chain)
-		}
-		if front {
-			c.Rules = append([]*Rule{r}, c.Rules...)
-		} else {
-			c.Rules = append(c.Rules, r)
-		}
-		rs.allNeeds |= r.needs()
-		rs.totalRules++
-		rs.opsPresent |= opsMaskOf(r)
-		indexed := false
-		if r.EntrySet {
-			rs.hasEptRules = true
-			if e.cfg.EptChains && (chain == "input" || chain == "syscallbegin") {
-				indexed = true
-				rs.eptPrograms[r.Program] = true
-				k := entryKey{chain, r.Program, r.Entry}
-				if front {
-					rs.eptIndex[k] = append([]*Rule{r}, rs.eptIndex[k]...)
-				} else {
-					rs.eptIndex[k] = append(rs.eptIndex[k], r)
-				}
-			}
-		}
-		if !indexed {
-			if front {
-				c.generic = append([]*Rule{r}, c.generic...)
-			} else {
-				c.generic = append(c.generic, r)
-			}
-		}
-		return nil
-	})
+func (e *Engine) Insert(chain string, r *Rule) error {
+	return e.Transaction(func(tx *Tx) error { return tx.Insert(chain, r) })
 }
 
 // Remove deletes the first rule in chain for which match returns true,
 // repairing the generic list and the entrypoint index.
 func (e *Engine) Remove(chain string, match func(*Rule) bool) error {
-	return e.update(func(rs *ruleset) error {
-		c, ok := rs.chains[chain]
-		if !ok {
-			return fmt.Errorf("pf: no such chain %q", chain)
-		}
-		for i, r := range c.Rules {
-			if !match(r) {
-				continue
-			}
-			c.Rules = append(c.Rules[:i], c.Rules[i+1:]...)
-			rs.totalRules--
-			for j, g := range c.generic {
-				if g == r {
-					c.generic = append(c.generic[:j], c.generic[j+1:]...)
-					break
-				}
-			}
-			if r.EntrySet {
-				k := entryKey{chain, r.Program, r.Entry}
-				rules := rs.eptIndex[k]
-				for j, x := range rules {
-					if x == r {
-						rs.eptIndex[k] = append(rules[:j], rules[j+1:]...)
-						break
-					}
-				}
-			}
-			rs.recomputeDerived()
-			return nil
-		}
-		return fmt.Errorf("pf: no matching rule in %q", chain)
-	})
-}
-
-// recomputeDerived rebuilds the summaries install() maintains incrementally
-// (allNeeds, hasEptRules, eptPrograms). Installation only ever widens them;
-// removal must recompute from scratch or deleting the last entrypoint rule
-// would leave mayMatchEpt unwinding stacks — and non-lazy mode over-collecting
-// context — forever.
-func (rs *ruleset) recomputeDerived() {
-	rs.allNeeds = 0
-	rs.hasEptRules = false
-	rs.opsPresent = 0
-	for _, c := range rs.chains {
-		for _, r := range c.Rules {
-			rs.allNeeds |= r.needs()
-			rs.opsPresent |= opsMaskOf(r)
-			if r.EntrySet {
-				rs.hasEptRules = true
-			}
-		}
-	}
-	rs.eptPrograms = make(map[string]bool)
-	for k, rules := range rs.eptIndex {
-		if len(rules) == 0 {
-			delete(rs.eptIndex, k)
-			continue
-		}
-		rs.eptPrograms[k.program] = true
-	}
+	return e.Transaction(func(tx *Tx) error { return tx.Remove(chain, match) })
 }
 
 // Flush removes all rules from every chain.
 func (e *Engine) Flush() error {
-	return e.update(func(rs *ruleset) error {
-		for _, c := range rs.chains {
-			c.Rules = nil
-			c.generic = nil
-		}
-		rs.eptIndex = make(map[entryKey][]*Rule)
-		rs.eptPrograms = make(map[string]bool)
-		rs.hasEptRules = false
-		rs.allNeeds = 0
-		rs.totalRules = 0
-		rs.opsPresent = 0
-		return nil
-	})
+	return e.Transaction(func(tx *Tx) error { tx.Flush(); return nil })
 }
 
 // opsMaskOf returns the opsPresent contribution of one rule: its explicit

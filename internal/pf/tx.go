@@ -1,0 +1,546 @@
+package pf
+
+// Transactional rule-base updates (DESIGN.md §12). A Tx batches any number
+// of rule mutations into one atomic publish: one cloned snapshot, one
+// generation bump, one dispatch-index derivation, one pointer store. The
+// mediation path never blocks on a publish and never observes a partial
+// batch — it either runs against the previous snapshot or the new one.
+//
+// Ownership discipline: Tx.rs starts as a shallow clone sharing every
+// *Chain, entrypoint-index slice, and compiled bucket with the published
+// snapshot. The first mutation of a chain copies it (ownChain); the first
+// entrypoint-index mutation copies the index map (ownEpt); slice mutations
+// always produce fresh slices. Shared state is therefore never written —
+// concurrent readers of any historical snapshot (including ones a Rollback
+// may re-expose) keep an immutable view.
+
+import (
+	"fmt"
+	"sort"
+)
+
+// historyCap bounds the engine's rollback window: how many previously
+// published snapshots Rollback can restore, newest first.
+const historyCap = 8
+
+// ruleDelta records one compiled-chain mutation for incremental
+// recompilation: rule r entered (add) or left the chain's traversal list.
+type ruleDelta struct {
+	add bool
+	r   *Rule
+}
+
+// Tx is an in-flight rule-base transaction. All methods run under the
+// engine's write lock (Transaction holds it); a Tx must not escape the
+// callback it is passed to.
+type Tx struct {
+	e    *Engine
+	prev *ruleset
+	rs   *ruleset
+
+	owned     map[string]bool // chains copied from prev
+	eptOwned  bool            // eptIndex/eptPrograms maps copied
+	delta     map[string][]ruleDelta
+	full      bool     // bulk change: skip deltas, full-compile at publish
+	derived   bool     // a removal may have narrowed the derived summaries
+	newChains []string // register observability after publish
+}
+
+// Transaction runs fn against a transactional view of the rule base and, if
+// fn succeeds, publishes every mutation as one new snapshot (one version,
+// one generation, one dispatch-index derivation). If fn returns an error
+// nothing is published and the error is returned.
+func (e *Engine) Transaction(fn func(*Tx) error) error {
+	return e.TransactionGated(fn, nil)
+}
+
+// TransactionGated is Transaction with a pre-publish gate: after fn succeeds
+// the gate inspects the would-be chains (an immutable view); a non-nil error
+// vetoes the publish. The control plane uses this to run pfcheck over each
+// delta before it can reach the mediation path.
+func (e *Engine) TransactionGated(fn func(*Tx) error, gate func(chains map[string]*Chain) error) error {
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
+	prev := e.rs.Load()
+	tx := &Tx{e: e, prev: prev, rs: prev.clone(), owned: make(map[string]bool)}
+	if err := fn(tx); err != nil {
+		return err
+	}
+	if tx.derived {
+		tx.recomputeDerived()
+	}
+	if gate != nil {
+		if err := gate(tx.rs.chains); err != nil {
+			return err
+		}
+	}
+	e.publishLocked(tx)
+	for _, name := range tx.newChains {
+		e.registerChainObs(name)
+	}
+	return nil
+}
+
+// publishLocked derives the new snapshot's dispatch index (incrementally
+// when the transaction recorded a clean delta, from scratch otherwise),
+// stamps version and generation, pushes the previous snapshot onto the
+// rollback ring, and atomically exposes the new snapshot to readers.
+func (e *Engine) publishLocked(tx *Tx) {
+	n := tx.rs
+	e.versionCtr++
+	n.version = e.versionCtr
+	n.gen = rulesetGen.Add(1)
+	if e.cfg.RuleIndex {
+		var compiled map[string]*chainIndex
+		if !tx.full && !e.cfg.FullRecompile && !e.forceFull && tx.prev.compiled != nil {
+			compiled = patchRuleset(tx.prev.compiled, n, tx.delta, e.cfg)
+		}
+		if compiled == nil {
+			compiled = compileRuleset(n, e.cfg)
+			e.forceFull = false
+			e.fullCompiles.Add(1)
+		} else {
+			e.deltaCompiles.Add(1)
+		}
+		n.compiled = compiled
+	}
+	e.history = append(e.history, tx.prev)
+	if len(e.history) > historyCap {
+		copy(e.history, e.history[len(e.history)-historyCap:])
+		e.history = e.history[:historyCap]
+	}
+	e.rs.Store(n)
+	e.publishes.Add(1)
+}
+
+// Rollback atomically re-exposes the most recently superseded snapshot and
+// returns its version. Verdicts in flight keep the snapshot they started
+// with; new requests see the restored ruleset immediately. The rollback
+// window is the last historyCap publishes.
+func (e *Engine) Rollback() (uint64, error) {
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
+	if len(e.history) == 0 {
+		return 0, fmt.Errorf("pf: no snapshot to roll back to")
+	}
+	prev := e.history[len(e.history)-1]
+	e.history[len(e.history)-1] = nil
+	e.history = e.history[:len(e.history)-1]
+	e.rs.Store(prev)
+	// A full recompile since prev was published may have renumbered rule
+	// order keys; prev's index holds the old ones. Patching on top of it
+	// would interleave incompatible keys, so the next publish renumbers.
+	e.forceFull = true
+	e.rollbacks.Add(1)
+	return prev.version, nil
+}
+
+// Version returns the currently enforcing snapshot's publish version.
+func (e *Engine) Version() uint64 { return e.rs.Load().version }
+
+// Generation returns the currently enforcing snapshot's globally unique
+// generation (bumped on every publish and never reused, unlike Version,
+// which a rollback restores).
+func (e *Engine) Generation() uint64 { return e.rs.Load().gen }
+
+// PublishStats counts control-plane activity since the engine was created.
+type PublishStats struct {
+	Publishes     uint64 `json:"publishes"`
+	FullCompiles  uint64 `json:"full_compiles"`
+	DeltaCompiles uint64 `json:"delta_compiles"`
+	Rollbacks     uint64 `json:"rollbacks"`
+}
+
+// PublishStats returns a snapshot of the publish-path counters.
+func (e *Engine) PublishStats() PublishStats {
+	return PublishStats{
+		Publishes:     e.publishes.Load(),
+		FullCompiles:  e.fullCompiles.Load(),
+		DeltaCompiles: e.deltaCompiles.Load(),
+		Rollbacks:     e.rollbacks.Load(),
+	}
+}
+
+// --- copy-on-write helpers ----------------------------------------------
+
+// ownChain returns chain name's *Chain, copied from the published snapshot
+// the first time the transaction mutates it. Returns nil for unknown chains.
+func (tx *Tx) ownChain(name string) *Chain {
+	c := tx.rs.chains[name]
+	if c == nil || tx.owned[name] {
+		return c
+	}
+	n := c.clone()
+	tx.rs.chains[name] = n
+	tx.owned[name] = true
+	return n
+}
+
+// ownEpt copies the entrypoint index map (sharing its slices) and the
+// program set before their first mutation.
+func (tx *Tx) ownEpt() {
+	if tx.eptOwned {
+		return
+	}
+	rs := tx.rs
+	idx := make(map[entryKey][]*Rule, len(rs.eptIndex))
+	for k, v := range rs.eptIndex {
+		idx[k] = v
+	}
+	rs.eptIndex = idx
+	progs := make(map[string]bool, len(rs.eptPrograms))
+	for k := range rs.eptPrograms {
+		progs[k] = true
+	}
+	rs.eptPrograms = progs
+	tx.eptOwned = true
+}
+
+// bulkDeltaMax bounds the per-chain delta a publish will patch. Each patched
+// rule copies the buckets it lands in, so a huge batch degrades toward
+// O(batch × bucket) — past this point a from-scratch compile is cheaper and
+// the transaction flips to full.
+const bulkDeltaMax = 256
+
+// recordDelta notes that r entered or left a compiled chain's traversal
+// list. Pointless once the transaction went bulk (full) or when the chain
+// is not dispatch-compiled.
+func (tx *Tx) recordDelta(chain string, add bool, r *Rule) {
+	if !tx.e.cfg.RuleIndex || tx.full || !compiledChain(chain) {
+		return
+	}
+	if tx.delta == nil {
+		tx.delta = make(map[string][]ruleDelta)
+	}
+	tx.delta[chain] = append(tx.delta[chain], ruleDelta{add: add, r: r})
+	if len(tx.delta[chain]) > bulkDeltaMax {
+		tx.full = true
+		tx.delta = nil
+	}
+}
+
+// eptIndexed reports whether a rule is routed to the entrypoint index (and
+// thus out of the chain's compiled traversal list) under the engine's
+// configuration. This is a pure function of the rule and chain, so install,
+// removal, and replacement all agree on which lane a rule lives in.
+func (tx *Tx) eptIndexed(chain string, r *Rule) bool {
+	return r.EntrySet && tx.e.cfg.EptChains && (chain == "input" || chain == "syscallbegin")
+}
+
+// --- mutations ----------------------------------------------------------
+
+// Append adds a rule at the end of chain.
+func (tx *Tx) Append(chain string, r *Rule) error { return tx.install(chain, r, false) }
+
+// Insert adds a rule at the head of chain.
+func (tx *Tx) Insert(chain string, r *Rule) error { return tx.install(chain, r, true) }
+
+func (tx *Tx) install(chain string, r *Rule, front bool) error {
+	if r.Target == nil {
+		return fmt.Errorf("pf: rule without target")
+	}
+	if r.EntrySet && r.Program == "" {
+		return fmt.Errorf("pf: entrypoint match requires a program (-p with -i)")
+	}
+	c := tx.ownChain(chain)
+	if c == nil {
+		return fmt.Errorf("pf: no such chain %q", chain)
+	}
+	rs := tx.rs
+	rs.allNeeds |= r.needs()
+	rs.totalRules++
+	rs.opsPresent |= opsMaskOf(r)
+	if r.EntrySet {
+		rs.hasEptRules = true
+	}
+	if tx.eptIndexed(chain, r) {
+		tx.ownEpt()
+		rs.eptPrograms[r.Program] = true
+		k := entryKey{chain, r.Program, r.Entry}
+		if front {
+			rs.eptIndex[k] = append([]*Rule{r}, rs.eptIndex[k]...)
+		} else {
+			// Fresh slice: the previous one may be shared with published
+			// snapshots, and append could write into shared backing.
+			old := rs.eptIndex[k]
+			rules := make([]*Rule, 0, len(old)+1)
+			rules = append(rules, old...)
+			rs.eptIndex[k] = append(rules, r)
+		}
+	} else {
+		// Gap-allocate the order key from the traversal list's extremes so
+		// the dispatch patch can splice without disturbing neighbors.
+		list := c.traversalRules(tx.e.cfg.EptChains)
+		switch {
+		case len(list) == 0:
+			r.ord = ordGap
+		case front:
+			r.ord = list[0].ord - ordGap
+		default:
+			r.ord = list[len(list)-1].ord + ordGap
+		}
+		if front {
+			c.generic = append([]*Rule{r}, c.generic...)
+		} else {
+			c.generic = append(c.generic, r)
+		}
+		tx.recordDelta(chain, true, r)
+	}
+	if front {
+		c.Rules = append([]*Rule{r}, c.Rules...)
+	} else {
+		c.Rules = append(c.Rules, r)
+	}
+	return nil
+}
+
+// Remove deletes the first rule in chain for which match returns true.
+func (tx *Tx) Remove(chain string, match func(*Rule) bool) error {
+	n, err := tx.removeMatching(chain, match, 1)
+	if err != nil {
+		return err
+	}
+	if n == 0 {
+		return fmt.Errorf("pf: no matching rule in %q", chain)
+	}
+	return nil
+}
+
+// RemoveAll deletes every rule in chain for which match returns true and
+// returns how many were removed (zero is not an error).
+func (tx *Tx) RemoveAll(chain string, match func(*Rule) bool) (int, error) {
+	return tx.removeMatching(chain, match, 0)
+}
+
+func (tx *Tx) removeMatching(chain string, match func(*Rule) bool, limit int) (int, error) {
+	c := tx.ownChain(chain)
+	if c == nil {
+		return 0, fmt.Errorf("pf: no such chain %q", chain)
+	}
+	removed := 0
+	for i := 0; i < len(c.Rules); {
+		r := c.Rules[i]
+		if !match(r) {
+			i++
+			continue
+		}
+		c.Rules = append(c.Rules[:i], c.Rules[i+1:]...) // owned chain: in-place is safe
+		tx.unlink(chain, c, r)
+		removed++
+		if limit > 0 && removed >= limit {
+			break
+		}
+	}
+	if removed > 0 {
+		tx.rs.totalRules -= removed
+		tx.derived = true
+	}
+	return removed, nil
+}
+
+// unlink removes r from the chain's generic list or the entrypoint index
+// (whichever lane install routed it to) and records the index delta.
+func (tx *Tx) unlink(chain string, c *Chain, r *Rule) {
+	if tx.eptIndexed(chain, r) {
+		k := entryKey{chain, r.Program, r.Entry}
+		for j, x := range tx.rs.eptIndex[k] {
+			if x != r {
+				continue
+			}
+			tx.ownEpt()
+			rules := tx.rs.eptIndex[k]
+			// Fresh slice: the shared one must stay intact for readers of
+			// previous snapshots.
+			out := make([]*Rule, 0, len(rules)-1)
+			out = append(out, rules[:j]...)
+			tx.rs.eptIndex[k] = append(out, rules[j+1:]...)
+			break
+		}
+		return
+	}
+	for j, g := range c.generic {
+		if g == r {
+			c.generic = append(c.generic[:j], c.generic[j+1:]...) // owned chain
+			break
+		}
+	}
+	tx.recordDelta(chain, false, r)
+}
+
+// ReplaceAt swaps the rule at position idx (0-based, over the chain's full
+// rule list) for r, preserving evaluation order: r slots exactly where the
+// old rule was. This is the pftables -R primitive — at 10k rules it patches
+// a handful of dispatch buckets instead of recompiling the index.
+func (tx *Tx) ReplaceAt(chain string, idx int, r *Rule) error {
+	if r.Target == nil {
+		return fmt.Errorf("pf: rule without target")
+	}
+	if r.EntrySet && r.Program == "" {
+		return fmt.Errorf("pf: entrypoint match requires a program (-p with -i)")
+	}
+	c := tx.ownChain(chain)
+	if c == nil {
+		return fmt.Errorf("pf: no such chain %q", chain)
+	}
+	if idx < 0 || idx >= len(c.Rules) {
+		return fmt.Errorf("pf: %s: no rule at position %d", chain, idx+1)
+	}
+	old := c.Rules[idx]
+	c.Rules[idx] = r
+	tx.unlink(chain, c, old)
+
+	rs := tx.rs
+	rs.allNeeds |= r.needs()
+	rs.opsPresent |= opsMaskOf(r)
+	if r.EntrySet {
+		rs.hasEptRules = true
+	}
+	tx.derived = true // the removal may have narrowed the summaries
+
+	if tx.eptIndexed(chain, r) {
+		tx.ownEpt()
+		rs.eptPrograms[r.Program] = true
+		k := entryKey{chain, r.Program, r.Entry}
+		oldList := rs.eptIndex[k]
+		rules := make([]*Rule, 0, len(oldList)+1)
+		rules = append(rules, oldList...)
+		rs.eptIndex[k] = append(rules, r)
+		return nil
+	}
+
+	// Splice r into the generic lane at the position matching idx. The
+	// generic list preserves the relative order of Rules, so the insertion
+	// point is the count of generic-lane rules before idx.
+	pos := 0
+	for _, rr := range c.Rules[:idx] {
+		if !tx.eptIndexed(chain, rr) {
+			pos++
+		}
+	}
+	ord, ok := tx.ordBetween(c, pos)
+	if !ok {
+		tx.full = true // gap exhausted: renumber via full recompile
+	}
+	r.ord = ord
+	c.generic = append(c.generic, nil)
+	copy(c.generic[pos+1:], c.generic[pos:])
+	c.generic[pos] = r
+	tx.recordDelta(chain, true, r)
+	return nil
+}
+
+// ordBetween picks an order key for a rule entering c.generic at pos.
+// ok=false means the midpoint gap is exhausted and the caller must force a
+// full recompile (which renumbers with fresh gaps).
+func (tx *Tx) ordBetween(c *Chain, pos int) (int64, bool) {
+	g := c.generic
+	switch {
+	case len(g) == 0:
+		return ordGap, true
+	case pos == 0:
+		return g[0].ord - ordGap, true
+	case pos >= len(g):
+		return g[len(g)-1].ord + ordGap, true
+	default:
+		lo, hi := g[pos-1].ord, g[pos].ord
+		mid := lo + (hi-lo)/2
+		return mid, mid != lo
+	}
+}
+
+// Flush removes every rule from every chain (the chains themselves stay).
+func (tx *Tx) Flush() {
+	rs := tx.rs
+	for name := range rs.chains {
+		c := tx.ownChain(name)
+		c.Rules, c.generic = nil, nil
+	}
+	rs.eptIndex = make(map[entryKey][]*Rule)
+	rs.eptPrograms = make(map[string]bool)
+	tx.eptOwned = true
+	rs.hasEptRules = false
+	rs.allNeeds = 0
+	rs.totalRules = 0
+	rs.opsPresent = 0
+	// Summaries are exact again (subsequent installs re-widen them), and
+	// any earlier deltas are moot: this is a bulk rebuild.
+	tx.full = true
+	tx.delta = nil
+	tx.derived = false
+}
+
+// FlushChain removes every rule from one chain.
+func (tx *Tx) FlushChain(chain string) error {
+	c := tx.ownChain(chain)
+	if c == nil {
+		return fmt.Errorf("pf: no such chain %q", chain)
+	}
+	if _, err := tx.removeMatching(chain, func(*Rule) bool { return true }, 0); err != nil {
+		return err
+	}
+	return nil
+}
+
+// NewChain creates a user-defined chain.
+func (tx *Tx) NewChain(name string) error {
+	if _, ok := tx.rs.chains[name]; ok {
+		return fmt.Errorf("pf: chain %q exists", name)
+	}
+	tx.rs.chains[name] = newChain(name)
+	tx.owned[name] = true
+	tx.newChains = append(tx.newChains, name)
+	return nil
+}
+
+// Chain exposes the transaction's working view of a chain (nil when
+// unknown). Callers must treat it as read-only.
+func (tx *Tx) Chain(name string) (*Chain, bool) {
+	c, ok := tx.rs.chains[name]
+	return c, ok
+}
+
+// Chains returns the transaction's chain names in sorted order.
+func (tx *Tx) Chains() []string {
+	out := make([]string, 0, len(tx.rs.chains))
+	for n := range tx.rs.chains {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// recomputeDerived rebuilds the summaries install() maintains incrementally
+// (allNeeds, hasEptRules, opsPresent, eptPrograms). Installation only ever
+// widens them; removal must recompute from scratch or deleting the last
+// entrypoint rule would leave mayMatchEpt unwinding stacks — and non-lazy
+// mode over-collecting context — forever. Runs once per transaction, at
+// commit, however many rules the batch removed.
+func (tx *Tx) recomputeDerived() {
+	rs := tx.rs
+	rs.allNeeds = 0
+	rs.hasEptRules = false
+	rs.opsPresent = 0
+	for _, c := range rs.chains {
+		for _, r := range c.Rules {
+			rs.allNeeds |= r.needs()
+			rs.opsPresent |= opsMaskOf(r)
+			if r.EntrySet {
+				rs.hasEptRules = true
+			}
+		}
+	}
+	progs := make(map[string]bool, len(rs.eptPrograms))
+	for k, rules := range rs.eptIndex {
+		if len(rules) == 0 {
+			// Dropping the emptied key is cosmetic; only safe when the map
+			// is transaction-owned (it may be shared with published
+			// snapshots otherwise).
+			if tx.eptOwned {
+				delete(rs.eptIndex, k)
+			}
+			continue
+		}
+		progs[k.program] = true
+	}
+	rs.eptPrograms = progs
+}

@@ -325,18 +325,24 @@ func Analyze(env *pftables.Env, file string, lines []string, sym *Symbols) *Repo
 // installed through InstallAt). Source-only checks — parse errors, install
 // failures, empty-jump heuristics — do not apply here.
 func AnalyzeEngine(e *pf.Engine, sym *Symbols) *Report {
+	chains := make(map[string]*pf.Chain)
+	for _, name := range e.Chains() {
+		if c, ok := e.Chain(name); ok {
+			chains[name] = c
+		}
+	}
+	return AnalyzeRuleset(e.Policy().SIDs(), chains, sym)
+}
+
+// AnalyzeRuleset is AnalyzeEngine over a bare chain map, for callers that
+// hold a candidate rule base not (yet) installed in any engine — policyd
+// gates each transactional delta through it before the publish commits.
+func AnalyzeRuleset(tbl *mac.SIDTable, chains map[string]*pf.Chain, sym *Symbols) *Report {
 	if sym == nil {
 		sym = &Symbols{}
 	}
 	rep := &Report{}
-	tbl := e.Policy().SIDs()
-	chains := make(map[string]*pf.Chain)
-	for _, name := range e.Chains() {
-		c, ok := e.Chain(name)
-		if !ok {
-			continue
-		}
-		chains[name] = c
+	for _, c := range chains {
 		rep.Rules += len(c.Rules)
 		for _, r := range c.Rules {
 			symbolFindings(rep, r, sym, sym.KnownLabel, tbl)

@@ -42,11 +42,18 @@ type Env struct {
 // Cmd is a parsed pftables command line.
 type Cmd struct {
 	Table  string // filter (default) or mangle
-	Action byte   // 'I' insert, 'A' append, 'D' delete
+	Action byte   // 'I' insert, 'A' append, 'D' delete, 'R' replace, 'F' flush
 	Chain  string
 	Rule   *pf.Rule
 	// NewChainName is set for "-N chain" commands.
 	NewChainName string
+	// RulePos is the 1-based chain position for "-R chain N rule_spec".
+	RulePos int
+	// Tag is set for "-D chain --tag <src>": remove every rule whose
+	// recorded source file equals the tag, however many there are. Churn
+	// controllers tag their waves and drain them in one command without
+	// rendering rules for matching.
+	Tag string
 	// Pos is where the command came from (set by ParseAt / InstallAll).
 	Pos pf.Pos
 }
@@ -211,6 +218,42 @@ func parseLine(env *Env, line string) (cmd *Cmd, errCol int, err error) {
 			} else {
 				i++
 			}
+		case "-R":
+			// Replace-by-position: -R chain N rule_spec (1-based, like
+			// iptables -R). The position operand is required.
+			cmd.Action = 'R'
+			if i+1 < len(toks) && !strings.HasPrefix(toks[i+1].text, "-") {
+				cmd.Chain = normalizeChain(toks[i+1].text)
+				i += 2
+			} else {
+				i++
+			}
+			if i < len(toks) && !strings.HasPrefix(toks[i].text, "-") {
+				errCol = toks[i].col
+				v, err := parseUint(toks[i].text)
+				if err != nil || v == 0 {
+					return nil, errCol, fmt.Errorf("pftables: -R: bad rule position %q", toks[i].text)
+				}
+				cmd.RulePos = int(v)
+				i++
+			}
+		case "-F":
+			// Flush: -F [chain]; without a chain every chain is emptied.
+			cmd.Action = 'F'
+			cmd.Chain = ""
+			if i+1 < len(toks) && !strings.HasPrefix(toks[i+1].text, "-") {
+				cmd.Chain = normalizeChain(toks[i+1].text)
+				i += 2
+			} else {
+				i++
+			}
+		case "--tag":
+			v, err := next(i, t)
+			if err != nil {
+				return nil, errCol, err
+			}
+			cmd.Tag = v
+			i += 2
 		case "-N":
 			v, err := next(i, t)
 			if err != nil {
@@ -334,7 +377,14 @@ func parseLine(env *Env, line string) (cmd *Cmd, errCol int, err error) {
 		}
 	}
 	cmd.Rule.Matches = matches
-	if cmd.NewChainName == "" && cmd.Rule.Target == nil {
+	if cmd.Action == 'R' && cmd.RulePos == 0 {
+		return nil, 0, fmt.Errorf("pftables: -R requires a 1-based rule position")
+	}
+	if cmd.Tag != "" && cmd.Action != 'D' {
+		return nil, 0, fmt.Errorf("pftables: --tag is only valid with -D")
+	}
+	needRule := cmd.NewChainName == "" && cmd.Action != 'F' && cmd.Tag == ""
+	if needRule && cmd.Rule.Target == nil {
 		return nil, 0, fmt.Errorf("pftables: rule has no target (-j)")
 	}
 	return cmd, 0, nil
@@ -748,13 +798,13 @@ func InstallAt(env *Env, engine *pf.Engine, line string, pos pf.Pos) (*Cmd, erro
 	}
 	// Mangle-table rules live in a prefixed chain namespace so the engine
 	// can run them ahead of the filter table.
-	if cmd.Table == "mangle" {
+	if cmd.Table == "mangle" && cmd.Chain != "" {
 		cmd.Chain = "mangle/" + cmd.Chain
 	}
 	// Auto-create the destination chain and any jump-target chain, so rule
 	// files don't need explicit -N lines (matching the paper's listings).
 	ensure := func(name string) {
-		if !builtinChains[name] {
+		if name != "" && !builtinChains[name] {
 			if _, ok := engine.Chain(name); !ok {
 				engine.NewChain(name)
 			}
@@ -764,13 +814,30 @@ func InstallAt(env *Env, engine *pf.Engine, line string, pos pf.Pos) (*Cmd, erro
 	if j, ok := cmd.Rule.Target.(*pf.JumpTarget); ok {
 		ensure(j.ChainName)
 	}
-	switch cmd.Action {
-	case 'I':
+	switch {
+	case cmd.Action == 'I':
 		err = engine.Insert(cmd.Chain, cmd.Rule)
-	case 'A':
+	case cmd.Action == 'A':
 		err = engine.Append(cmd.Chain, cmd.Rule)
-	case 'D':
+	case cmd.Action == 'D' && cmd.Tag != "":
+		err = engine.Transaction(func(tx *pf.Tx) error {
+			_, err := tx.RemoveAll(cmd.Chain, func(r *pf.Rule) bool { return r.Src.File == cmd.Tag })
+			return err
+		})
+	case cmd.Action == 'D':
 		err = deleteRule(engine, cmd)
+	case cmd.Action == 'R':
+		err = engine.Transaction(func(tx *pf.Tx) error {
+			return tx.ReplaceAt(cmd.Chain, cmd.RulePos-1, cmd.Rule)
+		})
+	case cmd.Action == 'F':
+		err = engine.Transaction(func(tx *pf.Tx) error {
+			if cmd.Chain == "" {
+				tx.Flush()
+				return nil
+			}
+			return tx.FlushChain(cmd.Chain)
+		})
 	default:
 		err = fmt.Errorf("pftables: unknown action %q", cmd.Action)
 	}
@@ -849,4 +916,104 @@ func InstallAllFrom(env *Env, engine *pf.Engine, src string, lines []string) (in
 		n++
 	}
 	return n, nil
+}
+
+// ApplyAllFrom parses every non-empty, non-comment line and applies the
+// whole batch as ONE engine transaction: one publish, one generation bump,
+// one dispatch-index derivation. Unlike InstallAll — which publishes per
+// line and stops mid-file on error — this is all-or-nothing: on any parse
+// or apply error nothing is installed, and the mediation path never
+// observes a partially applied batch. A "-F" line followed by rule lines
+// is therefore an atomic hitless reload: traffic sees the old ruleset
+// until the instant the fully rebuilt one lands.
+func ApplyAllFrom(env *Env, engine *pf.Engine, src string, lines []string) (int, error) {
+	return ApplyAllGated(env, engine, src, lines, nil)
+}
+
+// ApplyAllGated is ApplyAllFrom with a pre-publish gate (see
+// pf.Engine.TransactionGated): after the batch is staged, gate inspects the
+// would-be chains; a non-nil error vetoes the publish. The policy daemon
+// runs pfcheck here so a bad delta can never reach the mediation path.
+func ApplyAllGated(env *Env, engine *pf.Engine, src string, lines []string, gate func(chains map[string]*pf.Chain) error) (int, error) {
+	cmds := make([]*Cmd, 0, len(lines))
+	for i, line := range lines {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		cmd, err := ParseAt(env, line, pf.Pos{File: src, Line: i + 1})
+		if err != nil {
+			return 0, fmt.Errorf("%q: %w", line, err)
+		}
+		cmds = append(cmds, cmd)
+	}
+	n := 0
+	err := engine.TransactionGated(func(tx *pf.Tx) error {
+		for _, cmd := range cmds {
+			if err := applyCmd(tx, engine, cmd); err != nil {
+				if cmd.Pos.IsSet() {
+					return &Error{Pos: cmd.Pos, Err: err}
+				}
+				return err
+			}
+			n++
+		}
+		return nil
+	}, gate)
+	if err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// applyCmd applies one parsed command to an open transaction, mirroring
+// InstallAt's per-action dispatch (including chain auto-creation).
+func applyCmd(tx *pf.Tx, engine *pf.Engine, cmd *Cmd) error {
+	if cmd.NewChainName != "" {
+		return tx.NewChain(cmd.NewChainName)
+	}
+	chain := cmd.Chain
+	if cmd.Table == "mangle" && chain != "" {
+		chain = "mangle/" + chain
+	}
+	ensure := func(name string) error {
+		if name == "" || builtinChains[name] {
+			return nil
+		}
+		if _, ok := tx.Chain(name); !ok {
+			return tx.NewChain(name)
+		}
+		return nil
+	}
+	if err := ensure(chain); err != nil {
+		return err
+	}
+	if j, ok := cmd.Rule.Target.(*pf.JumpTarget); ok {
+		if err := ensure(j.ChainName); err != nil {
+			return err
+		}
+	}
+	switch {
+	case cmd.Action == 'I':
+		return tx.Insert(chain, cmd.Rule)
+	case cmd.Action == 'A':
+		return tx.Append(chain, cmd.Rule)
+	case cmd.Action == 'D' && cmd.Tag != "":
+		_, err := tx.RemoveAll(chain, func(r *pf.Rule) bool { return r.Src.File == cmd.Tag })
+		return err
+	case cmd.Action == 'D':
+		want := cmd.Rule.String(engine.Policy().SIDs())
+		return tx.Remove(chain, func(r *pf.Rule) bool {
+			return r.String(engine.Policy().SIDs()) == want
+		})
+	case cmd.Action == 'R':
+		return tx.ReplaceAt(chain, cmd.RulePos-1, cmd.Rule)
+	case cmd.Action == 'F':
+		if chain == "" {
+			tx.Flush()
+			return nil
+		}
+		return tx.FlushChain(chain)
+	}
+	return fmt.Errorf("pftables: unknown action %q", cmd.Action)
 }

@@ -1,0 +1,170 @@
+package policyd
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"time"
+
+	"pfirewall/internal/kernel"
+)
+
+// ErrTimeout is returned by Client.Do when no response arrived in time.
+var ErrTimeout = errors.New("policyd: response read timed out")
+
+// DefaultTimeout bounds one round trip when the caller passes zero.
+const DefaultTimeout = 5 * time.Second
+
+// Client speaks the control protocol to one policyd server from inside the
+// simulation. A Client owns one simulated process; all calls must come
+// from one goroutine at a time (the kernel's single-flow invariant).
+type Client struct {
+	proc *kernel.Proc
+	fd   int
+	buf  []byte
+}
+
+// Dial connects a fresh (muted) process to the named control socket.
+func Dial(k *kernel.Kernel, name string) (*Client, error) {
+	if name == "" {
+		name = DefaultSocketName
+	}
+	proc := k.NewProc(kernel.ProcSpec{UID: 0, Label: policyLabel})
+	if t := k.Tracer(); t != nil {
+		t.Mute(proc.PID())
+	}
+	fd, err := proc.ConnectAbstract(name)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{proc: proc, fd: fd}, nil
+}
+
+// Do sends one request and waits for its response (requests on one
+// connection are answered in order).
+func (c *Client) Do(req Request, timeout time.Duration) (Response, error) {
+	if timeout <= 0 {
+		timeout = DefaultTimeout
+	}
+	line, err := json.Marshal(req)
+	if err != nil {
+		return Response{}, err
+	}
+	line = append(line, '\n')
+	if _, err := c.proc.Send(c.fd, line); err != nil {
+		return Response{}, err
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		if i := bytes.IndexByte(c.buf, '\n'); i >= 0 {
+			raw := c.buf[:i]
+			c.buf = c.buf[i+1:]
+			var resp Response
+			if err := json.Unmarshal(raw, &resp); err != nil {
+				return Response{}, err
+			}
+			return resp, nil
+		}
+		data, err := c.proc.Recv(c.fd, 0)
+		if len(data) > 0 {
+			c.buf = append(c.buf, data...)
+			continue
+		}
+		if err != nil && !kernel.IsWouldBlock(err) {
+			return Response{}, err
+		}
+		if time.Now().After(deadline) {
+			return Response{}, ErrTimeout
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// Apply streams one pftables batch to be applied as a single gated
+// transaction. A Response with OK=false carries the gate's findings (or
+// the parse/install error) and means nothing was published.
+func (c *Client) Apply(src string, lines []string, timeout time.Duration) (Response, error) {
+	return c.Do(Request{Op: "apply", Src: src, Lines: lines}, timeout)
+}
+
+// Rollback reverts the engine to the previous published ruleset version.
+func (c *Client) Rollback(timeout time.Duration) (Response, error) {
+	return c.Do(Request{Op: "rollback"}, timeout)
+}
+
+// Version reports the live ruleset version and rule count.
+func (c *Client) Version(timeout time.Duration) (Response, error) {
+	return c.Do(Request{Op: "version"}, timeout)
+}
+
+// Close tears down the client's end of the connection.
+func (c *Client) Close() {
+	_ = c.proc.Close(c.fd)
+}
+
+// PublishResult is one target's outcome of a fan-out publish.
+type PublishResult struct {
+	Name  string        `json:"name"`
+	RTT   time.Duration `json:"-"`
+	RTTNs int64         `json:"rtt_ns"`
+	Resp  Response      `json:"resp"`
+	Err   string        `json:"err,omitempty"`
+}
+
+// Publisher fans control-plane operations out to a set of policyd servers
+// — one per world of a fleet — concurrently, and reports per-target round
+// trips. Each target's client is driven by its own goroutine per call, so
+// the single-flow invariant holds per process.
+type Publisher struct {
+	names   []string
+	clients []*Client
+}
+
+// NewPublisher assembles a fan-out set. Names and clients correspond by
+// index; the Publisher takes ownership of the clients.
+func NewPublisher(names []string, clients []*Client) *Publisher {
+	if len(names) != len(clients) {
+		panic("policyd: NewPublisher: names and clients length mismatch")
+	}
+	return &Publisher{names: names, clients: clients}
+}
+
+// Apply publishes one batch to every target concurrently and returns the
+// per-target results in target order.
+func (p *Publisher) Apply(src string, lines []string, timeout time.Duration) []PublishResult {
+	return p.fanout(Request{Op: "apply", Src: src, Lines: lines}, timeout)
+}
+
+// Rollback reverts every target by one version concurrently.
+func (p *Publisher) Rollback(timeout time.Duration) []PublishResult {
+	return p.fanout(Request{Op: "rollback"}, timeout)
+}
+
+// fanout runs one request against every target on its own goroutine.
+func (p *Publisher) fanout(req Request, timeout time.Duration) []PublishResult {
+	results := make([]PublishResult, len(p.clients))
+	done := make(chan int, len(p.clients))
+	for i := range p.clients {
+		go func(i int) {
+			t0 := time.Now()
+			resp, err := p.clients[i].Do(req, timeout)
+			rtt := time.Since(t0)
+			results[i] = PublishResult{Name: p.names[i], RTT: rtt, RTTNs: rtt.Nanoseconds(), Resp: resp}
+			if err != nil {
+				results[i].Err = err.Error()
+			}
+			done <- i
+		}(i)
+	}
+	for range p.clients {
+		<-done
+	}
+	return results
+}
+
+// Close tears down every target connection.
+func (p *Publisher) Close() {
+	for _, c := range p.clients {
+		c.Close()
+	}
+}
