@@ -3,7 +3,10 @@
 # pflint hot-path lock-discipline linter, and the pflint -alloc escape-
 # analysis gate that keeps the Filter closure free of unaudited heap
 # escapes); `make check` is the ruleset gate (the pfcheck static analyzer
-# over every shipped rule base); `make bench-smoke` is a fast perf sanity
+# over every shipped rule base); `make verify` is the invariant gate (the
+# pfverify symbolic verifier proving every shipped .inv file and the
+# worldgen tenant invariant); `make analyze` bundles lint+check+verify as
+# the single CI static-analysis job; `make bench-smoke` is a fast perf sanity
 # pass; `make bench-hotpath` refreshes BENCH_hotpath.json, `make bench-ipc`
 # refreshes BENCH_ipc.json, `make bench-obs` refreshes BENCH_obs.json
 # (observability overhead), `make bench-rulescale` refreshes
@@ -25,12 +28,16 @@
 # plane (incremental vs full publish latency up to 10k rules, fleet
 # propagation, open-path p99 disturbance while churning) with the hitless
 # gates enforced; `bench-policy-smoke` is the trimmed CI variant.
+# `make bench-verify` refreshes BENCH_verify.json — the symbolic
+# verifier's full invariant-sweep wall clock vs rule-base size up to 10k
+# rules, gated on every invariant proving inside the budget;
+# `bench-verify-smoke` is the trimmed CI variant.
 
 GO ?= go
 
-.PHONY: all vet gofmt-check pflint pflint-alloc lint build test test-race ci check bench-smoke bench-hotpath bench-ipc bench-obs bench-rulescale bench-rulescale-smoke bench-alloc bench-alloc-smoke bench-trace bench-trace-smoke bench-worldscale bench-worldscale-smoke bench-policy bench-policy-smoke
+.PHONY: all vet gofmt-check pflint pflint-alloc lint build test test-race ci check verify analyze bench-smoke bench-hotpath bench-ipc bench-obs bench-rulescale bench-rulescale-smoke bench-alloc bench-alloc-smoke bench-trace bench-trace-smoke bench-worldscale bench-worldscale-smoke bench-policy bench-policy-smoke bench-verify bench-verify-smoke
 
-all: lint ci check
+all: lint ci check verify
 
 vet:
 	$(GO) vet ./...
@@ -66,6 +73,20 @@ check:
 	$(GO) run ./cmd/pfctl -check -scale 100
 	$(GO) run ./cmd/pfctl -check -scale 1200
 	$(GO) run ./cmd/pfctl -check -scale 10000
+
+# Verification gate: the pfverify symbolic verifier must prove every
+# shipped invariant file against its ruleset (the paper's Table 5 base and
+# the webserver example) and the built-in tenant non-interference
+# invariant against a generated deployment's rule base.
+verify:
+	$(GO) run ./cmd/pfctl -verify -standard -inv examples/rules/standard.inv
+	$(GO) run ./cmd/pfctl -verify -f examples/rules/webserver.pft -inv examples/rules/webserver.inv
+	$(GO) run ./cmd/pfctl -verify -world tiny
+
+# The whole static-analysis surface as one target (the ci.yml analyze
+# job): vet + gofmt + both pflint modes, the pfcheck analyzer over every
+# shipped rule base, and the pfverify invariant proofs.
+analyze: lint check verify
 
 # A quick pass over the hot-path benchmarks: single-thread latency
 # (Table 6 open/stat), ruleset-size flatness, multi-goroutine scaling with
@@ -140,3 +161,13 @@ bench-policy:
 # scales down with the trimmed base).
 bench-policy-smoke:
 	$(GO) run ./cmd/pfbench -policy -policy-gate -iters 6000 -policy-publishes 120 -policy-max 1200 -policy-json BENCH_policy_smoke.json
+
+# Verifier scaling: full invariant-sweep wall clock at 100/1200/10000
+# rules, with the gate enforcing that every invariant proves and the 10k
+# sweep stays under the recorded budget.
+bench-verify:
+	$(GO) run ./cmd/pfbench -verify -verify-gate -verify-json BENCH_verify.json
+
+# CI variant: the 10k cell dropped, same artifact shape and gates.
+bench-verify-smoke:
+	$(GO) run ./cmd/pfbench -verify -verify-gate -verify-max 1200 -verify-json BENCH_verify_smoke.json

@@ -10,6 +10,7 @@
 //	pfbench -rulescale # ns/op vs rule-base size, compiled dispatch vs linear
 //	pfbench -policy    # control-plane publish latency, propagation, disturbance
 //	pfbench -alloc     # allocs/op, bytes/op and tail latency on the hot path
+//	pfbench -verify    # symbolic invariant-sweep wall clock vs rule-base size
 //	pfbench -worldscale # fleet traffic vs world size (worldgen + fleet stress bed)
 //	pfbench -all       # everything
 //
@@ -70,6 +71,10 @@ func main() {
 	policyMax := flag.Int("policy-max", 0, "largest -policy rule-base size (0: all standard sizes)")
 	allocRun := flag.Bool("alloc", false, "run the hot-path allocation profile (allocs/op, bytes/op, p99)")
 	allocGate := flag.Bool("alloc-gate", false, "with -alloc: fail if the open+close or stat workload allocates at all")
+	verifyRun := flag.Bool("verify", false, "run the symbolic-verifier scaling sweep (invariant proof wall clock vs rule-base size)")
+	verifyGate := flag.Bool("verify-gate", false, "with -verify: fail if any invariant fails to prove or any sweep exceeds the wall-clock budget")
+	verifyJSONPath := flag.String("verify-json", "", "write -verify results as JSON to this file")
+	verifyMax := flag.Int("verify-max", 0, "largest -verify rule-base size (0: all standard sizes)")
 	worldScale := flag.Bool("worldscale", false, "run the fleet stress bed across world sizes and fleet sizes")
 	all := flag.Bool("all", false, "run everything")
 	iters := flag.Int("iters", 20000, "iterations per microbenchmark cell")
@@ -92,14 +97,14 @@ func main() {
 	tracePath := flag.String("trace", "", "write a runtime execution trace to this file")
 	flag.Parse()
 
-	if !*t6 && !*t7 && !*f4 && !*f5 && !*par && !*ipc && !*obsRun && !*tracingRun && !*ruleScale && !*policyRun && !*allocRun && !*worldScale && !*all {
+	if !*t6 && !*t7 && !*f4 && !*f5 && !*par && !*ipc && !*obsRun && !*tracingRun && !*ruleScale && !*policyRun && !*allocRun && !*verifyRun && !*worldScale && !*all {
 		flag.Usage()
 		return
 	}
 	if *all {
 		// -worldscale stays opt-in: the full sweep builds million-inode
 		// worlds and holds each cell under traffic for -worldscale-secs.
-		*t6, *t7, *f4, *f5, *par, *ipc, *obsRun, *tracingRun, *ruleScale, *policyRun, *allocRun = true, true, true, true, true, true, true, true, true, true, true
+		*t6, *t7, *f4, *f5, *par, *ipc, *obsRun, *tracingRun, *ruleScale, *policyRun, *allocRun, *verifyRun = true, true, true, true, true, true, true, true, true, true, true, true
 	}
 
 	if *cpuprofile != "" {
@@ -278,6 +283,32 @@ func main() {
 				}
 			}
 			fmt.Println("tracing gate: ok (sampled spans within 10% on the open path)")
+		}
+	}
+	if *verifyRun {
+		sizes := lmbench.VerifyScaleSizes
+		if *verifyMax > 0 {
+			var trimmed []int
+			for _, n := range sizes {
+				if n <= *verifyMax {
+					trimmed = append(trimmed, n)
+				}
+			}
+			sizes = trimmed
+		}
+		rep := lmbench.RunVerifyScale(sizes)
+		emit("Verifier scaling: symbolic invariant sweep vs rule-base size",
+			lmbench.FormatVerifyScale(rep), *verifyJSONPath, rep)
+		if *verifyGate {
+			for _, c := range rep.Cells {
+				if !c.Holds {
+					fatal("verify gate:", fmt.Errorf("invariants not proven at %d rules", c.Rules))
+				}
+			}
+			if !rep.WithinBudget() {
+				fatal("verify gate:", fmt.Errorf("a sweep exceeded the %s budget", lmbench.VerifyBudget))
+			}
+			fmt.Printf("verify gate: ok (all invariants proven, every sweep under %s)\n", lmbench.VerifyBudget)
 		}
 	}
 	if *worldScale {

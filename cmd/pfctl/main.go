@@ -14,7 +14,14 @@
 //	pfctl -e 'pftables ...'   # compile one rule from the command line
 //	pfctl -check -f rules.pft # static analysis only: shadowing, dead
 //	                          # chains, jump cycles, unknown symbols
+//	pfctl -check -json -f rules.pft  # same, findings as a JSON document
 //	pfctl -check -scale 10000 # analyze a synthetic deployment-scale base
+//	pfctl -verify -standard -inv examples/rules/standard.inv
+//	                          # symbolically prove invariants over the
+//	                          # compiled ruleset; violations are replayed
+//	                          # as concrete witnesses and exit non-zero
+//	pfctl -verify -world tiny # prove the tenant non-interference invariant
+//	                          # over a generated deployment's rule base
 //	pfctl -standard -L        # list chains with hits, traversals, verdicts
 //	pfctl -stats              # run the demo workload, dump metrics as JSON
 //	pfctl -stats-prom         # same, Prometheus text exposition format
@@ -57,6 +64,7 @@ import (
 	"pfirewall/internal/pf"
 	"pfirewall/internal/pfcheck"
 	"pfirewall/internal/pftables"
+	"pfirewall/internal/pfverify"
 	"pfirewall/internal/programs"
 	"pfirewall/internal/rulegen"
 	"pfirewall/internal/trace"
@@ -86,6 +94,9 @@ func run(args []string, out io.Writer) error {
 	statsProm := fs.Bool("stats-prom", false, "run the workload and print the metrics registry in Prometheus text format")
 	listen := fs.String("listen", "", "serve /metrics (Prometheus) and /vars (JSON) on this address after running the workload")
 	checkOnly := fs.Bool("check", false, "statically analyze the ruleset (shadowing, reachability, symbols) without installing it; exit non-zero on error findings")
+	jsonOut := fs.Bool("json", false, "with -check: print the analyzer report as JSON instead of compiler-style lines")
+	verify := fs.Bool("verify", false, "symbolically verify invariants over the installed ruleset; exit non-zero on definite violations")
+	invFile := fs.String("inv", "", "with -verify: invariant file (.inv); defaults to the built-in tenant invariants with -world")
 	scale := fs.Int("scale", 0, "with -check: analyze a deterministic synthetic rule base of this many rules")
 	world := fs.String("world", "", "run the fleet stress bed against this worldgen preset (tiny/small/medium/large) instead of the canned demo")
 	fleetSize := fs.Int("fleet", 4, "with -world: number of fleet instances")
@@ -200,7 +211,10 @@ func run(args []string, out io.Writer) error {
 	}
 
 	if *checkOnly {
-		return runCheck(out, w, srcName, lines, sym)
+		return runCheck(out, w, srcName, lines, sym, *jsonOut)
+	}
+	if *verify {
+		return runVerify(out, w, gw, srcName, lines, *invFile)
 	}
 
 	// In export mode the compiled-rule chatter would corrupt the JSON or
@@ -538,20 +552,99 @@ func (a *topAgg) render(out io.Writer, w *programs.World, elapsed time.Duration)
 // source, print every finding compiler-style plus a summary line, and fail
 // (non-zero exit) exactly when an error-class finding exists. Timing goes
 // to stderr so stdout stays byte-deterministic.
-func runCheck(out io.Writer, w *programs.World, name string, lines []string, sym *pfcheck.Symbols) error {
+func runCheck(out io.Writer, w *programs.World, name string, lines []string, sym *pfcheck.Symbols, jsonOut bool) error {
 	start := time.Now()
 	rep := pfcheck.Analyze(w.Env, name, lines, sym)
 	elapsed := time.Since(start)
-	for _, f := range rep.Findings {
-		fmt.Fprintln(out, f.String())
-	}
 	s := rep.Summary()
-	fmt.Fprintf(out, "# pfcheck: %d rules, %d chains: %d errors, %d warnings, %d infos\n",
-		s.Rules, s.Chains, s.Errors, s.Warnings, s.Infos)
+	if jsonOut {
+		enc, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%s\n", enc)
+	} else {
+		for _, f := range rep.Findings {
+			fmt.Fprintln(out, f.String())
+		}
+		fmt.Fprintf(out, "# pfcheck: %d rules, %d chains: %d errors, %d warnings, %d infos\n",
+			s.Rules, s.Chains, s.Errors, s.Warnings, s.Infos)
+	}
 	fmt.Fprintf(os.Stderr, "pfcheck: analyzed %s (%d rules) in %s\n",
 		name, s.Rules, elapsed.Round(time.Microsecond))
 	if rep.HasErrors() {
 		return fmt.Errorf("pfcheck: %d error finding(s)", s.Errors)
+	}
+	return nil
+}
+
+// runVerify is pfctl -verify: install the ruleset (worldgen worlds arrive
+// with theirs already in place), sweep the invariant file's properties over
+// the compiled dispatch index, print each invariant's outcome, and replay
+// every definite violation's witness in a fresh world so the finding is
+// backed by a concrete denied-or-allowed request, not just the abstraction.
+func runVerify(out io.Writer, w *programs.World, gw *worldgen.World, name string, lines []string, invFile string) error {
+	for n, line := range lines {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if _, err := pftables.InstallAt(w.Env, w.Engine, line, pf.Pos{File: name, Line: n + 1}); err != nil {
+			return fmt.Errorf("%s\n  -> %w", line, err)
+		}
+	}
+	invName, invSrc := invFile, ""
+	switch {
+	case invFile != "":
+		data, err := os.ReadFile(invFile)
+		if err != nil {
+			return err
+		}
+		invSrc = string(data)
+	case gw != nil:
+		invName, invSrc = "<worldgen>", worldgen.Invariants()
+	default:
+		return fmt.Errorf("pfverify: -verify needs -inv FILE (or -world for the built-in tenant invariants)")
+	}
+	invs, err := pfverify.ParseInvariants(invName, invSrc)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	rep := pfverify.Check(pfverify.FromEngine(w.Engine), w.K.Policy.SIDs(), invs)
+	elapsed := time.Since(start)
+	for _, res := range rep.Results {
+		status := "holds"
+		switch {
+		case !res.Holds:
+			status = "VIOLATED"
+		case !res.Definitely:
+			status = "holds (potential violations under widening)"
+		}
+		fmt.Fprintf(out, "invariant %s: %s (%d points", res.Invariant.Name, status, res.Points)
+		if res.ViolationCount > 0 {
+			fmt.Fprintf(out, ", %d violating", res.ViolationCount)
+		}
+		fmt.Fprintln(out, ")")
+		for i := range res.Violations {
+			fmt.Fprintln(out, "  "+res.Violations[i].String())
+		}
+	}
+	if rep.Violated() && len(lines) > 0 {
+		// Counterexample replay: every definite violation must reproduce
+		// concretely; one that does not is a verifier bug.
+		reproduced, skipped, failures := pfverify.ReplayAll(rep, lines)
+		fmt.Fprintf(out, "# witness replay: %d reproduced, %d skipped, %d failed\n",
+			reproduced, skipped, len(failures))
+		for i := range failures {
+			fmt.Fprintln(out, "  REPLAY FAILED: "+failures[i].String())
+		}
+	}
+	fmt.Fprintf(out, "# pfverify: %d invariants over %d points (%d rules)\n",
+		len(rep.Results), rep.Points, w.Engine.RuleCount())
+	fmt.Fprintf(os.Stderr, "pfverify: swept %s in %s\n", name, elapsed.Round(time.Microsecond))
+	if rep.Violated() {
+		return fmt.Errorf("pfverify: invariant violation(s)")
 	}
 	return nil
 }

@@ -301,3 +301,108 @@ func TestTopRendersFleetView(t *testing.T) {
 		t.Errorf("-top shows no DIR_SEARCH bucket:\n%s", out)
 	}
 }
+
+// TestCheckExitsNonZeroOnErrorFindings: -check must fail the process when
+// the analyzer reports an error-class finding (here: a parse error), and
+// succeed on a clean ruleset.
+func TestCheckExitsNonZeroOnErrorFindings(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-check", "-e", "pftables -R input -j DROP"}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "error finding") {
+		t.Fatalf("err = %v, want error-finding failure\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "-R requires a 1-based rule position") {
+		t.Errorf("finding not printed:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := run([]string{"-check", "-e", "pftables -o FILE_OPEN -d tmp_t -j DROP"}, &buf); err != nil {
+		t.Fatalf("clean ruleset: %v", err)
+	}
+}
+
+// TestCheckJSON pins -check -json: a machine-readable report with rendered
+// positions, still failing on error findings.
+func TestCheckJSON(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-check", "-json", "-e", "pftables -A input --tag web -j DROP"}, &buf)
+	if err == nil {
+		t.Fatal("want non-zero on error finding")
+	}
+	var doc struct {
+		Findings []struct {
+			Severity string `json:"severity"`
+			Pos      string `json:"pos"`
+			Col      int    `json:"col"`
+		} `json:"findings"`
+	}
+	if jerr := json.Unmarshal(buf.Bytes(), &doc); jerr != nil {
+		t.Fatalf("not JSON: %v\n%s", jerr, buf.String())
+	}
+	if len(doc.Findings) != 1 || doc.Findings[0].Severity != "error" || doc.Findings[0].Col != 19 {
+		t.Errorf("findings = %+v, want one error at col 19", doc.Findings)
+	}
+}
+
+// TestVerifyProvesStandardInvariants: -verify over the paper ruleset and
+// its shipped invariant file proves every property.
+func TestVerifyProvesStandardInvariants(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-verify", "-standard", "-inv", "../../examples/rules/standard.inv"}, &buf)
+	if err != nil {
+		t.Fatalf("verify: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, inv := range []string{"ld-untrusted-library", "safe-open-owner-diff", "dbus-connect-trusted-socket", "python-untrusted-module"} {
+		if !strings.Contains(out, "invariant "+inv+": holds") {
+			t.Errorf("invariant %s not proven:\n%s", inv, out)
+		}
+	}
+}
+
+// TestVerifyDetectsAndReplaysViolation: dropping the loader guard from the
+// paper ruleset violates ld-untrusted-library; -verify must report it, the
+// witness must replay, and the exit must be non-zero.
+func TestVerifyDetectsAndReplaysViolation(t *testing.T) {
+	lines, err := os.ReadFile("../../examples/rules/standard.pft")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kept []string
+	for _, line := range strings.Split(string(lines), "\n") {
+		if strings.Contains(line, "0x596b") {
+			continue // seed the violation: remove the ld.so guard
+		}
+		kept = append(kept, line)
+	}
+	f := filepath.Join(t.TempDir(), "weak.pft")
+	if err := os.WriteFile(f, []byte(strings.Join(kept, "\n")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	err = run([]string{"-verify", "-f", f, "-inv", "../../examples/rules/standard.inv"}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "invariant violation") {
+		t.Fatalf("err = %v, want violation failure\n%s", err, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "invariant ld-untrusted-library: VIOLATED") {
+		t.Errorf("violation not reported:\n%s", out)
+	}
+	if !strings.Contains(out, "# witness replay:") || strings.Contains(out, "REPLAY FAILED") {
+		t.Errorf("witness replay missing or failed:\n%s", out)
+	}
+	if !strings.Contains(out, " 0 failed") {
+		t.Errorf("replay failures present:\n%s", out)
+	}
+}
+
+// TestVerifyWorldgenTenantInvariant: -verify -world proves the built-in
+// tenant non-interference invariant over a generated deployment.
+func TestVerifyWorldgenTenantInvariant(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-verify", "-world", "tiny"}, &buf); err != nil {
+		t.Fatalf("verify: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "invariant tenant-home-no-serve: holds") {
+		t.Errorf("tenant invariant not proven:\n%s", buf.String())
+	}
+}

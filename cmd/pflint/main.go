@@ -58,9 +58,12 @@ import (
 )
 
 // defaultDirs is the transitive package closure of the mediation hot path:
-// everything (*Engine).Filter can execute.
+// everything (*Engine).Filter can execute, plus the control-plane and
+// provenance packages (policyd, trace) whose callbacks the engine invokes
+// from inside mediation (gate closures, span collection, denial logging).
 var defaultDirs = []string{
 	"internal/pf", "internal/mac", "internal/ustack", "internal/obs",
+	"internal/trace", "internal/policyd",
 }
 
 func main() {

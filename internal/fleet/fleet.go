@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"pfirewall/internal/kernel"
+	"pfirewall/internal/pfverify"
 	"pfirewall/internal/policyd"
 	"pfirewall/internal/programs"
 	"pfirewall/internal/worldgen"
@@ -77,6 +78,7 @@ type Fleet struct {
 	ruleEpoch     atomic.Uint64
 	ruleMutations atomic.Uint64
 	policyVetoes  atomic.Uint64 // gate vetoes the mutator overrode
+	verifyVetoes  atomic.Uint64 // pfverify refinement-gate rejections
 	advOps        atomic.Uint64
 	dropsSend     atomic.Uint64 // schedule actions dropped on full queues
 
@@ -270,7 +272,18 @@ func (fl *Fleet) ruleChurn() {
 	if err != nil {
 		panic(fmt.Sprintf("fleet: policyd serve: %v", err))
 	}
-	defer srv.Close()
+	// Arm the symbolic refinement gate with the world's tenant invariants:
+	// every churn batch must keep proving tenant non-interference, so a
+	// mutation that weakened a guard would be vetoed pre-publish.
+	invs, perr := pfverify.ParseInvariants("<worldgen>", worldgen.Invariants())
+	if perr != nil {
+		panic(fmt.Sprintf("fleet: worldgen invariants: %v", perr))
+	}
+	srv.SetInvariants(invs)
+	defer func() {
+		fl.verifyVetoes.Store(srv.VerifyVetoes())
+		srv.Close()
+	}()
 	cl, err := policyd.Dial(fl.W.K, policySocket)
 	if err != nil {
 		panic(fmt.Sprintf("fleet: policyd dial: %v", err))

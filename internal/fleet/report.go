@@ -42,6 +42,9 @@ type Report struct {
 	PolicyFullCompiles  uint64 `json:"policy_full_compiles"`
 	PolicyRollbacks     uint64 `json:"policy_rollbacks"`
 	PolicyVetoes        uint64 `json:"policy_vetoes"`
+	// VerifyVetoes counts applies the pfverify refinement gate rejected
+	// because the batch would have weakened a held invariant.
+	VerifyVetoes uint64 `json:"verify_vetoes"`
 
 	ExpectedDenies   int64 `json:"expected_denies"`
 	UnexpectedAllows int64 `json:"unexpected_allows"`
@@ -122,6 +125,7 @@ func (fl *Fleet) report() Report {
 		rep.PolicyFullCompiles = ps.FullCompiles
 		rep.PolicyRollbacks = ps.Rollbacks
 		rep.PolicyVetoes = fl.policyVetoes.Load()
+		rep.VerifyVetoes = fl.verifyVetoes.Load()
 	}
 	return rep
 }
@@ -135,9 +139,9 @@ func Format(rep Report) string {
 	out += fmt.Sprintf("  churn:   %d crashes, %d restarts, %d rule mutations, %d adversary ops\n",
 		rep.Crashes, rep.Restarts, rep.RuleMutations, rep.AdversaryOps)
 	if rep.PolicyPublishes > 0 {
-		out += fmt.Sprintf("  policy:  %d publishes (%d incremental, %d full), %d rollbacks, %d vetoes overridden\n",
+		out += fmt.Sprintf("  policy:  %d publishes (%d incremental, %d full), %d rollbacks, %d vetoes overridden, %d invariant vetoes\n",
 			rep.PolicyPublishes, rep.PolicyDeltaCompiles, rep.PolicyFullCompiles,
-			rep.PolicyRollbacks, rep.PolicyVetoes)
+			rep.PolicyRollbacks, rep.PolicyVetoes, rep.VerifyVetoes)
 	}
 	out += fmt.Sprintf("  guards:  %d expected denies, %d unexpected allows, %d unexpected errors\n",
 		rep.ExpectedDenies, rep.UnexpectedAllows, rep.UnexpectedErrors)

@@ -1,0 +1,30 @@
+package lmbench
+
+import "testing"
+
+// TestVerifyScaleSmoke runs the trimmed sweep: both bench invariants must
+// be proven at every size and the artifact fields must be populated.
+func TestVerifyScaleSmoke(t *testing.T) {
+	rep := RunVerifyScale([]int{100, 1200})
+	if len(rep.Cells) != 2 {
+		t.Fatalf("cells = %d, want 2", len(rep.Cells))
+	}
+	for _, c := range rep.Cells {
+		if !c.Holds {
+			t.Errorf("invariants not proven at %d rules", c.Rules)
+		}
+		if c.Invariants != 2 || c.Points == 0 || c.TotalNs <= 0 {
+			t.Errorf("cell fields unpopulated: %+v", c)
+		}
+	}
+	if rep.Cells[0].Points >= rep.Cells[1].Points {
+		t.Errorf("wide-cell point count should grow with the label universe: %d -> %d",
+			rep.Cells[0].Points, rep.Cells[1].Points)
+	}
+	if !rep.WithinBudget() {
+		t.Errorf("trimmed sweep exceeded the budget: %+v", rep.Cells)
+	}
+	if out := FormatVerifyScale(rep); out == "" {
+		t.Error("empty render")
+	}
+}

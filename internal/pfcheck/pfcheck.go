@@ -21,6 +21,7 @@
 package pfcheck
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sort"
@@ -87,15 +88,31 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s: %s: [%s] %s", f.Pos, f.Sev, f.Code, f.Msg)
 }
 
-// Report is the result of one analysis run.
+// MarshalJSON renders the position both as the compiler-style "file:line:col"
+// string tooling greps for and as its split fields.
+func (f Finding) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Sev  Severity `json:"severity"`
+		Code string   `json:"code"`
+		Pos  string   `json:"pos"`
+		File string   `json:"file,omitempty"`
+		Line int      `json:"line,omitempty"`
+		Col  int      `json:"col,omitempty"`
+		Msg  string   `json:"message"`
+	}{f.Sev, f.Code, f.Pos.String(), f.Pos.File, f.Pos.Line, f.Pos.Col, f.Msg})
+}
+
+// Report is the result of one analysis run. It marshals to the stable JSON
+// document pfctl -check -json emits.
 type Report struct {
 	// File is the name findings cite (may be empty for engine analyses).
-	File string
+	File string `json:"file,omitempty"`
 	// Rules and Chains count what was analyzed.
-	Rules  int
-	Chains int
-	// Findings, sorted by (line, col, severity desc, code, message).
-	Findings []Finding
+	Rules  int `json:"rules"`
+	Chains int `json:"chains"`
+	// Findings, sorted by (line, col, severity desc, code, message) and
+	// deduplicated.
+	Findings []Finding `json:"findings"`
 }
 
 func (r *Report) add(sev Severity, code string, pos pf.Pos, format string, args ...any) {
@@ -182,6 +199,21 @@ func LabelSnapshot(pol *mac.Policy) func(mac.Label) bool {
 		known[l] = true
 	}
 	return func(l mac.Label) bool { return known[l] }
+}
+
+// dedupe collapses findings that are exact duplicates (same severity, code,
+// position, and message) into one — e.g. an unknown label cited by both the
+// -s and -d set of the same rule. Requires sorted findings, so it runs right
+// after sortFindings.
+func (r *Report) dedupe() {
+	out := r.Findings[:0]
+	for i, f := range r.Findings {
+		if i > 0 && f == r.Findings[i-1] {
+			continue
+		}
+		out = append(out, f)
+	}
+	r.Findings = out
 }
 
 // engineBuiltins are the chains a fresh engine actually has. Note the
@@ -317,6 +349,7 @@ func Analyze(env *pftables.Env, file string, lines []string, sym *Symbols) *Repo
 	}
 
 	rep.sortFindings()
+	rep.dedupe()
 	return rep
 }
 
@@ -351,6 +384,7 @@ func AnalyzeRuleset(tbl *mac.SIDTable, chains map[string]*pf.Chain, sym *Symbols
 	rep.Chains = len(chains)
 	analysisFindings(rep, pf.AnalyzeChains(chains), chains, "")
 	rep.sortFindings()
+	rep.dedupe()
 	return rep
 }
 

@@ -1,6 +1,7 @@
 package pfcheck
 
 import (
+	"encoding/json"
 	"reflect"
 	"strings"
 	"testing"
@@ -314,5 +315,70 @@ func TestScaleBaseDeterministicAndFast(t *testing.T) {
 			t.Errorf("scale %d analyzed in %s, acceptance bound is 2s", tc.n, elapsed)
 		}
 		t.Logf("scale %d: %d warnings in %s", tc.n, s.Warnings, elapsed.Round(time.Microsecond))
+	}
+}
+
+// TestDedupeIdenticalFindings: an unknown label cited by both the -s and -d
+// set of one rule used to produce two byte-identical findings; the report
+// now collapses them.
+func TestDedupeIdenticalFindings(t *testing.T) {
+	env := testEnv()
+	sym := &Symbols{KnownLabel: LabelSnapshot(env.Policy)}
+	rep := check(t, env, []string{
+		`pftables -A input -s {bogus_t} -d {bogus_t} -o FILE_OPEN -j DROP`,
+	}, sym)
+	fs := find(rep, CodeUnknownLbl)
+	if len(fs) != 1 {
+		t.Fatalf("want one deduped unknown-label finding, got %d: %v", len(fs), fs)
+	}
+	if !strings.Contains(fs[0].Msg, "bogus_t") {
+		t.Errorf("finding %q should cite bogus_t", fs[0].Msg)
+	}
+}
+
+// TestReportJSON pins the wire shape of pfctl -check -json: rendered
+// file:line:col position strings, named severities, stable field names.
+func TestReportJSON(t *testing.T) {
+	env := testEnv()
+	rep := check(t, env, []string{
+		`pftables -A input --tag web -j DROP`,
+		`pftables -R input -j DROP`,
+	}, nil)
+	out, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		File     string `json:"file"`
+		Rules    int    `json:"rules"`
+		Chains   int    `json:"chains"`
+		Findings []struct {
+			Severity string `json:"severity"`
+			Code     string `json:"code"`
+			Pos      string `json:"pos"`
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Col      int    `json:"col"`
+			Message  string `json:"message"`
+		} `json:"findings"`
+	}
+	if err := json.Unmarshal(out, &doc); err != nil {
+		t.Fatalf("round-trip: %v\n%s", err, out)
+	}
+	if doc.File != "test.pft" {
+		t.Errorf("file = %q", doc.File)
+	}
+	if len(doc.Findings) != 2 {
+		t.Fatalf("want 2 findings, got %d: %s", len(doc.Findings), out)
+	}
+	f := doc.Findings[0]
+	if f.Severity != "error" || f.Code != CodeParse {
+		t.Errorf("finding[0] = %+v, want error/parse", f)
+	}
+	if f.Pos != "test.pft:1:19" || f.File != "test.pft" || f.Line != 1 || f.Col != 19 {
+		t.Errorf("finding[0] pos = %q (%s:%d:%d), want test.pft:1:19", f.Pos, f.File, f.Line, f.Col)
+	}
+	if doc.Findings[1].Pos != "test.pft:2:10" {
+		t.Errorf("finding[1] pos = %q, want test.pft:2:10", doc.Findings[1].Pos)
 	}
 }

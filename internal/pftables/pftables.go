@@ -179,6 +179,9 @@ func parseLine(env *Env, line string) (cmd *Cmd, errCol int, err error) {
 	}
 	cmd = &Cmd{Table: "filter", Action: 'A', Chain: "input", Rule: &pf.Rule{}}
 	var matches []pf.Match
+	// Columns of flags whose validity is only known once the whole line has
+	// been scanned; the end-of-parse checks cite them instead of column 0.
+	rCol, tagCol := 0, 0
 
 	next := func(i int, opt string) (string, error) {
 		if i+1 >= len(toks) {
@@ -222,6 +225,7 @@ func parseLine(env *Env, line string) (cmd *Cmd, errCol int, err error) {
 			// Replace-by-position: -R chain N rule_spec (1-based, like
 			// iptables -R). The position operand is required.
 			cmd.Action = 'R'
+			rCol = errCol
 			if i+1 < len(toks) && !strings.HasPrefix(toks[i+1].text, "-") {
 				cmd.Chain = normalizeChain(toks[i+1].text)
 				i += 2
@@ -248,6 +252,7 @@ func parseLine(env *Env, line string) (cmd *Cmd, errCol int, err error) {
 				i++
 			}
 		case "--tag":
+			tagCol = errCol
 			v, err := next(i, t)
 			if err != nil {
 				return nil, errCol, err
@@ -378,14 +383,18 @@ func parseLine(env *Env, line string) (cmd *Cmd, errCol int, err error) {
 	}
 	cmd.Rule.Matches = matches
 	if cmd.Action == 'R' && cmd.RulePos == 0 {
-		return nil, 0, fmt.Errorf("pftables: -R requires a 1-based rule position")
+		return nil, rCol, fmt.Errorf("pftables: -R requires a 1-based rule position")
 	}
 	if cmd.Tag != "" && cmd.Action != 'D' {
-		return nil, 0, fmt.Errorf("pftables: --tag is only valid with -D")
+		return nil, tagCol, fmt.Errorf("pftables: --tag is only valid with -D")
 	}
 	needRule := cmd.NewChainName == "" && cmd.Action != 'F' && cmd.Tag == ""
 	if needRule && cmd.Rule.Target == nil {
-		return nil, 0, fmt.Errorf("pftables: rule has no target (-j)")
+		col := 0
+		if len(toks) > 0 {
+			col = toks[0].col
+		}
+		return nil, col, fmt.Errorf("pftables: rule has no target (-j)")
 	}
 	return cmd, 0, nil
 }

@@ -270,6 +270,42 @@ func TestParseErrors(t *testing.T) {
 	}
 }
 
+// TestParseErrorColumns pins the 1-based columns cited by errors that only
+// surface once the whole line has been scanned; they used to report col 0.
+func TestParseErrorColumns(t *testing.T) {
+	env := testEnv()
+	cases := []struct {
+		line    string
+		col     int
+		wantErr string
+	}{
+		{`pftables -R input -j DROP`, 10, "-R requires a 1-based rule position"},
+		{`pftables -t filter -R input -j DROP`, 20, "-R requires a 1-based rule position"},
+		{`pftables -A input --tag web -j DROP`, 19, "--tag is only valid with -D"},
+		{`pftables --tag web -j DROP`, 10, "--tag is only valid with -D"},
+		{`pftables -A input -o FILE_OPEN`, 10, "rule has no target"},
+		{`pftables -R input 0 -j DROP`, 19, "bad rule position"},
+	}
+	for _, tc := range cases {
+		_, err := ParseAt(env, tc.line, pf.Pos{File: "t.pft", Line: 1})
+		if err == nil {
+			t.Errorf("ParseAt(%q) should fail", tc.line)
+			continue
+		}
+		perr, ok := err.(*Error)
+		if !ok {
+			t.Errorf("ParseAt(%q) error type %T, want *Error", tc.line, err)
+			continue
+		}
+		if !strings.Contains(perr.Error(), tc.wantErr) {
+			t.Errorf("ParseAt(%q) err = %v, want substring %q", tc.line, perr, tc.wantErr)
+		}
+		if perr.Pos.Col != tc.col {
+			t.Errorf("ParseAt(%q) col = %d, want %d", tc.line, perr.Pos.Col, tc.col)
+		}
+	}
+}
+
 func TestInstallAllSkipsComments(t *testing.T) {
 	env := testEnv()
 	engine := pf.New(env.Policy, pf.Optimized())

@@ -1,0 +1,324 @@
+package pfverify
+
+import (
+	"math/rand"
+	"testing"
+
+	"pfirewall/internal/mac"
+	"pfirewall/internal/pf"
+)
+
+// Differential fuzz: the symbolic evaluator must agree with the concrete
+// engine on every fully pinned point (mirroring the analyzer's
+// TestAnalyzeUnreachableSoundness discipline), and every definite verdict
+// claimed under the widened-state sweep must be realized by a concrete
+// fresh-state request — zero false alarms.
+
+var fuzzLabels = []mac.Label{"user_t", "httpd_t", "lib_t", "tmp_t", "etc_t", "shadow_t"}
+
+var fuzzBins = []string{"/bin/sh", "/usr/bin/apache2", "/lib/ld.so"}
+
+var fuzzEntries = []pf.Entrypoint{
+	{Path: "/lib/ld.so", Off: 0x100},
+	{Path: "/lib/ld.so", Off: 0x200},
+	{Path: "/usr/bin/apache2", Off: 0x300},
+}
+
+var fuzzOps = []pf.Op{
+	pf.OpFileOpen, pf.OpFileRead, pf.OpFileWrite, pf.OpLnkFileRead,
+	pf.OpSocketBind, pf.OpSocketConnect, pf.OpSyscallBegin,
+}
+
+func fuzzPolicy() *mac.Policy {
+	p := mac.NewPolicy(mac.NewSIDTable())
+	p.MarkTrusted("httpd_t", "lib_t", "shadow_t")
+	p.Allow("httpd_t", "lib_t", mac.ClassFile, mac.PermRead)
+	p.Allow("user_t", "tmp_t", mac.ClassFile, mac.PermWrite|mac.PermRead)
+	p.Allow("user_t", "etc_t", mac.ClassFile, mac.PermRead)
+	return p
+}
+
+func randSIDSet(rng *rand.Rand, pol *mac.Policy) *pf.SIDSet {
+	n := 1 + rng.Intn(2)
+	sids := make([]mac.SID, 0, n)
+	for i := 0; i < n; i++ {
+		sids = append(sids, sid(pol, fuzzLabels[rng.Intn(len(fuzzLabels))]))
+	}
+	return pf.NewSIDSet(rng.Intn(4) == 0, sids...)
+}
+
+func randValue(rng *rand.Rand) pf.Value {
+	switch rng.Intn(4) {
+	case 0:
+		return pf.Value{Ref: pf.RefDACOwner}
+	case 1:
+		return pf.Value{Ref: pf.RefTgtDACOwner}
+	case 2:
+		return pf.Value{Ref: pf.RefIno}
+	default:
+		return pf.Literal(uint64(rng.Intn(4)))
+	}
+}
+
+// randRule builds a random rule for chain. Jump targets follow the chain
+// DAG input→uc1→uc2 (a jump cycle is not a valid ruleset — the concrete
+// engine would loop a real process forever; pfcheck rejects them).
+func randRule(rng *rand.Rand, pol *mac.Policy, chain string) *pf.Rule {
+	r := &pf.Rule{}
+	if rng.Intn(2) == 0 {
+		k := 1 + rng.Intn(2)
+		ops := make([]pf.Op, 0, k)
+		for i := 0; i < k; i++ {
+			ops = append(ops, fuzzOps[rng.Intn(len(fuzzOps))])
+		}
+		r.Ops = pf.NewOpSet(ops...)
+	}
+	if rng.Intn(2) == 0 {
+		r.Subject = randSIDSet(rng, pol)
+	}
+	if rng.Intn(2) == 0 {
+		r.Object = randSIDSet(rng, pol)
+	}
+	switch rng.Intn(4) {
+	case 0:
+		e := fuzzEntries[rng.Intn(len(fuzzEntries))]
+		r.Program, r.Entry, r.EntrySet = e.Path, e.Off, true
+	case 1:
+		r.Program = fuzzBins[rng.Intn(len(fuzzBins))]
+	}
+	if rng.Intn(5) == 0 {
+		r.ResID, r.ResIDSet = uint64(1+rng.Intn(5)), true
+	}
+	for i := rng.Intn(3); i > 0; i-- {
+		switch rng.Intn(7) {
+		case 0:
+			r.Matches = append(r.Matches, &pf.AdvAccessMatch{Write: rng.Intn(2) == 0, Want: rng.Intn(2) == 0})
+		case 1:
+			r.Matches = append(r.Matches, &pf.CompareMatch{V1: randValue(rng), V2: randValue(rng), Nequal: rng.Intn(2) == 0})
+		case 2:
+			r.Matches = append(r.Matches, &pf.StateMatch{Key: uint64(rng.Intn(3)), Cmp: pf.Literal(uint64(rng.Intn(3))), Nequal: rng.Intn(2) == 0})
+		case 3:
+			r.Matches = append(r.Matches, &pf.SyscallArgsMatch{Arg: rng.Intn(3), Equal: uint64(rng.Intn(8))})
+		case 4:
+			r.Matches = append(r.Matches, &pf.SockNSMatch{NS: []string{"fs", "abstract", "port"}[rng.Intn(3)]})
+		case 5:
+			lo := uint16(rng.Intn(2000))
+			r.Matches = append(r.Matches, &pf.PortMatch{Min: lo, Max: lo + uint16(rng.Intn(2000))})
+		case 6:
+			r.Matches = append(r.Matches, &pf.PeerCredMatch{UID: pf.Literal(uint64(rng.Intn(2) * 1000)), Nequal: rng.Intn(2) == 0})
+		}
+	}
+	switch rng.Intn(10) {
+	case 0, 1, 2:
+		r.Target = pf.Drop()
+	case 3, 4:
+		r.Target = pf.Accept()
+	case 5, 6:
+		switch chain {
+		case "uc1":
+			r.Target = &pf.JumpTarget{ChainName: "uc2"}
+		case "uc2":
+			r.Target = pf.Drop()
+		default:
+			r.Target = &pf.JumpTarget{ChainName: []string{"uc1", "uc2"}[rng.Intn(2)]}
+		}
+	case 7:
+		r.Target = &pf.ReturnTarget{}
+	case 8:
+		r.Target = &pf.StateTarget{Key: uint64(rng.Intn(3)), Val: randValue(rng)}
+	default:
+		r.Target = &pf.LogTarget{Prefix: "fz"}
+	}
+	return r
+}
+
+func randEngine(rng *rand.Rand, pol *mac.Policy) *pf.Engine {
+	e := pf.New(pol, pf.Optimized())
+	if err := e.NewChain("uc1"); err != nil {
+		panic(err)
+	}
+	if err := e.NewChain("uc2"); err != nil {
+		panic(err)
+	}
+	chains := []string{"input", "input", "input", "input", "mangle/input", "syscallbegin", "uc1", "uc2"}
+	n := 1 + rng.Intn(24)
+	for i := 0; i < n; i++ {
+		chain := chains[rng.Intn(len(chains))]
+		r := randRule(rng, pol, chain)
+		var err error
+		if rng.Intn(4) == 0 {
+			err = e.Insert(chain, r)
+		} else {
+			err = e.Append(chain, r)
+		}
+		if err != nil {
+			panic(err)
+		}
+	}
+	return e
+}
+
+// randRequest builds a concrete request plus its process double. Each call
+// returns a fresh process (fresh STATE dictionary), matching the
+// evaluator's fresh-state model.
+func randRequest(rng *rand.Rand, pol *mac.Policy, pid int) *pf.Request {
+	proc := newTProc(pid, sid(pol, fuzzLabels[rng.Intn(len(fuzzLabels))]), fuzzBins[rng.Intn(len(fuzzBins))])
+	switch rng.Intn(4) {
+	case 0: // no deliberate entry; PC wherever the zero stack points
+	case 1:
+		e := fuzzEntries[rng.Intn(len(fuzzEntries))]
+		proc.at(e.Path, e.Off)
+	default:
+		outer := fuzzEntries[rng.Intn(len(fuzzEntries))]
+		inner := fuzzEntries[rng.Intn(len(fuzzEntries))]
+		proc.call(outer.Path, outer.Off)
+		proc.at(inner.Path, inner.Off)
+	}
+	op := fuzzOps[rng.Intn(len(fuzzOps))]
+	req := &pf.Request{Proc: proc, Op: op, SyscallNR: rng.Intn(16)}
+	for i := rng.Intn(3); i > 0; i-- {
+		req.SyscallArgs = append(req.SyscallArgs, uint64(rng.Intn(8)))
+	}
+	if rng.Intn(8) != 0 {
+		base := tRes{
+			sid:   sid(pol, fuzzLabels[rng.Intn(len(fuzzLabels))]),
+			id:    uint64(1 + rng.Intn(6)),
+			owner: rng.Intn(2) * 1000,
+		}
+		if rng.Intn(3) == 0 {
+			base.tgtOwner, base.tgtOK = rng.Intn(2)*1000, true
+		}
+		if op == pf.OpSocketBind || op == pf.OpSocketConnect {
+			sr := &tSockRes{tRes: base}
+			if rng.Intn(2) == 0 {
+				sr.ns, sr.nsOK = []string{"fs", "abstract", "port"}[rng.Intn(3)], true
+			}
+			if rng.Intn(2) == 0 {
+				sr.port, sr.portOK = uint16(rng.Intn(4000)), true
+			}
+			if rng.Intn(2) == 0 {
+				sr.peerPID, sr.peerUID, sr.peerOK = 9, rng.Intn(2)*1000, true
+			}
+			req.Obj = sr
+		} else {
+			req.Obj = &base
+		}
+	}
+	return req
+}
+
+func TestDifferentialSymbolicConcrete(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x5eed))
+	pol := fuzzPolicy()
+	pid := 1
+	for round := 0; round < 60; round++ {
+		e := randEngine(rng, pol)
+		ev := FromEngine(e)
+		for i := 0; i < 10; i++ {
+			req := randRequest(rng, pol, pid)
+			pid++
+			c := ctxFor(pol, req)
+			r := ev.Eval(c)
+			if !r.Exact {
+				t.Fatalf("round %d req %d: fully pinned point not exact: %+v", round, i, r)
+			}
+			got := e.Filter(req)
+			if r.Verdict != got {
+				t.Fatalf("round %d req %d: symbolic %v, concrete %v (op=%v subj=%v)",
+					round, i, r.Verdict, got, req.Op, req.Proc.SubjectSID())
+			}
+		}
+	}
+}
+
+// TestDefiniteClaimsRealize drives the widened-state sweep over random
+// rulesets and replays every definite claim concretely: a definite verdict
+// that a fresh-state process does not reproduce is a verifier bug (the
+// zero-false-alarm property witness replay relies on).
+func TestDefiniteClaimsRealize(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xface))
+	pol := fuzzPolicy()
+	entryChoices := [][]pf.Entrypoint{nil, {fuzzEntries[0]}, {fuzzEntries[2]}}
+	checked, skipped := 0, 0
+	pid := 1
+	for round := 0; round < 40; round++ {
+		e := randEngine(rng, pol)
+		ev := FromEngine(e)
+		freshID := ev.FreshResID()
+		for _, op := range []pf.Op{pf.OpFileOpen, pf.OpLnkFileRead, pf.OpSocketBind, pf.OpSyscallBegin} {
+			for _, subj := range fuzzLabels {
+				for _, obj := range fuzzLabels {
+					for _, eps := range entryChoices {
+						prog := "/bin/sh"
+						if len(eps) > 0 {
+							prog = eps[0].Path
+						}
+						c := &Ctx{
+							Op:      op,
+							Subject: sid(pol, subj),
+							Program: prog,
+							Entries: eps,
+
+							HasObject: true,
+							Object:    sid(pol, obj),
+							ObjID:     Known(freshID),
+							Owner:     KnownInt(0),
+
+							StateUnknown:       true,
+							SyscallArgsUnknown: true,
+						}
+						r := ev.Eval(c)
+						if r.DefiniteAccept && r.DefiniteDrop {
+							t.Fatalf("round %d: both verdicts definite for one point: %+v", round, r)
+						}
+						if !r.DefiniteAccept && !r.DefiniteDrop {
+							continue
+						}
+						want := pf.VerdictAccept
+						if r.DefiniteDrop {
+							want = pf.VerdictDrop
+						}
+
+						// Realize the point with a fresh process.
+						proc := newTProc(pid, c.Subject, prog)
+						pid++
+						if len(eps) > 0 {
+							proc.at(eps[0].Path, eps[0].Off)
+						}
+						req := &pf.Request{
+							Proc: proc, Op: op, SyscallNR: 3,
+							Obj: &tRes{sid: c.Object, id: freshID, owner: 0},
+						}
+						if got := probeEntries(pol, req); !entriesEqual(got, eps) {
+							skipped++
+							continue
+						}
+						if got := e.Filter(req); got != want {
+							t.Fatalf("round %d: definite %v not realized, concrete %v (op=%v subj=%s obj=%s eps=%v)",
+								round, want, got, op, subj, obj, eps)
+						}
+						checked++
+					}
+				}
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no definite claims checked")
+	}
+	if skipped > checked {
+		t.Fatalf("too many unrealizable points: %d skipped vs %d checked", skipped, checked)
+	}
+}
+
+func entriesEqual(a, b []pf.Entrypoint) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

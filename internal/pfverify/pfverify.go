@@ -1,0 +1,838 @@
+// Package pfverify is a symbolic policy verifier for the Process Firewall:
+// it evaluates a ruleset over *abstract* resource requests instead of
+// concrete system calls, exhaustively sweeping the request space an
+// invariant scopes — (operation × subject SID × entrypoint × binding-state
+// flags such as adversary-writability and symlink owner mismatch × peer
+// credential) — and checking declarative invariants against every reachable
+// verdict.
+//
+// The evaluator mirrors the engine's routing exactly (batch.go): the
+// mangle/input chain first, then the start chain (generic lane when
+// entrypoint chains are compiled out), then the entrypoint index scan in
+// stack order, with jumps, RETURN, STATE side effects, and the default
+// allow all reproduced rule for rule. Context a point pins (labels, owners,
+// entry frames) evaluates exactly; context a point leaves open (prior STATE
+// dictionary contents, syscall arguments outside syscallbegin) evaluates
+// three-valued, forking the walk on both branches so proofs stay sound.
+// A verdict reached along a fork-free path is *definite*: it corresponds to
+// a real request a concrete world can replay (witness.go), which is what
+// keeps reported violations free of false alarms — the differential fuzz
+// test enforces symbolic == concrete on the decidable fragment.
+//
+// Scaling: rules are pruned into (operation, subject-SID) lanes — the same
+// factoring the engine's compiled dispatch index uses (compile.go) — so a
+// sweep over a 10k-rule base only walks the rules that could match each
+// point. The verifier-scale benchmark (internal/lmbench) records the sweep
+// staying tractable at the largest rule base.
+package pfverify
+
+import (
+	"pfirewall/internal/mac"
+	"pfirewall/internal/pf"
+)
+
+// Val is an abstract uint64 context value: unavailable (the concrete
+// Resolve would fail), available with a known value, or available but
+// unconstrained by the abstract point.
+type Val struct {
+	Avail bool
+	Known bool
+	V     uint64
+}
+
+// Known returns an available value pinned to v.
+func Known(v uint64) Val { return Val{Avail: true, Known: true, V: v} }
+
+// KnownInt pins an available value to a signed integer using the engine's
+// encoding for uids and pids (uint64(int64(i))).
+func KnownInt(i int) Val { return Known(uint64(int64(i))) }
+
+// Unknown returns an available but unconstrained value.
+func Unknown() Val { return Val{Avail: true} }
+
+// None returns an unavailable value.
+func None() Val { return Val{} }
+
+// Ctx is one abstract request point: the symbolic analogue of pf.Request
+// plus the context the engine's modules would lazily collect. Fields left
+// at their zero value model "context unavailable", exactly like the
+// concrete EvalCtx's ok=false paths.
+type Ctx struct {
+	Op      pf.Op
+	Subject mac.SID
+	// Program is the process's binary (ExecPath), matched by -p without -i.
+	Program string
+	// Entries is the abstract unwound stack in frame order; EntryFail
+	// models an unwind failure (no entrypoint rule can match).
+	Entries   []pf.Entrypoint
+	EntryFail bool
+
+	// HasObject gates every object-derived context, mirroring req.Obj.
+	HasObject bool
+	Object    mac.SID
+	ObjID     Val // resource identifier (C_INO); forced available with object
+	Owner     Val // DAC owner (C_DAC_OWNER); forced available with object
+	TgtOwner  Val // symlink target owner (C_TGT_DAC_OWNER); Avail = is a link
+
+	// Sig is non-nil for signal-delivery points.
+	Sig *pf.SignalInfo
+
+	// Socket peer credential and rendezvous context; ok-flags mirror the
+	// SockResource extension.
+	PeerOK  bool
+	PeerUID Val
+	PeerPID Val
+	NSOK    bool
+	NS      string
+	PortOK  bool
+	Port    Val
+
+	// Syscall context. SyscallArgsUnknown widens every --arg slot (used by
+	// invariant sweeps over non-syscallbegin points, where the in-flight
+	// syscall is arbitrary); otherwise SyscallArgs is exact-length.
+	SyscallNR          Val
+	SyscallArgs        []Val
+	SyscallArgsUnknown bool
+
+	// State seeds the per-process STATE dictionary. StateUnknown widens
+	// every key not present in State to "any value, possibly unset" — the
+	// conservative abstraction for processes with arbitrary history; leave
+	// it false to model a fresh process (empty dictionary), which is what
+	// concrete witnesses replay.
+	State        map[uint64]Val
+	StateUnknown bool
+}
+
+// normalize pins the availability bits the concrete engine guarantees.
+func (c *Ctx) normalize() Ctx {
+	n := *c
+	if n.HasObject {
+		if !n.ObjID.Avail {
+			n.ObjID = Unknown()
+		}
+		if !n.Owner.Avail {
+			n.Owner = Unknown()
+		}
+	} else {
+		n.ObjID, n.Owner, n.TgtOwner = None(), None(), None()
+	}
+	if !n.SyscallNR.Avail {
+		n.SyscallNR = Unknown()
+	}
+	return n
+}
+
+// Result summarizes every path the walk explored for one point.
+type Result struct {
+	// MayAccept / MayDrop: the verdict is reachable along some path
+	// (including widened ones). Their absence is a proof.
+	MayAccept bool
+	MayDrop   bool
+	// DefiniteAccept / DefiniteDrop: the verdict is reachable along a
+	// fork-free path — a concrete request realizes it.
+	DefiniteAccept bool
+	DefiniteDrop   bool
+	// AcceptRule / DropRule decide some definite path with that verdict;
+	// nil AcceptRule on a definite accept means the default allow.
+	AcceptRule *pf.Rule
+	DropRule   *pf.Rule
+	// Exact: the walk never forked; Verdict is the single concrete outcome.
+	Exact   bool
+	Verdict pf.Verdict
+	// Paths counts terminal paths; Truncated reports the fork budget was
+	// exhausted and the result widened to both verdicts (still sound).
+	Paths     int
+	Truncated bool
+}
+
+// maxPaths bounds path explosion per point; beyond it the result widens.
+const maxPaths = 512
+
+// maxJumpDepth bounds the traversal frame stack. The concrete engine has
+// no such guard — a jump cycle loops a real process forever, which is what
+// pfcheck's jump-cycle finding exists to reject — so hitting this cap just
+// widens the point instead of diverging.
+const maxJumpDepth = 64
+
+// builtin chains carry the generic/entrypoint lane split under EptChains.
+func builtinChain(name string) bool { return name == "input" || name == "syscallbegin" }
+
+type eptKey struct {
+	chain   string
+	program string
+	off     uint64
+}
+
+type laneKey struct {
+	chain   string
+	generic bool
+	op      pf.Op
+	sid     mac.SID
+}
+
+type eptLaneKey struct {
+	k   eptKey
+	op  pf.Op
+	sid mac.SID
+}
+
+// Evaluator is a symbolic interpreter over one immutable chain snapshot.
+// It is not safe for concurrent use (the pruning-lane cache is unlocked);
+// build one per goroutine — construction is O(rules).
+type Evaluator struct {
+	policy *mac.Policy
+	cfg    pf.Config
+	chains map[string]*pf.Chain
+
+	total   int
+	hasEpt  bool
+	generic map[string][]*pf.Rule
+	ept     map[eptKey][]*pf.Rule
+
+	lanes    map[laneKey][]*pf.Rule
+	eptLanes map[eptLaneKey][]*pf.Rule
+
+	resIDs []uint64 // resource identifiers pinned by --res-id rules
+}
+
+// NewEvaluator builds an evaluator over a chain snapshot — the same
+// immutable view a TransactionGated gate receives — under the given engine
+// configuration (EptChains decides rule routing, exactly as in the engine).
+func NewEvaluator(policy *mac.Policy, chains map[string]*pf.Chain, cfg pf.Config) *Evaluator {
+	ev := &Evaluator{
+		policy:   policy,
+		cfg:      cfg,
+		chains:   chains,
+		generic:  make(map[string][]*pf.Rule),
+		ept:      make(map[eptKey][]*pf.Rule),
+		lanes:    make(map[laneKey][]*pf.Rule),
+		eptLanes: make(map[eptLaneKey][]*pf.Rule),
+	}
+	for name, c := range chains {
+		for _, r := range c.Rules {
+			ev.total++
+			if r.EntrySet {
+				ev.hasEpt = true
+			}
+			if r.ResIDSet {
+				ev.resIDs = append(ev.resIDs, r.ResID)
+			}
+			if cfg.EptChains && builtinChain(name) && r.EntrySet {
+				k := eptKey{name, r.Program, r.Entry}
+				ev.ept[k] = append(ev.ept[k], r)
+			} else if builtinChain(name) {
+				ev.generic[name] = append(ev.generic[name], r)
+			}
+		}
+	}
+	return ev
+}
+
+// FromEngine snapshots an engine's current chains into an evaluator.
+func FromEngine(e *pf.Engine) *Evaluator {
+	chains := make(map[string]*pf.Chain)
+	for _, name := range e.Chains() {
+		if c, ok := e.Chain(name); ok {
+			chains[name] = c
+		}
+	}
+	return NewEvaluator(e.Policy(), chains, e.Config())
+}
+
+// Policy returns the MAC policy adversary context derives from.
+func (ev *Evaluator) Policy() *mac.Policy { return ev.policy }
+
+// RuleCount returns the snapshot's total rule count.
+func (ev *Evaluator) RuleCount() int { return ev.total }
+
+// FreshResID returns a resource identifier no --res-id rule pins, so sweep
+// points model "an arbitrary object" without tripping identifier-specific
+// rules.
+func (ev *Evaluator) FreshResID() uint64 {
+	var max uint64 = 41
+	for _, id := range ev.resIDs {
+		if id > max {
+			max = id
+		}
+	}
+	return max + 1
+}
+
+// PinnedResIDs returns the identifiers --res-id rules name, ascending-ish
+// (install order); sweeps add one point per pin to cover identifier-specific
+// rules.
+func (ev *Evaluator) PinnedResIDs() []uint64 { return ev.resIDs }
+
+// listFor resolves a chain's traversal list, mirroring
+// Chain.traversalRules: the generic lane for built-in chains when
+// entrypoint rules are indexed out, the full rule list otherwise.
+func (ev *Evaluator) listFor(name string, skipEpt bool) []*pf.Rule {
+	if skipEpt && builtinChain(name) {
+		return ev.generic[name]
+	}
+	if c := ev.chains[name]; c != nil {
+		return c.Rules
+	}
+	return nil
+}
+
+// lane returns listFor pruned to rules whose operation mask and subject set
+// can match (op, sid) — the (op, subject-SID) factoring of compile.go.
+// Pruned rules definitely do not match, so the walk is verdict-identical.
+func (ev *Evaluator) lane(name string, skipEpt bool, op pf.Op, sid mac.SID) []*pf.Rule {
+	key := laneKey{name, skipEpt && builtinChain(name), op, sid}
+	if l, ok := ev.lanes[key]; ok {
+		return l
+	}
+	src := ev.listFor(name, skipEpt)
+	lane := make([]*pf.Rule, 0, 8)
+	for _, r := range src {
+		if r.Ops.Has(op) && r.Subject.Contains(sid) {
+			lane = append(lane, r)
+		}
+	}
+	ev.lanes[key] = lane
+	return lane
+}
+
+// eptLane is lane for one entrypoint-index bucket.
+func (ev *Evaluator) eptLane(k eptKey, op pf.Op, sid mac.SID) []*pf.Rule {
+	key := eptLaneKey{k, op, sid}
+	if l, ok := ev.eptLanes[key]; ok {
+		return l
+	}
+	lane := make([]*pf.Rule, 0, 2)
+	for _, r := range ev.ept[k] {
+		if r.Ops.Has(op) && r.Subject.Contains(sid) {
+			lane = append(lane, r)
+		}
+	}
+	ev.eptLanes[key] = lane
+	return lane
+}
+
+// Eval symbolically evaluates one abstract point against the snapshot and
+// reports every reachable verdict.
+func (ev *Evaluator) Eval(c *Ctx) Result {
+	if ev.total == 0 {
+		return Result{MayAccept: true, DefiniteAccept: true, Exact: true, Verdict: pf.VerdictAccept, Paths: 1}
+	}
+	ctx := c.normalize()
+	w := &walker{ev: ev, ctx: &ctx}
+	st := newAbsState(&ctx)
+
+	start := "input"
+	if ctx.Op == pf.OpSyscallBegin {
+		start = "syscallbegin"
+	}
+	startPhase := func(st *absState) {
+		skip := ev.cfg.EptChains
+		w.runList(ev.lane(start, skip, ctx.Op, ctx.Subject), skip, st, func(st *absState) {
+			w.eptScan(start, 0, 0, st)
+		})
+	}
+	mangle := ev.chains["mangle/input"]
+	if start == "input" && mangle != nil && len(mangle.Rules) > 0 {
+		w.runList(ev.lane("mangle/input", false, ctx.Op, ctx.Subject), false, st, startPhase)
+	} else {
+		startPhase(st)
+	}
+
+	res := w.res
+	if !w.forked && !res.Truncated {
+		res.Exact = true
+		if res.MayDrop {
+			res.Verdict = pf.VerdictDrop
+		} else {
+			res.Verdict = pf.VerdictAccept
+		}
+	}
+	return res
+}
+
+// --- abstract state ------------------------------------------------------
+
+// absState is one path's per-process STATE dictionary plus path exactness.
+type absState struct {
+	m       map[uint64]Val
+	unknown bool // keys absent from m may hold any value or be unset
+	exact   bool // no widened fork taken on this path
+}
+
+func newAbsState(c *Ctx) *absState {
+	st := &absState{unknown: c.StateUnknown, exact: true}
+	if len(c.State) > 0 {
+		st.m = make(map[uint64]Val, len(c.State))
+		for k, v := range c.State {
+			st.m[k] = v
+		}
+	}
+	return st
+}
+
+func (st *absState) clone() *absState {
+	n := &absState{unknown: st.unknown, exact: st.exact}
+	if len(st.m) > 0 {
+		n.m = make(map[uint64]Val, len(st.m))
+		for k, v := range st.m {
+			n.m[k] = v
+		}
+	}
+	return n
+}
+
+func (st *absState) set(key uint64, v Val) {
+	if st.m == nil {
+		st.m = make(map[uint64]Val, 4)
+	}
+	st.m[key] = v
+}
+
+// --- the walk ------------------------------------------------------------
+
+type tri uint8
+
+const (
+	triNo tri = iota
+	triYes
+	triUnknown
+)
+
+type frame struct {
+	rules []*pf.Rule
+	idx   int
+}
+
+// walker explores every path of one point's evaluation.
+type walker struct {
+	ev     *Evaluator
+	ctx    *Ctx
+	res    Result
+	forked bool
+}
+
+// record notes one terminal path.
+func (w *walker) record(v pf.Verdict, r *pf.Rule, exact bool) {
+	w.res.Paths++
+	if v == pf.VerdictDrop {
+		w.res.MayDrop = true
+		if exact && !w.res.DefiniteDrop {
+			w.res.DefiniteDrop = true
+			w.res.DropRule = r
+		}
+	} else {
+		w.res.MayAccept = true
+		if exact && !w.res.DefiniteAccept {
+			w.res.DefiniteAccept = true
+			w.res.AcceptRule = r
+		}
+	}
+}
+
+// truncate widens the result when the fork budget is exhausted.
+func (w *walker) truncate() {
+	w.res.Truncated = true
+	w.res.MayAccept = true
+	w.res.MayDrop = true
+}
+
+func (w *walker) budgetLeft() bool { return w.res.Paths < maxPaths && !w.res.Truncated }
+
+// fall records the default-allow fall-through of one path.
+func (w *walker) fall(st *absState) { w.record(pf.VerdictAccept, nil, st.exact) }
+
+// runList walks one traversal (jump stack included) beginning at rules,
+// invoking cont for every fall-through path. skipEpt is the traversal-list
+// mode for built-in chains jumped into, mirroring traverseFrom.
+func (w *walker) runList(rules []*pf.Rule, skipEpt bool, st *absState, cont func(*absState)) {
+	w.step([]frame{{rules: rules}}, skipEpt, st, cont)
+}
+
+func cloneStack(stack []frame) []frame {
+	return append([]frame(nil), stack...)
+}
+
+// step is traverseFrom in the abstract: pop exhausted frames, match the
+// next rule, fire its target. Unknown matches fork the walk — the matched
+// branch continues on cloned stack and state, the unmatched branch
+// continues in place — and both branches lose exactness.
+func (w *walker) step(stack []frame, skipEpt bool, st *absState, cont func(*absState)) {
+	if w.res.Truncated {
+		return
+	}
+	for {
+		if len(stack) == 0 {
+			cont(st)
+			return
+		}
+		top := &stack[len(stack)-1]
+		if top.idx >= len(top.rules) {
+			stack = stack[:len(stack)-1]
+			continue
+		}
+		r := top.rules[top.idx]
+		top.idx++
+
+		m, freshNo := w.matchAbs(r, st)
+		switch m {
+		case triNo:
+			continue
+		case triUnknown:
+			if !w.budgetLeft() {
+				w.truncate()
+				return
+			}
+			w.forked = true
+			// Matched branch: independent copy of the remaining traversal.
+			stM := st.clone()
+			stM.exact = false
+			stackM := cloneStack(stack)
+			if done := w.applyTarget(r, &stackM, stM, skipEpt); !done {
+				w.step(stackM, skipEpt, stM, cont)
+			}
+			// Unmatched branch continues here; it stays definite when a
+			// fresh-state process provably takes it.
+			if !freshNo {
+				st.exact = false
+			}
+			continue
+		case triYes:
+			if done := w.applyTarget(r, &stack, st, skipEpt); done {
+				return
+			}
+		}
+	}
+}
+
+// applyTarget fires r's target against the current traversal. It returns
+// true when the path terminated (final verdict recorded).
+func (w *walker) applyTarget(r *pf.Rule, stack *[]frame, st *absState, skipEpt bool) bool {
+	switch t := r.Target.(type) {
+	case *pf.VerdictTarget:
+		w.record(t.V, r, st.exact)
+		return true
+	case *pf.ReturnTarget:
+		// Pop to the calling chain; popping the base frame ends the walk
+		// (the loop sees an empty stack and falls through).
+		*stack = (*stack)[:len(*stack)-1]
+	case *pf.JumpTarget:
+		if _, ok := w.ev.chains[t.ChainName]; ok {
+			if len(*stack) >= maxJumpDepth {
+				w.truncate()
+				return true
+			}
+			lane := w.ev.lane(t.ChainName, skipEpt, w.ctx.Op, w.ctx.Subject)
+			*stack = append(*stack, frame{rules: lane})
+		}
+	case *pf.StateTarget:
+		v := w.resolve(t.Val)
+		if v.Avail {
+			st.set(t.Key, v)
+		}
+	}
+	// LogTarget and unknown side-effecting targets: continue.
+	return false
+}
+
+// eptScan mirrors the entrypoint-index scan of Batch.Filter: entries in
+// stack order, each bucket's rules in install order; a jump traverses the
+// target chain with entrypoint rules inline; the first final verdict wins
+// and a fall-through is the default allow.
+func (w *walker) eptScan(start string, ei, ri int, st *absState) {
+	if w.res.Truncated {
+		return
+	}
+	c := w.ctx
+	if !w.ev.cfg.EptChains || !w.ev.hasEpt || c.EntryFail {
+		w.fall(st)
+		return
+	}
+	for e := ei; e < len(c.Entries); e++ {
+		ep := c.Entries[e]
+		rules := w.ev.eptLane(eptKey{start, ep.Path, ep.Off}, c.Op, c.Subject)
+		first := ri
+		ri = 0
+		for i := first; i < len(rules); i++ {
+			r := rules[i]
+			m, freshNo := w.matchAbs(r, st)
+			if m == triNo {
+				continue
+			}
+			if m == triUnknown {
+				if !w.budgetLeft() {
+					w.truncate()
+					return
+				}
+				w.forked = true
+				stM := st.clone()
+				stM.exact = false
+				if done := w.eptApply(start, e, i, r, stM); !done {
+					w.eptScan(start, e, i+1, stM)
+				}
+				if !freshNo {
+					st.exact = false
+				}
+				continue
+			}
+			if done := w.eptApply(start, e, i, r, st); done {
+				return
+			}
+		}
+	}
+	w.fall(st)
+}
+
+// eptApply fires one entrypoint rule's target during the scan. It returns
+// true when the caller's loop must stop (the path forked into a jump or
+// terminated with a verdict). Resumption after a jump re-enters eptScan at
+// the next rule of the same bucket.
+func (w *walker) eptApply(start string, e, i int, r *pf.Rule, st *absState) bool {
+	switch t := r.Target.(type) {
+	case *pf.VerdictTarget:
+		w.record(t.V, r, st.exact)
+		return true
+	case *pf.JumpTarget:
+		if _, ok := w.ev.chains[t.ChainName]; ok {
+			lane := w.ev.lane(t.ChainName, false, w.ctx.Op, w.ctx.Subject)
+			w.runList(lane, false, st, func(st2 *absState) {
+				w.eptScan(start, e, i+1, st2)
+			})
+			return true
+		}
+	case *pf.StateTarget:
+		v := w.resolve(t.Val)
+		if v.Avail {
+			st.set(t.Key, v)
+		}
+	case *pf.ReturnTarget:
+		// RETURN from an indexed entrypoint rule: the scan just continues
+		// (the concrete loop ignores non-final, non-jump actions).
+	}
+	return false
+}
+
+// --- abstract matching ---------------------------------------------------
+
+// matchAbs evaluates a rule's default matches and extension modules against
+// the point: triNo when it definitely does not match, triYes when it
+// definitely does, triUnknown when the abstraction leaves both possible.
+//
+// freshNo (meaningful only with triUnknown) reports that the rule's
+// unmatched branch is exactly what a fresh-state concrete process does: at
+// least one STATE match keyed a dictionary entry that is unset for a fresh
+// process (a missing key never matches), and every other unknown arose the
+// same way. The walk uses it to keep the unmatched branch definite, which
+// is what makes default-allow violations under the widened-state sweep
+// carry replayable witnesses.
+func (w *walker) matchAbs(r *pf.Rule, st *absState) (out tri, freshNo bool) {
+	c := w.ctx
+	if !r.Ops.Has(c.Op) {
+		return triNo, false
+	}
+	if !r.Subject.Contains(c.Subject) {
+		return triNo, false
+	}
+	if r.Object != nil {
+		if !c.HasObject || !r.Object.Contains(c.Object) {
+			return triNo, false
+		}
+	}
+	out = triYes
+	sawFreshNo := false
+	if r.ResIDSet {
+		if !c.HasObject {
+			return triNo, false
+		}
+		switch {
+		case c.ObjID.Known:
+			if c.ObjID.V != r.ResID {
+				return triNo, false
+			}
+		default:
+			out = triUnknown
+		}
+	}
+	if r.EntrySet {
+		if c.EntryFail {
+			return triNo, false
+		}
+		found := false
+		for _, e := range c.Entries {
+			if e.Path == r.Program && e.Off == r.Entry {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return triNo, false
+		}
+	} else if r.Program != "" {
+		if c.Program != r.Program {
+			return triNo, false
+		}
+	}
+	for _, m := range r.Matches {
+		t, fresh := w.matchModule(m, st)
+		switch t {
+		case triNo:
+			return triNo, false
+		case triUnknown:
+			out = triUnknown
+			if fresh {
+				sawFreshNo = true
+			}
+		}
+	}
+	return out, sawFreshNo
+}
+
+// matchModule evaluates one extension match module abstractly, mirroring
+// the concrete Match methods of modules.go case by case. fresh (meaningful
+// only with triUnknown) reports that a fresh-state process definitely does
+// not satisfy this module — the unknown arose purely from a STATE key the
+// widened dictionary may or may not hold, which a fresh process holds
+// unset (and a missing key never matches).
+func (w *walker) matchModule(m pf.Match, st *absState) (t tri, fresh bool) {
+	c := w.ctx
+	switch m := m.(type) {
+	case *pf.StateMatch:
+		cur, present := st.m[m.Key]
+		if !present && !st.unknown {
+			return triNo, false // definitely unset: a missing key never matches
+		}
+		want := w.resolve(m.Cmp)
+		if !want.Avail {
+			return triNo, false // unresolvable comparison value never matches
+		}
+		if present && cur.Known && want.Known {
+			return triEq(cur.V == want.V, m.Nequal), false
+		}
+		// !present here means the widened dictionary: unset for a fresh
+		// process, so the unmatched branch is fresh-realizable.
+		return triUnknown, !present
+	case *pf.CompareMatch:
+		a, b := w.resolve(m.V1), w.resolve(m.V2)
+		if !a.Avail || !b.Avail {
+			return triNo, false
+		}
+		if a.Known && b.Known {
+			return triEq(a.V == b.V, m.Nequal), false
+		}
+		return triUnknown, false
+	case *pf.SignalMatch:
+		if c.Sig != nil && c.Sig.HasHandler && !c.Sig.Unblockable {
+			return triYes, false
+		}
+		return triNo, false
+	case *pf.SyscallArgsMatch:
+		var v Val
+		if m.Arg == 0 {
+			v = c.SyscallNR
+		} else {
+			i := m.Arg - 1
+			if c.SyscallArgsUnknown {
+				return triUnknown, false
+			}
+			if i < 0 || i >= len(c.SyscallArgs) {
+				return triNo, false
+			}
+			v = c.SyscallArgs[i]
+		}
+		if v.Known {
+			return triEq(v.V == m.Equal, false), false
+		}
+		return triUnknown, false
+	case *pf.AdvAccessMatch:
+		var adv bool
+		if c.HasObject {
+			if m.Write {
+				adv = w.ev.policy.AdversaryWritable(c.Subject, c.Object)
+			} else {
+				adv = w.ev.policy.AdversaryReadable(c.Subject, c.Object)
+			}
+		}
+		return triEq(adv == m.Want, false), false
+	case *pf.PeerCredMatch:
+		if !c.PeerOK {
+			return triNo, false
+		}
+		want := w.resolve(m.UID)
+		if !want.Avail {
+			return triNo, false
+		}
+		if c.PeerUID.Known && want.Known {
+			return triEq(c.PeerUID.V == want.V, m.Nequal), false
+		}
+		return triUnknown, false
+	case *pf.SockNSMatch:
+		return triEq(c.NSOK && c.NS == m.NS, false), false
+	case *pf.PortMatch:
+		if !c.PortOK {
+			return triNo, false
+		}
+		if c.Port.Known {
+			p := uint16(c.Port.V)
+			return triEq(p >= m.Min && p <= m.Max, false), false
+		}
+		return triUnknown, false
+	default:
+		// An extension module the verifier does not model: widen.
+		return triUnknown, false
+	}
+}
+
+// triEq folds an equality outcome with an optional negation into a tri.
+func triEq(eq, negate bool) tri {
+	if eq != negate {
+		return triYes
+	}
+	return triNo
+}
+
+// resolve is EvalCtx.Resolve in the abstract.
+func (w *walker) resolve(v pf.Value) Val {
+	c := w.ctx
+	switch v.Ref {
+	case pf.RefLiteral:
+		return Known(v.Lit)
+	case pf.RefIno:
+		if !c.HasObject {
+			return None()
+		}
+		return c.ObjID
+	case pf.RefObjSID:
+		if !c.HasObject {
+			return None()
+		}
+		return Known(uint64(c.Object))
+	case pf.RefDACOwner:
+		if !c.HasObject {
+			return None()
+		}
+		return c.Owner
+	case pf.RefTgtDACOwner:
+		return c.TgtOwner
+	case pf.RefSignal:
+		if c.Sig == nil {
+			return None()
+		}
+		return Known(uint64(c.Sig.Signal))
+	case pf.RefPeerUID:
+		if !c.PeerOK {
+			return None()
+		}
+		return c.PeerUID
+	case pf.RefPeerPID:
+		if !c.PeerOK {
+			return None()
+		}
+		return c.PeerPID
+	case pf.RefPort:
+		if !c.PortOK {
+			return None()
+		}
+		return c.Port
+	default:
+		return None()
+	}
+}

@@ -1,0 +1,165 @@
+package pfverify
+
+import (
+	"errors"
+	"fmt"
+
+	"pfirewall/internal/kernel"
+	"pfirewall/internal/pf"
+	"pfirewall/internal/programs"
+	"pfirewall/internal/vfs"
+)
+
+// ReplayResult is the concrete outcome of materializing one violation
+// witness in a real kernel/vfs/pf world.
+type ReplayResult struct {
+	// Reproduced: the concrete request reached exactly the verdict the
+	// verifier reported. A definite violation that fails to reproduce is a
+	// verifier bug (enforced by the differential fuzz test).
+	Reproduced bool
+	Verdict    pf.Verdict
+	// Skipped: the witness's operation or context cannot be driven through
+	// the syscall surface (e.g. a pinned inode number); Reason says why.
+	Skipped bool
+	Reason  string
+	Err     error
+}
+
+// Replay materializes a definite violation in a fresh world — the object
+// file with the witness's label and owner(s), a process with the witness's
+// subject label, binary, and entrypoint frames — installs the ruleset
+// (pftables source lines), and drives the access through the real syscall
+// path. MAC enforcement is left off so the firewall verdict alone decides
+// the outcome, mirroring what the symbolic sweep models.
+func Replay(v *Violation, rules []string) ReplayResult {
+	if !v.Definite {
+		return ReplayResult{Skipped: true, Reason: "potential violation (widened path); no concrete witness"}
+	}
+	switch v.Ctx.Op {
+	case pf.OpFileOpen, pf.OpLnkFileRead:
+	default:
+		return ReplayResult{Skipped: true, Reason: fmt.Sprintf("operation %s has no replay driver", v.Ctx.Op)}
+	}
+	if !v.Ctx.HasObject {
+		return ReplayResult{Skipped: true, Reason: "witness has no object"}
+	}
+
+	cfg := pf.Optimized()
+	w := programs.NewWorld(programs.WorldOpts{PF: &cfg})
+	if _, err := w.InstallRules(rules); err != nil {
+		return ReplayResult{Err: fmt.Errorf("install ruleset: %w", err)}
+	}
+
+	path, err := materializeObject(w, v)
+	if err != nil {
+		return ReplayResult{Err: err}
+	}
+
+	p, err := witnessProc(w, v)
+	if err != nil {
+		return ReplayResult{Err: err}
+	}
+
+	fd, err := p.Open(path, kernel.O_RDONLY, 0)
+	var got pf.Verdict
+	switch {
+	case err == nil:
+		p.Close(fd)
+		got = pf.VerdictAccept
+	case errors.Is(err, kernel.ErrPFDenied):
+		got = pf.VerdictDrop
+	default:
+		return ReplayResult{Err: fmt.Errorf("replay open: %w", err)}
+	}
+	return ReplayResult{Reproduced: got == v.Got, Verdict: got}
+}
+
+// materializeObject creates the witness object: a plain file carrying the
+// witness's label and DAC owner, or — when the point pins a symlink-target
+// owner (owner-diff scope) — a symlink with the witness's label over a
+// target file owned by the pinned target owner.
+func materializeObject(w *programs.World, v *Violation) (string, error) {
+	fs := w.K.FS
+	dir := fs.MustPath("/witness")
+	owner := 0
+	if v.Ctx.Owner.Known {
+		owner = int(int64(v.Ctx.Owner.V))
+	}
+	if v.Ctx.TgtOwner.Avail {
+		tgtOwner := 0
+		if v.Ctx.TgtOwner.Known {
+			tgtOwner = int(int64(v.Ctx.TgtOwner.V))
+		}
+		if _, err := fs.CreateAt(dir, "target", "/witness/target", vfs.CreateOpts{
+			Mode: 0o644, UID: tgtOwner,
+		}); err != nil {
+			return "", fmt.Errorf("materialize target: %w", err)
+		}
+		if _, err := fs.CreateAt(dir, "obj", "/witness/obj", vfs.CreateOpts{
+			Type: vfs.TypeSymlink, Target: "/witness/target",
+			UID: owner, Label: v.Object,
+		}); err != nil {
+			return "", fmt.Errorf("materialize link: %w", err)
+		}
+		return "/witness/obj", nil
+	}
+	if _, err := fs.CreateAt(dir, "obj", "/witness/obj", vfs.CreateOpts{
+		Mode: 0o644, UID: owner, Label: v.Object,
+	}); err != nil {
+		return "", fmt.Errorf("materialize object: %w", err)
+	}
+	return "/witness/obj", nil
+}
+
+// witnessProc builds the witness subject: a process with the witness's
+// label and binary, its entrypoint frames pushed exactly as the abstract
+// point pins them.
+func witnessProc(w *programs.World, v *Violation) (*kernel.Proc, error) {
+	exec := v.Ctx.Program
+	if exec == "" {
+		exec = programs.BinSh
+	}
+	p := w.NewProc(kernel.ProcSpec{UID: 0, Label: v.Subject, Exec: exec, Cwd: "/"})
+	// Entries are in unwind (innermost-first) order: outer entries become
+	// call frames, the innermost becomes the syscall site (the PC).
+	for i := len(v.Ctx.Entries) - 1; i >= 1; i-- {
+		e := v.Ctx.Entries[i]
+		if _, ok := p.AddrSpace().FindByPath(e.Path); !ok {
+			p.AddrSpace().Map(e.Path, 0)
+		}
+		if err := p.PushFrame(e.Path, e.Off); err != nil {
+			return nil, fmt.Errorf("witness frame %s:0x%x: %w", e.Path, e.Off, err)
+		}
+	}
+	if len(v.Ctx.Entries) > 0 {
+		e := v.Ctx.Entries[0]
+		if _, ok := p.AddrSpace().FindByPath(e.Path); !ok {
+			p.AddrSpace().Map(e.Path, 0)
+		}
+		if err := p.SyscallSite(e.Path, e.Off); err != nil {
+			return nil, fmt.Errorf("witness site %s:0x%x: %w", e.Path, e.Off, err)
+		}
+	}
+	return p, nil
+}
+
+// ReplayAll replays every definite violation of a report against the same
+// ruleset source, returning (reproduced, failed, skipped) counts; failures
+// carry their violation for diagnostics.
+func ReplayAll(rep *Report, rules []string) (reproduced, skipped int, failures []Violation) {
+	for _, v := range rep.Violations() {
+		if !v.Definite {
+			continue
+		}
+		r := Replay(&v, rules)
+		switch {
+		case r.Skipped:
+			skipped++
+		case r.Reproduced:
+			reproduced++
+		default:
+			failures = append(failures, v)
+		}
+	}
+	return reproduced, skipped, failures
+}

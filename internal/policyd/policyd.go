@@ -23,12 +23,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"pfirewall/internal/kernel"
 	"pfirewall/internal/pf"
 	"pfirewall/internal/pfcheck"
 	"pfirewall/internal/pftables"
+	"pfirewall/internal/pfverify"
 )
 
 // DefaultSocketName is the abstract-namespace rendezvous both pfctl and
@@ -87,9 +89,25 @@ type Server struct {
 	proc   *kernel.Proc
 	lfd    int
 
+	// invs, when set, arms the pfverify refinement gate: a batch that
+	// weakens an invariant the live generation satisfies is vetoed before
+	// its publish commits. verifyVetoes counts those rejections.
+	invs         []*pfverify.Invariant
+	verifyVetoes atomic.Uint64
+
 	stop chan struct{}
 	done chan struct{}
 }
+
+// SetInvariants arms the symbolic refinement gate: every subsequent apply
+// must refine the live ruleset with respect to invs — an invariant the
+// current generation satisfies must still hold under the candidate, or the
+// batch is vetoed pre-publish with the regression witnesses as findings.
+// Call before the first client applies; the slice is not copied.
+func (s *Server) SetInvariants(invs []*pfverify.Invariant) { s.invs = invs }
+
+// VerifyVetoes reports how many applies the refinement gate rejected.
+func (s *Server) VerifyVetoes() uint64 { return s.verifyVetoes.Load() }
 
 // Serve binds an abstract socket named name (DefaultSocketName when empty)
 // inside k's world and starts the control loop for engine. sym configures
@@ -261,6 +279,26 @@ func (s *Server) apply(req *Request) Response {
 		}
 		if len(vetoes) > 0 {
 			return errVetoed
+		}
+		// Refinement gate: the candidate must not weaken any invariant the
+		// live generation satisfies. Runs under the engine's write lock, so
+		// FromEngine still observes the pre-publish generation while chains
+		// is the candidate.
+		if len(s.invs) > 0 {
+			tbl := s.engine.Policy().SIDs()
+			cur := pfverify.FromEngine(s.engine)
+			cand := pfverify.NewEvaluator(s.engine.Policy(), chains, s.engine.Config())
+			for _, reg := range pfverify.Refines(cur, cand, tbl, s.invs) {
+				msg := fmt.Sprintf("pfverify: batch weakens invariant %s", reg.Invariant)
+				if len(reg.Violations) > 0 {
+					msg += ": " + reg.Violations[0].String()
+				}
+				vetoes = append(vetoes, msg)
+			}
+			if len(vetoes) > 0 {
+				s.verifyVetoes.Add(1)
+				return errVetoed
+			}
 		}
 		return nil
 	}

@@ -9,6 +9,7 @@ import (
 	"pfirewall/internal/pf"
 	"pfirewall/internal/pfcheck"
 	"pfirewall/internal/pftables"
+	"pfirewall/internal/pfverify"
 	"pfirewall/internal/programs"
 )
 
@@ -300,5 +301,67 @@ func TestBadRequestLine(t *testing.T) {
 	}
 	if _, err := cl.Do(Request{Op: "nonsense"}, 0); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestInvariantGateVetoesWeakeningBatch: with SetInvariants armed, a batch
+// that passes pfcheck but weakens a held invariant is vetoed pre-publish,
+// with the regression witness in the findings.
+func TestInvariantGateVetoesWeakeningBatch(t *testing.T) {
+	w := policyWorld(t)
+	srv, cl := serveWorld(t, w)
+
+	invs, err := pfverify.ParseInvariants("srv.inv", `invariant httpd-no-shadow {
+    require DROP
+    op FILE_OPEN
+    subject httpd_t
+    object shadow_t
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.SetInvariants(invs)
+
+	resp, err := cl.Apply("base.pft", []string{
+		`pftables -A input -s httpd_t -d shadow_t -o FILE_OPEN -j DROP`,
+	}, 0)
+	if err != nil || !resp.OK {
+		t.Fatalf("base apply: %v %s", err, resp.Err)
+	}
+	ver := w.Engine.Version()
+
+	// Clean per pfcheck (nothing shadowed — the ACCEPT is narrower than
+	// nothing and first-match puts it ahead), but it weakens the invariant.
+	resp, err = cl.Apply("weaken.pft", []string{
+		`pftables -I input -s httpd_t -o FILE_OPEN -j ACCEPT`,
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.OK {
+		t.Fatal("refinement gate let a weakening batch publish")
+	}
+	found := false
+	for _, f := range resp.Findings {
+		if strings.Contains(f, "httpd-no-shadow") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("veto findings missing the regressed invariant: %v", resp.Findings)
+	}
+	if w.Engine.Version() != ver {
+		t.Fatal("vetoed batch reached the rule base")
+	}
+	if srv.VerifyVetoes() != 1 {
+		t.Fatalf("VerifyVetoes = %d, want 1", srv.VerifyVetoes())
+	}
+
+	// A non-weakening batch still publishes with the gate armed.
+	resp, err = cl.Apply("ok.pft", []string{
+		`pftables -A input -s user_t -d shadow_t -o FILE_OPEN -j DROP`,
+	}, 0)
+	if err != nil || !resp.OK {
+		t.Fatalf("harmless apply: %v %s %v", err, resp.Err, resp.Findings)
 	}
 }

@@ -82,7 +82,7 @@ func NewStoreCapacity(capacity int) *Store {
 
 // Add appends a record, evicting the oldest once the store is full.
 func (s *Store) Add(r Record) {
-	s.mu.Lock()
+	s.mu.Lock() //pflint:allow — denial-log ingestion: runs only when a rule LOGs or a request drops, never on the steady-state accept path
 	defer s.mu.Unlock()
 	if s.cap == 0 {
 		s.cap = DefaultCapacity // zero-value Store

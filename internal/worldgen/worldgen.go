@@ -466,6 +466,23 @@ func Rules(spec Spec) []string {
 	return rules
 }
 
+// Invariants returns the pfverify invariant source the spec's rule base
+// must satisfy: tenant non-interference stated as an abstract property —
+// the web server's serve entrypoint never opens tenant home content, for
+// any tenant, whatever subject, process state, or rule ordering. The
+// per-tenant guard rules in Rules are the mechanism; this is the property,
+// so dropping or preempting any one guard fails verification.
+func Invariants() string {
+	return `invariant tenant-home-no-serve {
+    require DROP
+    op FILE_OPEN
+    subject any
+    object tenant??_home_t
+    entry ` + programs.BinApache + fmt.Sprintf(":0x%x", programs.EntryApacheServe) + `
+}
+`
+}
+
 // NewTenantUser starts an untrusted process for tenant t's user u, the
 // adversary population of the generated world.
 func (w *World) NewTenantUser(t, u int) *kernel.Proc {
